@@ -1,0 +1,126 @@
+//! The common interface every simulated framework implements.
+
+use flashmem_core::ExecutionReport;
+use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_graph::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a mobile DNN framework appearing in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// Alibaba MNN.
+    Mnn,
+    /// Tencent NCNN.
+    Ncnn,
+    /// Apache TVM.
+    Tvm,
+    /// LiteRT (formerly TensorFlow Lite).
+    LiteRt,
+    /// PyTorch ExecuTorch.
+    ExecuTorch,
+    /// SmartMem (the precursor research prototype FlashMem builds on).
+    SmartMem,
+    /// FlashMem itself.
+    FlashMem,
+    /// The Always-Next naive overlap strategy (Figure 9).
+    AlwaysNext,
+    /// The Same-Op-Type prefetching strategy (Figure 9).
+    SameOpType,
+}
+
+impl FrameworkKind {
+    /// Display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrameworkKind::Mnn => "MNN",
+            FrameworkKind::Ncnn => "NCNN",
+            FrameworkKind::Tvm => "TVM",
+            FrameworkKind::LiteRt => "LiteRT",
+            FrameworkKind::ExecuTorch => "ExecuTorch",
+            FrameworkKind::SmartMem => "SmartMem",
+            FrameworkKind::FlashMem => "FlashMem",
+            FrameworkKind::AlwaysNext => "Always-Next",
+            FrameworkKind::SameOpType => "Same-Op-Type",
+        }
+    }
+
+    /// The baseline frameworks compared in Tables 7 and 8, in table order.
+    pub fn baselines() -> [FrameworkKind; 6] {
+        [
+            FrameworkKind::Mnn,
+            FrameworkKind::Ncnn,
+            FrameworkKind::Tvm,
+            FrameworkKind::LiteRt,
+            FrameworkKind::ExecuTorch,
+            FrameworkKind::SmartMem,
+        ]
+    }
+}
+
+impl std::fmt::Display for FrameworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A framework that can execute (or refuse) one of the evaluation models on a
+/// simulated device.
+pub trait Framework {
+    /// The framework's identity.
+    fn kind(&self) -> FrameworkKind;
+
+    /// Display name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Whether the framework supports the model at all (the "–" cells of
+    /// Tables 7/8 come from operator gaps and model-scale limits).
+    fn supports(&self, model: &ModelSpec) -> bool;
+
+    /// Execute one inference of `model` on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for unsupported models and
+    /// propagates simulator errors (most importantly out-of-memory).
+    fn run(&self, model: &ModelSpec, device: &DeviceSpec) -> Result<ExecutionReport, SimError>;
+}
+
+/// Convenience: run a framework and flatten "unsupported" and OOM into `None`
+/// (how the paper's tables render those cells).
+pub fn run_or_dash(
+    framework: &dyn Framework,
+    model: &ModelSpec,
+    device: &DeviceSpec,
+) -> Option<ExecutionReport> {
+    if !framework.supports(model) {
+        return None;
+    }
+    framework.run(model, device).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = FrameworkKind::baselines().iter().map(|k| k.name()).collect();
+        names.push(FrameworkKind::FlashMem.name());
+        names.push(FrameworkKind::AlwaysNext.name());
+        names.push(FrameworkKind::SameOpType.name());
+        assert!(names.iter().all(|n| !n.is_empty()));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn baseline_list_matches_table_order() {
+        let b = FrameworkKind::baselines();
+        assert_eq!(b[0], FrameworkKind::Mnn);
+        assert_eq!(b[5], FrameworkKind::SmartMem);
+    }
+}

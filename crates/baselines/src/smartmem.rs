@@ -1,0 +1,90 @@
+//! SmartMem — the precursor research prototype FlashMem builds on.
+//!
+//! SmartMem eliminates runtime layout transformations (Reshape/Transpose) by
+//! choosing 2.5D texture layouts offline and ships well-tuned kernels, but it
+//! is still a *preloading* framework: every weight is loaded and transformed
+//! before the first kernel runs. It is the reference point for the paper's
+//! Mem-ReDT column (Table 8), the breakdown study (Figure 7) and the
+//! portability study (Figure 10).
+
+use flashmem_core::ExecutionReport;
+use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_graph::ModelSpec;
+
+use crate::framework::{Framework, FrameworkKind};
+use crate::preload::{FrameworkProfile, PreloadFramework};
+
+/// The SmartMem baseline.
+#[derive(Debug, Clone)]
+pub struct SmartMem {
+    inner: PreloadFramework,
+}
+
+impl SmartMem {
+    /// Create the SmartMem baseline with its published behaviour profile.
+    pub fn new() -> Self {
+        SmartMem {
+            inner: PreloadFramework::new(FrameworkProfile::smartmem()),
+        }
+    }
+
+    /// The underlying preload-framework profile.
+    pub fn profile(&self) -> &FrameworkProfile {
+        self.inner.profile()
+    }
+}
+
+impl Default for SmartMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Framework for SmartMem {
+    fn kind(&self) -> FrameworkKind {
+        FrameworkKind::SmartMem
+    }
+
+    fn supports(&self, model: &ModelSpec) -> bool {
+        self.inner.supports(model)
+    }
+
+    fn run(&self, model: &ModelSpec, device: &DeviceSpec) -> Result<ExecutionReport, SimError> {
+        self.inner.run(model, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    #[test]
+    fn smartmem_identity_and_default() {
+        let s = SmartMem::default();
+        assert_eq!(s.kind(), FrameworkKind::SmartMem);
+        assert_eq!(s.name(), "SmartMem");
+        assert_eq!(s.profile().kind, FrameworkKind::SmartMem);
+    }
+
+    #[test]
+    fn smartmem_runs_the_large_models_the_commercial_frameworks_reject() {
+        let s = SmartMem::new();
+        assert!(s.supports(&ModelZoo::gptneo_1_3b()));
+        assert!(s.supports(&ModelZoo::sam2()));
+        assert!(!s.supports(&ModelZoo::gptneo_2_7b()));
+    }
+
+    #[test]
+    fn smartmem_report_separates_init_and_exec() {
+        let report = SmartMem::new()
+            .run(&ModelZoo::gptneo_small(), &DeviceSpec::oneplus_12())
+            .unwrap();
+        assert!(report.init_latency_ms > 0.0);
+        assert!(report.exec_latency_ms > 0.0);
+        assert!(
+            (report.integrated_latency_ms - report.init_latency_ms - report.exec_latency_ms).abs()
+                < 1e-6
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Runs the design-choice ablation sweeps (chunk size, λ, α, window length).
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin ablations [-- --quick]`
+
+use flashmem_bench::experiments::ablations;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", ablations::run(quick));
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin all [-- --quick]`
+
+use flashmem_bench::experiments::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}\n", table1::run(quick));
+    println!("{}\n", fig2::run(quick));
+    println!("{}\n", table4::run(quick));
+    println!("{}\n", fig4::run(quick));
+    println!("{}\n", table6::run(quick));
+    println!("{}\n", table7::run(quick));
+    println!("{}\n", table8::run(quick));
+    println!("{}\n", fig6::run(quick));
+    println!("{}\n", fig7::run(quick));
+    println!("{}\n", fig8::run(quick));
+    println!("{}\n", fig9::run(quick));
+    println!("{}\n", table9::run(quick));
+    println!("{}\n", fig10::run(quick));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig2 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin fig2 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::fig2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = fig2::run(quick);
+    println!("{result}");
+}

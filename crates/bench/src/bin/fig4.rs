@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig4 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin fig4 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::fig4;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = fig4::run(quick);
+    println!("{result}");
+}

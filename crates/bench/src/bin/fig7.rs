@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig7 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin fig7 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::fig7;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = fig7::run(quick);
+    println!("{result}");
+}

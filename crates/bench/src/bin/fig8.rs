@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig8 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin fig8 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::fig8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = fig8::run(quick);
+    println!("{result}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's table6 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin table6 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::table6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = table6::run(quick);
+    println!("{result}");
+}

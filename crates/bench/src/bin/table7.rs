@@ -1,0 +1,12 @@
+//! Regenerates the paper's table7 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin table7 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::table7;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = table7::run(quick);
+    println!("{result}");
+}

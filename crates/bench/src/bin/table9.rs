@@ -1,0 +1,12 @@
+//! Regenerates the paper's table9 on the simulated device.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin table9 [-- --quick]`
+//! The `--quick` flag restricts the sweep to a reduced model set.
+
+use flashmem_bench::experiments::table9;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let result = table9::run(quick);
+    println!("{result}");
+}

@@ -1,0 +1,155 @@
+//! Figure 10 — portability: FlashMem vs SmartMem on the OnePlus 11, Xiaomi
+//! Mi 6 and Google Pixel 8. Preloading runs out of memory for GPT-Neo-1.3B on
+//! the 6–8 GB devices (the empty bars); FlashMem runs everywhere.
+
+use flashmem_baselines::{Framework, SmartMem};
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+
+use crate::flashmem_report;
+use crate::table::TextTable;
+
+/// Result of one (device, model) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortabilityCell {
+    /// Device name.
+    pub device: String,
+    /// Model abbreviation.
+    pub model: String,
+    /// Latency speedup of FlashMem over SmartMem (None = SmartMem OOM/unsupported).
+    pub latency_speedup: Option<f64>,
+    /// Average-memory saving of FlashMem over SmartMem (None = SmartMem OOM).
+    pub memory_saving: Option<f64>,
+    /// True if SmartMem ran out of memory during initialization on this
+    /// device (the paper's empty bars).
+    pub smartmem_oom: bool,
+    /// FlashMem's integrated latency on this device (ms); None only if even
+    /// FlashMem cannot run the model.
+    pub flashmem_ms: Option<f64>,
+}
+
+/// The Figure 10 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// All (device × model) cells.
+    pub cells: Vec<PortabilityCell>,
+}
+
+fn devices(quick: bool) -> Vec<DeviceSpec> {
+    if quick {
+        vec![DeviceSpec::xiaomi_mi_6()]
+    } else {
+        vec![
+            DeviceSpec::oneplus_11(),
+            DeviceSpec::xiaomi_mi_6(),
+            DeviceSpec::pixel_8(),
+        ]
+    }
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::vit(), ModelZoo::gptneo_1_3b()]
+    } else {
+        vec![ModelZoo::sd_unet(), ModelZoo::gptneo_1_3b(), ModelZoo::vit()]
+    }
+}
+
+/// Run the Figure 10 experiment.
+pub fn run(quick: bool) -> Fig10 {
+    let smartmem = SmartMem::new();
+    let mut cells = Vec::new();
+    for device in devices(quick) {
+        for model in models(quick) {
+            let ours = flashmem_report(&model, &device);
+            let theirs = if smartmem.supports(&model) {
+                smartmem.run(&model, &device)
+            } else {
+                Err(flashmem_gpu_sim::SimError::InvalidParameter {
+                    message: "unsupported".into(),
+                })
+            };
+            let smartmem_oom = theirs.is_err();
+            let (latency_speedup, memory_saving) = match (&ours, &theirs) {
+                (Some(o), Ok(t)) => (
+                    Some(t.integrated_latency_ms / o.integrated_latency_ms),
+                    Some(t.average_memory_mb / o.average_memory_mb),
+                ),
+                _ => (None, None),
+            };
+            cells.push(PortabilityCell {
+                device: device.name.clone(),
+                model: model.abbr.clone(),
+                latency_speedup,
+                memory_saving,
+                smartmem_oom,
+                flashmem_ms: ours.map(|o| o.integrated_latency_ms),
+            });
+        }
+    }
+    Fig10 { cells }
+}
+
+impl std::fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: FlashMem vs SmartMem across devices (empty = SmartMem out of memory)"
+        )?;
+        let mut t = TextTable::new(&[
+            "Device",
+            "Model",
+            "FlashMem (ms)",
+            "Latency speedup",
+            "Memory saving",
+            "SmartMem status",
+        ]);
+        for c in &self.cells {
+            t.row(&[
+                c.device.clone(),
+                c.model.clone(),
+                c.flashmem_ms
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "–".into()),
+                c.latency_speedup
+                    .map(|v| format!("{v:.1}×"))
+                    .unwrap_or_else(|| "–".into()),
+                c.memory_saving
+                    .map(|v| format!("{v:.1}×"))
+                    .unwrap_or_else(|| "–".into()),
+                if c.smartmem_oom { "OOM".into() } else { "ok".to_string() },
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gptneo_13b_ooms_for_smartmem_on_the_mi6_but_runs_on_flashmem() {
+        let fig = run(true);
+        let cell = fig
+            .cells
+            .iter()
+            .find(|c| c.model == "GPTN-1.3B" && c.device.contains("Mi 6"))
+            .expect("cell present");
+        assert!(cell.smartmem_oom, "SmartMem should OOM on the 6 GB device");
+        assert!(cell.flashmem_ms.is_some(), "FlashMem should still run");
+    }
+
+    #[test]
+    fn flashmem_wins_wherever_both_run() {
+        let fig = run(true);
+        for cell in &fig.cells {
+            if let Some(speedup) = cell.latency_speedup {
+                assert!(speedup > 1.0, "{} on {}: {speedup}", cell.model, cell.device);
+            }
+            if let Some(saving) = cell.memory_saving {
+                assert!(saving > 1.0);
+            }
+        }
+    }
+}

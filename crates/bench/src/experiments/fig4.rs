@@ -1,0 +1,144 @@
+//! Figure 4 — the offline profiling pipeline: sample kernels with varying
+//! launch geometry and injected I/O, train the latency regressor, and report
+//! its accuracy per operator category.
+
+use flashmem_gpu_sim::kernel::KernelCategory;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_profiler::{GbrtConfig, GbrtModel, KernelSample, KernelSampler, SamplingConfig};
+
+use crate::table::TextTable;
+
+/// Per-category regression quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryFit {
+    /// The operator category.
+    pub category: KernelCategory,
+    /// Number of samples of this category.
+    pub samples: usize,
+    /// Mean observed latency in ms.
+    pub mean_latency_ms: f64,
+    /// Root-mean-square prediction error in ms.
+    pub rmse_ms: f64,
+}
+
+/// The Figure 4 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4 {
+    /// Total training samples.
+    pub samples: usize,
+    /// Number of boosted trees in the model.
+    pub trees: usize,
+    /// Overall RMSE in ms.
+    pub overall_rmse_ms: f64,
+    /// Per-category fits.
+    pub per_category: Vec<CategoryFit>,
+}
+
+/// Run the Figure 4 experiment.
+pub fn run(quick: bool) -> Fig4 {
+    let device = DeviceSpec::oneplus_12();
+    let config = SamplingConfig {
+        kernels: if quick { 40 } else { 160 },
+        ..Default::default()
+    };
+    let samples = KernelSampler::new(device, config).collect();
+    let features: Vec<Vec<f64>> = samples.iter().map(KernelSample::features).collect();
+    let targets: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    let gbrt_config = GbrtConfig {
+        n_trees: if quick { 40 } else { 120 },
+        ..Default::default()
+    };
+    let model = GbrtModel::fit(&features, &targets, &gbrt_config);
+
+    let per_category = [
+        KernelCategory::Elemental,
+        KernelCategory::Reusable,
+        KernelCategory::Hierarchical,
+    ]
+    .into_iter()
+    .map(|category| {
+        let subset: Vec<usize> = samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.category == category)
+            .map(|(i, _)| i)
+            .collect();
+        let mean = subset.iter().map(|&i| targets[i]).sum::<f64>() / subset.len().max(1) as f64;
+        let sub_features: Vec<Vec<f64>> = subset.iter().map(|&i| features[i].clone()).collect();
+        let sub_targets: Vec<f64> = subset.iter().map(|&i| targets[i]).collect();
+        CategoryFit {
+            category,
+            samples: subset.len(),
+            mean_latency_ms: mean,
+            rmse_ms: model.rmse(&sub_features, &sub_targets),
+        }
+    })
+    .collect();
+
+    Fig4 {
+        samples: samples.len(),
+        trees: model.num_trees(),
+        overall_rmse_ms: model.rmse(&features, &targets),
+        per_category,
+    }
+}
+
+impl std::fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 4: kernel profiling and latency regression ({} samples, {} trees, overall RMSE {:.3} ms)",
+            self.samples, self.trees, self.overall_rmse_ms
+        )?;
+        let mut t = TextTable::new(&["Op type", "Samples", "Mean latency (ms)", "RMSE (ms)"]);
+        for c in &self.per_category {
+            t.row(&[
+                c.category.name().to_string(),
+                format!("{}", c.samples),
+                format!("{:.3}", c.mean_latency_ms),
+                format!("{:.3}", c.rmse_ms),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressor_fits_the_profiled_kernels_well() {
+        let fig = run(true);
+        assert_eq!(fig.per_category.len(), 3);
+        assert!(fig.samples >= 200);
+        // The regressor should explain the data far better than a constant
+        // predictor: RMSE under 25% of the mean reusable-kernel latency.
+        let reusable = fig
+            .per_category
+            .iter()
+            .find(|c| c.category == KernelCategory::Reusable)
+            .unwrap();
+        assert!(
+            fig.overall_rmse_ms < 0.25 * reusable.mean_latency_ms.max(0.5),
+            "rmse {} vs mean {}",
+            fig.overall_rmse_ms,
+            reusable.mean_latency_ms
+        );
+        // Reusable kernels are the slowest on average (they dominate latency).
+        let elemental = fig
+            .per_category
+            .iter()
+            .find(|c| c.category == KernelCategory::Elemental)
+            .unwrap();
+        assert!(reusable.mean_latency_ms > elemental.mean_latency_ms);
+    }
+
+    #[test]
+    fn display_mentions_every_category() {
+        let text = run(true).to_string();
+        for c in ["elemental", "reusable", "hierarchical"] {
+            assert!(text.contains(c));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 6 — multi-model FIFO support: memory usage over time when several
+//! distinct models execute back to back, FlashMem (with a manual 1.5 GB cap)
+//! versus an MNN-style preloading framework.
+
+use flashmem_baselines::{Framework, FrameworkProfile, PreloadFramework};
+use flashmem_core::{FlashMemConfig, MultiModelRunner};
+use flashmem_gpu_sim::trace::MemoryTrace;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+
+/// A resampled memory-over-time series for one runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySeries {
+    /// Runtime label ("FlashMem" / "MNN").
+    pub runtime: String,
+    /// Total wall-clock of the workload in milliseconds.
+    pub total_latency_ms: f64,
+    /// Peak memory in MB.
+    pub peak_memory_mb: f64,
+    /// `(time ms, memory MB)` samples.
+    pub samples: Vec<(f64, f64)>,
+}
+
+/// The Figure 6 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// The model sequence executed per iteration.
+    pub queue: Vec<String>,
+    /// Number of interleaved iterations.
+    pub iterations: usize,
+    /// FlashMem's series (1.5 GB cap).
+    pub flashmem: MemorySeries,
+    /// The MNN-style preloading series.
+    pub mnn: MemorySeries,
+}
+
+fn queue(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::vit(), ModelZoo::gptneo_small()]
+    } else {
+        vec![
+            ModelZoo::depth_anything_small(),
+            ModelZoo::sd_unet(),
+            ModelZoo::vit(),
+            ModelZoo::gptneo_1_3b(),
+            ModelZoo::whisper_medium(),
+        ]
+    }
+}
+
+fn resample(trace: &MemoryTrace, points: usize) -> Vec<(f64, f64)> {
+    trace
+        .resample(points)
+        .into_iter()
+        .map(|s| (s.time_ms, s.bytes as f64 / (1024.0 * 1024.0)))
+        .collect()
+}
+
+/// Run the Figure 6 experiment.
+pub fn run(quick: bool) -> Fig6 {
+    let device = DeviceSpec::oneplus_12();
+    let models = queue(quick);
+    let iterations = if quick { 1 } else { 2 };
+    let points = if quick { 50 } else { 200 };
+
+    // FlashMem under the paper's manual 1.5 GB constraint.
+    let runner = MultiModelRunner::new(device.clone(), FlashMemConfig::memory_priority())
+        .with_memory_cap_bytes(1_536 * 1024 * 1024);
+    let flash = runner
+        .run_fifo(&models, iterations)
+        .expect("FlashMem fits the 1.5 GB cap");
+    let flashmem = MemorySeries {
+        runtime: "FlashMem".to_string(),
+        total_latency_ms: flash.total_latency_ms,
+        peak_memory_mb: flash.peak_memory_mb,
+        samples: resample(&flash.memory_trace, points),
+    };
+
+    // MNN-style FIFO: each model is fully preloaded, executed and evicted.
+    let mnn_framework = PreloadFramework::new(FrameworkProfile::mnn());
+    let mut stitched = MemoryTrace::new();
+    let mut clock = 0.0;
+    let mut peak: f64 = 0.0;
+    for _ in 0..iterations {
+        for model in &models {
+            if !mnn_framework.supports(model) {
+                continue;
+            }
+            if let Ok(report) = mnn_framework.run(model, &device) {
+                stitched.append_shifted(&report.memory_trace, clock);
+                clock += report.integrated_latency_ms;
+                stitched.record(clock, 0);
+                peak = peak.max(report.peak_memory_mb);
+            }
+        }
+    }
+    let mnn = MemorySeries {
+        runtime: "MNN".to_string(),
+        total_latency_ms: clock,
+        peak_memory_mb: peak,
+        samples: resample(&stitched, points),
+    };
+
+    Fig6 {
+        queue: models.iter().map(|m| m.abbr.clone()).collect(),
+        iterations,
+        flashmem,
+        mnn,
+    }
+}
+
+impl std::fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 6: multi-model FIFO memory usage over time ({} iterations of {:?})",
+            self.iterations, self.queue
+        )?;
+        for series in [&self.flashmem, &self.mnn] {
+            writeln!(
+                f,
+                "{}: total {:.0} ms, peak {:.0} MB",
+                series.runtime, series.total_latency_ms, series.peak_memory_mb
+            )?;
+            write!(f, "  t(ms)/MB:")?;
+            for (t, mb) in series.samples.iter().step_by(5) {
+                write!(f, " {t:.0}/{mb:.0}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flashmem_peak_stays_under_the_cap_and_below_mnn() {
+        let fig = run(true);
+        assert!(fig.flashmem.peak_memory_mb <= 1_537.0);
+        assert!(fig.flashmem.peak_memory_mb < fig.mnn.peak_memory_mb);
+        assert!(fig.flashmem.total_latency_ms < fig.mnn.total_latency_ms);
+        assert!(!fig.flashmem.samples.is_empty());
+        assert!(!fig.mnn.samples.is_empty());
+    }
+
+    #[test]
+    fn memory_returns_to_zero_between_models() {
+        let fig = run(true);
+        let zeros = fig
+            .flashmem
+            .samples
+            .iter()
+            .filter(|(_, mb)| *mb < 1.0)
+            .count();
+        assert!(zeros > 0, "expected idle points between models");
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 7 — breakdown of FlashMem's optimizations: cumulative speedup and
+//! memory reduction over SmartMem when enabling the OPG solver, adaptive
+//! fusion and kernel rewriting one after another.
+
+use flashmem_baselines::{Framework, SmartMem};
+use flashmem_core::FlashMemConfig;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+
+use crate::flashmem_report_with;
+use crate::table::TextTable;
+
+/// Cumulative contribution of one optimization stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageContribution {
+    /// Stage label ("OPG-Solver", "Adaptive Fusion", "Kernel Rewriting").
+    pub stage: String,
+    /// Cumulative speedup over SmartMem after enabling this stage.
+    pub speedup: f64,
+    /// Cumulative memory reduction over SmartMem after enabling this stage.
+    pub memory_reduction: f64,
+}
+
+/// The per-model breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBreakdown {
+    /// Model abbreviation.
+    pub model: String,
+    /// Cumulative contributions in stage order.
+    pub stages: Vec<StageContribution>,
+}
+
+/// The Figure 7 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// One breakdown per representative model.
+    pub models: Vec<ModelBreakdown>,
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::vit()]
+    } else {
+        vec![ModelZoo::vit(), ModelZoo::sd_unet(), ModelZoo::gptneo_1_3b()]
+    }
+}
+
+/// Run the Figure 7 experiment.
+pub fn run(quick: bool) -> Fig7 {
+    let device = DeviceSpec::oneplus_12();
+    let smartmem = SmartMem::new();
+
+    let stage_configs: [(&str, FlashMemConfig); 3] = [
+        (
+            "OPG-Solver",
+            FlashMemConfig::memory_priority()
+                .with_adaptive_fusion(false)
+                .with_kernel_rewriting(false),
+        ),
+        (
+            "Adaptive Fusion",
+            FlashMemConfig::memory_priority().with_kernel_rewriting(false),
+        ),
+        ("Kernel Rewriting", FlashMemConfig::memory_priority()),
+    ];
+
+    let breakdowns = models(quick)
+        .into_iter()
+        .filter(|m| smartmem.supports(m))
+        .map(|model| {
+            let reference = smartmem
+                .run(&model, &device)
+                .expect("SmartMem runs the breakdown models");
+            let stages = stage_configs
+                .iter()
+                .map(|(label, config)| {
+                    let ours = flashmem_report_with(&model, &device, config.clone())
+                        .expect("FlashMem runs the breakdown models");
+                    StageContribution {
+                        stage: label.to_string(),
+                        speedup: reference.integrated_latency_ms / ours.integrated_latency_ms,
+                        memory_reduction: reference.average_memory_mb / ours.average_memory_mb,
+                    }
+                })
+                .collect();
+            ModelBreakdown {
+                model: model.abbr.clone(),
+                stages,
+            }
+        })
+        .collect();
+    Fig7 { models: breakdowns }
+}
+
+impl std::fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: cumulative speedup / memory reduction over SmartMem"
+        )?;
+        let mut t = TextTable::new(&["Model", "Stage", "Speedup", "Memory reduction"]);
+        for model in &self.models {
+            for stage in &model.stages {
+                t.row(&[
+                    model.model.clone(),
+                    stage.stage.clone(),
+                    format!("{:.2}×", stage.speedup),
+                    format!("{:.2}×", stage.memory_reduction),
+                ]);
+            }
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_stage_improves_or_preserves_the_previous_one() {
+        let fig = run(true);
+        assert_eq!(fig.models.len(), 1);
+        let stages = &fig.models[0].stages;
+        assert_eq!(stages.len(), 3);
+        // OPG alone already beats SmartMem on both axes (the paper reports
+        // 5.3–8.1× speedup and 2.1–3.8× memory from OPG alone).
+        assert!(stages[0].speedup > 1.0);
+        assert!(stages[0].memory_reduction > 1.0);
+        // Adding fusion and rewriting never hurts latency materially.
+        assert!(stages[1].speedup >= 0.95 * stages[0].speedup);
+        assert!(stages[2].speedup >= 0.95 * stages[1].speedup);
+        // The full stack delivers the largest speedup.
+        assert!(stages[2].speedup >= stages[0].speedup);
+    }
+
+    #[test]
+    fn display_lists_all_three_stages() {
+        let text = run(true).to_string();
+        for s in ["OPG-Solver", "Adaptive Fusion", "Kernel Rewriting"] {
+            assert!(text.contains(s));
+        }
+    }
+}

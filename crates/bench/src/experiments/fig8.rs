@@ -1,0 +1,162 @@
+//! Figure 8 — the configurable trade-off between memory usage and inference
+//! latency: as more weights are preloaded (larger `M_peak`, smaller `λ`),
+//! execution latency falls but integrated latency and memory rise.
+
+use flashmem_core::FlashMemConfig;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+
+use crate::flashmem_report_with;
+use crate::table::TextTable;
+
+/// One point of a trade-off curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Fraction of weight bytes preloaded (0 = fully streamed).
+    pub preload_fraction: f64,
+    /// Average memory in MB.
+    pub memory_mb: f64,
+    /// Integrated latency in ms.
+    pub integrated_ms: f64,
+    /// Execution latency in ms.
+    pub exec_ms: f64,
+}
+
+/// The trade-off curve of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffCurve {
+    /// Model abbreviation.
+    pub model: String,
+    /// Points ordered by increasing preload fraction.
+    pub points: Vec<TradeoffPoint>,
+}
+
+/// The Figure 8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// One curve per model.
+    pub curves: Vec<TradeoffCurve>,
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::vit()]
+    } else {
+        vec![
+            ModelZoo::vit(),
+            ModelZoo::gptneo_1_3b(),
+            ModelZoo::depth_anything_large(),
+            ModelZoo::whisper_medium(),
+        ]
+    }
+}
+
+/// The configurations swept to move along the preload-ratio axis.
+fn sweep_configs(quick: bool) -> Vec<FlashMemConfig> {
+    let base = vec![
+        FlashMemConfig::memory_priority().with_m_peak_mib(256).with_lambda(0.95),
+        FlashMemConfig::memory_priority(),
+        FlashMemConfig::balanced(),
+        FlashMemConfig::latency_priority(),
+        FlashMemConfig::latency_priority().with_lambda(0.05).with_m_peak_mib(4_096),
+        FlashMemConfig::memory_priority().with_opg(false), // full preload
+    ];
+    if quick {
+        vec![base[1].clone(), base[3].clone(), base[5].clone()]
+    } else {
+        base
+    }
+}
+
+/// Run the Figure 8 experiment.
+pub fn run(quick: bool) -> Fig8 {
+    let device = DeviceSpec::oneplus_12();
+    let curves = models(quick)
+        .into_iter()
+        .map(|model| {
+            let mut points: Vec<TradeoffPoint> = sweep_configs(quick)
+                .into_iter()
+                .filter_map(|config| {
+                    let report = flashmem_report_with(&model, &device, config)?;
+                    Some(TradeoffPoint {
+                        preload_fraction: 1.0 - report.streamed_weight_fraction,
+                        memory_mb: report.average_memory_mb,
+                        integrated_ms: report.integrated_latency_ms,
+                        exec_ms: report.exec_latency_ms,
+                    })
+                })
+                .collect();
+            points.sort_by(|a, b| a.preload_fraction.partial_cmp(&b.preload_fraction).unwrap());
+            TradeoffCurve {
+                model: model.abbr.clone(),
+                points,
+            }
+        })
+        .collect();
+    Fig8 { curves }
+}
+
+impl std::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: memory usage vs latency as the preload ratio varies"
+        )?;
+        let mut t = TextTable::new(&[
+            "Model",
+            "Preload (%)",
+            "Avg memory (MB)",
+            "Integrated (ms)",
+            "Execution (ms)",
+        ]);
+        for curve in &self.curves {
+            for p in &curve.points {
+                t.row(&[
+                    curve.model.clone(),
+                    format!("{:.0}", p.preload_fraction * 100.0),
+                    format!("{:.0}", p.memory_mb),
+                    format!("{:.0}", p.integrated_ms),
+                    format!("{:.0}", p.exec_ms),
+                ]);
+            }
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preloading_more_raises_memory_and_cuts_execution_latency() {
+        let fig = run(true);
+        let curve = &fig.curves[0];
+        assert!(curve.points.len() >= 3);
+        let first = curve.points.first().unwrap(); // least preloaded
+        let last = curve.points.last().unwrap(); // fully preloaded
+        assert!(first.preload_fraction < last.preload_fraction);
+        // More preloading → more memory, less execution-phase latency, and an
+        // integrated latency that never improves (initialization grows; on
+        // small models the two effects roughly cancel, on large models the
+        // paper's sharp rise appears — see the full, non-quick run).
+        assert!(last.memory_mb > first.memory_mb);
+        assert!(last.exec_ms <= first.exec_ms + 1.0);
+        assert!(last.integrated_ms >= 0.95 * first.integrated_ms);
+    }
+
+    #[test]
+    fn partial_preload_adds_little_integrated_latency() {
+        // The paper's observation: overlapping ~half the weights costs almost
+        // nothing relative to the most aggressive streaming configuration.
+        let fig = run(true);
+        let curve = &fig.curves[0];
+        let min_integrated = curve
+            .points
+            .iter()
+            .map(|p| p.integrated_ms)
+            .fold(f64::MAX, f64::min);
+        let mid = &curve.points[curve.points.len() / 2];
+        assert!(mid.integrated_ms < 1.35 * min_integrated);
+    }
+}

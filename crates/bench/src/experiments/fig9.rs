@@ -1,0 +1,123 @@
+//! Figure 9 — FlashMem versus the naive overlap strategies (Always-Next
+//! Loading and Same-Op-Type Prefetching).
+
+use flashmem_baselines::{Framework, NaiveOverlap};
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+
+use crate::flashmem_report;
+use crate::table::TextTable;
+
+/// Speedups of FlashMem over the two strawmen for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Model abbreviation.
+    pub model: String,
+    /// FlashMem's integrated latency in ms.
+    pub flashmem_ms: f64,
+    /// Speedup over Same-Op-Type Prefetching.
+    pub speedup_vs_same_op: f64,
+    /// Speedup over Always-Next Loading.
+    pub speedup_vs_always_next: f64,
+}
+
+/// The Figure 9 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9 {
+    /// Rows in figure order.
+    pub rows: Vec<Fig9Row>,
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::gptneo_small(), ModelZoo::resnet50()]
+    } else {
+        vec![
+            ModelZoo::gptneo_1_3b(),
+            ModelZoo::resnet50(),
+            ModelZoo::sam2(),
+            ModelZoo::deepvit(),
+            ModelZoo::sd_unet(),
+            ModelZoo::depth_anything_large(),
+        ]
+    }
+}
+
+/// Run the Figure 9 experiment.
+pub fn run(quick: bool) -> Fig9 {
+    let device = DeviceSpec::oneplus_12();
+    let always_next = NaiveOverlap::always_next();
+    let same_op = NaiveOverlap::same_op_type();
+    let rows = models(quick)
+        .into_iter()
+        .map(|model| {
+            let ours = flashmem_report(&model, &device).expect("FlashMem runs every model");
+            let an = always_next
+                .run(&model, &device)
+                .expect("Always-Next runs every model");
+            let so = same_op
+                .run(&model, &device)
+                .expect("Same-Op-Type runs every model");
+            Fig9Row {
+                model: model.abbr.clone(),
+                flashmem_ms: ours.integrated_latency_ms,
+                speedup_vs_same_op: so.integrated_latency_ms / ours.integrated_latency_ms,
+                speedup_vs_always_next: an.integrated_latency_ms / ours.integrated_latency_ms,
+            }
+        })
+        .collect();
+    Fig9 { rows }
+}
+
+impl std::fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Figure 9: speedup of FlashMem over naive overlap strategies"
+        )?;
+        let mut t = TextTable::new(&[
+            "Model",
+            "FlashMem (ms)",
+            "Speedup vs SameNext",
+            "Speedup vs Always-Next",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.model.clone(),
+                format!("{:.0}", r.flashmem_ms),
+                format!("{:.2}×", r.speedup_vs_same_op),
+                format!("{:.2}×", r.speedup_vs_always_next),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flashmem_beats_both_naive_strategies() {
+        let fig = run(true);
+        assert_eq!(fig.rows.len(), 2);
+        for r in &fig.rows {
+            assert!(r.speedup_vs_same_op > 1.0, "{}: {}", r.model, r.speedup_vs_same_op);
+            assert!(
+                r.speedup_vs_always_next > 1.0,
+                "{}: {}",
+                r.model,
+                r.speedup_vs_always_next
+            );
+            // Always-Next is the worse of the two (up to 4.3× in the paper).
+            assert!(r.speedup_vs_always_next >= 0.9 * r.speedup_vs_same_op);
+        }
+    }
+
+    #[test]
+    fn display_lists_all_models() {
+        let text = run(true).to_string();
+        assert!(text.contains("GPTN-S"));
+        assert!(text.contains("ResNet"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 6 — model characterisation: the generated model zoo vs the figures
+//! published in the paper (parameters, MACs, lowered layer counts).
+
+use flashmem_graph::ModelZoo;
+
+use crate::table::TextTable;
+
+/// One row of the characterisation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// Model abbreviation.
+    pub abbr: String,
+    /// Task name.
+    pub task: String,
+    /// Generated parameters (M) / paper parameters (M).
+    pub params_m: (f64, f64),
+    /// Generated MACs (G) / paper MACs (G).
+    pub macs_g: (f64, f64),
+    /// Generated layers / paper layers.
+    pub layers: (u64, u64),
+}
+
+/// The full Table 6 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6 {
+    /// Rows in Table 6 order.
+    pub rows: Vec<Table6Row>,
+}
+
+/// Run the Table 6 self-check (the `quick` flag is accepted for API symmetry
+/// but the full zoo is cheap to generate either way).
+pub fn run(_quick: bool) -> Table6 {
+    let rows = ModelZoo::all_evaluated()
+        .into_iter()
+        .map(|m| Table6Row {
+            abbr: m.abbr.clone(),
+            task: m.task.name().to_string(),
+            params_m: (m.params_m(), m.paper.params_m),
+            macs_g: (m.macs_g(), m.paper.macs_g),
+            layers: (m.layers(), m.paper.layers),
+        })
+        .collect();
+    Table6 { rows }
+}
+
+impl std::fmt::Display for Table6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 6: model characterisation (generated vs paper)")?;
+        let mut t = TextTable::new(&[
+            "Abbr.",
+            "Task",
+            "Params (M) gen/paper",
+            "MACs (G) gen/paper",
+            "Layers gen/paper",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.abbr.clone(),
+                r.task.clone(),
+                format!("{:.0} / {:.0}", r.params_m.0, r.params_m.1),
+                format!("{:.0} / {:.0}", r.macs_g.0, r.macs_g.1),
+                format!("{} / {}", r.layers.0, r.layers.1),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eleven_models_characterised_close_to_the_paper() {
+        let table = run(false);
+        assert_eq!(table.rows.len(), 11);
+        for r in &table.rows {
+            let param_dev = (r.params_m.0 - r.params_m.1).abs() / r.params_m.1;
+            assert!(param_dev < 0.35, "{}: params deviate {param_dev:.2}", r.abbr);
+        }
+        let text = table.to_string();
+        assert!(text.contains("SD-UNet"));
+        assert!(text.contains("Whisp-M"));
+    }
+}

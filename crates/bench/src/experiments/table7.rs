@@ -1,0 +1,216 @@
+//! Table 7 — end-to-end latency comparison across frameworks.
+//!
+//! For each evaluated model the table reports the initialization and
+//! execution latency of every preloading baseline, the integrated latency of
+//! FlashMem, and the speedups of FlashMem over SmartMem (the research
+//! prototype) and over the best of the remaining frameworks, plus geo-means.
+
+use flashmem_core::{geo_mean, ExecutionReport};
+use flashmem_gpu_sim::DeviceSpec;
+
+use crate::table::TextTable;
+use crate::{baseline_reports, evaluated_models, flashmem_report, fmt_ms, fmt_ratio};
+
+/// Per-framework latency cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyCell {
+    /// Framework name.
+    pub framework: String,
+    /// Initialization latency (ms), if the framework runs the model.
+    pub init_ms: Option<f64>,
+    /// Execution latency (ms), if the framework runs the model.
+    pub exec_ms: Option<f64>,
+}
+
+impl LatencyCell {
+    /// Integrated (init + exec) latency if available.
+    pub fn integrated_ms(&self) -> Option<f64> {
+        match (self.init_ms, self.exec_ms) {
+            (Some(i), Some(e)) => Some(i + e),
+            _ => None,
+        }
+    }
+}
+
+/// One row (model) of Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Model abbreviation.
+    pub model: String,
+    /// Baseline cells in Table 7 column order.
+    pub baselines: Vec<LatencyCell>,
+    /// FlashMem's integrated latency in ms.
+    pub flashmem_ms: f64,
+    /// Speedup over SmartMem.
+    pub speedup_vs_smartmem: Option<f64>,
+    /// Speedup over the other (commercial) frameworks (best of them).
+    pub speedup_vs_others: Option<f64>,
+}
+
+/// The full Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7 {
+    /// Rows in model order.
+    pub rows: Vec<Table7Row>,
+    /// Geo-mean speedup of FlashMem over each baseline framework (name, ×).
+    pub geo_mean_speedups: Vec<(String, f64)>,
+}
+
+/// Run the Table 7 experiment.
+pub fn run(quick: bool) -> Table7 {
+    let device = DeviceSpec::oneplus_12();
+    let models = evaluated_models(quick);
+    let mut rows = Vec::new();
+    let mut per_framework_ratios: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for model in &models {
+        let ours = flashmem_report(model, &device)
+            .expect("FlashMem supports every evaluated model on the flagship");
+        let baselines = baseline_reports(model, &device);
+        let mut cells = Vec::new();
+        for (name, report) in &baselines {
+            cells.push(LatencyCell {
+                framework: name.clone(),
+                init_ms: report.as_ref().map(|r| r.init_latency_ms),
+                exec_ms: report.as_ref().map(|r| r.exec_latency_ms),
+            });
+            if let Some(r) = report {
+                let ratio = r.integrated_latency_ms / ours.integrated_latency_ms;
+                match per_framework_ratios.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => v.push(ratio),
+                    None => per_framework_ratios.push((name.clone(), vec![ratio])),
+                }
+            }
+        }
+        let speedup = |report: Option<&ExecutionReport>| {
+            report.map(|r| r.integrated_latency_ms / ours.integrated_latency_ms)
+        };
+        let smartmem = baselines
+            .iter()
+            .find(|(n, _)| n == "SmartMem")
+            .and_then(|(_, r)| r.as_ref());
+        let best_other = baselines
+            .iter()
+            .filter(|(n, _)| n != "SmartMem")
+            .filter_map(|(_, r)| r.as_ref())
+            .min_by(|a, b| {
+                a.integrated_latency_ms
+                    .partial_cmp(&b.integrated_latency_ms)
+                    .unwrap()
+            });
+        rows.push(Table7Row {
+            model: model.abbr.clone(),
+            baselines: cells,
+            flashmem_ms: ours.integrated_latency_ms,
+            speedup_vs_smartmem: speedup(smartmem),
+            speedup_vs_others: speedup(best_other),
+        });
+    }
+
+    let geo_mean_speedups = per_framework_ratios
+        .into_iter()
+        .map(|(name, ratios)| (name, geo_mean(&ratios)))
+        .collect();
+
+    Table7 {
+        rows,
+        geo_mean_speedups,
+    }
+}
+
+impl std::fmt::Display for Table7 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Table 7: end-to-end latency (ms); '–' = model unsupported by the framework"
+        )?;
+        let mut header = vec!["Model".to_string()];
+        if let Some(first) = self.rows.first() {
+            for cell in &first.baselines {
+                header.push(format!("{} init", cell.framework));
+                header.push(format!("{} exec", cell.framework));
+            }
+        }
+        header.push("FlashMem (integrated)".to_string());
+        header.push("Speedup vs SMem".to_string());
+        header.push("Speedup vs others".to_string());
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = TextTable::new(&header_refs);
+        for row in &self.rows {
+            let mut cells = vec![row.model.clone()];
+            for cell in &row.baselines {
+                cells.push(fmt_ms(cell.init_ms));
+                cells.push(fmt_ms(cell.exec_ms));
+            }
+            cells.push(format!("{:.0}", row.flashmem_ms));
+            cells.push(fmt_ratio(row.speedup_vs_smartmem));
+            cells.push(fmt_ratio(row.speedup_vs_others));
+            t.row(&cells);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(f, "Geo-mean speedup of FlashMem over each framework:")?;
+        for (name, ratio) in &self.geo_mean_speedups {
+            writeln!(f, "  {name:<12} {ratio:.1}×")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flashmem_wins_on_integrated_latency_for_the_quick_set() {
+        let table = run(true);
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            // Against every framework that supports the model, FlashMem's
+            // integrated latency is lower (the paper reports 1.7×–75×).
+            for cell in &row.baselines {
+                if let Some(integrated) = cell.integrated_ms() {
+                    assert!(
+                        integrated > row.flashmem_ms,
+                        "{} on {}: {} vs FlashMem {}",
+                        cell.framework,
+                        row.model,
+                        integrated,
+                        row.flashmem_ms
+                    );
+                }
+            }
+            if let Some(s) = row.speedup_vs_smartmem {
+                assert!(s > 1.0);
+            }
+        }
+        // Geo-mean speedups are all above 1.
+        for (name, ratio) in &table.geo_mean_speedups {
+            assert!(*ratio > 1.0, "{name}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn executorch_shows_the_largest_speedups() {
+        // The paper's 75× column: ExecuTorch's execution path is by far the
+        // slowest, so FlashMem's speedup over it dwarfs the others.
+        let table = run(true);
+        let get = |name: &str| {
+            table
+                .geo_mean_speedups
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| *r)
+        };
+        let etorch = get("ExecuTorch").unwrap();
+        let smem = get("SmartMem").unwrap();
+        assert!(etorch > 3.0 * smem, "etorch {etorch} vs smartmem {smem}");
+    }
+
+    #[test]
+    fn unsupported_cells_render_as_dashes() {
+        let table = run(true);
+        let text = table.to_string();
+        // NCNN cannot run GPT-Neo-S (LayerNorm) so its cells are dashes.
+        assert!(text.contains('–'));
+    }
+}

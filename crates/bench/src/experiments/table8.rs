@@ -1,0 +1,148 @@
+//! Table 8 — average memory consumption comparison and the memory-reduction
+//! factor over SmartMem (Mem-ReDT), plus geo-mean reductions per framework.
+
+use flashmem_core::geo_mean;
+use flashmem_gpu_sim::DeviceSpec;
+
+use crate::table::TextTable;
+use crate::{baseline_reports, evaluated_models, flashmem_report, fmt_ms, fmt_ratio};
+
+/// One row (model) of Table 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table8Row {
+    /// Model abbreviation.
+    pub model: String,
+    /// Average memory per baseline framework in MB (None = unsupported).
+    pub baselines: Vec<(String, Option<f64>)>,
+    /// FlashMem's average memory in MB.
+    pub flashmem_mb: f64,
+    /// Memory reduction over SmartMem ("Mem-ReDT").
+    pub reduction_vs_smartmem: Option<f64>,
+}
+
+/// The full Table 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table8 {
+    /// Rows in model order.
+    pub rows: Vec<Table8Row>,
+    /// Geo-mean memory reduction of FlashMem over each framework.
+    pub geo_mean_reductions: Vec<(String, f64)>,
+}
+
+/// Run the Table 8 experiment.
+pub fn run(quick: bool) -> Table8 {
+    let device = DeviceSpec::oneplus_12();
+    let models = evaluated_models(quick);
+    let mut rows = Vec::new();
+    let mut per_framework: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for model in &models {
+        let ours = flashmem_report(model, &device).expect("FlashMem runs every model");
+        let baselines = baseline_reports(model, &device);
+        let mut cells = Vec::new();
+        let mut reduction_vs_smartmem = None;
+        for (name, report) in &baselines {
+            let mb = report.as_ref().map(|r| r.average_memory_mb);
+            cells.push((name.clone(), mb));
+            if let Some(mb) = mb {
+                let ratio = mb / ours.average_memory_mb;
+                match per_framework.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => v.push(ratio),
+                    None => per_framework.push((name.clone(), vec![ratio])),
+                }
+                if name == "SmartMem" {
+                    reduction_vs_smartmem = Some(ratio);
+                }
+            }
+        }
+        rows.push(Table8Row {
+            model: model.abbr.clone(),
+            baselines: cells,
+            flashmem_mb: ours.average_memory_mb,
+            reduction_vs_smartmem,
+        });
+    }
+
+    Table8 {
+        rows,
+        geo_mean_reductions: per_framework
+            .into_iter()
+            .map(|(name, ratios)| (name, geo_mean(&ratios)))
+            .collect(),
+    }
+}
+
+impl std::fmt::Display for Table8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 8: average memory consumption (MB)")?;
+        let mut header = vec!["Model".to_string()];
+        if let Some(first) = self.rows.first() {
+            for (name, _) in &first.baselines {
+                header.push(name.clone());
+            }
+        }
+        header.push("FlashMem".to_string());
+        header.push("Mem-ReDT".to_string());
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = TextTable::new(&header_refs);
+        for row in &self.rows {
+            let mut cells = vec![row.model.clone()];
+            for (_, mb) in &row.baselines {
+                cells.push(fmt_ms(*mb));
+            }
+            cells.push(format!("{:.0}", row.flashmem_mb));
+            cells.push(fmt_ratio(row.reduction_vs_smartmem));
+            t.row(&cells);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(f, "Geo-mean memory reduction of FlashMem over each framework:")?;
+        for (name, ratio) in &self.geo_mean_reductions {
+            writeln!(f, "  {name:<12} {ratio:.1}×")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flashmem_uses_the_least_memory_on_every_supported_cell() {
+        let table = run(true);
+        for row in &table.rows {
+            for (name, mb) in &row.baselines {
+                if let Some(mb) = mb {
+                    assert!(
+                        *mb > row.flashmem_mb,
+                        "{name} on {}: {mb} MB vs FlashMem {} MB",
+                        row.model,
+                        row.flashmem_mb
+                    );
+                }
+            }
+            if let Some(r) = row.reduction_vs_smartmem {
+                assert!(r > 1.0);
+            }
+        }
+        for (name, ratio) in &table.geo_mean_reductions {
+            assert!(*ratio > 1.0, "{name}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn transformer_models_see_larger_reductions_than_resnet() {
+        // Paper: ViT sees ~4.7× reduction over SmartMem, ResNet only ~1.7×,
+        // because convolution weight transforms cannot be streamed.
+        let table = run(true);
+        let get = |abbr: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r.model == abbr)
+                .and_then(|r| r.reduction_vs_smartmem)
+                .unwrap()
+        };
+        assert!(get("ViT") > get("ResNet"), "ViT {} vs ResNet {}", get("ViT"), get("ResNet"));
+    }
+}

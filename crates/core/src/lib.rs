@@ -1,0 +1,64 @@
+//! # flashmem-core
+//!
+//! The FlashMem contribution itself (ASPLOS '26): a memory-streaming DNN
+//! execution framework for mobile GPUs that, instead of preloading every
+//! weight, *plans* when each weight is loaded from disk and when each of its
+//! chunks is transformed into 2.5D texture memory, then overlaps that data
+//! movement with kernel execution.
+//!
+//! The crate mirrors the paper's structure:
+//!
+//! * [`config`] — the `M_peak` / `λ` / `μ` / `S` / `α` hyper-parameters and
+//!   ablation switches.
+//! * [`opg`] — the Overlap Plan Generation constraint model (Section 3.1):
+//!   variables `W`, `z_w`, `x_{w,ℓ}` under constraints C0–C3.
+//! * [`lc_opg`] — the load-capacity-aware solver with rolling-window
+//!   incremental scheduling and the tiered fallback (Section 3.2).
+//! * [`fusion`] — adaptive fusion (Section 4.3).
+//! * [`kernel_rewrite`] — branch-free pipelined kernel templates (Section 4.4).
+//! * [`plan`] / [`executor`] — the overlap plan and the streaming executor
+//!   that compiles it onto the simulated GPU's dual command queues.
+//! * [`runtime`] — the end-to-end [`FlashMem`] API.
+//! * [`multi_model`] — FIFO multi-DNN execution under a memory cap.
+//! * [`metrics`] — [`ExecutionReport`], the unit of comparison in Tables 7–9.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use flashmem_core::{FlashMem, FlashMemConfig};
+//! use flashmem_gpu_sim::DeviceSpec;
+//! use flashmem_graph::ModelZoo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let runtime = FlashMem::new(DeviceSpec::oneplus_12())
+//!     .with_config(FlashMemConfig::memory_priority());
+//! let report = runtime.run(&ModelZoo::vit())?;
+//! assert!(report.streamed_weight_fraction > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod executor;
+pub mod fusion;
+pub mod kernel_rewrite;
+pub mod lc_opg;
+pub mod metrics;
+pub mod multi_model;
+pub mod opg;
+pub mod plan;
+pub mod runtime;
+
+pub use config::FlashMemConfig;
+pub use executor::StreamingExecutor;
+pub use fusion::{AdaptiveFusion, AdaptiveFusionReport};
+pub use kernel_rewrite::{KernelRewriter, KernelTemplate};
+pub use lc_opg::{LcOpgReport, LcOpgSolver, PlannerMode};
+pub use metrics::{geo_mean, ExecutionReport};
+pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
+pub use opg::{build_weight_window_model, CandidateSlot, WeightWindowModel, WindowDecision};
+pub use plan::{ChunkAssignment, OverlapPlan, PlanError, WeightSchedule};
+pub use runtime::{CompiledModel, FlashMem};

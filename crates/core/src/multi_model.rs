@@ -1,0 +1,227 @@
+//! FIFO multi-model execution (Section 2.2 / Figure 6).
+//!
+//! AI-powered mobile apps chain several distinct DNNs (detector → depth →
+//! generator, or ASR → translation → image generation). Holding every model
+//! resident is infeasible; naive FIFO execution re-pays the full load +
+//! layout-transform cost on every invocation. [`MultiModelRunner`] executes a
+//! FIFO queue of models under a global memory cap: each model is compiled
+//! once, executed with its streaming plan, and its weights are evicted before
+//! the next model starts, producing the stitched memory-over-time trace that
+//! Figure 6 plots.
+
+use flashmem_gpu_sim::memory::MemoryTracker;
+use flashmem_gpu_sim::trace::MemoryTrace;
+use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_graph::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlashMemConfig;
+use crate::metrics::ExecutionReport;
+use crate::runtime::FlashMem;
+
+/// One model invocation inside a FIFO workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationResult {
+    /// Model abbreviation.
+    pub model: String,
+    /// Queue position of this invocation.
+    pub sequence: usize,
+    /// Integrated latency of the invocation in milliseconds.
+    pub latency_ms: f64,
+    /// Peak memory during the invocation in MB.
+    pub peak_memory_mb: f64,
+}
+
+/// Aggregate result of a FIFO multi-model run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiModelReport {
+    /// Per-invocation results in execution order.
+    pub invocations: Vec<InvocationResult>,
+    /// Total wall-clock time of the whole queue in milliseconds.
+    pub total_latency_ms: f64,
+    /// Peak memory across the whole workload in MB.
+    pub peak_memory_mb: f64,
+    /// Time-weighted average memory across the workload in MB.
+    pub average_memory_mb: f64,
+    /// The stitched memory trace over the whole workload (Figure 6's curve).
+    pub memory_trace: MemoryTrace,
+}
+
+impl MultiModelReport {
+    /// Number of model invocations executed.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// True if nothing was executed.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+}
+
+/// Executes a FIFO queue of models under a global memory cap.
+#[derive(Debug, Clone)]
+pub struct MultiModelRunner {
+    device: DeviceSpec,
+    config: FlashMemConfig,
+    memory_cap_bytes: Option<u64>,
+}
+
+impl MultiModelRunner {
+    /// Create a runner for `device` using `config` for every model.
+    pub fn new(device: DeviceSpec, config: FlashMemConfig) -> Self {
+        MultiModelRunner {
+            device,
+            config,
+            memory_cap_bytes: None,
+        }
+    }
+
+    /// Impose a manual memory cap (the paper uses 1.5 GB in Figure 6).
+    pub fn with_memory_cap_bytes(mut self, bytes: u64) -> Self {
+        self.memory_cap_bytes = Some(bytes);
+        self
+    }
+
+    /// Run `iterations` rounds over the FIFO `queue` of models.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulator error (typically out-of-memory when the
+    /// cap is too small for a preloading configuration).
+    pub fn run_fifo(
+        &self,
+        queue: &[ModelSpec],
+        iterations: usize,
+    ) -> Result<MultiModelReport, SimError> {
+        let device = match self.memory_cap_bytes {
+            Some(cap) => self.device.clone().with_app_budget_bytes(cap),
+            None => self.device.clone(),
+        };
+        let runtime = FlashMem::new(device.clone()).with_config(self.config.clone());
+
+        // Compile each distinct model once (the paper's FIFO scenario reuses
+        // the overlap plan across invocations; planning happens offline).
+        let compiled: Vec<_> = queue
+            .iter()
+            .map(|m| (m, runtime.compile(m.graph())))
+            .collect();
+
+        let mut tracker = MemoryTracker::for_device(&device);
+        let mut invocations = Vec::new();
+        let mut stitched = MemoryTrace::new();
+        let mut clock_ms = 0.0;
+        let mut peak_mb: f64 = 0.0;
+        let mut weighted_mem = 0.0;
+
+        for round in 0..iterations {
+            for (idx, (model, compiled_model)) in compiled.iter().enumerate() {
+                let report: ExecutionReport =
+                    runtime.run_compiled_with_tracker(model.graph(), compiled_model, &mut tracker)?;
+                let sequence = round * queue.len() + idx;
+                invocations.push(InvocationResult {
+                    model: model.abbr.clone(),
+                    sequence,
+                    latency_ms: report.integrated_latency_ms,
+                    peak_memory_mb: report.peak_memory_mb,
+                });
+                stitched.append_shifted(&report.memory_trace, clock_ms);
+                weighted_mem += report.average_memory_mb * report.integrated_latency_ms;
+                clock_ms += report.integrated_latency_ms;
+                peak_mb = peak_mb.max(report.peak_memory_mb);
+                // FIFO eviction: the finished model's weights leave memory
+                // before the next model starts.
+                tracker.evict_all(clock_ms);
+                stitched.record(clock_ms, 0);
+            }
+        }
+
+        Ok(MultiModelReport {
+            invocations,
+            total_latency_ms: clock_ms,
+            peak_memory_mb: peak_mb,
+            average_memory_mb: if clock_ms > 0.0 {
+                weighted_mem / clock_ms
+            } else {
+                0.0
+            },
+            memory_trace: stitched,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    fn small_queue() -> Vec<ModelSpec> {
+        vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+    }
+
+    #[test]
+    fn fifo_run_executes_every_invocation() {
+        let runner = MultiModelRunner::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        );
+        let report = runner.run_fifo(&small_queue(), 2).unwrap();
+        assert_eq!(report.len(), 4);
+        assert!(report.total_latency_ms > 0.0);
+        assert!(report.peak_memory_mb > 0.0);
+        assert!(!report.memory_trace.is_empty());
+        // Invocation latencies sum to the total.
+        let sum: f64 = report.invocations.iter().map(|i| i.latency_ms).sum();
+        assert!((sum - report.total_latency_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_cap_is_respected_by_streaming_plans() {
+        let cap = 1_536u64 * 1024 * 1024; // the paper's 1.5 GB constraint
+        let runner = MultiModelRunner::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        )
+        .with_memory_cap_bytes(cap);
+        let report = runner.run_fifo(&small_queue(), 1).unwrap();
+        assert!(report.peak_memory_mb <= cap as f64 / (1024.0 * 1024.0) + 1.0);
+    }
+
+    #[test]
+    fn eviction_returns_memory_to_zero_between_models() {
+        let runner = MultiModelRunner::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        );
+        let report = runner.run_fifo(&small_queue(), 1).unwrap();
+        // The stitched trace must hit zero at least twice (after each model).
+        let zeros = report
+            .memory_trace
+            .samples()
+            .iter()
+            .filter(|s| s.bytes == 0)
+            .count();
+        assert!(zeros >= 2, "only {zeros} zero samples");
+    }
+
+    #[test]
+    fn empty_queue_produces_empty_report() {
+        let runner = MultiModelRunner::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        );
+        let report = runner.run_fifo(&[], 3).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.total_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn average_memory_is_below_peak() {
+        let runner = MultiModelRunner::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        );
+        let report = runner.run_fifo(&small_queue(), 1).unwrap();
+        assert!(report.average_memory_mb <= report.peak_memory_mb);
+    }
+}

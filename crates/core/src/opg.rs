@@ -1,0 +1,348 @@
+//! The Overlap Plan Generation (OPG) constraint model.
+//!
+//! Section 3.1 of the paper formalises OPG with three groups of decision
+//! variables — the preload set `W`, the earliest-load indices `z_w` and the
+//! per-layer chunk allocations `x_{w,ℓ}` — under constraints C0 (completeness),
+//! C1 (loading-distance implication), C2 (peak transformation memory) and, in
+//! the LC-OPG extension, C3 (per-layer load capacity). The objective balances
+//! preload volume against loading distance with the weights `λ` and `μ`.
+//!
+//! Following the paper's *incremental scheduling* implementation note, the
+//! model is built per weight over a rolling window of candidate kernels; the
+//! [`crate::lc_opg::LcOpgSolver`] drives the windows in execution order and
+//! maintains the shared capacity / memory state between them.
+
+use flashmem_solver::{CpModel, LinearExpr, Solution, VarId};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlashMemConfig;
+
+/// A candidate kernel slot for transforming chunks of one weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateSlot {
+    /// Kernel index (fusion-group execution order).
+    pub kernel: usize,
+    /// Remaining load capacity at this kernel, in chunks.
+    pub capacity_chunks: u64,
+    /// Remaining `M_peak` headroom if chunks become in-flight starting at this
+    /// kernel, in chunks (already accounts for other weights' in-flight data).
+    pub memory_headroom_chunks: u64,
+}
+
+/// The per-weight OPG window model plus handles to its decision variables.
+#[derive(Debug, Clone)]
+pub struct WeightWindowModel {
+    /// The CP model (constraints C0–C3 restricted to this weight's window).
+    pub model: CpModel,
+    /// `x_{w,ℓ}` variables, parallel to the candidate list.
+    pub x_vars: Vec<(usize, VarId)>,
+    /// The earliest-load variable `z_w` (kernel index).
+    pub z_var: VarId,
+    /// The preload indicator (1 ⇒ the weight joins `W`).
+    pub preload_var: VarId,
+    /// Total chunks `T(w)` of the weight.
+    pub total_chunks: u64,
+}
+
+/// The outcome of solving one weight window, extracted from a CP solution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowDecision {
+    /// True if the weight should be preloaded (joins `W`).
+    pub preload: bool,
+    /// Chunk allocations `(kernel, chunks)` for streamed weights.
+    pub assignments: Vec<(usize, u64)>,
+    /// The earliest-load kernel `z_w`.
+    pub disk_load_kernel: usize,
+}
+
+/// Build the CP model for scheduling one weight's chunks over its candidate
+/// window.
+///
+/// `consumer_kernel` is `i_w`; `candidates` lists the kernels `ℓ < i_w` that
+/// may transform chunks, with their remaining capacity (C3) and remaining
+/// memory headroom (C2) already reduced by previously scheduled weights.
+pub fn build_weight_window_model(
+    consumer_kernel: usize,
+    total_chunks: u64,
+    candidates: &[CandidateSlot],
+    config: &FlashMemConfig,
+) -> WeightWindowModel {
+    let mut model = CpModel::new();
+    let t = total_chunks as i64;
+
+    // Decision variables.
+    let preload_var = model.new_bool_var("preload");
+    // z_w ranges from 0 ("available before execution starts", the preload
+    // convention) up to the consumer kernel.
+    let z_var = model.new_int_var(0, consumer_kernel as i64, "z_w");
+    let mut x_vars = Vec::with_capacity(candidates.len());
+    for slot in candidates {
+        let ub = slot
+            .capacity_chunks
+            .min(slot.memory_headroom_chunks)
+            .min(total_chunks) as i64;
+        let v = model.new_int_var(0, ub, &format!("x_l{}", slot.kernel));
+        x_vars.push((slot.kernel, v));
+    }
+
+    // C0 — completeness: streamed chunks plus the preload escape hatch cover
+    // the weight exactly: Σ x_ℓ + T(w)·preload = T(w).
+    let mut completeness = LinearExpr::new();
+    for (_, v) in &x_vars {
+        completeness = completeness.plus(*v, 1);
+    }
+    completeness = completeness.plus(preload_var, t);
+    model.add_eq(completeness, t);
+
+    // C1 — loading-distance implication: x_{w,ℓ} ≥ 1 ⇒ z_w ≤ ℓ.
+    for (kernel, v) in &x_vars {
+        model.add_if_ge_then_le(*v, 1, z_var, *kernel as i64);
+    }
+    // A preloaded weight is loaded before kernel 0 by convention.
+    model.add_if_ge_then_le(preload_var, 1, z_var, 0);
+
+    // C2 — peak transformation memory: the running prefix of this weight's
+    // in-flight chunks must fit the remaining headroom at every candidate.
+    for (idx, slot) in candidates.iter().enumerate() {
+        let mut prefix = LinearExpr::new();
+        for (_, v) in x_vars.iter().take(idx + 1) {
+            prefix = prefix.plus(*v, 1);
+        }
+        model.add_le(prefix, slot.memory_headroom_chunks as i64);
+    }
+
+    // (C3 — per-layer capacity — is enforced through the x-variable upper
+    // bounds above.)
+
+    // Objective: λ·T(w)·preload + (1−λ)·(i_w − z_w) + μ·Σ (i_w − 1 − ℓ)·x_ℓ.
+    // Coefficients are scaled to integers; the constant i_w term is irrelevant
+    // to the argmin but kept for interpretability of the objective value.
+    let preload_cost = ((config.lambda * 1_000.0) as i64).max(1) * t.max(1);
+    let distance_cost = (((1.0 - config.lambda) * 100.0) as i64).max(1);
+    let chunk_distance_cost = (config.mu * 10.0) as i64;
+    let mut objective = LinearExpr::new()
+        .plus(preload_var, preload_cost)
+        .plus(z_var, -distance_cost)
+        .plus_const(distance_cost * consumer_kernel as i64);
+    if chunk_distance_cost > 0 {
+        for (kernel, v) in &x_vars {
+            let dist = (consumer_kernel as i64 - 1 - *kernel as i64).max(0);
+            objective = objective.plus(*v, chunk_distance_cost * dist);
+        }
+    }
+    model.minimize(objective);
+
+    WeightWindowModel {
+        model,
+        x_vars,
+        z_var,
+        preload_var,
+        total_chunks,
+    }
+}
+
+/// Extract the scheduling decision from a CP solution of a window model.
+pub fn extract_decision(window: &WeightWindowModel, solution: &Solution) -> WindowDecision {
+    let preload = solution.value(window.preload_var) >= 1;
+    if preload {
+        return WindowDecision {
+            preload: true,
+            assignments: Vec::new(),
+            disk_load_kernel: 0,
+        };
+    }
+    let assignments: Vec<(usize, u64)> = window
+        .x_vars
+        .iter()
+        .filter_map(|(kernel, v)| {
+            let chunks = solution.value(*v);
+            if chunks > 0 {
+                Some((*kernel, chunks as u64))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let disk_load_kernel = assignments
+        .iter()
+        .map(|(k, _)| *k)
+        .min()
+        .unwrap_or(solution.value(window.z_var).max(0) as usize);
+    WindowDecision {
+        preload: false,
+        assignments,
+        disk_load_kernel,
+    }
+}
+
+/// A greedy warm-start hint for a window model: fill candidates from the
+/// closest to the consumer backwards, respecting capacity and memory bounds.
+/// Returns a full assignment vector ordered by variable id, or `None` if the
+/// greedy fill cannot cover the weight (the hint then falls back to preload).
+pub fn greedy_hint(window: &WeightWindowModel) -> Vec<i64> {
+    let num_vars = window.model.num_vars();
+    let mut assignment = vec![0i64; num_vars];
+    let mut remaining = window.total_chunks as i64;
+
+    // Variable ids: 0 = preload, 1 = z, then x vars in candidate order.
+    // Fill from the last candidate (closest to the consumer) backwards.
+    for (idx, (_, v)) in window.x_vars.iter().enumerate().rev() {
+        if remaining == 0 {
+            break;
+        }
+        let ub = window.model.domain(*v).hi;
+        // Respect the prefix memory constraints conservatively by never
+        // exceeding the candidate's own headroom (already in the ub).
+        let take = ub.min(remaining);
+        assignment[v.0] = take;
+        remaining -= take;
+        let _ = idx;
+    }
+
+    // z = earliest kernel with a non-zero allocation.
+    let z = window
+        .x_vars
+        .iter()
+        .filter(|(_, v)| assignment[v.0] > 0)
+        .map(|(k, _)| *k as i64)
+        .min()
+        .unwrap_or(0);
+    assignment[window.z_var.0] = z;
+    assignment[window.preload_var.0] = 0;
+
+    // Backfilling from the consumer can still violate a prefix-memory bound
+    // in pathological headroom profiles; the preload escape hatch is always
+    // feasible, so fall back to it rather than hand the solver a bad hint.
+    if remaining > 0 || !window.model.is_feasible(&assignment) {
+        assignment = vec![0i64; num_vars];
+        assignment[window.preload_var.0] = 1;
+        assignment[window.z_var.0] = 0;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_solver::{CpSolver, SolveStatus, SolverConfig};
+
+    fn candidates(caps: &[(usize, u64, u64)]) -> Vec<CandidateSlot> {
+        caps.iter()
+            .map(|&(kernel, capacity_chunks, memory_headroom_chunks)| CandidateSlot {
+                kernel,
+                capacity_chunks,
+                memory_headroom_chunks,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_with_ample_capacity_streams_everything_close_to_consumer() {
+        let config = FlashMemConfig::memory_priority();
+        let slots = candidates(&[(5, 10, 100), (6, 10, 100), (7, 10, 100)]);
+        let window = build_weight_window_model(8, 12, &slots, &config);
+        let out = CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000))
+            .solve_with_hint(&window.model, Some(&greedy_hint(&window)));
+        assert!(out.status.has_solution(), "{:?}", out.status);
+        let decision = extract_decision(&window, &out.solution.unwrap());
+        assert!(!decision.preload);
+        let total: u64 = decision.assignments.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 12);
+        // With μ > 0 the solver prefers the latest kernels.
+        assert!(decision.assignments.iter().all(|(k, _)| *k >= 5));
+        assert!(decision
+            .assignments
+            .iter()
+            .any(|(k, c)| *k == 7 && *c == 10));
+    }
+
+    #[test]
+    fn insufficient_capacity_forces_preload() {
+        let config = FlashMemConfig::memory_priority();
+        let slots = candidates(&[(2, 2, 100), (3, 3, 100)]);
+        let window = build_weight_window_model(4, 40, &slots, &config);
+        let out = CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000))
+            .solve_with_hint(&window.model, Some(&greedy_hint(&window)));
+        assert!(out.status.has_solution());
+        let decision = extract_decision(&window, &out.solution.unwrap());
+        assert!(decision.preload, "only 5 chunks of capacity for 40 chunks");
+    }
+
+    #[test]
+    fn memory_headroom_limits_prefix_allocations() {
+        let config = FlashMemConfig::memory_priority();
+        // Plenty of per-kernel capacity but almost no memory headroom early.
+        let slots = candidates(&[(1, 50, 1), (2, 50, 1), (3, 50, 30)]);
+        let window = build_weight_window_model(4, 20, &slots, &config);
+        let out = CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000))
+            .solve_with_hint(&window.model, Some(&greedy_hint(&window)));
+        let decision = extract_decision(&window, &out.solution.unwrap());
+        assert!(!decision.preload);
+        // The prefix ending at kernel 1 may hold at most 1 chunk.
+        let at_1: u64 = decision
+            .assignments
+            .iter()
+            .filter(|(k, _)| *k == 1)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(at_1 <= 1);
+        let total: u64 = decision.assignments.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn c1_links_disk_load_to_earliest_assignment() {
+        let config = FlashMemConfig::memory_priority();
+        let slots = candidates(&[(3, 8, 100), (4, 8, 100)]);
+        let window = build_weight_window_model(5, 10, &slots, &config);
+        let out = CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000))
+            .solve(&window.model);
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let solution = out.solution.unwrap();
+        let decision = extract_decision(&window, &solution);
+        let earliest = decision.assignments.iter().map(|(k, _)| *k).min().unwrap();
+        assert!(solution.value(window.z_var) <= earliest as i64);
+        assert_eq!(decision.disk_load_kernel, earliest);
+    }
+
+    #[test]
+    fn greedy_hint_is_always_feasible() {
+        let config = FlashMemConfig::balanced();
+        for (total, caps) in [
+            (12u64, vec![(5usize, 10u64, 100u64), (6, 10, 100), (7, 10, 100)]),
+            (40, vec![(2, 2, 100), (3, 3, 100)]),
+            (20, vec![(1, 50, 1), (2, 50, 1), (3, 50, 30)]),
+        ] {
+            let slots = candidates(&caps);
+            let window = build_weight_window_model(9, total, &slots, &config);
+            let hint = greedy_hint(&window);
+            assert!(
+                window.model.is_feasible(&hint),
+                "greedy hint infeasible for total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_candidate_window_can_only_preload() {
+        let config = FlashMemConfig::memory_priority();
+        let window = build_weight_window_model(0, 5, &[], &config);
+        let out = CpSolver::new().solve(&window.model);
+        assert!(out.status.has_solution());
+        let decision = extract_decision(&window, &out.solution.unwrap());
+        assert!(decision.preload);
+    }
+
+    #[test]
+    fn lower_lambda_prefers_streaming_less_aggressively() {
+        // With λ→0 the preload penalty vanishes, so a tight window may still
+        // choose preload when distance costs dominate; with λ→1 the solver
+        // avoids preload whenever the window fits the weight.
+        let slots = candidates(&[(1, 20, 100), (2, 20, 100)]);
+        let high = FlashMemConfig::memory_priority().with_lambda(0.95);
+        let window_high = build_weight_window_model(3, 20, &slots, &high);
+        let out_high = CpSolver::new().solve(&window_high.model);
+        let d_high = extract_decision(&window_high, &out_high.solution.unwrap());
+        assert!(!d_high.preload);
+    }
+}

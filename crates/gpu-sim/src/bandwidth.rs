@@ -1,0 +1,281 @@
+//! Memory tiers and transfer-time modelling.
+//!
+//! The simulator models the four-step weight path from Figure 1 of the paper:
+//! disk → unified memory → 2.5D texture memory → streaming multiprocessors
+//! (through the texture cache). Each hop has a distinct bandwidth, and the
+//! transfer time of a hop is `bytes / bandwidth` plus a small fixed DMA setup
+//! cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::error::{SimError, SimResult};
+
+/// A level of the mobile GPU memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemoryTier {
+    /// Flash storage (UFS). Weights start here.
+    Disk,
+    /// LPDDR unified memory shared between CPU and GPU.
+    UnifiedMemory,
+    /// 2.5D texture memory: GPU-resident image objects with a tiled layout.
+    TextureMemory,
+    /// The dedicated texture cache in front of the SMs.
+    TextureCache,
+    /// Streaming multiprocessor register/shared memory (compute endpoint).
+    StreamingMultiprocessor,
+}
+
+impl MemoryTier {
+    /// Human readable, lowercase name of the tier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryTier::Disk => "disk",
+            MemoryTier::UnifiedMemory => "unified memory",
+            MemoryTier::TextureMemory => "texture memory",
+            MemoryTier::TextureCache => "texture cache",
+            MemoryTier::StreamingMultiprocessor => "streaming multiprocessor",
+        }
+    }
+
+    /// All tiers ordered from the slowest/farthest to the fastest/closest.
+    pub fn all() -> [MemoryTier; 5] {
+        [
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            MemoryTier::TextureMemory,
+            MemoryTier::TextureCache,
+            MemoryTier::StreamingMultiprocessor,
+        ]
+    }
+
+    /// Distance (number of hops) between two tiers along the linear hierarchy.
+    pub fn hops_to(&self, other: MemoryTier) -> usize {
+        let idx = |t: MemoryTier| MemoryTier::all().iter().position(|x| *x == t).unwrap();
+        idx(*self).abs_diff(idx(other))
+    }
+}
+
+impl std::fmt::Display for MemoryTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Transfer-time model over the memory hierarchy of a specific device.
+#[derive(Debug, Clone)]
+pub struct BandwidthModel {
+    device: DeviceSpec,
+    /// Fixed per-transfer setup latency in milliseconds (DMA descriptor setup,
+    /// cache maintenance, driver call). Applied once per transfer command.
+    pub transfer_setup_ms: f64,
+}
+
+impl BandwidthModel {
+    /// Build a bandwidth model for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        BandwidthModel {
+            device,
+            transfer_setup_ms: 0.02,
+        }
+    }
+
+    /// The device this model describes.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Bandwidth in bytes/second of the single hop `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTransfer`] if the pair is not an adjacent or
+    /// downstream pair in the hierarchy (e.g. texture memory → disk).
+    pub fn hop_bandwidth(&self, from: MemoryTier, to: MemoryTier) -> SimResult<f64> {
+        use MemoryTier::*;
+        let bw = match (from, to) {
+            (Disk, UnifiedMemory) => self.device.disk_bw,
+            (UnifiedMemory, TextureMemory) => self.device.texture_bw,
+            (UnifiedMemory, UnifiedMemory) => self.device.unified_bw,
+            (UnifiedMemory, StreamingMultiprocessor) => self.device.unified_bw,
+            (TextureMemory, TextureCache) => self.device.texture_bw,
+            (TextureMemory, StreamingMultiprocessor) => self.device.texture_bw,
+            (TextureCache, StreamingMultiprocessor) => self.device.texture_cache_bw,
+            _ => {
+                return Err(SimError::InvalidTransfer {
+                    from: from.name().to_string(),
+                    to: to.name().to_string(),
+                })
+            }
+        };
+        Ok(bw)
+    }
+
+    /// Time in milliseconds to move `bytes` across the single hop `from → to`,
+    /// including the fixed setup cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidTransfer`] for unmodelled hops.
+    pub fn transfer_time_ms(&self, bytes: u64, from: MemoryTier, to: MemoryTier) -> SimResult<f64> {
+        if bytes == 0 {
+            return Ok(0.0);
+        }
+        let bw = self.hop_bandwidth(from, to)?;
+        Ok(self.transfer_setup_ms + (bytes as f64 / bw) * 1e3)
+    }
+
+    /// Time to move `bytes` along the full multi-hop path from `from` to `to`,
+    /// assuming store-and-forward at every intermediate tier (the pessimistic
+    /// path used by preloading frameworks that materialize every copy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidTransfer`] if `from` is not upstream of
+    /// `to` in the hierarchy.
+    pub fn path_time_ms(&self, bytes: u64, from: MemoryTier, to: MemoryTier) -> SimResult<f64> {
+        let order = MemoryTier::all();
+        let start = order.iter().position(|t| *t == from).unwrap();
+        let end = order.iter().position(|t| *t == to).unwrap();
+        if start > end {
+            return Err(SimError::InvalidTransfer {
+                from: from.name().to_string(),
+                to: to.name().to_string(),
+            });
+        }
+        let mut total = 0.0;
+        let mut idx = start;
+        while idx < end {
+            // The texture-cache tier is transparent for bulk uploads: data
+            // uploaded from unified memory lands directly in texture memory,
+            // and only SM reads traverse the cache.
+            let a = order[idx];
+            let b = order[idx + 1];
+            if a == MemoryTier::TextureMemory && b == MemoryTier::TextureCache && end != idx + 1 {
+                idx += 1;
+                continue;
+            }
+            total += self.transfer_time_ms(bytes, a, b)?;
+            idx += 1;
+        }
+        Ok(total)
+    }
+
+    /// Effective bandwidth (bytes/s) of streaming `bytes` along a path,
+    /// derived from [`path_time_ms`](Self::path_time_ms).
+    pub fn effective_path_bandwidth(
+        &self,
+        bytes: u64,
+        from: MemoryTier,
+        to: MemoryTier,
+    ) -> SimResult<f64> {
+        let t = self.path_time_ms(bytes, from, to)?;
+        if t <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(bytes as f64 / (t / 1e3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BandwidthModel {
+        BandwidthModel::new(DeviceSpec::oneplus_12())
+    }
+
+    #[test]
+    fn disk_to_um_dominates_path_time() {
+        let m = model();
+        let bytes = 512 * 1024 * 1024u64; // 512 MiB of weights
+        let disk = m
+            .transfer_time_ms(bytes, MemoryTier::Disk, MemoryTier::UnifiedMemory)
+            .unwrap();
+        let full = m
+            .path_time_ms(bytes, MemoryTier::Disk, MemoryTier::TextureMemory)
+            .unwrap();
+        assert!(full > disk);
+        // Disk is >40x slower than the UM→TM hop, so it should account for
+        // more than 95% of the end-to-end path.
+        assert!(disk / full > 0.95);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let m = model();
+        assert_eq!(
+            m.transfer_time_ms(0, MemoryTier::Disk, MemoryTier::UnifiedMemory)
+                .unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn invalid_direction_is_rejected() {
+        let m = model();
+        let err = m
+            .transfer_time_ms(10, MemoryTier::TextureMemory, MemoryTier::Disk)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidTransfer { .. }));
+        assert!(m
+            .path_time_ms(10, MemoryTier::TextureCache, MemoryTier::Disk)
+            .is_err());
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly_with_bytes() {
+        let m = model();
+        let t1 = m
+            .transfer_time_ms(100 << 20, MemoryTier::Disk, MemoryTier::UnifiedMemory)
+            .unwrap()
+            - m.transfer_setup_ms;
+        let t2 = m
+            .transfer_time_ms(200 << 20, MemoryTier::Disk, MemoryTier::UnifiedMemory)
+            .unwrap()
+            - m.transfer_setup_ms;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_distance() {
+        assert_eq!(MemoryTier::Disk.hops_to(MemoryTier::TextureMemory), 2);
+        assert_eq!(
+            MemoryTier::StreamingMultiprocessor.hops_to(MemoryTier::Disk),
+            4
+        );
+        assert_eq!(MemoryTier::Disk.hops_to(MemoryTier::Disk), 0);
+    }
+
+    #[test]
+    fn one_gigabyte_from_disk_takes_roughly_700ms_on_flagship() {
+        // 1 GB at 1.5 GB/s ≈ 0.67 s — sanity anchor against Table 1, where
+        // loading multi-GB models takes seconds.
+        let m = model();
+        let t = m
+            .transfer_time_ms(1_000_000_000, MemoryTier::Disk, MemoryTier::UnifiedMemory)
+            .unwrap();
+        assert!(t > 600.0 && t < 750.0, "t = {t}");
+    }
+
+    #[test]
+    fn effective_bandwidth_bounded_by_slowest_hop() {
+        let m = model();
+        let eff = m
+            .effective_path_bandwidth(1 << 30, MemoryTier::Disk, MemoryTier::TextureMemory)
+            .unwrap();
+        assert!(eff <= m.device().disk_bw);
+    }
+
+    #[test]
+    fn texture_cache_hop_is_fastest() {
+        let m = model();
+        let cache = m
+            .hop_bandwidth(MemoryTier::TextureCache, MemoryTier::StreamingMultiprocessor)
+            .unwrap();
+        let tm = m
+            .hop_bandwidth(MemoryTier::TextureMemory, MemoryTier::StreamingMultiprocessor)
+            .unwrap();
+        assert!(cache > tm);
+    }
+}

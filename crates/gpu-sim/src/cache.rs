@@ -1,0 +1,173 @@
+//! Texture-cache behaviour model.
+//!
+//! The texture cache sits between texture memory and the SMs (Figure 1) and is
+//! optimised for 2D spatial locality. Whether a kernel's weight reads hit in
+//! the cache depends on how well the 2.5D layout matches the kernel's access
+//! pattern; SmartMem's (and FlashMem's) layout optimisation exists precisely to
+//! raise this hit rate and avoid Reshape/Transpose round-trips.
+
+use serde::{Deserialize, Serialize};
+
+use crate::texture::{Texture2p5dLayout, WeightLayout};
+
+/// Analytic texture-cache model producing an effective read bandwidth for a
+/// kernel, given how its weights are laid out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextureCacheModel {
+    /// Cache line size in texels along the X dimension.
+    pub line_texels: u64,
+    /// Cache capacity in bytes (per SM texture cache; Adreno-class GPUs have
+    /// tens of KiB per cluster).
+    pub capacity_bytes: u64,
+    /// Hit latency amortised benefit: fraction of peak cache bandwidth reached
+    /// on an ideal streaming access pattern.
+    pub peak_efficiency: f64,
+}
+
+impl Default for TextureCacheModel {
+    fn default() -> Self {
+        TextureCacheModel {
+            line_texels: 16,
+            capacity_bytes: 128 * 1024,
+            peak_efficiency: 0.92,
+        }
+    }
+}
+
+impl TextureCacheModel {
+    /// Estimated hit rate in `[0, 1]` for reading a tensor with layout
+    /// `layout` under access pattern `pattern`.
+    pub fn hit_rate(&self, layout: &Texture2p5dLayout, pattern: AccessPattern) -> f64 {
+        // Aspect ratio penalty: extremely skewed textures waste cache lines.
+        let aspect = layout.aspect_ratio();
+        let aspect_factor = if aspect <= 4.0 {
+            1.0
+        } else {
+            (4.0 / aspect).max(0.25)
+        };
+        let base = match pattern {
+            AccessPattern::RowStreaming => 0.95,
+            AccessPattern::Tiled2d => 0.90,
+            AccessPattern::Strided { stride_texels } => {
+                if stride_texels <= self.line_texels {
+                    0.85
+                } else {
+                    // Each access touches a new line.
+                    (self.line_texels as f64 / stride_texels as f64).clamp(0.05, 0.85)
+                }
+            }
+            AccessPattern::Random => 0.20,
+        };
+        (base * aspect_factor).clamp(0.0, 1.0)
+    }
+
+    /// Effective bandwidth (bytes/s) seen by the SMs when reading through the
+    /// cache, combining hit rate, the layout's intrinsic read efficiency and
+    /// the raw texture/cache bandwidths of the device.
+    pub fn effective_read_bandwidth(
+        &self,
+        layout: &Texture2p5dLayout,
+        weight_layout: WeightLayout,
+        pattern: AccessPattern,
+        texture_bw: f64,
+        cache_bw: f64,
+    ) -> f64 {
+        let hit = self.hit_rate(layout, pattern);
+        let raw = hit * cache_bw * self.peak_efficiency + (1.0 - hit) * texture_bw;
+        raw * weight_layout.read_efficiency()
+    }
+}
+
+/// How a kernel walks a texture while computing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential rows of texels (well-tiled MatMul reading packed weights).
+    RowStreaming,
+    /// 2D tiles (convolutions over images).
+    Tiled2d,
+    /// Fixed stride between consecutive reads, in texels.
+    Strided {
+        /// Distance between consecutive texel reads.
+        stride_texels: u64,
+    },
+    /// Effectively random access (gather / poorly laid-out transpose reads).
+    Random,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Texture2p5dLayout {
+        Texture2p5dLayout::for_matrix(1024, 1024, 2)
+    }
+
+    #[test]
+    fn streaming_beats_random() {
+        let m = TextureCacheModel::default();
+        let l = layout();
+        assert!(m.hit_rate(&l, AccessPattern::RowStreaming) > m.hit_rate(&l, AccessPattern::Random));
+    }
+
+    #[test]
+    fn small_strides_behave_like_streaming() {
+        let m = TextureCacheModel::default();
+        let l = layout();
+        let near = m.hit_rate(&l, AccessPattern::Strided { stride_texels: 4 });
+        let far = m.hit_rate(&l, AccessPattern::Strided { stride_texels: 512 });
+        assert!(near > far);
+        assert!(far >= 0.05);
+    }
+
+    #[test]
+    fn skewed_textures_lose_hit_rate() {
+        let m = TextureCacheModel::default();
+        let square = Texture2p5dLayout::for_matrix(1024, 4096, 2); // 1024 x 1024 texels
+        let skewed = Texture2p5dLayout::for_matrix(16, 1 << 22, 2); // 16 x ~1M texels
+        assert!(
+            m.hit_rate(&square, AccessPattern::RowStreaming)
+                > m.hit_rate(&skewed, AccessPattern::RowStreaming)
+        );
+    }
+
+    #[test]
+    fn hit_rate_bounded() {
+        let m = TextureCacheModel::default();
+        let l = layout();
+        for p in [
+            AccessPattern::RowStreaming,
+            AccessPattern::Tiled2d,
+            AccessPattern::Strided { stride_texels: 1 },
+            AccessPattern::Strided { stride_texels: 10_000 },
+            AccessPattern::Random,
+        ] {
+            let h = m.hit_rate(&l, p);
+            assert!((0.0..=1.0).contains(&h), "{p:?} -> {h}");
+        }
+    }
+
+    #[test]
+    fn optimized_layout_reads_faster_than_linear_buffer() {
+        let m = TextureCacheModel::default();
+        let l = layout();
+        let tex_bw = 172.0e9;
+        let cache_bw = 560.0e9;
+        let optimized = m.effective_read_bandwidth(
+            &l,
+            WeightLayout::Texture2p5dOptimized,
+            AccessPattern::RowStreaming,
+            tex_bw,
+            cache_bw,
+        );
+        let linear = m.effective_read_bandwidth(
+            &l,
+            WeightLayout::LinearBuffer,
+            AccessPattern::RowStreaming,
+            tex_bw,
+            cache_bw,
+        );
+        // Romou reports up to 3.5x; our model should land in the 2x-4x range.
+        let ratio = optimized / linear;
+        assert!(ratio > 2.0 && ratio < 4.5, "ratio = {ratio}");
+    }
+}

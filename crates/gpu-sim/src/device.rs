@@ -1,0 +1,334 @@
+//! Device specifications for the mobile GPUs evaluated in the paper.
+//!
+//! The paper evaluates on four smartphones (Section 5.1):
+//!
+//! | Device       | GPU          | RAM   |
+//! |--------------|--------------|-------|
+//! | OnePlus 12   | Adreno 750   | 16 GB |
+//! | OnePlus 11   | Adreno 740   | 16 GB |
+//! | Google Pixel 8 | Mali-G715 MP7 | 8 GB |
+//! | Xiaomi Mi 6  | Adreno 540   | 6 GB  |
+//!
+//! The bandwidth hierarchy (disk → unified memory → texture memory → texture
+//! cache) follows Figure 1: 1.5 GB/s, 65 GB/s, 172 GB/s and 560 GB/s on the
+//! flagship OnePlus 12; older devices scale these down.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GIB, MIB};
+
+/// Static description of a simulated mobile device (SoC + GPU + memory).
+///
+/// All bandwidths are expressed in **bytes per second** and compute throughput
+/// in **FLOP/s** so that latency formulas stay unit-consistent; convenience
+/// constructors accept the GB/s / GFLOPS figures quoted in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name of the phone, e.g. `"OnePlus 12"`.
+    pub name: String,
+    /// GPU model, e.g. `"Adreno 750"`.
+    pub gpu: String,
+    /// Total system RAM in bytes (unified memory capacity shared by CPU+GPU).
+    pub ram_bytes: u64,
+    /// Portion of RAM realistically available to a single app's GPU workload,
+    /// in bytes. Android keeps a sizeable share for the OS and other apps.
+    pub app_budget_bytes: u64,
+    /// Maximum texture memory the driver lets one process bind, in bytes.
+    pub texture_budget_bytes: u64,
+    /// Sequential read bandwidth from flash storage (disk → unified memory).
+    pub disk_bw: f64,
+    /// Unified memory bandwidth available to copy engines (UM ↔ UM / staging).
+    pub unified_bw: f64,
+    /// Texture memory bandwidth (unified memory → texture memory uploads and
+    /// SM reads that miss the texture cache).
+    pub texture_bw: f64,
+    /// Texture cache bandwidth (SM reads that hit the dedicated 2D cache).
+    pub texture_cache_bw: f64,
+    /// Peak FP16 throughput of the GPU in FLOP/s.
+    pub fp16_flops: f64,
+    /// Peak FP32 throughput of the GPU in FLOP/s.
+    pub fp32_flops: f64,
+    /// Number of streaming multiprocessors / shader cores.
+    pub num_sms: u32,
+    /// Fixed per-kernel launch overhead in milliseconds (driver + command
+    /// buffer submission). Mobile GPUs pay a noticeable cost per dispatch.
+    pub kernel_launch_overhead_ms: f64,
+    /// Idle (baseline) platform power in watts.
+    pub idle_power_w: f64,
+    /// Additional power drawn when the SMs are busy, in watts.
+    pub sm_power_w: f64,
+    /// Additional power drawn by DMA/copy engines during transfers, in watts.
+    pub transfer_power_w: f64,
+    /// Additional power drawn by DRAM when streaming weights, in watts.
+    pub dram_power_w: f64,
+}
+
+impl DeviceSpec {
+    /// Create a device spec from the headline figures usually quoted in spec
+    /// sheets (GB/s bandwidths, GFLOPS compute, GB memory).
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; invalid (non-positive) figures are clamped to a small
+    /// positive epsilon so the cost model never divides by zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_headline(
+        name: &str,
+        gpu: &str,
+        ram_gb: f64,
+        disk_gbps: f64,
+        unified_gbps: f64,
+        texture_gbps: f64,
+        texture_cache_gbps: f64,
+        fp16_gflops: f64,
+        num_sms: u32,
+    ) -> Self {
+        let clamp = |v: f64| if v <= 0.0 { 1e-3 } else { v };
+        let ram_bytes = (clamp(ram_gb) * GIB) as u64;
+        DeviceSpec {
+            name: name.to_string(),
+            gpu: gpu.to_string(),
+            ram_bytes,
+            // Empirically Android grants roughly two thirds of physical RAM to
+            // a foreground app before the low-memory killer intervenes (the
+            // rest is pinned by the OS, other apps and the display pipeline).
+            app_budget_bytes: (ram_bytes as f64 * 0.65) as u64,
+            // Texture bindings are capped well below total RAM.
+            texture_budget_bytes: (ram_bytes as f64 * 0.45) as u64,
+            disk_bw: clamp(disk_gbps) * 1e9,
+            unified_bw: clamp(unified_gbps) * 1e9,
+            texture_bw: clamp(texture_gbps) * 1e9,
+            texture_cache_bw: clamp(texture_cache_gbps) * 1e9,
+            fp16_flops: clamp(fp16_gflops) * 1e9,
+            fp32_flops: clamp(fp16_gflops) * 1e9 / 2.0,
+            num_sms,
+            kernel_launch_overhead_ms: 0.015,
+            idle_power_w: 0.9,
+            sm_power_w: 3.6,
+            transfer_power_w: 1.1,
+            dram_power_w: 0.8,
+        }
+    }
+
+    /// The OnePlus 12 (Adreno 750, 16 GB RAM) — the paper's primary device.
+    ///
+    /// Bandwidths follow Figure 1 of the paper: disk 1.5 GB/s, unified memory
+    /// 65 GB/s, texture memory 172 GB/s, texture cache 560 GB/s.
+    pub fn oneplus_12() -> Self {
+        Self::from_headline(
+            "OnePlus 12",
+            "Adreno 750",
+            16.0,
+            1.5,
+            65.0,
+            172.0,
+            560.0,
+            2800.0,
+            6,
+        )
+    }
+
+    /// The OnePlus 11 (Adreno 740, 16 GB RAM).
+    pub fn oneplus_11() -> Self {
+        Self::from_headline(
+            "OnePlus 11",
+            "Adreno 740",
+            16.0,
+            1.3,
+            58.0,
+            150.0,
+            470.0,
+            2300.0,
+            6,
+        )
+    }
+
+    /// The Google Pixel 8 (Mali-G715 MP7, 8 GB RAM).
+    pub fn pixel_8() -> Self {
+        Self::from_headline(
+            "Google Pixel 8",
+            "Mali-G715 MP7",
+            8.0,
+            1.2,
+            51.0,
+            110.0,
+            340.0,
+            1600.0,
+            7,
+        )
+    }
+
+    /// The Xiaomi Mi 6 (Adreno 540, 6 GB RAM) — the oldest, most constrained
+    /// device in the evaluation.
+    pub fn xiaomi_mi_6() -> Self {
+        Self::from_headline(
+            "Xiaomi Mi 6",
+            "Adreno 540",
+            6.0,
+            0.7,
+            29.0,
+            58.0,
+            170.0,
+            560.0,
+            4,
+        )
+    }
+
+    /// All four devices evaluated in the paper, flagship first.
+    pub fn all_evaluated() -> Vec<DeviceSpec> {
+        vec![
+            Self::oneplus_12(),
+            Self::oneplus_11(),
+            Self::pixel_8(),
+            Self::xiaomi_mi_6(),
+        ]
+    }
+
+    /// Effective FLOP/s for the given precision (true → FP16, false → FP32).
+    pub fn flops_for(&self, fp16: bool) -> f64 {
+        if fp16 {
+            self.fp16_flops
+        } else {
+            self.fp32_flops
+        }
+    }
+
+    /// Application memory budget in MiB (the threshold used for OOM checks).
+    pub fn app_budget_mib(&self) -> f64 {
+        self.app_budget_bytes as f64 / MIB
+    }
+
+    /// Override the per-app memory budget (useful for multi-model scenarios
+    /// where the user imposes a manual cap, e.g. the 1.5 GB cap in Figure 6).
+    pub fn with_app_budget_bytes(mut self, bytes: u64) -> Self {
+        self.app_budget_bytes = bytes;
+        self
+    }
+
+    /// Override the kernel launch overhead.
+    pub fn with_launch_overhead_ms(mut self, ms: f64) -> Self {
+        self.kernel_launch_overhead_ms = ms.max(0.0);
+        self
+    }
+
+    /// A rough per-device "capability score" used by higher layers to scale
+    /// expectations across devices: geometric mean of compute and texture
+    /// bandwidth relative to the OnePlus 12.
+    pub fn capability_score(&self) -> f64 {
+        let flagship = DeviceSpec::oneplus_12();
+        let c = self.fp16_flops / flagship.fp16_flops;
+        let b = self.texture_bw / flagship.texture_bw;
+        (c * b).sqrt()
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::oneplus_12()
+    }
+}
+
+impl std::fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}, {:.0} GB RAM, {:.0} GFLOPS fp16)",
+            self.name,
+            self.gpu,
+            self.ram_bytes as f64 / GIB,
+            self.fp16_flops / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_matches_figure_1_bandwidths() {
+        let d = DeviceSpec::oneplus_12();
+        assert_eq!(d.disk_bw, 1.5e9);
+        assert_eq!(d.unified_bw, 65.0e9);
+        assert_eq!(d.texture_bw, 172.0e9);
+        assert_eq!(d.texture_cache_bw, 560.0e9);
+        assert_eq!(d.ram_bytes, 16 * (GIB as u64));
+    }
+
+    #[test]
+    fn all_devices_have_positive_parameters() {
+        for d in DeviceSpec::all_evaluated() {
+            assert!(d.disk_bw > 0.0, "{}", d.name);
+            assert!(d.unified_bw > 0.0);
+            assert!(d.texture_bw > 0.0);
+            assert!(d.texture_cache_bw > 0.0);
+            assert!(d.fp16_flops > 0.0);
+            assert!(d.app_budget_bytes > 0);
+            assert!(d.app_budget_bytes < d.ram_bytes);
+            assert!(d.texture_budget_bytes < d.ram_bytes);
+        }
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_is_monotone() {
+        for d in DeviceSpec::all_evaluated() {
+            assert!(d.disk_bw < d.unified_bw, "{}", d.name);
+            assert!(d.unified_bw < d.texture_bw, "{}", d.name);
+            assert!(d.texture_bw < d.texture_cache_bw, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn flagship_has_highest_capability() {
+        let flagship = DeviceSpec::oneplus_12();
+        assert!((flagship.capability_score() - 1.0).abs() < 1e-9);
+        for d in [
+            DeviceSpec::oneplus_11(),
+            DeviceSpec::pixel_8(),
+            DeviceSpec::xiaomi_mi_6(),
+        ] {
+            assert!(d.capability_score() < 1.0, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn mi6_is_the_most_constrained() {
+        let mi6 = DeviceSpec::xiaomi_mi_6();
+        for d in DeviceSpec::all_evaluated() {
+            assert!(mi6.ram_bytes <= d.ram_bytes);
+            assert!(mi6.capability_score() <= d.capability_score() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn headline_clamps_nonpositive_values() {
+        let d = DeviceSpec::from_headline("x", "y", -1.0, 0.0, -3.0, 0.0, 0.0, 0.0, 1);
+        assert!(d.disk_bw > 0.0);
+        assert!(d.fp16_flops > 0.0);
+        assert!(d.ram_bytes > 0);
+    }
+
+    #[test]
+    fn fp32_is_half_rate() {
+        let d = DeviceSpec::oneplus_12();
+        assert!((d.flops_for(false) - d.flops_for(true) / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_mentions_gpu_and_name() {
+        let text = DeviceSpec::pixel_8().to_string();
+        assert!(text.contains("Pixel 8"));
+        assert!(text.contains("Mali"));
+    }
+
+    #[test]
+    fn budget_override() {
+        let d = DeviceSpec::oneplus_12().with_app_budget_bytes(1_500 * (MIB as u64));
+        assert_eq!(d.app_budget_bytes, 1_500 * (MIB as u64));
+    }
+
+    #[test]
+    fn default_is_flagship() {
+        assert_eq!(DeviceSpec::default(), DeviceSpec::oneplus_12());
+    }
+}

@@ -1,0 +1,679 @@
+//! The discrete-event execution engine.
+//!
+//! Modern mobile GPUs (Adreno, Mali) expose independent command queues for
+//! compute and for copy/DMA work, which is what lets FlashMem overlap weight
+//! streaming with kernel execution. The engine models exactly that: a
+//! [`CommandStream`] of allocation, transfer, transform and kernel commands
+//! with explicit dependencies is scheduled onto two engine timelines
+//! (transfer + compute); memory effects are applied at command completion and
+//! recorded in a [`MemoryTracker`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::{BandwidthModel, MemoryTier};
+use crate::device::DeviceSpec;
+use crate::energy::{EnergyReport, PowerModel};
+use crate::error::{SimError, SimResult};
+use crate::kernel::{KernelCostModel, KernelDesc};
+use crate::memory::{AllocationId, MemoryTracker};
+use crate::trace::{EventKind, ExecutionEvent, MemoryTrace, Timeline};
+
+/// Identifier of a command inside a [`CommandStream`] (its index).
+pub type CommandId = usize;
+
+/// Which hardware queue a command executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// The DMA / copy engine queue.
+    Transfer,
+    /// The compute (SM) queue.
+    Compute,
+    /// Host-side bookkeeping; executes instantaneously once dependencies are
+    /// met (allocations, frees, barriers).
+    Host,
+}
+
+/// One operation in a command stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Reserve `bytes` in `tier` under `label`.
+    Alloc {
+        /// Memory tier to allocate in.
+        tier: MemoryTier,
+        /// Bytes to reserve.
+        bytes: u64,
+    },
+    /// Release the allocation made by a previous `Alloc` command.
+    Free {
+        /// The id of the `Alloc` command whose allocation should be released.
+        alloc: CommandId,
+    },
+    /// Move `bytes` from one tier to another on the transfer queue.
+    Transfer {
+        /// Bytes to move.
+        bytes: u64,
+        /// Source tier.
+        from: MemoryTier,
+        /// Destination tier.
+        to: MemoryTier,
+    },
+    /// Layout-transform `bytes` (unified → 2.5D texture repack). The traffic
+    /// factor expresses how many times the data is traversed (see
+    /// [`WeightLayout::transform_traffic_factor`](crate::texture::WeightLayout)).
+    Transform {
+        /// Logical bytes being transformed.
+        bytes: u64,
+        /// Data traversals required by the transformation.
+        traffic_factor: f64,
+        /// Which queue performs the transformation. Preloading frameworks run
+        /// dedicated transform kernels on the compute queue; FlashMem folds the
+        /// work into the consuming kernels.
+        queue: QueueKind,
+    },
+    /// Execute a compute kernel, optionally streaming `extra_load_bytes` of
+    /// weight data concurrently (pipelined loading).
+    Kernel {
+        /// The kernel to execute.
+        desc: KernelDesc,
+        /// Bytes of weight data streamed during the kernel.
+        extra_load_bytes: u64,
+    },
+    /// A pure synchronisation point (no cost, host queue).
+    Barrier,
+}
+
+/// A command plus its scheduling metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Human readable label used in the timeline.
+    pub label: String,
+    /// The operation.
+    pub kind: CommandKind,
+    /// Commands that must complete before this one starts.
+    pub deps: Vec<CommandId>,
+}
+
+impl Command {
+    /// Convenience constructor for an allocation command.
+    pub fn alloc(label: &str, tier: MemoryTier, bytes: u64, deps: &[CommandId]) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Alloc { tier, bytes },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for a free command.
+    pub fn free(label: &str, alloc: CommandId, deps: &[CommandId]) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Free { alloc },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for a transfer command.
+    pub fn transfer(
+        label: &str,
+        bytes: u64,
+        from: MemoryTier,
+        to: MemoryTier,
+        deps: &[CommandId],
+    ) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Transfer { bytes, from, to },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for a layout transformation command.
+    pub fn transform(
+        label: &str,
+        bytes: u64,
+        traffic_factor: f64,
+        queue: QueueKind,
+        deps: &[CommandId],
+    ) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Transform {
+                bytes,
+                traffic_factor,
+                queue,
+            },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for a kernel command.
+    pub fn kernel(label: &str, desc: KernelDesc, extra_load_bytes: u64, deps: &[CommandId]) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Kernel {
+                desc,
+                extra_load_bytes,
+            },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Convenience constructor for a barrier.
+    pub fn barrier(label: &str, deps: &[CommandId]) -> Self {
+        Command {
+            label: label.to_string(),
+            kind: CommandKind::Barrier,
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// The queue this command runs on.
+    pub fn queue(&self) -> QueueKind {
+        match &self.kind {
+            CommandKind::Alloc { .. } | CommandKind::Free { .. } | CommandKind::Barrier => {
+                QueueKind::Host
+            }
+            CommandKind::Transfer { .. } => QueueKind::Transfer,
+            CommandKind::Transform { queue, .. } => *queue,
+            CommandKind::Kernel { .. } => QueueKind::Compute,
+        }
+    }
+}
+
+/// An ordered list of commands forming one execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommandStream {
+    commands: Vec<Command>,
+}
+
+impl CommandStream {
+    /// Create an empty stream.
+    pub fn new() -> Self {
+        CommandStream::default()
+    }
+
+    /// Append a command, returning its id for use in later dependencies.
+    pub fn push(&mut self, command: Command) -> CommandId {
+        self.commands.push(command);
+        self.commands.len() - 1
+    }
+
+    /// The commands in issue order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// True if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Validate dependency references (existence and acyclicity under the
+    /// "dependencies must precede the command" rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDependency`] or [`SimError::DependencyCycle`].
+    pub fn validate(&self) -> SimResult<()> {
+        for (idx, cmd) in self.commands.iter().enumerate() {
+            for &dep in &cmd.deps {
+                if dep >= self.commands.len() {
+                    return Err(SimError::UnknownDependency {
+                        command: idx,
+                        dependency: dep,
+                    });
+                }
+                if dep >= idx {
+                    // Forward or self dependencies cannot be satisfied by the
+                    // in-order queues and indicate a cycle in the producer.
+                    return Err(SimError::DependencyCycle { command: idx });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulator configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Record a memory usage trace (needed for Figure 6-style plots; small
+    /// overhead, on by default).
+    pub record_trace: bool,
+    /// Charge the per-transfer DMA setup cost (on by default).
+    pub charge_transfer_setup: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record_trace: true,
+            charge_transfer_setup: true,
+        }
+    }
+}
+
+/// The result of executing a command stream.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// Total simulated wall-clock time (makespan) in milliseconds.
+    pub total_time_ms: f64,
+    /// Wall-clock time spent before the first kernel became ready to run —
+    /// the "initialization" phase reported separately by preloading
+    /// frameworks in Table 7.
+    pub init_time_ms: f64,
+    /// Makespan minus initialization: the execution phase.
+    pub exec_time_ms: f64,
+    /// Peak total memory footprint in bytes.
+    pub peak_memory_bytes: u64,
+    /// Time-weighted average memory footprint in bytes.
+    pub average_memory_bytes: f64,
+    /// Per-event timeline.
+    pub timeline: Timeline,
+    /// Memory usage trace over time.
+    pub memory_trace: MemoryTrace,
+    /// Power/energy summary.
+    pub energy: EnergyReport,
+}
+
+impl ExecutionOutcome {
+    /// Peak memory in MiB.
+    pub fn peak_memory_mib(&self) -> f64 {
+        self.peak_memory_bytes as f64 / crate::MIB
+    }
+
+    /// Average memory in MiB.
+    pub fn average_memory_mib(&self) -> f64 {
+        self.average_memory_bytes / crate::MIB
+    }
+}
+
+/// The discrete-event mobile GPU simulator.
+#[derive(Debug, Clone)]
+pub struct GpuSimulator {
+    device: DeviceSpec,
+    config: SimConfig,
+    bandwidth: BandwidthModel,
+    cost: KernelCostModel,
+    power: PowerModel,
+}
+
+impl GpuSimulator {
+    /// Create a simulator for `device` with `config`.
+    pub fn new(device: DeviceSpec, config: SimConfig) -> Self {
+        GpuSimulator {
+            bandwidth: BandwidthModel::new(device.clone()),
+            cost: KernelCostModel::new(device.clone()),
+            power: PowerModel::new(device.clone()),
+            device,
+            config,
+        }
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The kernel cost model (shared with planners that need latency
+    /// estimates before execution).
+    pub fn cost_model(&self) -> &KernelCostModel {
+        &self.cost
+    }
+
+    /// The bandwidth model.
+    pub fn bandwidth_model(&self) -> &BandwidthModel {
+        &self.bandwidth
+    }
+
+    /// Execute a command stream with a fresh memory tracker sized for the
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream validation errors and out-of-memory conditions.
+    pub fn execute(&mut self, stream: &CommandStream) -> SimResult<ExecutionOutcome> {
+        let mut tracker = MemoryTracker::for_device(&self.device);
+        self.execute_with_tracker(stream, &mut tracker)
+    }
+
+    /// Execute a command stream against a caller-provided memory tracker
+    /// (used by multi-model scenarios that keep memory across executions).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownDependency`] / [`SimError::DependencyCycle`] when
+    ///   the stream is malformed.
+    /// * [`SimError::OutOfMemory`] when an allocation exceeds the device or
+    ///   budget capacity — this is a *modelled* outcome (e.g. GPTN-1.3B on the
+    ///   Xiaomi Mi 6), not a simulator bug.
+    pub fn execute_with_tracker(
+        &mut self,
+        stream: &CommandStream,
+        tracker: &mut MemoryTracker,
+    ) -> SimResult<ExecutionOutcome> {
+        stream.validate()?;
+
+        let mut finish: Vec<f64> = vec![0.0; stream.len()];
+        let mut allocs: HashMap<CommandId, (MemoryTier, AllocationId)> = HashMap::new();
+        let mut queue_free: HashMap<QueueKind, f64> = HashMap::new();
+        let mut timeline = Timeline::new();
+        let mut first_kernel_start: Option<f64> = None;
+
+        let setup = if self.config.charge_transfer_setup {
+            self.bandwidth.transfer_setup_ms
+        } else {
+            0.0
+        };
+
+        for (idx, cmd) in stream.commands().iter().enumerate() {
+            let deps_ready = cmd
+                .deps
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0_f64, f64::max);
+            let queue = cmd.queue();
+            let queue_ready = *queue_free.get(&queue).unwrap_or(&0.0);
+            let start = deps_ready.max(queue_ready);
+
+            let (duration, bytes, event_kind) = match &cmd.kind {
+                CommandKind::Alloc { tier, bytes } => {
+                    let id = tracker.allocate(*tier, *bytes, &cmd.label, start)?;
+                    allocs.insert(idx, (*tier, id));
+                    (0.0, *bytes, None)
+                }
+                CommandKind::Free { alloc } => {
+                    let (tier, id) = allocs.remove(alloc).ok_or(SimError::UnknownDependency {
+                        command: idx,
+                        dependency: *alloc,
+                    })?;
+                    tracker.free(tier, id, start)?;
+                    (0.0, 0, None)
+                }
+                CommandKind::Barrier => (0.0, 0, None),
+                CommandKind::Transfer { bytes, from, to } => {
+                    let mut t = self.bandwidth.transfer_time_ms(*bytes, *from, *to)?;
+                    if !self.config.charge_transfer_setup {
+                        t = (t - self.bandwidth.transfer_setup_ms).max(0.0);
+                    }
+                    let _ = setup;
+                    (t, *bytes, Some(EventKind::Transfer))
+                }
+                CommandKind::Transform {
+                    bytes,
+                    traffic_factor,
+                    ..
+                } => {
+                    let traffic = (*bytes as f64 * traffic_factor.max(0.0)) as u64;
+                    let t = if traffic == 0 {
+                        0.0
+                    } else {
+                        self.bandwidth.transfer_time_ms(
+                            traffic,
+                            MemoryTier::UnifiedMemory,
+                            MemoryTier::TextureMemory,
+                        )?
+                    };
+                    (t, *bytes, Some(EventKind::Transform))
+                }
+                CommandKind::Kernel {
+                    desc,
+                    extra_load_bytes,
+                } => {
+                    let t = self.cost.latency_with_extra_load_ms(desc, *extra_load_bytes);
+                    if first_kernel_start.is_none() {
+                        first_kernel_start = Some(start);
+                    }
+                    (t, desc.total_bytes() + extra_load_bytes, Some(EventKind::Kernel))
+                }
+            };
+
+            let end = start + duration;
+            finish[idx] = end;
+            if queue != QueueKind::Host {
+                queue_free.insert(queue, end);
+            }
+            if let Some(kind) = event_kind {
+                timeline.push(ExecutionEvent {
+                    label: cmd.label.clone(),
+                    kind,
+                    start_ms: start,
+                    end_ms: end,
+                    bytes,
+                });
+            }
+        }
+
+        let total = timeline.makespan_ms().max(
+            finish
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max),
+        );
+        tracker.sample(total);
+
+        let init = first_kernel_start.unwrap_or(total);
+        let energy = self.power.report(&timeline);
+        Ok(ExecutionOutcome {
+            total_time_ms: total,
+            init_time_ms: init,
+            exec_time_ms: (total - init).max(0.0),
+            peak_memory_bytes: tracker.peak_bytes(),
+            average_memory_bytes: tracker.average_bytes(),
+            timeline,
+            memory_trace: if self.config.record_trace {
+                tracker.trace().clone()
+            } else {
+                MemoryTrace::new()
+            },
+            energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelCategory, LaunchDims};
+
+    fn simulator() -> GpuSimulator {
+        GpuSimulator::new(DeviceSpec::oneplus_12(), SimConfig::default())
+    }
+
+    fn small_kernel(name: &str) -> KernelDesc {
+        KernelDesc::new(name, KernelCategory::Reusable, 1.0e9, 8 << 20, 4 << 20)
+            .with_launch(LaunchDims::new([512, 512, 1], [8, 8, 1]))
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let mut sim = simulator();
+        let out = sim.execute(&CommandStream::new()).unwrap();
+        assert_eq!(out.total_time_ms, 0.0);
+        assert_eq!(out.peak_memory_bytes, 0);
+    }
+
+    #[test]
+    fn sequential_dependencies_serialize() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        let a = s.push(Command::transfer(
+            "load",
+            100 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[],
+        ));
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[a]));
+        let out = sim.execute(&s).unwrap();
+        let events = out.timeline.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].start_ms >= events[0].end_ms);
+        assert!(out.init_time_ms > 0.0);
+    }
+
+    #[test]
+    fn independent_queues_overlap() {
+        let mut sim = simulator();
+        // Transfer and kernel with no dependency: they should overlap.
+        let mut s = CommandStream::new();
+        s.push(Command::transfer(
+            "load_next",
+            200 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[],
+        ));
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[]));
+        let out = sim.execute(&s).unwrap();
+        assert!(out.timeline.overlap_fraction() > 0.0);
+        // Makespan is shorter than the serial sum.
+        let serial: f64 = out.timeline.events().iter().map(|e| e.duration_ms()).sum();
+        assert!(out.total_time_ms < serial);
+    }
+
+    #[test]
+    fn same_queue_commands_serialize_even_without_deps() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        s.push(Command::transfer(
+            "t0",
+            50 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[],
+        ));
+        s.push(Command::transfer(
+            "t1",
+            50 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[],
+        ));
+        let out = sim.execute(&s).unwrap();
+        let e = out.timeline.events();
+        assert!(e[1].start_ms >= e[0].end_ms);
+    }
+
+    #[test]
+    fn allocation_lifecycle_tracked() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        let a = s.push(Command::alloc(
+            "weights",
+            MemoryTier::UnifiedMemory,
+            100 << 20,
+            &[],
+        ));
+        let t = s.push(Command::transfer(
+            "load",
+            100 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[a],
+        ));
+        let f = s.push(Command::free("weights", a, &[t]));
+        // A second, weight-free phase after the release: the average footprint
+        // over the whole run must now sit below the peak.
+        s.push(Command::transfer(
+            "load_next_model",
+            100 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[f],
+        ));
+        let out = sim.execute(&s).unwrap();
+        assert_eq!(out.peak_memory_bytes, 100 << 20);
+        assert!(out.average_memory_bytes < out.peak_memory_bytes as f64);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let device = DeviceSpec::xiaomi_mi_6();
+        let mut sim = GpuSimulator::new(device.clone(), SimConfig::default());
+        let mut s = CommandStream::new();
+        s.push(Command::alloc(
+            "huge",
+            MemoryTier::UnifiedMemory,
+            device.app_budget_bytes + 1,
+            &[],
+        ));
+        assert!(matches!(
+            sim.execute(&s),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_dependency_rejected() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        s.push(Command::barrier("b", &[5]));
+        assert!(matches!(
+            sim.execute(&s),
+            Err(SimError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_dependency_is_a_cycle() {
+        let mut s = CommandStream::new();
+        s.push(Command {
+            label: "self".into(),
+            kind: CommandKind::Barrier,
+            deps: vec![0],
+        });
+        assert!(matches!(
+            s.validate(),
+            Err(SimError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn transform_charged_on_requested_queue() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        s.push(Command::transform(
+            "repack",
+            64 << 20,
+            3.0,
+            QueueKind::Compute,
+            &[],
+        ));
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[]));
+        let out = sim.execute(&s).unwrap();
+        // Both occupy the compute queue, so they serialize.
+        let e = out.timeline.events();
+        assert!(e[1].start_ms >= e[0].end_ms);
+    }
+
+    #[test]
+    fn extra_load_bytes_slow_the_kernel_down() {
+        let mut sim = simulator();
+        let k = small_kernel("k");
+        let mut plain = CommandStream::new();
+        plain.push(Command::kernel("k", k.clone(), 0, &[]));
+        let mut loaded = CommandStream::new();
+        loaded.push(Command::kernel("k", k, 64 << 20, &[]));
+        let a = sim.execute(&plain).unwrap().total_time_ms;
+        let b = sim.execute(&loaded).unwrap().total_time_ms;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn energy_report_produced() {
+        let mut sim = simulator();
+        let mut s = CommandStream::new();
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[]));
+        let out = sim.execute(&s).unwrap();
+        assert!(out.energy.energy_j > 0.0);
+        assert!(out.energy.average_power_w > sim.device().idle_power_w);
+    }
+}

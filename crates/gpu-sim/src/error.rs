@@ -1,0 +1,127 @@
+//! Error types for the GPU simulator.
+
+use std::fmt;
+
+/// Result alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced by the GPU memory-hierarchy simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An allocation would exceed the capacity of a memory pool.
+    ///
+    /// This is how the simulator reproduces the "device ran out of memory
+    /// during initialization" cases of Figure 10 in the paper.
+    OutOfMemory {
+        /// Name of the pool that overflowed (for example `"unified"`).
+        pool: String,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available in the pool at the time of the request.
+        available: u64,
+        /// Total capacity of the pool.
+        capacity: u64,
+    },
+    /// An allocation handle was freed twice or never existed.
+    UnknownAllocation {
+        /// The stale handle's numeric id.
+        id: u64,
+    },
+    /// A command referenced a dependency that does not exist in the stream.
+    UnknownDependency {
+        /// Index of the offending command.
+        command: usize,
+        /// The dependency id that could not be resolved.
+        dependency: usize,
+    },
+    /// The command stream contains a dependency cycle and cannot be scheduled.
+    DependencyCycle {
+        /// Index of a command participating in the cycle.
+        command: usize,
+    },
+    /// A transfer was requested between two tiers with no modelled path.
+    InvalidTransfer {
+        /// Source tier name.
+        from: String,
+        /// Destination tier name.
+        to: String,
+    },
+    /// A parameter was outside its valid range (negative bandwidth, zero-sized
+    /// work-groups and similar misconfigurations).
+    InvalidParameter {
+        /// Human readable description of the invalid parameter.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                pool,
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "out of memory in pool `{pool}`: requested {requested} bytes, \
+                 {available} of {capacity} bytes available"
+            ),
+            SimError::UnknownAllocation { id } => {
+                write!(f, "unknown or already-freed allocation handle {id}")
+            }
+            SimError::UnknownDependency {
+                command,
+                dependency,
+            } => write!(
+                f,
+                "command {command} depends on unknown command {dependency}"
+            ),
+            SimError::DependencyCycle { command } => {
+                write!(f, "dependency cycle detected involving command {command}")
+            }
+            SimError::InvalidTransfer { from, to } => {
+                write!(f, "no modelled transfer path from {from} to {to}")
+            }
+            SimError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SimError::OutOfMemory {
+            pool: "unified".to_string(),
+            requested: 100,
+            available: 10,
+            capacity: 50,
+        };
+        let text = err.to_string();
+        assert!(text.contains("unified"));
+        assert!(text.contains("100"));
+        assert!(text.starts_with("out of memory"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn unknown_dependency_display() {
+        let err = SimError::UnknownDependency {
+            command: 3,
+            dependency: 9,
+        };
+        assert_eq!(err.to_string(), "command 3 depends on unknown command 9");
+    }
+}

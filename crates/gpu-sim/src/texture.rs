@@ -1,0 +1,208 @@
+//! 2.5D texture memory layout modelling.
+//!
+//! Mobile GPUs expose *texture memory*: image objects organised as 2D tiles
+//! with a small fixed depth (typically four scalar channels, hence "2.5D").
+//! Laying DNN weights out as textures lets the SMs read them through the
+//! dedicated texture cache, which Romou measured at up to 3.5× faster than
+//! unified-memory buffers. The downside is that a linear weight tensor has to
+//! be *transformed* into the tiled layout, which preloading frameworks do for
+//! the entire model up front (the "Trans." column of Table 1).
+//!
+//! [`Texture2p5dLayout`] computes the texture geometry for a weight tensor and
+//! the cost factors of transforming into it.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of scalar channels per texel in the 2.5D layout (RGBA).
+pub const TEXEL_CHANNELS: u64 = 4;
+
+/// The tiled 2.5D texture layout of a weight or activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Texture2p5dLayout {
+    /// Texture width in texels.
+    pub width: u64,
+    /// Texture height in texels.
+    pub height: u64,
+    /// Bytes per scalar element (2 for FP16, 4 for FP32).
+    pub element_bytes: u64,
+}
+
+impl Texture2p5dLayout {
+    /// Compute a near-square 2.5D layout for a tensor holding `elements`
+    /// scalars of `element_bytes` bytes each.
+    ///
+    /// The driver requires power-of-two-free but bounded dimensions; we follow
+    /// the common practice of folding the innermost dimension into the texel
+    /// channels and making the texture as square as possible, which maximises
+    /// 2D spatial locality in the texture cache.
+    pub fn for_elements(elements: u64, element_bytes: u64) -> Self {
+        let texels = elements.div_ceil(TEXEL_CHANNELS).max(1);
+        let width = (texels as f64).sqrt().ceil() as u64;
+        let width = width.max(1);
+        let height = texels.div_ceil(width).max(1);
+        Texture2p5dLayout {
+            width,
+            height,
+            element_bytes,
+        }
+    }
+
+    /// Compute the layout for a tensor with an explicit 2D logical shape
+    /// (rows × cols), folding channels of 4 along the columns. This mirrors
+    /// how MatMul weights are stored: one texel packs four consecutive
+    /// columns of one row.
+    pub fn for_matrix(rows: u64, cols: u64, element_bytes: u64) -> Self {
+        let width = cols.div_ceil(TEXEL_CHANNELS).max(1);
+        let height = rows.max(1);
+        Texture2p5dLayout {
+            width,
+            height,
+            element_bytes,
+        }
+    }
+
+    /// Number of texels in the texture.
+    pub fn texels(&self) -> u64 {
+        self.width * self.height
+    }
+
+    /// Total bytes occupied by the texture object (texels × 4 channels ×
+    /// element size). This can exceed the logical tensor size because of
+    /// padding to full texels — that padding is part of why preloading
+    /// frameworks see inflated texture-memory footprints.
+    pub fn bytes(&self) -> u64 {
+        self.texels() * TEXEL_CHANNELS * self.element_bytes
+    }
+
+    /// Padding overhead relative to a logical tensor of `elements` scalars,
+    /// as a fraction in `[0, ∞)`. Zero means a perfect fit.
+    pub fn padding_overhead(&self, elements: u64) -> f64 {
+        let logical = elements * self.element_bytes;
+        if logical == 0 {
+            return 0.0;
+        }
+        (self.bytes() as f64 - logical as f64).max(0.0) / logical as f64
+    }
+
+    /// Aspect ratio (max dimension / min dimension). Values close to 1 give
+    /// the best texture-cache behaviour.
+    pub fn aspect_ratio(&self) -> f64 {
+        let a = self.width.max(self.height) as f64;
+        let b = self.width.min(self.height) as f64;
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            a / b
+        }
+    }
+}
+
+/// How a tensor is laid out when the SMs read it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightLayout {
+    /// Flat buffer in unified memory (no texture benefits; ExecuTorch-style).
+    LinearBuffer,
+    /// 2.5D texture produced by a layout transformation at load time.
+    Texture2p5d,
+    /// 2.5D texture whose layout was chosen offline so no runtime Reshape /
+    /// Transpose is needed (SmartMem / FlashMem style).
+    Texture2p5dOptimized,
+}
+
+impl WeightLayout {
+    /// Relative cost multiplier of the unified→texture transformation kernel
+    /// for this layout, expressed as "bytes moved per logical byte".
+    ///
+    /// * `LinearBuffer` needs no transformation (1 read path, but slow reads).
+    /// * `Texture2p5d` pays the classic copy + repack: the weight is read from
+    ///   UM, repacked on the CPU or by a staging kernel, written to UM again
+    ///   and finally uploaded — ~3 traversals of the data.
+    /// * `Texture2p5dOptimized` uploads directly in the final layout — a
+    ///   single traversal.
+    pub fn transform_traffic_factor(&self) -> f64 {
+        match self {
+            WeightLayout::LinearBuffer => 0.0,
+            WeightLayout::Texture2p5d => 3.0,
+            WeightLayout::Texture2p5dOptimized => 1.0,
+        }
+    }
+
+    /// Relative SM read-bandwidth efficiency of the layout (1.0 = reads run at
+    /// full texture-cache speed; lower values model cache-unfriendly access).
+    pub fn read_efficiency(&self) -> f64 {
+        match self {
+            WeightLayout::LinearBuffer => 0.30,
+            WeightLayout::Texture2p5d => 0.85,
+            WeightLayout::Texture2p5dOptimized => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_layout_for_elements() {
+        let l = Texture2p5dLayout::for_elements(4096, 2);
+        // 4096 scalars → 1024 texels → 32 × 32.
+        assert_eq!(l.width, 32);
+        assert_eq!(l.height, 32);
+        assert_eq!(l.texels(), 1024);
+        assert_eq!(l.bytes(), 4096 * 2);
+        assert_eq!(l.padding_overhead(4096), 0.0);
+        assert!((l.aspect_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_never_loses_elements() {
+        for elements in [1u64, 3, 5, 17, 1000, 123_457, 9_999_999] {
+            let l = Texture2p5dLayout::for_elements(elements, 4);
+            assert!(
+                l.texels() * TEXEL_CHANNELS >= elements,
+                "layout for {elements} lost data"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_layout_rows_preserved() {
+        let l = Texture2p5dLayout::for_matrix(768, 3072, 2);
+        assert_eq!(l.height, 768);
+        assert_eq!(l.width, 768); // 3072 / 4
+        assert_eq!(l.bytes(), 768 * 3072 * 2);
+    }
+
+    #[test]
+    fn padding_overhead_small_for_large_tensors() {
+        let elements = 50_000_000u64;
+        let l = Texture2p5dLayout::for_elements(elements, 2);
+        assert!(l.padding_overhead(elements) < 0.01);
+    }
+
+    #[test]
+    fn zero_and_one_element_edge_cases() {
+        let l0 = Texture2p5dLayout::for_elements(0, 2);
+        assert!(l0.width >= 1 && l0.height >= 1);
+        assert_eq!(l0.padding_overhead(0), 0.0);
+        let l1 = Texture2p5dLayout::for_elements(1, 2);
+        assert_eq!(l1.texels(), 1);
+    }
+
+    #[test]
+    fn layout_cost_ordering_matches_paper_narrative() {
+        // Optimized texture < naive texture in transform cost, and
+        // optimized texture > naive texture > linear buffer in read speed.
+        assert!(
+            WeightLayout::Texture2p5dOptimized.transform_traffic_factor()
+                < WeightLayout::Texture2p5d.transform_traffic_factor()
+        );
+        assert!(
+            WeightLayout::Texture2p5dOptimized.read_efficiency()
+                > WeightLayout::Texture2p5d.read_efficiency()
+        );
+        assert!(
+            WeightLayout::Texture2p5d.read_efficiency() > WeightLayout::LinearBuffer.read_efficiency()
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! Time-stamped memory usage traces and execution event logs.
+//!
+//! Traces are the raw material behind the paper's Figure 6 (memory usage over
+//! time under multi-model workloads) and the Peak / Avg. columns of Tables 1
+//! and 8.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of total memory usage at a simulated timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySample {
+    /// Simulated time in milliseconds.
+    pub time_ms: f64,
+    /// Total live bytes at that time.
+    pub bytes: u64,
+}
+
+/// A step-function trace of memory usage over simulated time.
+///
+/// Samples are recorded at every allocation/free; the value holds until the
+/// next sample. Peak is the maximum sample; the average is time-weighted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTrace {
+    samples: Vec<MemorySample>,
+}
+
+impl MemoryTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        MemoryTrace::default()
+    }
+
+    /// Record that total usage is `bytes` from `time_ms` onwards.
+    ///
+    /// Out-of-order timestamps are clamped to the latest recorded time so the
+    /// trace stays monotone (the simulator's event clock never goes backwards,
+    /// but callers composing traces may replay slightly stale events).
+    pub fn record(&mut self, time_ms: f64, bytes: u64) {
+        let t = match self.samples.last() {
+            Some(last) if time_ms < last.time_ms => last.time_ms,
+            _ => time_ms,
+        };
+        self.samples.push(MemorySample { time_ms: t, bytes });
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples in chronological order.
+    pub fn samples(&self) -> &[MemorySample] {
+        &self.samples
+    }
+
+    /// Maximum usage seen, in bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.samples.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+
+    /// Time-weighted average usage in bytes over the sampled interval. If the
+    /// trace has fewer than two samples the last (or zero) value is returned.
+    pub fn average_bytes(&self) -> f64 {
+        match self.samples.len() {
+            0 => 0.0,
+            1 => self.samples[0].bytes as f64,
+            _ => {
+                let start = self.samples.first().unwrap().time_ms;
+                let end = self.samples.last().unwrap().time_ms;
+                let span = end - start;
+                if span <= 0.0 {
+                    return self.samples.last().unwrap().bytes as f64;
+                }
+                let mut weighted = 0.0;
+                for pair in self.samples.windows(2) {
+                    let dt = pair[1].time_ms - pair[0].time_ms;
+                    weighted += pair[0].bytes as f64 * dt;
+                }
+                weighted / span
+            }
+        }
+    }
+
+    /// Resample the step function at `points` evenly spaced instants between
+    /// the first and last timestamps — convenient for plotting Figure 6-style
+    /// curves with a fixed number of points.
+    pub fn resample(&self, points: usize) -> Vec<MemorySample> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let start = self.samples.first().unwrap().time_ms;
+        let end = self.samples.last().unwrap().time_ms;
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let t = if points == 1 {
+                start
+            } else {
+                start + (end - start) * i as f64 / (points - 1) as f64
+            };
+            out.push(MemorySample {
+                time_ms: t,
+                bytes: self.value_at(t),
+            });
+        }
+        out
+    }
+
+    /// Value of the step function at time `t` (last sample at or before `t`).
+    pub fn value_at(&self, t: f64) -> u64 {
+        let mut value = 0;
+        for s in &self.samples {
+            if s.time_ms <= t {
+                value = s.bytes;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// Append another trace, shifting its timestamps by `offset_ms`. Used to
+    /// stitch per-model traces into one multi-model timeline.
+    pub fn append_shifted(&mut self, other: &MemoryTrace, offset_ms: f64) {
+        for s in &other.samples {
+            self.record(s.time_ms + offset_ms, s.bytes);
+        }
+    }
+}
+
+/// The kind of activity an execution event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A data transfer between memory tiers.
+    Transfer,
+    /// A compute kernel execution.
+    Kernel,
+    /// A layout transformation (unified → texture repack).
+    Transform,
+    /// Framework bookkeeping (graph parsing, allocation, warm-up).
+    Overhead,
+}
+
+/// One completed activity on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionEvent {
+    /// Label (kernel or weight name).
+    pub label: String,
+    /// Activity kind.
+    pub kind: EventKind,
+    /// Start time in milliseconds.
+    pub start_ms: f64,
+    /// End time in milliseconds.
+    pub end_ms: f64,
+    /// Bytes moved (transfers/transforms) or read+written (kernels).
+    pub bytes: u64,
+}
+
+impl ExecutionEvent {
+    /// Duration of the event in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+}
+
+/// A full execution timeline: every event plus derived busy-time statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<ExecutionEvent>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Add an event.
+    pub fn push(&mut self, event: ExecutionEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[ExecutionEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest end time across all events (total makespan), in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.events.iter().map(|e| e.end_ms).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of events of `kind` (sum of durations; overlapping
+    /// events are counted separately because they run on distinct engines).
+    pub fn busy_ms(&self, kind: EventKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_ms())
+            .sum()
+    }
+
+    /// Union length of the intervals of events of `kind` — i.e. wall-clock
+    /// time during which at least one such event was active.
+    pub fn active_ms(&self, kind: EventKind) -> f64 {
+        let mut intervals: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| (e.start_ms, e.end_ms))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut total = 0.0;
+        let mut current: Option<(f64, f64)> = None;
+        for (s, e) in intervals {
+            match current {
+                None => current = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        current = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce - cs;
+                        current = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = current {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Fraction of the makespan during which compute and transfer activity
+    /// overlap — a direct measure of how well loading is hidden behind
+    /// execution (the paper's central mechanism).
+    pub fn overlap_fraction(&self) -> f64 {
+        let makespan = self.makespan_ms();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        // Sweep: collect interval edges for compute and transfer separately.
+        let compute: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .map(|e| (e.start_ms, e.end_ms))
+            .collect();
+        let transfer: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Transfer | EventKind::Transform))
+            .map(|e| (e.start_ms, e.end_ms))
+            .collect();
+        let mut overlap = 0.0;
+        for &(cs, ce) in &compute {
+            for &(ts, te) in &transfer {
+                let s = cs.max(ts);
+                let e = ce.min(te);
+                if e > s {
+                    overlap += e - s;
+                }
+            }
+        }
+        (overlap / makespan).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = MemoryTrace::new();
+        assert_eq!(t.peak_bytes(), 0);
+        assert_eq!(t.average_bytes(), 0.0);
+        assert!(t.is_empty());
+        assert!(t.resample(10).is_empty());
+    }
+
+    #[test]
+    fn single_sample_average_is_value() {
+        let mut t = MemoryTrace::new();
+        t.record(0.0, 42);
+        assert_eq!(t.average_bytes(), 42.0);
+        assert_eq!(t.peak_bytes(), 42);
+    }
+
+    #[test]
+    fn step_function_average() {
+        let mut t = MemoryTrace::new();
+        t.record(0.0, 100);
+        t.record(50.0, 300);
+        t.record(100.0, 300);
+        // 100 for the first half, 300 for the second half → 200 average.
+        assert!((t.average_bytes() - 200.0).abs() < 1e-9);
+        assert_eq!(t.peak_bytes(), 300);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_clamped() {
+        let mut t = MemoryTrace::new();
+        t.record(10.0, 1);
+        t.record(5.0, 2);
+        assert_eq!(t.samples()[1].time_ms, 10.0);
+    }
+
+    #[test]
+    fn value_at_and_resample() {
+        let mut t = MemoryTrace::new();
+        t.record(0.0, 10);
+        t.record(10.0, 20);
+        t.record(20.0, 0);
+        assert_eq!(t.value_at(-1.0), 0);
+        assert_eq!(t.value_at(5.0), 10);
+        assert_eq!(t.value_at(15.0), 20);
+        assert_eq!(t.value_at(25.0), 0);
+        let r = t.resample(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].bytes, 10);
+        assert_eq!(r[1].bytes, 20);
+        assert_eq!(r[2].bytes, 0);
+    }
+
+    #[test]
+    fn append_shifted_stitches_traces() {
+        let mut a = MemoryTrace::new();
+        a.record(0.0, 5);
+        a.record(10.0, 0);
+        let mut b = MemoryTrace::new();
+        b.record(0.0, 7);
+        a.append_shifted(&b, 10.0);
+        assert_eq!(a.value_at(12.0), 7);
+    }
+
+    #[test]
+    fn timeline_busy_and_makespan() {
+        let mut tl = Timeline::new();
+        tl.push(ExecutionEvent {
+            label: "load".into(),
+            kind: EventKind::Transfer,
+            start_ms: 0.0,
+            end_ms: 10.0,
+            bytes: 100,
+        });
+        tl.push(ExecutionEvent {
+            label: "k0".into(),
+            kind: EventKind::Kernel,
+            start_ms: 5.0,
+            end_ms: 15.0,
+            bytes: 50,
+        });
+        assert_eq!(tl.makespan_ms(), 15.0);
+        assert_eq!(tl.busy_ms(EventKind::Transfer), 10.0);
+        assert_eq!(tl.busy_ms(EventKind::Kernel), 10.0);
+        // 5 ms of overlap over a 15 ms makespan.
+        assert!((tl.overlap_fraction() - 5.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_ms_merges_overlapping_intervals() {
+        let mut tl = Timeline::new();
+        for (s, e) in [(0.0, 10.0), (5.0, 12.0), (20.0, 25.0)] {
+            tl.push(ExecutionEvent {
+                label: "t".into(),
+                kind: EventKind::Transfer,
+                start_ms: s,
+                end_ms: e,
+                bytes: 1,
+            });
+        }
+        assert!((tl.active_ms(EventKind::Transfer) - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::new();
+        assert!(tl.is_empty());
+        assert_eq!(tl.makespan_ms(), 0.0);
+        assert_eq!(tl.overlap_fraction(), 0.0);
+    }
+}

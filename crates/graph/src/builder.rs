@@ -1,0 +1,420 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] provides typed helpers for the operators that dominate the
+//! evaluated models (matrix multiplication, convolution, attention, norms,
+//! element-wise ops). Each helper derives the output shape, the weight tensor
+//! (if any) and the MAC count from the input shapes, so model definitions in
+//! [`crate::models`] read like framework code rather than bookkeeping.
+
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::OpKind;
+use crate::tensor::{DType, TensorDesc};
+
+/// Builder for [`Graph`]s in execution order.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    dtype: DType,
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Start a new graph named `name`, with FP16 tensors by default.
+    pub fn new(name: &str) -> Self {
+        GraphBuilder {
+            name: name.to_string(),
+            dtype: DType::F16,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Switch the element type used for subsequently created tensors.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// The element dtype currently in effect.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finish and return the graph.
+    pub fn build(self) -> Graph {
+        Graph::from_nodes(&self.name, self.nodes)
+    }
+
+    /// Add a raw node. Prefer the typed helpers; this exists for tests and
+    /// exotic operators.
+    pub fn push_raw(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        inputs: &[NodeId],
+        output: TensorDesc,
+        weight: Option<TensorDesc>,
+        macs: u64,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        // Guarantee unique names by suffixing duplicates with the node index.
+        let unique_name = if self.nodes.iter().any(|n| n.name == name) {
+            format!("{name}__{}", id.0)
+        } else {
+            name.to_string()
+        };
+        self.nodes.push(Node {
+            id,
+            name: unique_name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            weight,
+            macs,
+        });
+        id
+    }
+
+    /// Shape of a node's output (panics on a stale id — builder-internal ids
+    /// are always valid by construction).
+    pub fn output_of(&self, id: NodeId) -> &TensorDesc {
+        &self.nodes[id.0].output
+    }
+
+    // ---------------------------------------------------------------------
+    // Inputs and weight-free plumbing
+    // ---------------------------------------------------------------------
+
+    /// Add a graph input placeholder with the given shape.
+    pub fn input(&mut self, name: &str, dims: &[u64]) -> NodeId {
+        let t = TensorDesc::new(dims, self.dtype);
+        self.push_raw(name, OpKind::Reshape, &[], t, None, 0)
+    }
+
+    /// Token / patch embedding lookup: output `[tokens, hidden]`, weight
+    /// `[vocab, hidden]`.
+    pub fn embedding(&mut self, name: &str, input: NodeId, vocab: u64, hidden: u64) -> NodeId {
+        let tokens = self.output_of(input).as_matrix().0;
+        let out = TensorDesc::new(&[tokens, hidden], self.dtype);
+        let weight = TensorDesc::new(&[vocab, hidden], self.dtype);
+        // A lookup reads one row per token: negligible MACs.
+        self.push_raw(name, OpKind::Embedding, &[input], out, Some(weight), 0)
+    }
+
+    // ---------------------------------------------------------------------
+    // Reusable operators
+    // ---------------------------------------------------------------------
+
+    /// Dense layer / matrix multiplication: input `[*, k]` × weight `[k, n]`.
+    pub fn matmul(&mut self, name: &str, input: NodeId, n: u64) -> NodeId {
+        let (rows, k) = self.output_of(input).as_matrix();
+        let out = TensorDesc::new(&[rows, n], self.dtype);
+        let weight = TensorDesc::new(&[k, n], self.dtype);
+        let macs = rows * k * n;
+        self.push_raw(name, OpKind::MatMul, &[input], out, Some(weight), macs)
+    }
+
+    /// Matrix multiplication between two activation tensors (no weight), such
+    /// as the `QK^T` and `PV` products inside attention.
+    pub fn matmul_act(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let (m, k) = self.output_of(a).as_matrix();
+        let (_, n) = self.output_of(b).as_matrix();
+        let out = TensorDesc::new(&[m, n], self.dtype);
+        let macs = m * k * n;
+        self.push_raw(name, OpKind::MatMul, &[a, b], out, None, macs)
+    }
+
+    /// 2D convolution over an `[c_in, h, w]` activation.
+    ///
+    /// `stride` divides the spatial dimensions; padding is assumed "same".
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        c_out: u64,
+        kernel: u64,
+        stride: u64,
+    ) -> NodeId {
+        let dims = &self.output_of(input).dims;
+        let (c_in, h, w) = conv_dims(dims);
+        let oh = (h / stride).max(1);
+        let ow = (w / stride).max(1);
+        let out = TensorDesc::new(&[c_out, oh, ow], self.dtype);
+        let weight = TensorDesc::new(&[c_out, c_in, kernel, kernel], self.dtype);
+        let macs = c_out * c_in * kernel * kernel * oh * ow;
+        self.push_raw(name, OpKind::Conv2d, &[input], out, Some(weight), macs)
+    }
+
+    /// Depthwise 2D convolution.
+    pub fn depthwise_conv2d(&mut self, name: &str, input: NodeId, kernel: u64, stride: u64) -> NodeId {
+        let dims = &self.output_of(input).dims;
+        let (c, h, w) = conv_dims(dims);
+        let oh = (h / stride).max(1);
+        let ow = (w / stride).max(1);
+        let out = TensorDesc::new(&[c, oh, ow], self.dtype);
+        let weight = TensorDesc::new(&[c, 1, kernel, kernel], self.dtype);
+        let macs = c * kernel * kernel * oh * ow;
+        self.push_raw(
+            name,
+            OpKind::DepthwiseConv2d,
+            &[input],
+            out,
+            Some(weight),
+            macs,
+        )
+    }
+
+    /// Transposed convolution (upsampling decoder blocks).
+    pub fn conv_transpose2d(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        c_out: u64,
+        kernel: u64,
+        stride: u64,
+    ) -> NodeId {
+        let dims = &self.output_of(input).dims;
+        let (c_in, h, w) = conv_dims(dims);
+        let oh = h * stride;
+        let ow = w * stride;
+        let out = TensorDesc::new(&[c_out, oh, ow], self.dtype);
+        let weight = TensorDesc::new(&[c_in, c_out, kernel, kernel], self.dtype);
+        let macs = c_out * c_in * kernel * kernel * oh * ow;
+        self.push_raw(
+            name,
+            OpKind::ConvTranspose2d,
+            &[input],
+            out,
+            Some(weight),
+            macs,
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Elemental operators
+    // ---------------------------------------------------------------------
+
+    /// Element-wise binary op (Add/Mul) between two activations of the same
+    /// shape.
+    pub fn binary(&mut self, name: &str, kind: OpKind, a: NodeId, b: NodeId) -> NodeId {
+        debug_assert!(matches!(kind, OpKind::Add | OpKind::Mul));
+        let out = self.output_of(a).clone();
+        let macs = out.elements();
+        self.push_raw(name, kind, &[a, b], out, None, macs)
+    }
+
+    /// Element-wise unary op (activations, scaling, rotary embedding, ...).
+    pub fn unary(&mut self, name: &str, kind: OpKind, input: NodeId) -> NodeId {
+        let out = self.output_of(input).clone();
+        let macs = out.elements();
+        self.push_raw(name, kind, &[input], out, None, macs)
+    }
+
+    /// Bias addition with a learned per-channel bias vector.
+    pub fn bias_add(&mut self, name: &str, input: NodeId) -> NodeId {
+        let out = self.output_of(input).clone();
+        let channels = *out.dims.last().unwrap_or(&1);
+        let weight = TensorDesc::new(&[channels], self.dtype);
+        let macs = out.elements();
+        self.push_raw(name, OpKind::BiasAdd, &[input], out, Some(weight), macs)
+    }
+
+    /// Global or windowed pooling; halves spatial dims when `stride > 1`.
+    pub fn pooling(&mut self, name: &str, input: NodeId, stride: u64) -> NodeId {
+        let dims = &self.output_of(input).dims;
+        let (c, h, w) = conv_dims(dims);
+        let out = TensorDesc::new(&[c, (h / stride).max(1), (w / stride).max(1)], self.dtype);
+        let macs = c * h * w;
+        self.push_raw(name, OpKind::Pooling, &[input], out, None, macs)
+    }
+
+    /// Nearest-neighbour upsampling by `factor`.
+    pub fn upsample(&mut self, name: &str, input: NodeId, factor: u64) -> NodeId {
+        let dims = &self.output_of(input).dims;
+        let (c, h, w) = conv_dims(dims);
+        let out = TensorDesc::new(&[c, h * factor, w * factor], self.dtype);
+        let macs = out.elements();
+        self.push_raw(name, OpKind::Upsample, &[input], out, None, macs)
+    }
+
+    // ---------------------------------------------------------------------
+    // Hierarchical operators
+    // ---------------------------------------------------------------------
+
+    /// Normalisation layer with learned scale/shift (LayerNorm, GroupNorm,
+    /// RMSNorm, BatchNorm).
+    pub fn norm(&mut self, name: &str, kind: OpKind, input: NodeId) -> NodeId {
+        let out = self.output_of(input).clone();
+        let channels = *out.dims.last().unwrap_or(&1);
+        let weight = TensorDesc::new(&[2, channels], self.dtype);
+        let macs = out.elements() * 4; // mean, var, normalise, affine
+        self.push_raw(name, kind, &[input], out, Some(weight), macs)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, name: &str, input: NodeId) -> NodeId {
+        let out = self.output_of(input).clone();
+        let macs = out.elements() * 3;
+        self.push_raw(name, OpKind::Softmax, &[input], out, None, macs)
+    }
+
+    // ---------------------------------------------------------------------
+    // Layout operators
+    // ---------------------------------------------------------------------
+
+    /// Reshape to a new shape with the same number of elements.
+    pub fn reshape(&mut self, name: &str, input: NodeId, dims: &[u64]) -> NodeId {
+        let out = TensorDesc::new(dims, self.dtype);
+        self.push_raw(name, OpKind::Reshape, &[input], out, None, 0)
+    }
+
+    /// Transpose (swap the two trailing dimensions).
+    pub fn transpose(&mut self, name: &str, input: NodeId) -> NodeId {
+        let mut dims = self.output_of(input).dims.clone();
+        let n = dims.len();
+        if n >= 2 {
+            dims.swap(n - 1, n - 2);
+        }
+        let out = TensorDesc::new(&dims, self.dtype);
+        self.push_raw(name, OpKind::Transpose, &[input], out, None, 0)
+    }
+
+    /// Concatenate two activations along the channel (first) dimension.
+    pub fn concat(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let da = self.output_of(a).dims.clone();
+        let db = self.output_of(b).dims.clone();
+        let mut dims = da.clone();
+        if !dims.is_empty() && da.len() == db.len() {
+            dims[0] = da[0] + db[0];
+        }
+        let out = TensorDesc::new(&dims, self.dtype);
+        self.push_raw(name, OpKind::Concat, &[a, b], out, None, 0)
+    }
+}
+
+/// Interpret a dims slice as `[channels, height, width]`, tolerating lower
+/// ranks (vectors become `[c, 1, 1]`).
+fn conv_dims(dims: &[u64]) -> (u64, u64, u64) {
+    match dims.len() {
+        0 => (1, 1, 1),
+        1 => (dims[0], 1, 1),
+        2 => (dims[0], dims[1], 1),
+        _ => (dims[0], dims[1], dims[2]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shapes_weights_and_macs() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[128, 768]);
+        let y = b.matmul("proj", x, 3072);
+        assert_eq!(b.output_of(y).dims, vec![128, 3072]);
+        let g = b.build();
+        let node = &g.nodes()[y.0];
+        assert_eq!(node.weight.as_ref().unwrap().dims, vec![768, 3072]);
+        assert_eq!(node.macs, 128 * 768 * 3072);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn conv_halves_spatial_dims_with_stride_2() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[3, 224, 224]);
+        let y = b.conv2d("stem", x, 64, 7, 2);
+        assert_eq!(b.output_of(y).dims, vec![64, 112, 112]);
+        let g = b.build();
+        assert_eq!(
+            g.nodes()[y.0].weight.as_ref().unwrap().dims,
+            vec![64, 3, 7, 7]
+        );
+        assert!(g.nodes()[y.0].macs > 0);
+    }
+
+    #[test]
+    fn duplicate_names_are_made_unique() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[4, 4]);
+        b.unary("relu", OpKind::ReLU, x);
+        b.unary("relu", OpKind::ReLU, x);
+        let g = b.build();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn attention_style_activation_matmul() {
+        let mut b = GraphBuilder::new("t");
+        let q = b.input("q", &[128, 64]);
+        let k = b.input("k", &[128, 64]);
+        let kt = b.transpose("k_t", k);
+        let scores = b.matmul_act("qk", q, kt);
+        assert_eq!(b.output_of(scores).dims, vec![128, 128]);
+        let g = b.build();
+        assert!(g.nodes()[scores.0].weight.is_none());
+        assert_eq!(g.nodes()[scores.0].macs, 128 * 64 * 128);
+    }
+
+    #[test]
+    fn norm_and_softmax_are_hierarchical() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[128, 768]);
+        let ln = b.norm("ln", OpKind::LayerNorm, x);
+        let sm = b.softmax("sm", x);
+        let g = b.build();
+        assert_eq!(
+            g.nodes()[ln.0].category(),
+            crate::op::OpCategory::Hierarchical
+        );
+        assert_eq!(
+            g.nodes()[sm.0].category(),
+            crate::op::OpCategory::Hierarchical
+        );
+    }
+
+    #[test]
+    fn upsample_pooling_and_concat_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[64, 32, 32]);
+        let up = b.upsample("up", x, 2);
+        assert_eq!(b.output_of(up).dims, vec![64, 64, 64]);
+        let down = b.pooling("pool", x, 2);
+        assert_eq!(b.output_of(down).dims, vec![64, 16, 16]);
+        let cat = b.concat("cat", x, x);
+        assert_eq!(b.output_of(cat).dims, vec![128, 32, 32]);
+    }
+
+    #[test]
+    fn embedding_weight_is_vocab_by_hidden() {
+        let mut b = GraphBuilder::new("t");
+        let tok = b.input("tokens", &[256, 1]);
+        let e = b.embedding("wte", tok, 50257, 768);
+        let g = b.build();
+        assert_eq!(
+            g.nodes()[e.0].weight.as_ref().unwrap().dims,
+            vec![50257, 768]
+        );
+        assert_eq!(g.nodes()[e.0].output.dims, vec![256, 768]);
+    }
+
+    #[test]
+    fn builder_len_tracks_nodes() {
+        let mut b = GraphBuilder::new("t");
+        assert!(b.is_empty());
+        let x = b.input("x", &[2, 2]);
+        b.unary("r", OpKind::ReLU, x);
+        assert_eq!(b.len(), 2);
+    }
+}

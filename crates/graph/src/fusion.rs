@@ -1,0 +1,340 @@
+//! Operator fusion groups.
+//!
+//! Frameworks fuse adjacent operators into single kernels to cut launch
+//! overhead and intermediate tensors. FlashMem's *adaptive fusion*
+//! (Section 4.3) additionally reasons about how fusion destroys schedulable
+//! load capacity — fusing `k` operators leaves only `min(C_1..C_k)` instead of
+//! `ΣC_i` — and selectively splits fusions back apart. This module provides
+//! the graph-level representation: fusion groups over consecutive nodes, a
+//! default fusion pass, and the split primitive the adaptive policy uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{OpCategory, OpKind};
+
+/// A fused kernel: one or more consecutive nodes executed as a single GPU
+/// dispatch. Groups never reorder nodes; they partition the execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionGroup {
+    /// Member nodes in execution order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl FusionGroup {
+    /// A group containing a single node.
+    pub fn singleton(id: NodeId) -> Self {
+        FusionGroup { nodes: vec![id] }
+    }
+
+    /// First member.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last member.
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of fused operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the group has exactly one operator.
+    pub fn is_singleton(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The dominant category of the fused kernel: hierarchical if any member
+    /// is hierarchical, else reusable if any member is reusable, else
+    /// elemental. This mirrors how the fused kernel behaves for load-capacity
+    /// purposes (the least tolerant member constrains the kernel).
+    pub fn dominant_category(&self, graph: &Graph) -> OpCategory {
+        let mut has_reusable = false;
+        for id in &self.nodes {
+            match graph.node(*id).map(|n| n.category()) {
+                Some(OpCategory::Hierarchical) => return OpCategory::Hierarchical,
+                Some(OpCategory::Reusable) => has_reusable = true,
+                _ => {}
+            }
+        }
+        if has_reusable {
+            OpCategory::Reusable
+        } else {
+            OpCategory::Elemental
+        }
+    }
+
+    /// Total MACs of the fused kernel.
+    pub fn macs(&self, graph: &Graph) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|id| graph.node(*id))
+            .map(|n| n.macs)
+            .sum()
+    }
+
+    /// Total weight bytes consumed by the fused kernel.
+    pub fn weight_bytes(&self, graph: &Graph) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|id| graph.node(*id))
+            .map(|n| n.weight_bytes())
+            .sum()
+    }
+
+    /// Split the group after `split_after` members, producing two groups.
+    /// Returns `None` if the split index would leave either side empty.
+    pub fn split_at(&self, split_after: usize) -> Option<(FusionGroup, FusionGroup)> {
+        if split_after == 0 || split_after >= self.nodes.len() {
+            return None;
+        }
+        Some((
+            FusionGroup {
+                nodes: self.nodes[..split_after].to_vec(),
+            },
+            FusionGroup {
+                nodes: self.nodes[split_after..].to_vec(),
+            },
+        ))
+    }
+}
+
+/// A partition of the whole graph into fusion groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionPlan {
+    groups: Vec<FusionGroup>,
+}
+
+impl FusionPlan {
+    /// Build a plan from explicit groups.
+    ///
+    /// The caller is responsible for the partition invariant when the plan is
+    /// meant to cover a whole graph; [`is_valid_partition`](Self::is_valid_partition)
+    /// checks it. Capacity profilers also use single-group "plans" to price an
+    /// individual fused kernel in isolation.
+    pub fn from_groups(groups: Vec<FusionGroup>) -> Self {
+        FusionPlan { groups }
+    }
+
+    /// The trivial plan: every node is its own kernel.
+    pub fn unfused(graph: &Graph) -> Self {
+        FusionPlan {
+            groups: graph
+                .nodes()
+                .iter()
+                .map(|n| FusionGroup::singleton(n.id))
+                .collect(),
+        }
+    }
+
+    /// The default greedy fusion used by DNN frameworks (and by SmartMem): a
+    /// reusable anchor operator absorbs the immediately following chain of
+    /// elemental operators that consume its output (e.g. `MatMul+Add+GeLU`),
+    /// and chains of adjacent elemental operators collapse together.
+    /// Hierarchical operators are never fused into an anchor.
+    pub fn default_fusion(graph: &Graph) -> Self {
+        let nodes = graph.nodes();
+        let mut groups: Vec<FusionGroup> = Vec::new();
+        let mut current: Vec<NodeId> = Vec::new();
+
+        let flush = |current: &mut Vec<NodeId>, groups: &mut Vec<FusionGroup>| {
+            if !current.is_empty() {
+                groups.push(FusionGroup {
+                    nodes: std::mem::take(current),
+                });
+            }
+        };
+
+        for node in nodes {
+            let cat = node.category();
+            match cat {
+                OpCategory::Hierarchical => {
+                    flush(&mut current, &mut groups);
+                    groups.push(FusionGroup::singleton(node.id));
+                }
+                OpCategory::Reusable => {
+                    flush(&mut current, &mut groups);
+                    current.push(node.id);
+                }
+                OpCategory::Elemental => {
+                    // Only absorb the elemental op if it directly consumes the
+                    // previous member of the open group (straight-line chain).
+                    let chains = current
+                        .last()
+                        .map(|prev| node.inputs.contains(prev))
+                        .unwrap_or(false);
+                    if chains && current.len() < 6 {
+                        current.push(node.id);
+                    } else {
+                        flush(&mut current, &mut groups);
+                        current.push(node.id);
+                    }
+                }
+            }
+        }
+        flush(&mut current, &mut groups);
+        FusionPlan { groups }
+    }
+
+    /// The fusion groups in execution order.
+    pub fn groups(&self) -> &[FusionGroup] {
+        &self.groups
+    }
+
+    /// Number of kernels after fusion.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if the plan is empty (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Replace group `index` with the two halves produced by splitting it
+    /// after `split_after` members. Returns false (leaving the plan intact)
+    /// if the split is not possible.
+    pub fn split_group(&mut self, index: usize, split_after: usize) -> bool {
+        let Some(group) = self.groups.get(index) else {
+            return false;
+        };
+        let Some((a, b)) = group.split_at(split_after) else {
+            return false;
+        };
+        self.groups.splice(index..=index, [a, b]);
+        true
+    }
+
+    /// Validate that the plan is a partition of the graph's nodes preserving
+    /// execution order.
+    pub fn is_valid_partition(&self, graph: &Graph) -> bool {
+        let mut expected = 0usize;
+        for g in &self.groups {
+            for id in &g.nodes {
+                if id.0 != expected {
+                    return false;
+                }
+                expected += 1;
+            }
+        }
+        expected == graph.len()
+    }
+}
+
+/// Convenience: does fusing `kinds` into one kernel look like the
+/// "Reusable + Elemental" pattern the paper's splitting rule targets?
+pub fn is_reusable_elemental_fusion(kinds: &[OpKind]) -> bool {
+    kinds.iter().any(|k| k.category() == OpCategory::Reusable)
+        && kinds.iter().any(|k| k.category() == OpCategory::Elemental)
+        && !kinds
+            .iter()
+            .any(|k| k.category() == OpCategory::Hierarchical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn ffn_graph() -> Graph {
+        let mut b = GraphBuilder::new("ffn");
+        let x = b.input("x", &[128, 768]);
+        let m1 = b.matmul("fc1", x, 3072);
+        let a1 = b.bias_add("bias1", m1);
+        let g1 = b.unary("gelu", OpKind::GeLU, a1);
+        let m2 = b.matmul("fc2", g1, 768);
+        let a2 = b.bias_add("bias2", m2);
+        let r = b.binary("residual", OpKind::Add, a2, x);
+        b.norm("ln", OpKind::LayerNorm, r);
+        b.build()
+    }
+
+    #[test]
+    fn unfused_plan_is_one_group_per_node() {
+        let g = ffn_graph();
+        let plan = FusionPlan::unfused(&g);
+        assert_eq!(plan.len(), g.len());
+        assert!(plan.is_valid_partition(&g));
+    }
+
+    #[test]
+    fn default_fusion_groups_matmul_with_following_elementals() {
+        let g = ffn_graph();
+        let plan = FusionPlan::default_fusion(&g);
+        assert!(plan.is_valid_partition(&g));
+        // Fewer kernels than nodes, and the layernorm stays alone.
+        assert!(plan.len() < g.len());
+        let last = plan.groups().last().unwrap();
+        assert!(last.is_singleton());
+        assert_eq!(last.dominant_category(&g), OpCategory::Hierarchical);
+        // Find the group containing fc1: it should also contain bias1 + gelu.
+        let fc1_group = plan
+            .groups()
+            .iter()
+            .find(|gr| gr.nodes.contains(&NodeId(1)))
+            .unwrap();
+        assert!(fc1_group.len() >= 3);
+        assert_eq!(fc1_group.dominant_category(&g), OpCategory::Reusable);
+    }
+
+    #[test]
+    fn split_group_preserves_partition() {
+        let g = ffn_graph();
+        let mut plan = FusionPlan::default_fusion(&g);
+        let before = plan.len();
+        let idx = plan
+            .groups()
+            .iter()
+            .position(|gr| gr.len() >= 3)
+            .expect("a fused group exists");
+        assert!(plan.split_group(idx, 1));
+        assert_eq!(plan.len(), before + 1);
+        assert!(plan.is_valid_partition(&g));
+    }
+
+    #[test]
+    fn invalid_splits_are_rejected() {
+        let g = ffn_graph();
+        let mut plan = FusionPlan::unfused(&g);
+        assert!(!plan.split_group(0, 0));
+        assert!(!plan.split_group(0, 1));
+        assert!(!plan.split_group(999, 1));
+        assert!(plan.is_valid_partition(&g));
+    }
+
+    #[test]
+    fn group_aggregates() {
+        let g = ffn_graph();
+        let plan = FusionPlan::default_fusion(&g);
+        let total_macs: u64 = plan.groups().iter().map(|gr| gr.macs(&g)).sum();
+        assert_eq!(total_macs, g.total_macs());
+        let total_weights: u64 = plan.groups().iter().map(|gr| gr.weight_bytes(&g)).sum();
+        assert_eq!(total_weights, g.total_weight_bytes());
+    }
+
+    #[test]
+    fn reusable_elemental_pattern_detector() {
+        assert!(is_reusable_elemental_fusion(&[
+            OpKind::MatMul,
+            OpKind::BiasAdd,
+            OpKind::GeLU
+        ]));
+        assert!(!is_reusable_elemental_fusion(&[OpKind::MatMul]));
+        assert!(!is_reusable_elemental_fusion(&[
+            OpKind::MatMul,
+            OpKind::LayerNorm
+        ]));
+    }
+
+    #[test]
+    fn dominant_category_hierarchy() {
+        let g = ffn_graph();
+        let group = FusionGroup {
+            nodes: vec![NodeId(6), NodeId(7)], // residual add + layernorm
+        };
+        assert_eq!(group.dominant_category(&g), OpCategory::Hierarchical);
+    }
+}

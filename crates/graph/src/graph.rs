@@ -1,0 +1,367 @@
+//! The lowered DNN computational graph.
+//!
+//! Following Section 3.1 of the paper, a DNN is a DAG `G = (V, E)` whose nodes
+//! are low-level operators with an externally fixed **linear execution order**
+//! `1, 2, …, N`. Nodes are stored in that order; edges refer to producer
+//! indices. Each node may own a weight tensor (the objects FlashMem streams)
+//! and records its arithmetic work in multiply-accumulate operations (MACs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OpCategory, OpKind};
+use crate::tensor::TensorDesc;
+
+/// Identifier of a node: its position in the execution order (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One operator in the lowered graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Execution-order id.
+    pub id: NodeId,
+    /// Unique name, e.g. `"block3.ffn.matmul1"`.
+    pub name: String,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Producer nodes whose outputs this node consumes.
+    pub inputs: Vec<NodeId>,
+    /// Descriptor of the node's output activation.
+    pub output: TensorDesc,
+    /// Weight tensor owned by this node, if any.
+    pub weight: Option<TensorDesc>,
+    /// Multiply-accumulate operations performed by the node.
+    pub macs: u64,
+}
+
+impl Node {
+    /// Operator category (Table 5).
+    pub fn category(&self) -> OpCategory {
+        self.kind.category()
+    }
+
+    /// Bytes of weights owned by this node (0 if weight-free).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight.as_ref().map(|w| w.bytes()).unwrap_or(0)
+    }
+
+    /// Number of weight parameters owned by this node.
+    pub fn weight_params(&self) -> u64 {
+        self.weight.as_ref().map(|w| w.elements()).unwrap_or(0)
+    }
+
+    /// Bytes of the output activation.
+    pub fn output_bytes(&self) -> u64 {
+        self.output.bytes()
+    }
+
+    /// Floating point operations (2 × MACs).
+    pub fn flops(&self) -> u64 {
+        self.macs.saturating_mul(2)
+    }
+}
+
+/// Errors raised by graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references an input that does not precede it in execution order.
+    InvalidEdge {
+        /// The consuming node.
+        node: usize,
+        /// The offending input reference.
+        input: usize,
+    },
+    /// Two nodes share the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The graph contains no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidEdge { node, input } => {
+                write!(f, "node {node} consumes input {input} that does not precede it")
+            }
+            GraphError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A lowered DNN graph in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Create a graph from nodes already in execution order.
+    ///
+    /// Use [`GraphBuilder`](crate::builder::GraphBuilder) to construct graphs
+    /// incrementally; this constructor is for deserialization and tests.
+    pub fn from_nodes(name: &str, nodes: Vec<Node>) -> Self {
+        Graph {
+            name: name.to_string(),
+            nodes,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nodes in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes (the paper's "# Layers" after lowering).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node lookup by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0)
+    }
+
+    /// Iterate over nodes in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Validate structural invariants: non-empty, unique names, and every
+    /// edge pointing to an earlier node (consistent with the fixed execution
+    /// order assumed by the OPG formulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut names = std::collections::HashSet::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !names.insert(node.name.as_str()) {
+                return Err(GraphError::DuplicateName {
+                    name: node.name.clone(),
+                });
+            }
+            for input in &node.inputs {
+                if input.0 >= idx {
+                    return Err(GraphError::InvalidEdge {
+                        node: idx,
+                        input: input.0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of weight parameters (paper's "# Params").
+    pub fn total_params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.weight_params()).sum()
+    }
+
+    /// Total weight bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.weight_bytes()).sum()
+    }
+
+    /// Total MACs (paper's "# MACs").
+    pub fn total_macs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.macs).sum()
+    }
+
+    /// Number of nodes that own weights.
+    pub fn weighted_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.weight.is_some()).count()
+    }
+
+    /// Largest single weight tensor in bytes (a lower bound on any streaming
+    /// plan's in-flight memory).
+    pub fn max_weight_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.weight_bytes()).max().unwrap_or(0)
+    }
+
+    /// Peak activation bytes across nodes — a rough proxy for the working-set
+    /// memory that exists regardless of weight policy. Reshape nodes are
+    /// excluded: they are zero-copy views of their producer (including the
+    /// tied-embedding "views" some language models use for their logits
+    /// projection) and never materialise a separate buffer.
+    pub fn max_activation_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind != OpKind::Reshape)
+            .map(|n| n.output_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Count of nodes per category.
+    pub fn category_histogram(&self) -> [(OpCategory, usize); 3] {
+        let mut elemental = 0;
+        let mut reusable = 0;
+        let mut hierarchical = 0;
+        for n in &self.nodes {
+            match n.category() {
+                OpCategory::Elemental => elemental += 1,
+                OpCategory::Reusable => reusable += 1,
+                OpCategory::Hierarchical => hierarchical += 1,
+            }
+        }
+        [
+            (OpCategory::Elemental, elemental),
+            (OpCategory::Reusable, reusable),
+            (OpCategory::Hierarchical, hierarchical),
+        ]
+    }
+
+    /// Nodes that consume the output of `id` (direct successors).
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The last node (in execution order) that consumes the output of `id`,
+    /// i.e. when its activation can be released.
+    pub fn last_consumer(&self, id: NodeId) -> Option<NodeId> {
+        self.consumers(id).into_iter().max()
+    }
+}
+
+impl std::fmt::Display for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} layers, {:.1} M params, {:.1} GMACs",
+            self.name,
+            self.len(),
+            self.total_params() as f64 / 1e6,
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::DType;
+
+    fn node(id: usize, name: &str, kind: OpKind, inputs: &[usize], weight: Option<u64>) -> Node {
+        Node {
+            id: NodeId(id),
+            name: name.to_string(),
+            kind,
+            inputs: inputs.iter().map(|&i| NodeId(i)).collect(),
+            output: TensorDesc::new(&[128, 768], DType::F16),
+            weight: weight.map(|e| TensorDesc::new(&[e], DType::F16)),
+            macs: 1000,
+        }
+    }
+
+    fn small_graph() -> Graph {
+        Graph::from_nodes(
+            "tiny",
+            vec![
+                node(0, "embed", OpKind::Embedding, &[], Some(1000)),
+                node(1, "mm", OpKind::MatMul, &[0], Some(2000)),
+                node(2, "gelu", OpKind::GeLU, &[1], None),
+                node(3, "ln", OpKind::LayerNorm, &[2], Some(10)),
+            ],
+        )
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_graph() {
+        assert!(small_graph().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_forward_edge() {
+        let g = Graph::from_nodes(
+            "bad",
+            vec![node(0, "a", OpKind::MatMul, &[1], None), node(1, "b", OpKind::ReLU, &[], None)],
+        );
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::InvalidEdge { node: 0, input: 1 })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_names_and_empty() {
+        let g = Graph::from_nodes(
+            "dup",
+            vec![node(0, "x", OpKind::ReLU, &[], None), node(1, "x", OpKind::ReLU, &[0], None)],
+        );
+        assert!(matches!(g.validate(), Err(GraphError::DuplicateName { .. })));
+        assert_eq!(Graph::from_nodes("e", vec![]).validate(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let g = small_graph();
+        assert_eq!(g.total_params(), 3010);
+        assert_eq!(g.total_weight_bytes(), 3010 * 2);
+        assert_eq!(g.total_macs(), 4000);
+        assert_eq!(g.weighted_node_count(), 3);
+        assert_eq!(g.max_weight_bytes(), 4000);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn consumers_and_last_consumer() {
+        let g = small_graph();
+        assert_eq!(g.consumers(NodeId(1)), vec![NodeId(2)]);
+        assert_eq!(g.last_consumer(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(g.last_consumer(NodeId(3)), None);
+    }
+
+    #[test]
+    fn category_histogram_counts() {
+        let g = small_graph();
+        let hist = g.category_histogram();
+        assert_eq!(hist[0].1 + hist[1].1 + hist[2].1, g.len());
+        assert_eq!(hist[1].1, 2); // embedding + matmul
+        assert_eq!(hist[2].1, 1); // layernorm
+    }
+
+    #[test]
+    fn display_reports_summary() {
+        let text = small_graph().to_string();
+        assert!(text.contains("tiny"));
+        assert!(text.contains("4 layers"));
+    }
+}

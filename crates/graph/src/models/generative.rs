@@ -1,0 +1,123 @@
+//! Generative models: the Stable-Diffusion UNet.
+
+use crate::builder::GraphBuilder;
+use crate::graph::NodeId;
+use crate::op::OpKind;
+
+use super::blocks::{unet_attention_block, unet_res_block};
+use super::{ModelSpec, ModelTask, PaperStats};
+
+/// Stable-Diffusion UNet ("SD-UNet": 860 M params, 78 GMACs): the classic
+/// four-level UNet with residual conv blocks and spatial transformer blocks
+/// (self + cross attention over a 77-token text context), operating on a
+/// 32×32 latent.
+pub fn sd_unet() -> ModelSpec {
+    let context_dim = 768u64;
+    let channels = [320u64, 640, 1280, 1280];
+    let latent_side = 32u64;
+
+    let mut b = GraphBuilder::new("StableDiffusion-UNet");
+    let latent = b.input("latent", &[4, latent_side, latent_side]);
+    let mut x = b.conv2d("conv_in", latent, channels[0], 3, 1);
+
+    // ---------------- Down path ----------------
+    // Record skip connections (one per res block, plus the stage input) the
+    // way the real UNet forwards them to the up path.
+    let mut skips: Vec<NodeId> = vec![x];
+    for (level, &c) in channels.iter().enumerate() {
+        let with_attention = level < 3;
+        for block in 0..2 {
+            x = unet_res_block(&mut b, x, c, &format!("down.{level}.res{block}"));
+            if with_attention {
+                x = unet_attention_block(&mut b, x, context_dim, &format!("down.{level}.attn{block}"));
+            }
+            skips.push(x);
+        }
+        if level < channels.len() - 1 {
+            // Downsample conv (stride 2).
+            x = b.conv2d(&format!("down.{level}.downsample"), x, c, 3, 2);
+            skips.push(x);
+        }
+    }
+
+    // ---------------- Middle ----------------
+    let c_mid = *channels.last().unwrap();
+    x = unet_res_block(&mut b, x, c_mid, "mid.res0");
+    x = unet_attention_block(&mut b, x, context_dim, "mid.attn");
+    x = unet_res_block(&mut b, x, c_mid, "mid.res1");
+
+    // ---------------- Up path ----------------
+    for (level, &c) in channels.iter().enumerate().rev() {
+        let with_attention = level < 3;
+        for block in 0..3 {
+            let skip = skips.pop().unwrap_or(x);
+            let cat = b.concat(&format!("up.{level}.cat{block}"), x, skip);
+            x = unet_res_block(&mut b, cat, c, &format!("up.{level}.res{block}"));
+            if with_attention {
+                x = unet_attention_block(&mut b, x, context_dim, &format!("up.{level}.attn{block}"));
+            }
+        }
+        if level > 0 {
+            x = b.upsample(&format!("up.{level}.upsample"), x, 2);
+            x = b.conv2d(&format!("up.{level}.upconv"), x, channels[level - 1], 3, 1);
+        }
+    }
+
+    let out = b.norm("out.gn", OpKind::GroupNorm, x);
+    let out = b.unary("out.silu", OpKind::SiLU, out);
+    b.conv2d("conv_out", out, 4, 3, 1);
+
+    ModelSpec::new(
+        "StableDiffusion-UNet",
+        "SD-UNet",
+        ModelTask::ImageGeneration,
+        PaperStats {
+            params_m: 860.0,
+            macs_g: 78.0,
+            layers: 1_271,
+        },
+        b.build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_unet_validates() {
+        sd_unet().graph().validate().unwrap();
+    }
+
+    #[test]
+    fn sd_unet_is_convolution_heavy() {
+        let m = sd_unet();
+        let convs = m
+            .graph()
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.needs_weight_transform())
+            .count();
+        assert!(convs > 50, "only {convs} convolutions");
+    }
+
+    #[test]
+    fn sd_unet_close_to_860m_params() {
+        let m = sd_unet();
+        assert!(m.params_deviation() < 0.35, "{}", m);
+    }
+
+    #[test]
+    fn sd_unet_has_cross_attention_blocks() {
+        let m = sd_unet();
+        assert!(m.graph().nodes().iter().any(|n| n.name.contains(".cross.")));
+    }
+
+    #[test]
+    fn up_path_mirrors_down_path_spatially() {
+        // The final conv output must return to the 32x32 latent resolution.
+        let m = sd_unet();
+        let last = m.graph().nodes().last().unwrap();
+        assert_eq!(last.output.dims, vec![4, 32, 32]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Vision models: ResNet-50, ViT, DeepViT, SAM-2, DepthAnything and the
+//! ViT-8B solver-stress model.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::op::OpKind;
+
+use super::blocks::{bottleneck_block, transformer_encoder_block, TransformerBlockConfig};
+use super::{ModelSpec, ModelTask, PaperStats};
+
+/// Build a plain ViT-style encoder: patch-embedding convolution, `layers`
+/// transformer blocks over `tokens` tokens of width `hidden`, a final norm
+/// and a classification head of `num_classes` outputs (0 = no head).
+fn build_vit_encoder(
+    name: &str,
+    hidden: u64,
+    heads: u64,
+    ffn: u64,
+    layers: u64,
+    tokens: u64,
+    num_classes: u64,
+) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    // Patch embedding: 3x224x224 image, 16x16 patches (shape chosen so the
+    // token count matches `tokens`).
+    let side = (tokens as f64).sqrt().ceil() as u64;
+    let image = b.input("image", &[3, side * 16, side * 16]);
+    let patches = b.conv2d("patch_embed", image, hidden, 16, 16);
+    let mut x = b.reshape("to_tokens", patches, &[tokens, hidden]);
+
+    let cfg = TransformerBlockConfig {
+        hidden,
+        heads,
+        ffn,
+        seq: tokens,
+        rotary: false,
+    };
+    for layer in 0..layers {
+        x = transformer_encoder_block(&mut b, x, &cfg, &format!("blocks.{layer}"));
+    }
+    let x = b.norm("ln_f", OpKind::LayerNorm, x);
+    if num_classes > 0 {
+        // Global average pool over tokens, then the classification head.
+        let pooled = b.reshape("pool", x, &[1, hidden]);
+        b.matmul("head", pooled, num_classes);
+    } else {
+        // Keep a terminal op so downstream consumers see a defined output.
+        b.unary("features", OpKind::Scale, x);
+    }
+    b.build()
+}
+
+/// Append a small DPT-style convolutional decoder head (DepthAnything) or mask
+/// decoder (SAM-2) on top of a ViT feature map.
+fn append_conv_decoder(b: &mut GraphBuilder, features: crate::graph::NodeId, hidden: u64, side: u64) {
+    let spatial = b.reshape("head.to_spatial", features, &[hidden, side, side]);
+    let c1 = b.conv2d("head.conv1", spatial, hidden / 2, 3, 1);
+    let r1 = b.unary("head.relu1", OpKind::ReLU, c1);
+    let u1 = b.upsample("head.up1", r1, 2);
+    let c2 = b.conv2d("head.conv2", u1, hidden / 4, 3, 1);
+    let r2 = b.unary("head.relu2", OpKind::ReLU, c2);
+    let u2 = b.upsample("head.up2", r2, 2);
+    let c3 = b.conv2d("head.conv3", u2, 64, 3, 1);
+    let r3 = b.unary("head.relu3", OpKind::ReLU, c3);
+    b.conv2d("head.out", r3, 1, 1, 1);
+}
+
+/// ViT ("ViT": 103 M params, 21 GMACs).
+pub fn vit() -> ModelSpec {
+    let graph = build_vit_encoder("ViT", 768, 12, 3_072, 14, 197, 1_000);
+    ModelSpec::new(
+        "ViT",
+        "ViT",
+        ModelTask::ImageClassification,
+        PaperStats {
+            params_m: 103.0,
+            macs_g: 21.0,
+            layers: 819,
+        },
+        graph,
+    )
+}
+
+/// DeepViT ("DeepViT": 204 M params, 42 GMACs).
+pub fn deepvit() -> ModelSpec {
+    let graph = build_vit_encoder("DeepViT", 768, 12, 3_072, 29, 197, 1_000);
+    ModelSpec::new(
+        "DeepViT",
+        "DeepViT",
+        ModelTask::ImageClassification,
+        PaperStats {
+            params_m: 204.0,
+            macs_g: 42.0,
+            layers: 1_395,
+        },
+        graph,
+    )
+}
+
+/// ViT-8B: solver-stress model for Table 4.
+pub fn vit_8b() -> ModelSpec {
+    let graph = build_vit_encoder("ViT-8B", 4_096, 32, 16_384, 40, 197, 1_000);
+    ModelSpec::new(
+        "ViT-8B",
+        "ViT-8B",
+        ModelTask::ImageClassification,
+        PaperStats {
+            params_m: 8_000.0,
+            macs_g: 1_600.0,
+            layers: 3_000,
+        },
+        graph,
+    )
+}
+
+/// ResNet-50 (25.6 M params, 4.1 GMACs).
+pub fn resnet50() -> ModelSpec {
+    let mut b = GraphBuilder::new("ResNet50");
+    let image = b.input("image", &[3, 224, 224]);
+    let stem = b.conv2d("stem.conv", image, 64, 7, 2);
+    let stem = b.norm("stem.bn", OpKind::BatchNorm, stem);
+    let stem = b.unary("stem.relu", OpKind::ReLU, stem);
+    let mut x = b.pooling("stem.maxpool", stem, 2);
+
+    // Stage configuration: (mid channels, out channels, blocks, first stride).
+    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    for (stage_idx, (mid, out, blocks, stride)) in stages.iter().enumerate() {
+        for block in 0..*blocks {
+            let s = if block == 0 { *stride } else { 1 };
+            x = bottleneck_block(
+                &mut b,
+                x,
+                *mid,
+                *out,
+                s,
+                &format!("layer{}.{}", stage_idx + 1, block),
+            );
+        }
+    }
+    let pooled = b.pooling("avgpool", x, 7);
+    let flat = b.reshape("flatten", pooled, &[1, 2048]);
+    b.matmul("fc", flat, 1_000);
+
+    ModelSpec::new(
+        "ResNet50",
+        "ResNet",
+        ModelTask::ImageClassification,
+        PaperStats {
+            params_m: 25.6,
+            macs_g: 4.1,
+            layers: 141,
+        },
+        b.build(),
+    )
+}
+
+/// Segment-Anything-2 ("SAM-2": 215 M params, 218 GMACs): a heavy hierarchical
+/// image encoder over many tokens plus a light convolutional mask decoder.
+pub fn sam2() -> ModelSpec {
+    let hidden = 896;
+    let tokens = 900u64; // 30x30 windowed-attention token grid
+    let mut b = GraphBuilder::new("SAM-2");
+    let side = 30u64;
+    let image = b.input("image", &[3, side * 16, side * 16]);
+    let patches = b.conv2d("patch_embed", image, hidden, 16, 16);
+    let mut x = b.reshape("to_tokens", patches, &[tokens, hidden]);
+    let cfg = TransformerBlockConfig {
+        hidden,
+        heads: 14,
+        ffn: hidden * 4,
+        seq: tokens,
+        rotary: false,
+    };
+    for layer in 0..24 {
+        x = transformer_encoder_block(&mut b, x, &cfg, &format!("encoder.{layer}"));
+    }
+    let x = b.norm("encoder.ln", OpKind::LayerNorm, x);
+    append_conv_decoder(&mut b, x, hidden, side);
+
+    ModelSpec::new(
+        "SegmentAnything-2",
+        "SAM-2",
+        ModelTask::ImageSegmentation,
+        PaperStats {
+            params_m: 215.0,
+            macs_g: 218.0,
+            layers: 1_668,
+        },
+        b.build(),
+    )
+}
+
+fn depth_anything(name: &str, abbr: &str, hidden: u64, layers: u64, paper: PaperStats) -> ModelSpec {
+    let tokens = 484u64; // 22x22 patch grid
+    let side = 22u64;
+    let mut b = GraphBuilder::new(name);
+    let image = b.input("image", &[3, side * 14, side * 14]);
+    let patches = b.conv2d("patch_embed", image, hidden, 14, 14);
+    let mut x = b.reshape("to_tokens", patches, &[tokens, hidden]);
+    let cfg = TransformerBlockConfig {
+        hidden,
+        heads: (hidden / 64).max(1),
+        ffn: hidden * 4,
+        seq: tokens,
+        rotary: false,
+    };
+    for layer in 0..layers {
+        x = transformer_encoder_block(&mut b, x, &cfg, &format!("backbone.{layer}"));
+    }
+    let x = b.norm("backbone.ln", OpKind::LayerNorm, x);
+    append_conv_decoder(&mut b, x, hidden, side);
+    ModelSpec::new(name, abbr, ModelTask::VideoSegmentation, paper, b.build())
+}
+
+/// DepthAnything-Small ("DepA-S": 24.3 M params, 14 GMACs).
+pub fn depth_anything_small() -> ModelSpec {
+    depth_anything(
+        "DepthAnything-Small",
+        "DepA-S",
+        384,
+        12,
+        PaperStats {
+            params_m: 24.3,
+            macs_g: 14.0,
+            layers: 1_108,
+        },
+    )
+}
+
+/// DepthAnything-Large ("DepA-L": 333 M params, 180 GMACs).
+pub fn depth_anything_large() -> ModelSpec {
+    depth_anything(
+        "DepthAnything-Large",
+        "DepA-L",
+        1_024,
+        24,
+        PaperStats {
+            params_m: 333.0,
+            macs_g: 180.0,
+            layers: 2_007,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_matches_published_size() {
+        let m = resnet50();
+        assert!(m.params_deviation() < 0.15, "{}", m);
+        assert!(m.macs_deviation() < 0.30, "{}", m);
+        m.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn vit_and_deepvit_share_structure_but_differ_in_depth() {
+        let v = vit();
+        let d = deepvit();
+        assert!(d.graph().len() > v.graph().len());
+        assert!(d.graph().total_params() as f64 > 1.8 * v.graph().total_params() as f64);
+    }
+
+    #[test]
+    fn sam2_is_compute_heavy_relative_to_its_size() {
+        let m = sam2();
+        // MACs per parameter much higher than GPT-Neo-S (many tokens).
+        let sam_intensity = m.graph().total_macs() as f64 / m.graph().total_params() as f64;
+        let gpt = super::super::language::gptneo_small();
+        let gpt_intensity =
+            gpt.graph().total_macs() as f64 / gpt.graph().total_params() as f64;
+        assert!(sam_intensity > 3.0 * gpt_intensity);
+    }
+
+    #[test]
+    fn depth_anything_small_vs_large() {
+        let s = depth_anything_small();
+        let l = depth_anything_large();
+        assert!(l.graph().total_params() > 10 * s.graph().total_params() / 2);
+        assert!(l.graph().total_macs() > 5 * s.graph().total_macs());
+        assert!(s.params_deviation() < 0.3, "{}", s);
+        assert!(l.params_deviation() < 0.3, "{}", l);
+    }
+
+    #[test]
+    fn vit_8b_has_about_8_billion_parameters() {
+        let m = vit_8b();
+        let params_b = m.graph().total_params() as f64 / 1e9;
+        assert!((6.5..10.0).contains(&params_b), "{params_b} B");
+    }
+
+    #[test]
+    fn conv_decoders_present_in_segmentation_models() {
+        for m in [sam2(), depth_anything_small(), depth_anything_large()] {
+            assert!(
+                m.graph().nodes().iter().any(|n| n.name.starts_with("head.")),
+                "{} should have a decoder head",
+                m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Operator taxonomy.
+//!
+//! The paper classifies low-level operators into three categories (Table 5)
+//! that determine how much concurrent weight streaming each can tolerate:
+//! *elemental*, *reusable* and *hierarchical*. [`OpKind`] enumerates the
+//! operators appearing in the evaluated models and maps each onto its
+//! category, plus a few structural predicates used by fusion and layout
+//! elimination (SmartMem's contribution, which FlashMem builds on).
+
+use serde::{Deserialize, Serialize};
+
+/// Operator category from Table 5, driving the load-capacity model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Element-wise operators: memory-bound, tolerate large concurrent loads.
+    Elemental,
+    /// Operators with structured reuse (Conv, MatMul): compute-bound, high
+    /// load capacity.
+    Reusable,
+    /// Multi-pass reduction operators (Softmax, LayerNorm): very low load
+    /// capacity.
+    Hierarchical,
+}
+
+impl OpCategory {
+    /// Latency-increase budget granted to this category when additional
+    /// weight data is streamed during the kernel (Section 4.2 / Figure 2):
+    /// 0% for hierarchical operators, 20% for reusable operators and 300% for
+    /// elemental operators (whose absolute baseline latency is tiny). The
+    /// per-layer load capacity `C_ℓ` is the largest extra volume whose
+    /// predicted slowdown stays within this budget.
+    pub fn capacity_threshold(&self) -> f64 {
+        match self {
+            OpCategory::Elemental => 3.00,
+            OpCategory::Reusable => 0.20,
+            OpCategory::Hierarchical => 0.00,
+        }
+    }
+
+    /// Lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpCategory::Elemental => "elemental",
+            OpCategory::Reusable => "reusable",
+            OpCategory::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+impl std::fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Low-level operator kinds produced by graph lowering.
+///
+/// The set covers the 11 evaluated models: GPT-Neo (S/1.3B/2.7B), ResNet-50,
+/// SAM-2, ViT, DeepViT, SD-UNet, Whisper-Medium and DepthAnything (S/L).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    // Reusable (structured-reuse) operators.
+    MatMul,
+    Conv2d,
+    DepthwiseConv2d,
+    ConvTranspose2d,
+    Attention,
+    Embedding,
+    // Elemental operators.
+    Add,
+    Mul,
+    ReLU,
+    GeLU,
+    SiLU,
+    Sigmoid,
+    Tanh,
+    Scale,
+    BiasAdd,
+    RotaryEmbedding,
+    Upsample,
+    Pooling,
+    // Hierarchical operators.
+    Softmax,
+    LayerNorm,
+    GroupNorm,
+    RMSNorm,
+    BatchNorm,
+    ArgMax,
+    // Layout / data-movement operators (eliminated by SmartMem-style layout
+    // planning; executed as copies when present).
+    Reshape,
+    Transpose,
+    Concat,
+    Split,
+    Slice,
+    Gather,
+}
+
+impl OpKind {
+    /// The Table 5 category of this operator.
+    pub fn category(&self) -> OpCategory {
+        use OpKind::*;
+        match self {
+            MatMul | Conv2d | DepthwiseConv2d | ConvTranspose2d | Attention | Embedding => {
+                OpCategory::Reusable
+            }
+            Add | Mul | ReLU | GeLU | SiLU | Sigmoid | Tanh | Scale | BiasAdd
+            | RotaryEmbedding | Upsample | Pooling => OpCategory::Elemental,
+            Softmax | LayerNorm | GroupNorm | RMSNorm | BatchNorm | ArgMax => {
+                OpCategory::Hierarchical
+            }
+            Reshape | Transpose | Concat | Split | Slice | Gather => OpCategory::Elemental,
+        }
+    }
+
+    /// True for pure layout-transformation operators (Reshape/Transpose/...),
+    /// which SmartMem and FlashMem eliminate through 2.5D layout planning.
+    pub fn is_layout_transform(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Reshape | OpKind::Transpose | OpKind::Concat | OpKind::Split | OpKind::Slice
+        )
+    }
+
+    /// True for operators that typically carry a weight tensor.
+    pub fn is_weighted(&self) -> bool {
+        matches!(
+            self,
+            OpKind::MatMul
+                | OpKind::Conv2d
+                | OpKind::DepthwiseConv2d
+                | OpKind::ConvTranspose2d
+                | OpKind::Embedding
+                | OpKind::LayerNorm
+                | OpKind::GroupNorm
+                | OpKind::RMSNorm
+                | OpKind::BatchNorm
+                | OpKind::BiasAdd
+        )
+    }
+
+    /// True for convolution-style operators whose weights need Winograd /
+    /// im2col style transformation before execution — the paper calls these
+    /// out as the reason SD-UNet and DepthAnything see smaller memory savings.
+    pub fn needs_weight_transform(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d | OpKind::DepthwiseConv2d | OpKind::ConvTranspose2d
+        )
+    }
+
+    /// Lowercase operator name used in kernel labels.
+    pub fn name(&self) -> &'static str {
+        use OpKind::*;
+        match self {
+            MatMul => "matmul",
+            Conv2d => "conv2d",
+            DepthwiseConv2d => "dwconv2d",
+            ConvTranspose2d => "convtranspose2d",
+            Attention => "attention",
+            Embedding => "embedding",
+            Add => "add",
+            Mul => "mul",
+            ReLU => "relu",
+            GeLU => "gelu",
+            SiLU => "silu",
+            Sigmoid => "sigmoid",
+            Tanh => "tanh",
+            Scale => "scale",
+            BiasAdd => "bias_add",
+            RotaryEmbedding => "rope",
+            Upsample => "upsample",
+            Pooling => "pooling",
+            Softmax => "softmax",
+            LayerNorm => "layernorm",
+            GroupNorm => "groupnorm",
+            RMSNorm => "rmsnorm",
+            BatchNorm => "batchnorm",
+            ArgMax => "argmax",
+            Reshape => "reshape",
+            Transpose => "transpose",
+            Concat => "concat",
+            Split => "split",
+            Slice => "slice",
+            Gather => "gather",
+        }
+    }
+
+    /// All operator kinds (useful for exhaustive property tests).
+    pub fn all() -> Vec<OpKind> {
+        use OpKind::*;
+        vec![
+            MatMul,
+            Conv2d,
+            DepthwiseConv2d,
+            ConvTranspose2d,
+            Attention,
+            Embedding,
+            Add,
+            Mul,
+            ReLU,
+            GeLU,
+            SiLU,
+            Sigmoid,
+            Tanh,
+            Scale,
+            BiasAdd,
+            RotaryEmbedding,
+            Upsample,
+            Pooling,
+            Softmax,
+            LayerNorm,
+            GroupNorm,
+            RMSNorm,
+            BatchNorm,
+            ArgMax,
+            Reshape,
+            Transpose,
+            Concat,
+            Split,
+            Slice,
+            Gather,
+        ]
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_table_5_examples() {
+        assert_eq!(OpKind::ReLU.category(), OpCategory::Elemental);
+        assert_eq!(OpKind::Add.category(), OpCategory::Elemental);
+        assert_eq!(OpKind::Conv2d.category(), OpCategory::Reusable);
+        assert_eq!(OpKind::MatMul.category(), OpCategory::Reusable);
+        assert_eq!(OpKind::LayerNorm.category(), OpCategory::Hierarchical);
+        assert_eq!(OpKind::Softmax.category(), OpCategory::Hierarchical);
+    }
+
+    #[test]
+    fn capacity_thresholds_match_section_4_2() {
+        assert_eq!(OpCategory::Hierarchical.capacity_threshold(), 0.0);
+        assert_eq!(OpCategory::Reusable.capacity_threshold(), 0.20);
+        assert_eq!(OpCategory::Elemental.capacity_threshold(), 3.0);
+    }
+
+    #[test]
+    fn layout_transforms_identified() {
+        assert!(OpKind::Reshape.is_layout_transform());
+        assert!(OpKind::Transpose.is_layout_transform());
+        assert!(!OpKind::MatMul.is_layout_transform());
+        assert!(!OpKind::Softmax.is_layout_transform());
+    }
+
+    #[test]
+    fn weighted_ops_include_matmul_and_norms() {
+        assert!(OpKind::MatMul.is_weighted());
+        assert!(OpKind::Conv2d.is_weighted());
+        assert!(OpKind::LayerNorm.is_weighted());
+        assert!(!OpKind::ReLU.is_weighted());
+        assert!(!OpKind::Softmax.is_weighted());
+    }
+
+    #[test]
+    fn conv_needs_weight_transform_matmul_does_not() {
+        assert!(OpKind::Conv2d.needs_weight_transform());
+        assert!(!OpKind::MatMul.needs_weight_transform());
+    }
+
+    #[test]
+    fn every_kind_has_a_name_and_category() {
+        for k in OpKind::all() {
+            assert!(!k.name().is_empty());
+            let _ = k.category();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = OpKind::all().iter().map(|k| k.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

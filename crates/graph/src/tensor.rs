@@ -1,0 +1,164 @@
+//! Tensor descriptors.
+//!
+//! FlashMem never needs tensor *values* — every quantity in the paper's
+//! evaluation (latency, memory, energy) is a function of tensor shapes, data
+//! types and the resulting byte counts. A [`TensorDesc`] therefore carries
+//! only shape and dtype.
+
+use serde::{Deserialize, Serialize};
+
+/// Element data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 16-bit IEEE floating point (the paper's default GPU precision).
+    F16,
+    /// 32-bit IEEE floating point.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Lowercase name (`"f16"` / `"f32"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+        }
+    }
+}
+
+impl Default for DType {
+    fn default() -> Self {
+        DType::F16
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shape + dtype descriptor of a tensor (weight or activation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorDesc {
+    /// Dimensions, outermost first. An empty shape denotes a scalar.
+    pub dims: Vec<u64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorDesc {
+    /// Create a tensor descriptor.
+    pub fn new(dims: &[u64], dtype: DType) -> Self {
+        TensorDesc {
+            dims: dims.to_vec(),
+            dtype,
+        }
+    }
+
+    /// FP16 tensor with the given dimensions.
+    pub fn f16(dims: &[u64]) -> Self {
+        Self::new(dims, DType::F16)
+    }
+
+    /// FP32 tensor with the given dimensions.
+    pub fn f32(dims: &[u64]) -> Self {
+        Self::new(dims, DType::F32)
+    }
+
+    /// Number of scalar elements (product of dimensions; 1 for a scalar).
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product::<u64>().max(1)
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * self.dtype.bytes()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// A copy of this descriptor converted to another dtype.
+    pub fn cast(&self, dtype: DType) -> TensorDesc {
+        TensorDesc {
+            dims: self.dims.clone(),
+            dtype,
+        }
+    }
+
+    /// Interpret the tensor as a 2D matrix `(rows, cols)` by folding all
+    /// leading dimensions into rows. Scalars become `(1, 1)`.
+    pub fn as_matrix(&self) -> (u64, u64) {
+        match self.dims.len() {
+            0 => (1, 1),
+            1 => (1, self.dims[0].max(1)),
+            _ => {
+                let cols = *self.dims.last().unwrap();
+                let rows: u64 = self.dims[..self.dims.len() - 1].iter().product();
+                (rows.max(1), cols.max(1))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TensorDesc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]{}", dims.join("x"), self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_elements() {
+        let t = TensorDesc::f16(&[768, 3072]);
+        assert_eq!(t.elements(), 768 * 3072);
+        assert_eq!(t.bytes(), 768 * 3072 * 2);
+        assert_eq!(t.rank(), 2);
+        let t32 = t.cast(DType::F32);
+        assert_eq!(t32.bytes(), 768 * 3072 * 4);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let t = TensorDesc::f32(&[]);
+        assert_eq!(t.elements(), 1);
+        assert_eq!(t.bytes(), 4);
+        assert_eq!(t.as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn matrix_view_folds_leading_dims() {
+        let t = TensorDesc::f16(&[4, 128, 768]);
+        assert_eq!(t.as_matrix(), (4 * 128, 768));
+        let v = TensorDesc::f16(&[100]);
+        assert_eq!(v.as_matrix(), (1, 100));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = TensorDesc::f16(&[2, 3]);
+        assert_eq!(t.to_string(), "[2x3]f16");
+    }
+
+    #[test]
+    fn dtype_default_is_f16() {
+        assert_eq!(DType::default(), DType::F16);
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+    }
+}

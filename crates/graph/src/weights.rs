@@ -1,0 +1,234 @@
+//! Weight inventory and chunking.
+//!
+//! FlashMem's OPG formulation (Section 3.1.2) splits every weight tensor into
+//! fixed-size chunks of `S` bytes; the solver then decides, per chunk, at
+//! which layer it is transformed from unified into texture memory. This module
+//! extracts the weight inventory from a graph and performs the chunking (the
+//! "Weights Slicer" box of Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+
+/// Default chunk size `S`: 1 MiB, small enough for fine-grained scheduling,
+/// large enough to keep per-chunk overhead negligible.
+pub const DEFAULT_CHUNK_BYTES: u64 = 1 << 20;
+
+/// One weight tensor owned by a node, as seen by the planner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightInfo {
+    /// The node that consumes this weight (the paper's `i_w`).
+    pub consumer: NodeId,
+    /// Weight name (derived from the node name).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Whether the weight needs a convolution-style transform (Winograd /
+    /// im2col), which temporarily inflates memory and cannot be overlapped.
+    pub needs_transform: bool,
+}
+
+impl WeightInfo {
+    /// Number of chunks of size `chunk_bytes` this weight splits into
+    /// (the paper's `T(w)`); at least 1 for non-empty weights.
+    pub fn chunk_count(&self, chunk_bytes: u64) -> u64 {
+        if self.bytes == 0 {
+            0
+        } else {
+            self.bytes.div_ceil(chunk_bytes.max(1))
+        }
+    }
+
+    /// Split the weight into concrete chunks with byte offsets.
+    pub fn chunks(&self, chunk_bytes: u64) -> Vec<WeightChunk> {
+        let n = self.chunk_count(chunk_bytes);
+        (0..n)
+            .map(|i| {
+                let start = i * chunk_bytes;
+                let end = ((i + 1) * chunk_bytes).min(self.bytes);
+                WeightChunk {
+                    weight: self.consumer,
+                    index: i,
+                    start_offset: start,
+                    bytes: end - start,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A contiguous slice of one weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightChunk {
+    /// The node owning the parent weight.
+    pub weight: NodeId,
+    /// Chunk index within the weight.
+    pub index: u64,
+    /// Byte offset of the chunk within the weight.
+    pub start_offset: u64,
+    /// Chunk size in bytes (the last chunk may be short).
+    pub bytes: u64,
+}
+
+/// The full weight inventory of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightInventory {
+    weights: Vec<WeightInfo>,
+    chunk_bytes: u64,
+}
+
+impl WeightInventory {
+    /// Extract the inventory from a graph using the default chunk size.
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self::with_chunk_size(graph, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Extract the inventory with an explicit chunk size `S`.
+    pub fn with_chunk_size(graph: &Graph, chunk_bytes: u64) -> Self {
+        let weights = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.weight_bytes() > 0)
+            .map(|n| WeightInfo {
+                consumer: n.id,
+                name: format!("{}.weight", n.name),
+                bytes: n.weight_bytes(),
+                needs_transform: n.kind.needs_weight_transform(),
+            })
+            .collect();
+        WeightInventory {
+            weights,
+            chunk_bytes: chunk_bytes.max(1),
+        }
+    }
+
+    /// The configured chunk size `S` in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// All weights, ordered by consumer layer.
+    pub fn weights(&self) -> &[WeightInfo] {
+        &self.weights
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if the model has no weights.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total bytes across all weights.
+    pub fn total_bytes(&self) -> u64 {
+        self.weights.iter().map(|w| w.bytes).sum()
+    }
+
+    /// Total number of chunks across all weights.
+    pub fn total_chunks(&self) -> u64 {
+        self.weights
+            .iter()
+            .map(|w| w.chunk_count(self.chunk_bytes))
+            .sum()
+    }
+
+    /// The weight consumed by `node`, if any.
+    pub fn weight_for(&self, node: NodeId) -> Option<&WeightInfo> {
+        self.weights.iter().find(|w| w.consumer == node)
+    }
+
+    /// Weights consumed strictly after layer `layer` (candidates for
+    /// streaming while earlier layers execute).
+    pub fn weights_after(&self, layer: NodeId) -> impl Iterator<Item = &WeightInfo> {
+        self.weights.iter().filter(move |w| w.consumer > layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::OpKind;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", &[128, 768]);
+        let m1 = b.matmul("fc1", x, 3072);
+        let g1 = b.unary("gelu", OpKind::GeLU, m1);
+        let m2 = b.matmul("fc2", g1, 768);
+        b.norm("ln", OpKind::LayerNorm, m2);
+        b.build()
+    }
+
+    #[test]
+    fn inventory_lists_only_weighted_nodes() {
+        let g = graph();
+        let inv = WeightInventory::from_graph(&g);
+        // fc1, fc2, ln carry weights; input and gelu do not.
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.total_bytes(), g.total_weight_bytes());
+        assert!(inv.weight_for(NodeId(2)).is_none());
+        assert!(inv.weight_for(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn chunk_count_and_sizes_cover_weight_exactly() {
+        let g = graph();
+        let inv = WeightInventory::with_chunk_size(&g, 1 << 20);
+        for w in inv.weights() {
+            let chunks = w.chunks(inv.chunk_bytes());
+            assert_eq!(chunks.len() as u64, w.chunk_count(inv.chunk_bytes()));
+            let total: u64 = chunks.iter().map(|c| c.bytes).sum();
+            assert_eq!(total, w.bytes, "chunks must cover {}", w.name);
+            // Offsets are contiguous.
+            let mut expected = 0;
+            for c in &chunks {
+                assert_eq!(c.start_offset, expected);
+                expected += c.bytes;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_chunk_request_clamped() {
+        let g = graph();
+        let inv = WeightInventory::with_chunk_size(&g, 0);
+        assert_eq!(inv.chunk_bytes(), 1);
+    }
+
+    #[test]
+    fn weights_after_filters_by_layer() {
+        let g = graph();
+        let inv = WeightInventory::from_graph(&g);
+        let after: Vec<_> = inv.weights_after(NodeId(1)).collect();
+        // fc2 (node 3) and ln (node 4).
+        assert_eq!(after.len(), 2);
+        assert!(after.iter().all(|w| w.consumer > NodeId(1)));
+    }
+
+    #[test]
+    fn conv_weights_flagged_for_transform() {
+        let mut b = GraphBuilder::new("conv");
+        let x = b.input("x", &[3, 64, 64]);
+        b.conv2d("conv", x, 16, 3, 1);
+        let g = b.build();
+        let inv = WeightInventory::from_graph(&g);
+        assert!(inv.weights()[0].needs_transform);
+    }
+
+    #[test]
+    fn total_chunks_matches_sum() {
+        let g = graph();
+        let inv = WeightInventory::with_chunk_size(&g, 123_456);
+        let sum: u64 = inv
+            .weights()
+            .iter()
+            .map(|w| w.chunk_count(inv.chunk_bytes()))
+            .sum();
+        assert_eq!(inv.total_chunks(), sum);
+        assert!(inv.total_chunks() > 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Operator classification (Table 5 of the paper).
+//!
+//! Maps graph-level operator kinds onto simulator kernel categories and the
+//! qualitative characteristics the paper tabulates: memory-bandwidth usage,
+//! load-capacity tolerance and computational intensity.
+
+use flashmem_gpu_sim::kernel::KernelCategory;
+use flashmem_graph::{OpCategory, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// A qualitative level used in Table 5 ("Low" / "Medium" / "High").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Low.
+    Low,
+    /// Medium.
+    Medium,
+    /// High.
+    High,
+}
+
+impl Level {
+    /// Lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Low => "low",
+            Level::Medium => "medium",
+            Level::High => "high",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The full classification of an operator class, mirroring Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorClass {
+    /// The coarse category.
+    pub category: OpCategory,
+    /// Memory-bandwidth pressure.
+    pub memory_bandwidth: Level,
+    /// Tolerance for concurrent data loading.
+    pub load_capacity_tolerance: Level,
+    /// Computational intensity.
+    pub compute_intensity: Level,
+}
+
+impl OperatorClass {
+    /// Classification of a category, exactly as tabulated in the paper:
+    ///
+    /// | Category | M.B. | L.C. tolerance | C.I. |
+    /// |---|---|---|---|
+    /// | Elemental (ReLU, Add) | Low | Medium | Low |
+    /// | Reusable (Conv, MatMul) | Medium | High | High |
+    /// | Hierarchical (LayerNorm) | High | Low | Medium |
+    pub fn of_category(category: OpCategory) -> Self {
+        match category {
+            OpCategory::Elemental => OperatorClass {
+                category,
+                memory_bandwidth: Level::Low,
+                load_capacity_tolerance: Level::Medium,
+                compute_intensity: Level::Low,
+            },
+            OpCategory::Reusable => OperatorClass {
+                category,
+                memory_bandwidth: Level::Medium,
+                load_capacity_tolerance: Level::High,
+                compute_intensity: Level::High,
+            },
+            OpCategory::Hierarchical => OperatorClass {
+                category,
+                memory_bandwidth: Level::High,
+                load_capacity_tolerance: Level::Low,
+                compute_intensity: Level::Medium,
+            },
+        }
+    }
+
+    /// Classification of a concrete operator kind.
+    pub fn of_kind(kind: OpKind) -> Self {
+        Self::of_category(kind.category())
+    }
+
+    /// The latency-increase budget granted to this class when extra weight
+    /// data is streamed during its kernels: 0% hierarchical, 20% reusable,
+    /// 300% elemental (Section 4.2 / Figure 2).
+    pub fn capacity_threshold(&self) -> f64 {
+        self.category.capacity_threshold()
+    }
+}
+
+/// Convert a graph operator category into the simulator's kernel category.
+pub fn kernel_category(category: OpCategory) -> KernelCategory {
+    match category {
+        OpCategory::Elemental => KernelCategory::Elemental,
+        OpCategory::Reusable => KernelCategory::Reusable,
+        OpCategory::Hierarchical => KernelCategory::Hierarchical,
+    }
+}
+
+/// Convert an operator kind straight to the simulator's kernel category.
+pub fn kernel_category_of(kind: OpKind) -> KernelCategory {
+    kernel_category(kind.category())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_5_rows_reproduced() {
+        let elemental = OperatorClass::of_kind(OpKind::ReLU);
+        assert_eq!(elemental.memory_bandwidth, Level::Low);
+        assert_eq!(elemental.load_capacity_tolerance, Level::Medium);
+        assert_eq!(elemental.compute_intensity, Level::Low);
+
+        let reusable = OperatorClass::of_kind(OpKind::MatMul);
+        assert_eq!(reusable.memory_bandwidth, Level::Medium);
+        assert_eq!(reusable.load_capacity_tolerance, Level::High);
+        assert_eq!(reusable.compute_intensity, Level::High);
+
+        let hierarchical = OperatorClass::of_kind(OpKind::LayerNorm);
+        assert_eq!(hierarchical.memory_bandwidth, Level::High);
+        assert_eq!(hierarchical.load_capacity_tolerance, Level::Low);
+        assert_eq!(hierarchical.compute_intensity, Level::Medium);
+    }
+
+    #[test]
+    fn thresholds_follow_section_4_2() {
+        assert_eq!(OperatorClass::of_kind(OpKind::Softmax).capacity_threshold(), 0.0);
+        assert_eq!(OperatorClass::of_kind(OpKind::Conv2d).capacity_threshold(), 0.20);
+        assert_eq!(OperatorClass::of_kind(OpKind::Add).capacity_threshold(), 3.0);
+    }
+
+    #[test]
+    fn kernel_category_mapping_is_consistent() {
+        for kind in OpKind::all() {
+            let via_category = kernel_category(kind.category());
+            assert_eq!(via_category, kernel_category_of(kind));
+        }
+        assert_eq!(kernel_category_of(OpKind::MatMul), KernelCategory::Reusable);
+        assert_eq!(kernel_category_of(OpKind::GeLU), KernelCategory::Elemental);
+        assert_eq!(
+            kernel_category_of(OpKind::GroupNorm),
+            KernelCategory::Hierarchical
+        );
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Low < Level::Medium);
+        assert!(Level::Medium < Level::High);
+        assert_eq!(Level::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,347 @@
+//! A small gradient-boosted regression-tree (GBRT) implementation.
+//!
+//! The paper trains an XGBoost regressor over profiled kernels (Figure 4) to
+//! predict kernel latency under varying additional I/O load; the prediction
+//! feeds the per-layer load capacities used by the LC-OPG solver. XGBoost is
+//! not available offline, so this module implements the core algorithm —
+//! least-squares gradient boosting over depth-limited regression trees — which
+//! is functionally equivalent for this (low-dimensional, smooth) regression
+//! task.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the boosted ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbrtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Learning rate (shrinkage) applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for GbrtConfig {
+    fn default() -> Self {
+        GbrtConfig {
+            n_trees: 80,
+            max_depth: 4,
+            learning_rate: 0.1,
+            min_samples_split: 8,
+        }
+    }
+}
+
+/// One node of a regression tree (stored in a flat arena).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum TreeNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A depth-limited least-squares regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to `(features, targets)` with the given depth limit.
+    fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        max_depth: usize,
+        min_samples_split: usize,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        Self::build(
+            features,
+            targets,
+            indices,
+            max_depth,
+            min_samples_split,
+            &mut nodes,
+        );
+        RegressionTree { nodes }
+    }
+
+    fn mean(targets: &[f64], indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
+    }
+
+    fn sse(targets: &[f64], indices: &[usize]) -> f64 {
+        let m = Self::mean(targets, indices);
+        indices.iter().map(|&i| (targets[i] - m).powi(2)).sum()
+    }
+
+    fn build(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        depth: usize,
+        min_samples_split: usize,
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
+        let node_index = nodes.len();
+        if depth == 0 || indices.len() < min_samples_split {
+            nodes.push(TreeNode::Leaf {
+                value: Self::mean(targets, indices),
+            });
+            return node_index;
+        }
+
+        // Find the best (feature, threshold) split by exhaustive search over
+        // candidate thresholds (midpoints of sorted unique values).
+        let n_features = features.first().map(|f| f.len()).unwrap_or(0);
+        let parent_sse = Self::sse(targets, indices);
+        let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
+        for feature in 0..n_features {
+            let mut values: Vec<f64> = indices.iter().map(|&i| features[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            for pair in values.windows(2) {
+                let threshold = (pair[0] + pair[1]) / 2.0;
+                let (left, right): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| features[i][feature] <= threshold);
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                let gain = parent_sse - Self::sse(targets, &left) - Self::sse(targets, &right);
+                if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            nodes.push(TreeNode::Leaf {
+                value: Self::mean(targets, indices),
+            });
+            return node_index;
+        };
+
+        // Reserve the split node, then build children.
+        nodes.push(TreeNode::Leaf { value: 0.0 });
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| features[i][feature] <= threshold);
+        let left = Self::build(features, targets, &left_idx, depth - 1, min_samples_split, nodes);
+        let right = Self::build(features, targets, &right_idx, depth - 1, min_samples_split, nodes);
+        nodes[node_index] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_index
+    }
+
+    /// Predict the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// A gradient-boosted ensemble of regression trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbrtModel {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+}
+
+impl GbrtModel {
+    /// Fit the ensemble to `(features, targets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` and `targets` have different lengths. An empty
+    /// training set produces a constant-zero model.
+    pub fn fit(features: &[Vec<f64>], targets: &[f64], config: &GbrtConfig) -> Self {
+        assert_eq!(features.len(), targets.len(), "feature/target length mismatch");
+        if features.is_empty() {
+            return GbrtModel {
+                base: 0.0,
+                trees: Vec::new(),
+                learning_rate: config.learning_rate,
+            };
+        }
+        let base = targets.iter().sum::<f64>() / targets.len() as f64;
+        let mut predictions = vec![base; targets.len()];
+        let indices: Vec<usize> = (0..targets.len()).collect();
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            // Least-squares gradient boosting: fit each tree to the residuals.
+            let residuals: Vec<f64> = targets
+                .iter()
+                .zip(&predictions)
+                .map(|(t, p)| t - p)
+                .collect();
+            let tree = RegressionTree::fit(
+                features,
+                &residuals,
+                &indices,
+                config.max_depth,
+                config.min_samples_split,
+            );
+            for (i, p) in predictions.iter_mut().enumerate() {
+                *p += config.learning_rate * tree.predict(&features[i]);
+            }
+            trees.push(tree);
+        }
+        GbrtModel {
+            base,
+            trees,
+            learning_rate: config.learning_rate,
+        }
+    }
+
+    /// Predict the target for one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.base
+            + self
+                .trees
+                .iter()
+                .map(|t| self.learning_rate * t.predict(features))
+                .sum::<f64>()
+    }
+
+    /// Root-mean-square error over a labelled set.
+    pub fn rmse(&self, features: &[Vec<f64>], targets: &[f64]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let sq: f64 = features
+            .iter()
+            .zip(targets)
+            .map(|(f, t)| (self.predict(f) - t).powi(2))
+            .sum();
+        (sq / features.len() as f64).sqrt()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3 x0 + 0.5 x1 with x0 in [0,10), x1 in [0,4)
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let x0 = (i % 50) as f64 / 5.0;
+            let x1 = ((i * 7) % 40) as f64 / 10.0;
+            features.push(vec![x0, x1]);
+            targets.push(3.0 * x0 + 0.5 * x1);
+        }
+        (features, targets)
+    }
+
+    #[test]
+    fn fits_a_linear_function_reasonably() {
+        let (features, targets) = linear_dataset(300);
+        let model = GbrtModel::fit(&features, &targets, &GbrtConfig::default());
+        let rmse = model.rmse(&features, &targets);
+        let spread = targets.iter().cloned().fold(f64::MIN, f64::max)
+            - targets.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(rmse < 0.05 * spread, "rmse {rmse} vs spread {spread}");
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly_enough() {
+        // Trees should nail piecewise-constant targets.
+        let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..200).map(|i| if i < 100 { 1.0 } else { 5.0 }).collect();
+        let model = GbrtModel::fit(&features, &targets, &GbrtConfig::default());
+        assert!((model.predict(&[10.0]) - 1.0).abs() < 0.2);
+        assert!((model.predict(&[150.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn monotone_in_a_monotone_feature() {
+        let (features, targets) = linear_dataset(300);
+        let model = GbrtModel::fit(&features, &targets, &GbrtConfig::default());
+        assert!(model.predict(&[9.0, 1.0]) > model.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let model = GbrtModel::fit(&[], &[], &GbrtConfig::default());
+        assert_eq!(model.predict(&[1.0, 2.0]), 0.0);
+        assert_eq!(model.num_trees(), 0);
+    }
+
+    #[test]
+    fn constant_targets_predict_the_constant() {
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let targets = vec![2.5; 50];
+        let model = GbrtModel::fit(&features, &targets, &GbrtConfig::default());
+        assert!((model.predict(&[25.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = GbrtModel::fit(&[vec![1.0]], &[1.0, 2.0], &GbrtConfig::default());
+    }
+
+    #[test]
+    fn single_tree_predict_path() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..20).collect();
+        let tree = RegressionTree::fit(&features, &targets, &idx, 3, 2);
+        assert!(!tree.is_empty());
+        assert!(tree.predict(&[0.0]) < tree.predict(&[19.0]));
+        assert!(tree.len() >= 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Lowering graph nodes and fusion groups into simulator kernels, and the
+//! analytic overlap-interference study behind Figure 2.
+//!
+//! This is the shared "kernel information" box of Figure 3: both the baseline
+//! frameworks and FlashMem's executor need to turn a [`FusionGroup`] into a
+//! [`KernelDesc`] whose latency the simulator can price, and the profiler
+//! needs per-kernel latency-vs-extra-load curves to derive load capacities.
+
+use flashmem_gpu_sim::cache::AccessPattern;
+use flashmem_gpu_sim::kernel::{KernelCostModel, KernelDesc, LaunchDims};
+use flashmem_gpu_sim::texture::WeightLayout;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{FusionGroup, Graph, Node, OpCategory, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::classify::kernel_category;
+
+/// Options controlling how nodes are lowered to kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoweringOptions {
+    /// Weight layout the framework uses when the SMs read weights.
+    pub weight_layout: WeightLayout,
+    /// Whether kernels use the branch-free pipelined template (Section 4.4).
+    pub pipelined: bool,
+    /// Warp-divergence penalty applied to naive interleaved kernels.
+    pub divergence_penalty: f64,
+    /// Execute in FP16 (true) or FP32.
+    pub fp16: bool,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            weight_layout: WeightLayout::Texture2p5dOptimized,
+            pipelined: false,
+            divergence_penalty: 0.0,
+            fp16: true,
+        }
+    }
+}
+
+impl LoweringOptions {
+    /// Lowering used by FlashMem's rewritten kernels: optimized 2.5D layout,
+    /// branch-free pipelined template.
+    pub fn flashmem() -> Self {
+        LoweringOptions {
+            weight_layout: WeightLayout::Texture2p5dOptimized,
+            pipelined: true,
+            divergence_penalty: 0.0,
+            fp16: true,
+        }
+    }
+
+    /// Lowering used by a texture-based preloading framework (MNN-class).
+    pub fn texture_framework() -> Self {
+        LoweringOptions {
+            weight_layout: WeightLayout::Texture2p5d,
+            pipelined: false,
+            divergence_penalty: 0.0,
+            fp16: true,
+        }
+    }
+
+    /// Lowering used by a unified-memory-only framework (ExecuTorch-class).
+    pub fn linear_buffer_framework() -> Self {
+        LoweringOptions {
+            weight_layout: WeightLayout::LinearBuffer,
+            pipelined: false,
+            divergence_penalty: 0.05,
+            fp16: true,
+        }
+    }
+}
+
+/// Estimate activation input bytes of a node: the outputs of its producers.
+fn input_bytes(graph: &Graph, node: &Node) -> u64 {
+    node.inputs
+        .iter()
+        .filter_map(|id| graph.node(*id))
+        .map(|n| n.output_bytes())
+        .sum()
+}
+
+/// Pick an access pattern for a node's weight reads.
+fn access_pattern(node: &Node) -> AccessPattern {
+    match node.kind {
+        OpKind::Conv2d | OpKind::DepthwiseConv2d | OpKind::ConvTranspose2d => AccessPattern::Tiled2d,
+        OpKind::Gather | OpKind::Embedding => AccessPattern::Random,
+        OpKind::Transpose => AccessPattern::Strided { stride_texels: 64 },
+        _ => AccessPattern::RowStreaming,
+    }
+}
+
+/// Pick launch dimensions from the node's output size and category.
+fn launch_dims(node: &Node) -> LaunchDims {
+    let elements = node.output.elements();
+    match node.category() {
+        OpCategory::Elemental => LaunchDims::new([elements.div_ceil(4).max(1), 1, 1], [64, 1, 1]),
+        OpCategory::Reusable => {
+            let (rows, cols) = node.output.as_matrix();
+            LaunchDims::new([cols.div_ceil(4).max(1), rows.div_ceil(4).max(1), 1], [8, 8, 1])
+        }
+        OpCategory::Hierarchical => {
+            let (rows, _) = node.output.as_matrix();
+            LaunchDims::new([rows.max(1), 1, 1], [32, 1, 1])
+        }
+    }
+}
+
+/// Lower a single node into a kernel descriptor.
+pub fn kernel_for_node(graph: &Graph, node: &Node, options: &LoweringOptions) -> KernelDesc {
+    let bytes_in = input_bytes(graph, node) + node.weight_bytes();
+    let bytes_out = node.output_bytes();
+    KernelDesc::new(
+        &format!("{}#{}", node.name, node.id.0),
+        kernel_category(node.category()),
+        node.flops() as f64,
+        bytes_in.max(1),
+        bytes_out,
+    )
+    .with_launch(launch_dims(node))
+    .with_weight_layout(options.weight_layout)
+    .with_access_pattern(access_pattern(node))
+    .with_fp16(options.fp16)
+    .pipelined(options.pipelined)
+    .with_divergence_penalty(options.divergence_penalty)
+}
+
+/// Lower a fusion group into a single kernel descriptor: the fused kernel
+/// reads the group's external inputs and all member weights, writes the last
+/// member's output and performs the sum of member FLOPs. Its category is the
+/// group's dominant category (the least load-tolerant member governs).
+pub fn kernel_for_group(graph: &Graph, group: &FusionGroup, options: &LoweringOptions) -> KernelDesc {
+    let members: Vec<&Node> = group
+        .nodes
+        .iter()
+        .filter_map(|id| graph.node(*id))
+        .collect();
+    let last = members.last().expect("fusion groups are non-empty");
+
+    // External activation inputs: inputs whose producer is outside the group.
+    let mut activation_in = 0u64;
+    for node in &members {
+        for input in &node.inputs {
+            if !group.nodes.contains(input) {
+                if let Some(producer) = graph.node(*input) {
+                    activation_in += producer.output_bytes();
+                }
+            }
+        }
+    }
+    let weights: u64 = members.iter().map(|n| n.weight_bytes()).sum();
+    let flops: u64 = members.iter().map(|n| n.flops()).sum();
+    let bytes_out = last.output_bytes();
+
+    // The anchor (highest-MAC member) determines launch geometry and access
+    // pattern; the dominant category determines interference behaviour.
+    let anchor = members
+        .iter()
+        .max_by_key(|n| n.macs)
+        .copied()
+        .unwrap_or(last);
+
+    KernelDesc::new(
+        &format!("fused_{}#{}", anchor.name, anchor.id.0),
+        kernel_category(group.dominant_category(graph)),
+        flops as f64,
+        (activation_in + weights).max(1),
+        bytes_out,
+    )
+    .with_launch(launch_dims(anchor))
+    .with_weight_layout(options.weight_layout)
+    .with_access_pattern(access_pattern(anchor))
+    .with_fp16(options.fp16)
+    .pipelined(options.pipelined)
+    .with_divergence_penalty(options.divergence_penalty)
+}
+
+/// One point of a Figure 2-style interference curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapPoint {
+    /// Extra data volume as a ratio of the kernel's own input volume.
+    pub extra_ratio: f64,
+    /// Absolute latency increase in milliseconds.
+    pub latency_increase_ms: f64,
+    /// Relative latency increase (fraction of the baseline latency).
+    pub relative_increase: f64,
+}
+
+/// Sweep the latency increase of `kernel` as the concurrently streamed volume
+/// grows from 0 to `max_ratio` × its own input, in `steps` steps — the
+/// experiment of Figure 2.
+pub fn overlap_sweep(
+    device: &DeviceSpec,
+    kernel: &KernelDesc,
+    max_ratio: f64,
+    steps: usize,
+) -> Vec<OverlapPoint> {
+    let cost = KernelCostModel::new(device.clone());
+    let base = cost.latency_ms(kernel);
+    let own = kernel.total_bytes() as f64;
+    (0..=steps)
+        .map(|i| {
+            let ratio = max_ratio * i as f64 / steps.max(1) as f64;
+            let extra = (own * ratio) as u64;
+            let with = cost.latency_with_extra_load_ms(kernel, extra);
+            OverlapPoint {
+                extra_ratio: ratio,
+                latency_increase_ms: (with - base).max(0.0),
+                relative_increase: if base > 0.0 { (with - base).max(0.0) / base } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::{GraphBuilder, ModelZoo};
+
+    fn ffn() -> Graph {
+        let mut b = GraphBuilder::new("ffn");
+        let x = b.input("x", &[128, 768]);
+        let m = b.matmul("fc1", x, 3072);
+        let a = b.bias_add("bias", m);
+        let g = b.unary("gelu", OpKind::GeLU, a);
+        b.matmul("fc2", g, 768);
+        b.build()
+    }
+
+    #[test]
+    fn node_lowering_includes_weights_in_input_bytes() {
+        let g = ffn();
+        let node = &g.nodes()[1]; // fc1
+        let k = kernel_for_node(&g, node, &LoweringOptions::default());
+        assert!(k.bytes_in >= node.weight_bytes());
+        assert_eq!(k.flops, node.flops() as f64);
+    }
+
+    #[test]
+    fn group_lowering_aggregates_members() {
+        let g = ffn();
+        let plan = flashmem_graph::FusionPlan::default_fusion(&g);
+        let group = plan
+            .groups()
+            .iter()
+            .find(|gr| gr.len() >= 3)
+            .expect("fused group");
+        let k = kernel_for_group(&g, group, &LoweringOptions::flashmem());
+        let member_flops: u64 = group
+            .nodes
+            .iter()
+            .map(|id| g.node(*id).unwrap().flops())
+            .sum();
+        assert_eq!(k.flops, member_flops as f64);
+        assert!(k.pipelined);
+        let member_weights: u64 = group
+            .nodes
+            .iter()
+            .map(|id| g.node(*id).unwrap().weight_bytes())
+            .sum();
+        assert!(k.bytes_in >= member_weights);
+    }
+
+    #[test]
+    fn fused_kernel_is_faster_than_members_executed_separately() {
+        let g = ffn();
+        let device = DeviceSpec::oneplus_12();
+        let cost = KernelCostModel::new(device.clone());
+        let plan = flashmem_graph::FusionPlan::default_fusion(&g);
+        let group = plan.groups().iter().find(|gr| gr.len() >= 3).unwrap();
+        let opts = LoweringOptions::default();
+        let fused = cost.latency_ms(&kernel_for_group(&g, group, &opts));
+        let separate: f64 = group
+            .nodes
+            .iter()
+            .map(|id| cost.latency_ms(&kernel_for_node(&g, g.node(*id).unwrap(), &opts)))
+            .sum();
+        assert!(fused < separate, "fused {fused} vs separate {separate}");
+    }
+
+    #[test]
+    fn overlap_sweep_reproduces_figure_2_ordering() {
+        // At the same relative extra volume, hierarchical ops suffer the most,
+        // elemental the least, reusable in between — and matmul has the
+        // largest absolute baseline so its absolute increase is sizeable.
+        let g = ModelZoo::gptneo_small();
+        let graph = g.graph();
+        let device = DeviceSpec::oneplus_12();
+        let opts = LoweringOptions::default();
+        let pick = |kind: OpKind| {
+            graph
+                .nodes()
+                .iter()
+                .find(|n| n.kind == kind && n.macs > 0)
+                .map(|n| kernel_for_node(graph, n, &opts))
+                .expect("node of requested kind")
+        };
+        let matmul = pick(OpKind::MatMul);
+        let softmax = pick(OpKind::Softmax);
+        let gelu = pick(OpKind::GeLU);
+
+        let rel_at_1 = |k: &KernelDesc| overlap_sweep(&device, k, 1.0, 4).last().unwrap().relative_increase;
+        assert!(rel_at_1(&softmax) > rel_at_1(&matmul));
+        assert!(rel_at_1(&matmul) > rel_at_1(&gelu));
+    }
+
+    #[test]
+    fn overlap_sweep_is_monotone() {
+        let g = ffn();
+        let device = DeviceSpec::oneplus_12();
+        let k = kernel_for_node(&g, &g.nodes()[1], &LoweringOptions::default());
+        let sweep = overlap_sweep(&device, &k, 2.0, 8);
+        assert_eq!(sweep.len(), 9);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].latency_increase_ms >= pair[0].latency_increase_ms - 1e-9);
+        }
+        assert_eq!(sweep[0].extra_ratio, 0.0);
+        assert!(sweep[0].latency_increase_ms.abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowering_presets_differ_in_the_expected_direction() {
+        let g = ffn();
+        let device = DeviceSpec::oneplus_12();
+        let cost = KernelCostModel::new(device);
+        let node = &g.nodes()[1];
+        let flash = cost.latency_ms(&kernel_for_node(&g, node, &LoweringOptions::flashmem()));
+        let texture = cost.latency_ms(&kernel_for_node(&g, node, &LoweringOptions::texture_framework()));
+        let linear = cost.latency_ms(&kernel_for_node(
+            &g,
+            node,
+            &LoweringOptions::linear_buffer_framework(),
+        ));
+        assert!(flash <= texture);
+        assert!(texture < linear);
+    }
+}

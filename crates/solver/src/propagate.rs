@@ -1,0 +1,286 @@
+//! Bounds propagation.
+//!
+//! Before and during search, the solver tightens variable domains by
+//! propagating the linear and implication constraints. Propagation is the
+//! workhorse that lets OPG instances with thousands of chunk variables stay
+//! tractable: most `x_{w,ℓ}` variables are fixed to zero by the capacity and
+//! completeness constraints long before branching touches them.
+
+use crate::model::{Constraint, CpModel, Domain, LinearExpr};
+
+/// Result of a propagation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationResult {
+    /// Domains are consistent (possibly tightened).
+    Consistent,
+    /// Some domain became empty — the current subproblem is infeasible.
+    Conflict,
+}
+
+/// Propagate all constraints to a fixed point over the given domains.
+///
+/// Returns [`PropagationResult::Conflict`] as soon as any domain empties.
+/// The procedure is sound (never removes a feasible value) and terminates
+/// because every tightening strictly shrinks a finite domain.
+pub fn propagate(model: &CpModel, domains: &mut [Domain]) -> PropagationResult {
+    // Fixed-point loop: iterate until no domain changes. Constraint counts in
+    // OPG windows are small (hundreds), so a simple sweep is fast enough.
+    loop {
+        let mut changed = false;
+        for constraint in model.constraints() {
+            match propagate_one(constraint, domains) {
+                StepResult::Conflict => return PropagationResult::Conflict,
+                StepResult::Changed => changed = true,
+                StepResult::Unchanged => {}
+            }
+        }
+        if !changed {
+            return PropagationResult::Consistent;
+        }
+    }
+}
+
+enum StepResult {
+    Unchanged,
+    Changed,
+    Conflict,
+}
+
+/// Minimum and maximum achievable value of `expr` under current bounds.
+fn expr_bounds(expr: &LinearExpr, domains: &[Domain]) -> (i64, i64) {
+    let mut lo = expr.constant;
+    let mut hi = expr.constant;
+    for (v, c) in &expr.terms {
+        let d = domains[v.0];
+        if *c >= 0 {
+            lo += c * d.lo;
+            hi += c * d.hi;
+        } else {
+            lo += c * d.hi;
+            hi += c * d.lo;
+        }
+    }
+    (lo, hi)
+}
+
+fn tighten(domains: &mut [Domain], var: usize, lo: i64, hi: i64) -> StepResult {
+    let d = domains[var];
+    let nd = Domain::new(d.lo.max(lo), d.hi.min(hi));
+    if nd.is_empty() {
+        domains[var] = nd;
+        return StepResult::Conflict;
+    }
+    if nd != d {
+        domains[var] = nd;
+        StepResult::Changed
+    } else {
+        StepResult::Unchanged
+    }
+}
+
+fn propagate_le(expr: &LinearExpr, bound: i64, domains: &mut [Domain]) -> StepResult {
+    let (lo, _) = expr_bounds(expr, domains);
+    if lo > bound {
+        return StepResult::Conflict;
+    }
+    // For each term, the slack available to it determines its tightest bound.
+    let mut changed = false;
+    for (v, c) in &expr.terms {
+        if *c == 0 {
+            continue;
+        }
+        let d = domains[v.0];
+        // Contribution of the other terms at their minimum.
+        let others_lo = lo - if *c >= 0 { c * d.lo } else { c * d.hi };
+        let slack = bound - others_lo;
+        let result = if *c > 0 {
+            // c*x <= slack  =>  x <= floor(slack / c)
+            tighten(domains, v.0, i64::MIN, slack.div_euclid(*c))
+        } else {
+            // c*x <= slack with c < 0  =>  x >= ceil(slack / c)
+            let c_abs = -*c;
+            tighten(domains, v.0, (-slack).div_euclid(c_abs), i64::MAX)
+        };
+        match result {
+            StepResult::Conflict => return StepResult::Conflict,
+            StepResult::Changed => changed = true,
+            StepResult::Unchanged => {}
+        }
+    }
+    if changed {
+        StepResult::Changed
+    } else {
+        StepResult::Unchanged
+    }
+}
+
+fn propagate_ge(expr: &LinearExpr, bound: i64, domains: &mut [Domain]) -> StepResult {
+    // expr >= bound  <=>  -expr <= -bound
+    let negated = LinearExpr {
+        terms: expr.terms.iter().map(|(v, c)| (*v, -c)).collect(),
+        constant: -expr.constant,
+    };
+    propagate_le(&negated, -bound, domains)
+}
+
+fn propagate_one(constraint: &Constraint, domains: &mut [Domain]) -> StepResult {
+    match constraint {
+        Constraint::LinearLe { expr, bound } => propagate_le(expr, *bound, domains),
+        Constraint::LinearGe { expr, bound } => propagate_ge(expr, *bound, domains),
+        Constraint::LinearEq { expr, bound } => {
+            let a = propagate_le(expr, *bound, domains);
+            if matches!(a, StepResult::Conflict) {
+                return StepResult::Conflict;
+            }
+            let b = propagate_ge(expr, *bound, domains);
+            match (a, b) {
+                (_, StepResult::Conflict) => StepResult::Conflict,
+                (StepResult::Changed, _) | (_, StepResult::Changed) => StepResult::Changed,
+                _ => StepResult::Unchanged,
+            }
+        }
+        Constraint::IfGeThenLe {
+            cond,
+            threshold,
+            then,
+            bound,
+        } => {
+            let c = domains[cond.0];
+            let t = domains[then.0];
+            // If the condition must hold, enforce the consequent.
+            if c.lo >= *threshold {
+                return tighten(domains, then.0, i64::MIN, *bound);
+            }
+            // If the consequent cannot hold, the condition must be false.
+            if t.lo > *bound {
+                return tighten(domains, cond.0, i64::MIN, threshold - 1);
+            }
+            StepResult::Unchanged
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearExpr;
+
+    #[test]
+    fn le_tightens_upper_bounds() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 100, "x");
+        let y = m.new_int_var(0, 100, "y");
+        m.add_le(LinearExpr::sum(&[x, y]), 10);
+        let mut domains = m.domains().to_vec();
+        assert_eq!(propagate(&m, &mut domains), PropagationResult::Consistent);
+        assert_eq!(domains[x.0].hi, 10);
+        assert_eq!(domains[y.0].hi, 10);
+    }
+
+    #[test]
+    fn ge_tightens_lower_bounds() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 100, "x");
+        m.add_ge(LinearExpr::var(x), 40);
+        let mut domains = m.domains().to_vec();
+        propagate(&m, &mut domains);
+        assert_eq!(domains[x.0].lo, 40);
+    }
+
+    #[test]
+    fn eq_fixes_single_variable() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 100, "x");
+        m.add_eq(LinearExpr::var(x).plus_const(5), 12);
+        let mut domains = m.domains().to_vec();
+        propagate(&m, &mut domains);
+        assert!(domains[x.0].is_fixed());
+        assert_eq!(domains[x.0].lo, 7);
+    }
+
+    #[test]
+    fn conflict_detected_when_bounds_cross() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 5, "x");
+        m.add_ge(LinearExpr::var(x), 10);
+        let mut domains = m.domains().to_vec();
+        assert_eq!(propagate(&m, &mut domains), PropagationResult::Conflict);
+    }
+
+    #[test]
+    fn implication_fires_when_condition_certain() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(2, 5, "x"); // always >= 1
+        let z = m.new_int_var(0, 100, "z");
+        m.add_if_ge_then_le(x, 1, z, 7);
+        let mut domains = m.domains().to_vec();
+        propagate(&m, &mut domains);
+        assert_eq!(domains[z.0].hi, 7);
+    }
+
+    #[test]
+    fn implication_contrapositive() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 5, "x");
+        let z = m.new_int_var(50, 100, "z"); // consequent impossible (bound 7)
+        m.add_if_ge_then_le(x, 3, z, 7);
+        let mut domains = m.domains().to_vec();
+        propagate(&m, &mut domains);
+        assert_eq!(domains[x.0].hi, 2);
+    }
+
+    #[test]
+    fn negative_coefficients_handled() {
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 10, "x");
+        let y = m.new_int_var(0, 10, "y");
+        // x - y <= 2  combined with  x >= 9  forces  y >= 7.
+        m.add_le(LinearExpr::var(x).plus(y, -1), 2);
+        m.add_ge(LinearExpr::var(x), 9);
+        let mut domains = m.domains().to_vec();
+        assert_eq!(propagate(&m, &mut domains), PropagationResult::Consistent);
+        assert!(domains[y.0].lo >= 7, "y domain {:?}", domains[y.0]);
+    }
+
+    #[test]
+    fn chained_propagation_reaches_fixed_point() {
+        let mut m = CpModel::new();
+        let a = m.new_int_var(0, 100, "a");
+        let b = m.new_int_var(0, 100, "b");
+        let c = m.new_int_var(0, 100, "c");
+        m.add_eq(LinearExpr::var(a), 3);
+        m.add_le(LinearExpr::var(b).plus(a, -1), 0); // b <= a
+        m.add_le(LinearExpr::var(c).plus(b, -1), 0); // c <= b
+        let mut domains = m.domains().to_vec();
+        propagate(&m, &mut domains);
+        assert_eq!(domains[a.0], Domain::new(3, 3));
+        assert_eq!(domains[b.0].hi, 3);
+        assert_eq!(domains[c.0].hi, 3);
+    }
+
+    #[test]
+    fn propagation_never_removes_feasible_solutions() {
+        // Sound w.r.t. a brute-force check on a small model.
+        let mut m = CpModel::new();
+        let x = m.new_int_var(0, 6, "x");
+        let y = m.new_int_var(0, 6, "y");
+        m.add_le(LinearExpr::sum(&[x, y]), 7);
+        m.add_ge(LinearExpr::var(x).plus(y, 2), 6);
+        m.add_if_ge_then_le(x, 4, y, 2);
+        let mut domains = m.domains().to_vec();
+        assert_eq!(propagate(&m, &mut domains), PropagationResult::Consistent);
+        for xv in 0..=6i64 {
+            for yv in 0..=6i64 {
+                if m.is_feasible(&[xv, yv]) {
+                    assert!(
+                        xv >= domains[x.0].lo
+                            && xv <= domains[x.0].hi
+                            && yv >= domains[y.0].lo
+                            && yv <= domains[y.0].hi,
+                        "feasible point ({xv},{yv}) pruned"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Sweep the memory/latency trade-off (Figure 8): by varying `M_peak`, `λ`
+//! and `μ`, FlashMem moves between "stream almost everything" (minimum
+//! memory) and "preload almost everything" (minimum execution latency).
+//!
+//! ```bash
+//! cargo run --release --example memory_latency_tradeoff
+//! ```
+
+use flashmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceSpec::oneplus_12();
+    let model = ModelZoo::gptneo_small();
+    println!("Trade-off sweep for {model}\n");
+
+    let configurations = [
+        ("aggressive streaming", FlashMemConfig::memory_priority().with_m_peak_mib(256)),
+        ("memory priority", FlashMemConfig::memory_priority()),
+        ("balanced", FlashMemConfig::balanced()),
+        ("latency priority", FlashMemConfig::latency_priority()),
+        ("full preload", FlashMemConfig::latency_priority().with_opg(false)),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12}",
+        "configuration", "preload %", "avg mem MB", "integr. ms", "exec ms"
+    );
+    for (label, config) in configurations {
+        let runtime = FlashMem::new(device.clone()).with_config(config);
+        let report = runtime.run(&model)?;
+        println!(
+            "{:<22} {:>9.0}% {:>12.0} {:>12.0} {:>12.0}",
+            label,
+            (1.0 - report.streamed_weight_fraction) * 100.0,
+            report.average_memory_mb,
+            report.integrated_latency_ms,
+            report.exec_latency_ms
+        );
+    }
+
+    println!(
+        "\nReading: streaming keeps average memory near the activation working set, \
+         while preloading buys execution-phase latency at the cost of a long \
+         initialization and a weight-sized resident footprint."
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Multi-model FIFO pipeline: the camera-AR scenario from the paper's
+//! introduction — several distinct models execute back to back under a 1.5 GB
+//! memory cap, and FlashMem streams each one instead of re-paying a full
+//! preload per invocation.
+//!
+//! ```bash
+//! cargo run --release --example multi_model_pipeline
+//! ```
+
+use flashmem::prelude::*;
+use flashmem_graph::ModelSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceSpec::oneplus_12();
+    // A detector-ish backbone, a depth model and a speech model in FIFO order.
+    let queue: Vec<ModelSpec> = vec![
+        ModelZoo::vit(),
+        ModelZoo::depth_anything_small(),
+        ModelZoo::whisper_medium(),
+    ];
+    println!("FIFO queue:");
+    for m in &queue {
+        println!("  - {m}");
+    }
+
+    let cap_bytes = 1_536u64 * 1024 * 1024;
+    let runner = MultiModelRunner::new(device, FlashMemConfig::memory_priority())
+        .with_memory_cap_bytes(cap_bytes);
+    let report = runner.run_fifo(&queue, 2)?;
+
+    println!(
+        "\nExecuted {} invocations in {:.0} ms under a {:.0} MB cap",
+        report.len(),
+        report.total_latency_ms,
+        cap_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "Peak memory {:.0} MB, average memory {:.0} MB",
+        report.peak_memory_mb, report.average_memory_mb
+    );
+    println!("\nPer-invocation latencies:");
+    for inv in &report.invocations {
+        println!(
+            "  #{:<2} {:<10} {:>8.0} ms (peak {:.0} MB)",
+            inv.sequence, inv.model, inv.latency_ms, inv.peak_memory_mb
+        );
+    }
+
+    // A Figure 6-style memory-over-time curve, resampled to 40 points.
+    println!("\nMemory over time (MB):");
+    for sample in report.memory_trace.resample(40) {
+        let mb = sample.bytes as f64 / (1024.0 * 1024.0);
+        let bar = "#".repeat((mb / 25.0) as usize);
+        println!("  {:>8.0} ms | {:>6.0} {}", sample.time_ms, mb, bar);
+    }
+    Ok(())
+}

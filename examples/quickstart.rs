@@ -1,0 +1,51 @@
+//! Quickstart: compile and run one model with FlashMem on the simulated
+//! OnePlus 12, and compare it against the SmartMem baseline.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use flashmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a model from the paper's evaluation zoo and a target device.
+    let model = ModelZoo::vit();
+    let device = DeviceSpec::oneplus_12();
+    println!("Model : {model}");
+    println!("Device: {device}\n");
+
+    // 2. Build the FlashMem runtime with the paper's memory-priority
+    //    configuration (M_peak = 500 MB, λ ≈ 0.9).
+    let runtime = FlashMem::new(device.clone()).with_config(FlashMemConfig::memory_priority());
+
+    // 3. Compile: fusion → adaptive fusion → load-capacity profiling →
+    //    LC-OPG overlap planning.
+    let compiled = runtime.compile(model.graph());
+    println!(
+        "Overlap plan: {:.1}% of weight bytes streamed, {} weights preloaded, planner status {}",
+        compiled.streamed_fraction() * 100.0,
+        compiled.plan.preload_count(),
+        compiled.planner_report.status
+    );
+    if let Some(fusion_report) = &compiled.fusion_report {
+        println!(
+            "Adaptive fusion: {} fused kernels split (+{:.0}% schedulable capacity)",
+            fusion_report.splits,
+            fusion_report.capacity_gain() * 100.0
+        );
+    }
+
+    // 4. Execute on the simulated GPU.
+    let ours = runtime.run_compiled(model.graph(), &compiled)?;
+    println!("\nFlashMem : {ours}");
+
+    // 5. Compare with SmartMem, the preloading research prototype.
+    let smartmem = SmartMem::new().run(&model, &device)?;
+    println!("SmartMem : {smartmem}");
+    println!(
+        "\nSpeedup {:.1}x, memory reduction {:.1}x",
+        ours.speedup_over(&smartmem),
+        ours.memory_reduction_over(&smartmem)
+    );
+    Ok(())
+}

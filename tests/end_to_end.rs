@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full FlashMem pipeline against the
+//! simulated baselines, end to end, on real model-zoo graphs.
+
+use flashmem::prelude::*;
+use flashmem_baselines::{FrameworkProfile, PreloadFramework};
+use flashmem_graph::WeightInventory;
+
+fn flashmem(device: &DeviceSpec) -> FlashMem {
+    FlashMem::new(device.clone()).with_config(FlashMemConfig::memory_priority())
+}
+
+#[test]
+fn flashmem_beats_every_supporting_baseline_on_gptneo_small() {
+    let device = DeviceSpec::oneplus_12();
+    let model = ModelZoo::gptneo_small();
+    let ours = flashmem(&device).run(&model).expect("FlashMem runs GPT-Neo-S");
+
+    let mut compared = 0;
+    for framework in PreloadFramework::all_baselines() {
+        if !framework.supports(&model) {
+            continue;
+        }
+        let theirs = framework.run(&model, &device).expect("baseline runs");
+        assert!(
+            ours.integrated_latency_ms < theirs.integrated_latency_ms,
+            "{} integrated {} vs FlashMem {}",
+            framework.name(),
+            theirs.integrated_latency_ms,
+            ours.integrated_latency_ms
+        );
+        assert!(
+            ours.average_memory_mb < theirs.average_memory_mb,
+            "{} memory {} vs FlashMem {}",
+            framework.name(),
+            theirs.average_memory_mb,
+            ours.average_memory_mb
+        );
+        compared += 1;
+    }
+    assert!(compared >= 3, "expected several baselines to support GPT-Neo-S");
+}
+
+#[test]
+fn gptneo_2_7b_runs_only_with_flashmem_on_the_flagship_texture_budget() {
+    // The paper's headline capability claim: no baseline framework can run
+    // GPT-Neo-2.7B; FlashMem can.
+    let device = DeviceSpec::oneplus_12();
+    let model = ModelZoo::gptneo_2_7b();
+    for framework in PreloadFramework::all_baselines() {
+        assert!(
+            !framework.supports(&model),
+            "{} should not support GPT-Neo-2.7B",
+            framework.name()
+        );
+    }
+    let ours = flashmem(&device).run(&model).expect("FlashMem runs 2.7B");
+    assert!(ours.integrated_latency_ms > 0.0);
+    assert!(ours.streamed_weight_fraction > 0.5);
+}
+
+#[test]
+fn compiled_plans_satisfy_the_paper_constraints_for_every_evaluated_model() {
+    // C0 completeness, C1 precedence and the M_peak ceiling hold for the
+    // overlap plan of every Table 6 model.
+    let device = DeviceSpec::oneplus_12();
+    let config = FlashMemConfig::memory_priority();
+    for model in ModelZoo::all_evaluated() {
+        let runtime = FlashMem::new(device.clone()).with_config(config.clone());
+        let compiled = runtime.compile(model.graph());
+        let inventory = WeightInventory::with_chunk_size(model.graph(), config.chunk_bytes);
+        compiled
+            .plan
+            .validate(&inventory, Some(config.m_peak_bytes + config.chunk_bytes))
+            .unwrap_or_else(|e| panic!("{}: {e}", model.abbr));
+        assert!(
+            compiled.fusion.is_valid_partition(model.graph()),
+            "{}: fusion plan is not a partition",
+            model.abbr
+        );
+    }
+}
+
+#[test]
+fn smartmem_oom_on_constrained_devices_is_cured_by_streaming() {
+    let mi6 = DeviceSpec::xiaomi_mi_6();
+    let model = ModelZoo::gptneo_1_3b();
+    let smartmem = SmartMem::new();
+    assert!(smartmem.supports(&model));
+    assert!(
+        smartmem.run(&model, &mi6).is_err(),
+        "SmartMem should exhaust the Mi 6's memory during initialization"
+    );
+    let ours = flashmem(&mi6).run(&model).expect("FlashMem fits the Mi 6");
+    assert!(ours.peak_memory_mb < mi6.app_budget_mib());
+}
+
+#[test]
+fn multi_model_fifo_is_cheaper_than_the_sum_of_cold_starts() {
+    let device = DeviceSpec::oneplus_12();
+    let queue = vec![ModelZoo::vit(), ModelZoo::gptneo_small()];
+    let runner = MultiModelRunner::new(device.clone(), FlashMemConfig::memory_priority());
+    let fifo = runner.run_fifo(&queue, 1).expect("fifo runs");
+
+    // Cold-starting each model on MNN and summing is far slower.
+    let mnn = PreloadFramework::new(FrameworkProfile::mnn());
+    let mut mnn_total = 0.0;
+    for model in &queue {
+        mnn_total += mnn
+            .run(model, &device)
+            .expect("MNN supports both models")
+            .integrated_latency_ms;
+    }
+    assert!(
+        fifo.total_latency_ms < mnn_total,
+        "FIFO {} vs MNN cold starts {}",
+        fifo.total_latency_ms,
+        mnn_total
+    );
+}
+
+#[test]
+fn kernel_rewriting_templates_match_the_executor_configuration() {
+    let device = DeviceSpec::oneplus_12();
+    let on = FlashMem::new(device.clone())
+        .with_config(FlashMemConfig::memory_priority().with_kernel_rewriting(true));
+    let off = FlashMem::new(device)
+        .with_config(FlashMemConfig::memory_priority().with_kernel_rewriting(false));
+    let rendered_on = on.rewriter().render("matmul", 2);
+    let rendered_off = off.rewriter().render("matmul", 0);
+    assert!(rendered_on.contains("pipeline_load"));
+    assert!(!rendered_off.contains("pipeline_load"));
+
+    let model = ModelZoo::vit();
+    let with = on.run(&model).unwrap();
+    let without = off.run(&model).unwrap();
+    assert!(
+        with.integrated_latency_ms <= without.integrated_latency_ms,
+        "rewriting should not slow execution down"
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration tests over the experiment harness: the *shapes* of the paper's
+//! headline results must hold on the quick model subset — who wins, in which
+//! direction the trade-offs move, and where out-of-memory cases appear.
+
+use flashmem_bench::experiments::{fig10, fig2, fig7, fig9, table1, table7, table8};
+
+#[test]
+fn motivation_table_shows_preloading_overheads() {
+    let table = table1::run(true);
+    for row in &table.rows {
+        // Initialization (load + transform) dominates inference latency and
+        // peak memory is far above the average — Table 1's message.
+        assert!(row.load_ms + row.transform_ms > 2.0 * row.infer_ms);
+        assert!(row.peak_memory_mb >= row.average_memory_mb);
+    }
+}
+
+#[test]
+fn operator_sensitivity_ordering_matches_figure_2() {
+    let fig = fig2::run(true);
+    let crossing = |name: &str| {
+        fig.curves
+            .iter()
+            .find(|c| c.operator == name)
+            .unwrap()
+            .threshold_crossing(0.2)
+            .unwrap_or(f64::MAX)
+    };
+    // Hierarchical operators hit the 20% latency-overhead threshold at a much
+    // smaller extra-data ratio than reusable operators.
+    assert!(crossing("LayerNorm") < crossing("Matmul"));
+    assert!(crossing("SoftMax") < crossing("Matmul"));
+}
+
+#[test]
+fn flashmem_wins_table_7_and_table_8_on_the_quick_subset() {
+    let latency = table7::run(true);
+    for row in &latency.rows {
+        for cell in &row.baselines {
+            if let Some(integrated) = cell.integrated_ms() {
+                assert!(integrated > row.flashmem_ms, "{} on {}", cell.framework, row.model);
+            }
+        }
+    }
+    // Geo-mean speedups over every framework exceed the paper's lower bound
+    // of 1.7x.
+    for (name, speedup) in &latency.geo_mean_speedups {
+        assert!(*speedup > 1.5, "{name}: {speedup}");
+    }
+
+    let memory = table8::run(true);
+    for (name, reduction) in &memory.geo_mean_reductions {
+        assert!(*reduction > 1.3, "{name}: {reduction}");
+    }
+}
+
+#[test]
+fn ablation_and_naive_overlap_shapes_hold() {
+    let breakdown = fig7::run(true);
+    let stages = &breakdown.models[0].stages;
+    // OPG alone is already a >1x improvement over SmartMem; the full stack is
+    // at least as good as OPG alone on both axes.
+    assert!(stages[0].speedup > 1.0);
+    assert!(stages[2].speedup >= stages[0].speedup * 0.99);
+    assert!(stages[2].memory_reduction >= stages[0].memory_reduction * 0.95);
+
+    let naive = fig9::run(true);
+    for row in &naive.rows {
+        assert!(row.speedup_vs_always_next >= 1.0);
+        assert!(row.speedup_vs_same_op >= 1.0);
+    }
+}
+
+#[test]
+fn portability_reproduces_the_oom_cells_of_figure_10() {
+    let fig = fig10::run(true);
+    // On the Xiaomi Mi 6 the 1.3B model is out of reach for SmartMem but not
+    // for FlashMem; ViT runs on both with FlashMem ahead.
+    let oom_cell = fig
+        .cells
+        .iter()
+        .find(|c| c.model == "GPTN-1.3B")
+        .expect("1.3B cell exists");
+    assert!(oom_cell.smartmem_oom);
+    assert!(oom_cell.flashmem_ms.is_some());
+    let vit_cell = fig.cells.iter().find(|c| c.model == "ViT").unwrap();
+    assert!(vit_cell.latency_speedup.unwrap_or(0.0) > 1.0);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over randomly generated models: the planner must
+//! produce constraint-satisfying overlap plans, the fusion passes must
+//! preserve the partition invariant, and the executor's memory accounting
+//! must respect the plan, for *any* well-formed graph — not just the zoo.
+
+use proptest::prelude::*;
+
+use flashmem::prelude::*;
+use flashmem_core::lc_opg::{node_to_kernel_map, PlannerMode};
+use flashmem_core::{LcOpgSolver, StreamingExecutor};
+use flashmem_graph::{FusionPlan, Graph, GraphBuilder, WeightInventory};
+use flashmem_profiler::LoweringOptions;
+
+/// A randomly shaped (but structurally valid) transformer-ish model.
+#[derive(Debug, Clone)]
+struct RandomModel {
+    hidden: u64,
+    blocks: usize,
+    seq: u64,
+    with_conv_stem: bool,
+}
+
+fn random_model_strategy() -> impl Strategy<Value = RandomModel> {
+    (
+        prop_oneof![Just(256u64), Just(384), Just(512), Just(768)],
+        1usize..6,
+        prop_oneof![Just(32u64), Just(64), Just(128)],
+        any::<bool>(),
+    )
+        .prop_map(|(hidden, blocks, seq, with_conv_stem)| RandomModel {
+            hidden,
+            blocks,
+            seq,
+            with_conv_stem,
+        })
+}
+
+fn build(model: &RandomModel) -> Graph {
+    let mut b = GraphBuilder::new("random");
+    let mut x = if model.with_conv_stem {
+        let img = b.input("image", &[3, 64, 64]);
+        let stem = b.conv2d("stem", img, model.hidden, 4, 4);
+        b.reshape("tokens", stem, &[model.seq, model.hidden])
+    } else {
+        b.input("tokens", &[model.seq, model.hidden])
+    };
+    for block in 0..model.blocks {
+        let cfg = flashmem_graph::models::TransformerBlockConfig {
+            hidden: model.hidden,
+            heads: (model.hidden / 64).max(1),
+            ffn: model.hidden * 4,
+            seq: model.seq,
+            rotary: false,
+        };
+        x = flashmem_graph::models::transformer_encoder_block(
+            &mut b,
+            x,
+            &cfg,
+            &format!("b{block}"),
+        );
+    }
+    b.norm("ln_f", flashmem_graph::OpKind::LayerNorm, x);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_models_validate_and_plan_correctly(model in random_model_strategy()) {
+        let graph = build(&model);
+        prop_assert!(graph.validate().is_ok());
+
+        let config = FlashMemConfig::memory_priority();
+        let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), config.clone());
+        let (plan, report) = solver.plan(&graph);
+
+        // C0/C1 hold and the M_peak ceiling is respected (one chunk of slack
+        // for the final short chunk of a weight).
+        let inventory = WeightInventory::with_chunk_size(&graph, config.chunk_bytes);
+        prop_assert!(plan.validate(&inventory, Some(config.m_peak_bytes + config.chunk_bytes)).is_ok());
+        prop_assert_eq!(report.preloaded_weights + report.streamed_weights, inventory.len());
+        prop_assert!(plan.total_weight_bytes() == inventory.total_bytes());
+    }
+
+    #[test]
+    fn fusion_passes_preserve_partitions_on_random_models(model in random_model_strategy()) {
+        let graph = build(&model);
+        let base = FusionPlan::default_fusion(&graph);
+        prop_assert!(base.is_valid_partition(&graph));
+
+        let pass = flashmem_core::AdaptiveFusion::new(
+            DeviceSpec::oneplus_12(),
+            FlashMemConfig::memory_priority(),
+        );
+        let (refined, fusion_report) = pass.refine(&graph, &base);
+        prop_assert!(refined.is_valid_partition(&graph));
+        prop_assert!(fusion_report.capacity_after >= fusion_report.capacity_before);
+
+        // Every node is covered exactly once, and group aggregates match.
+        let map = node_to_kernel_map(&refined);
+        prop_assert_eq!(map.len(), graph.len());
+        let total_macs: u64 = refined.groups().iter().map(|g| g.macs(&graph)).sum();
+        prop_assert_eq!(total_macs, graph.total_macs());
+    }
+
+    #[test]
+    fn executor_streams_are_valid_and_streaming_never_uses_more_memory(
+        model in random_model_strategy()
+    ) {
+        let graph = build(&model);
+        let config = FlashMemConfig::memory_priority();
+        let fusion = FusionPlan::default_fusion(&graph);
+        let capacities = flashmem_profiler::CapacityProfiler::new(DeviceSpec::oneplus_12())
+            .with_options(LoweringOptions::flashmem())
+            .capacities(&graph, &fusion);
+
+        let device = DeviceSpec::oneplus_12();
+        let hybrid = LcOpgSolver::new(device.clone(), config.clone());
+        let (streaming_plan, _) = hybrid.plan_with(&graph, &fusion, &capacities);
+        let preload = LcOpgSolver::new(device.clone(), config).with_mode(PlannerMode::FullPreload);
+        let (preload_plan, _) = preload.plan_with(&graph, &fusion, &capacities);
+
+        let executor = StreamingExecutor::new(device, LoweringOptions::flashmem());
+        let streamed_stream = executor.compile(&graph, &fusion, &streaming_plan);
+        prop_assert!(streamed_stream.validate().is_ok());
+
+        let streamed = executor.execute(&graph, &fusion, &streaming_plan).unwrap();
+        let preloaded = executor.execute(&graph, &fusion, &preload_plan).unwrap();
+        // For models smaller than the rolling window the two strategies hold
+        // almost the same working set, so allow a small slack on the peak;
+        // the time-weighted average must never be worse, and latency must not
+        // regress materially.
+        let slack = (8 * 1024 * 1024 + graph.total_weight_bytes() / 10) as f64;
+        prop_assert!(
+            streamed.peak_memory_bytes as f64 <= preloaded.peak_memory_bytes as f64 + slack,
+            "peak {} vs {}", streamed.peak_memory_bytes, preloaded.peak_memory_bytes
+        );
+        prop_assert!(
+            streamed.average_memory_bytes <= preloaded.average_memory_bytes + slack,
+            "avg {} vs {}", streamed.average_memory_bytes, preloaded.average_memory_bytes
+        );
+        prop_assert!(streamed.total_time_ms <= preloaded.total_time_ms * 1.05);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the CP solver: solutions must satisfy the model,
+//! optimal objective values must match brute force on small instances, and
+//! propagation must never prune feasible assignments.
+
+use proptest::prelude::*;
+
+use flashmem::solver::{propagate, CpModel, CpSolver, LinearExpr, PropagationResult, SolveStatus};
+
+/// A small random model over `n` variables with random linear constraints.
+#[derive(Debug, Clone)]
+struct SmallModel {
+    domains: Vec<(i64, i64)>,
+    les: Vec<(Vec<i64>, i64)>,
+    ges: Vec<(Vec<i64>, i64)>,
+    objective: Vec<i64>,
+}
+
+fn small_model_strategy() -> impl Strategy<Value = SmallModel> {
+    let n = 3usize;
+    (
+        proptest::collection::vec((0i64..3, 3i64..7), n),
+        proptest::collection::vec((proptest::collection::vec(-2i64..3, n), 0i64..15), 0..3),
+        proptest::collection::vec((proptest::collection::vec(-1i64..3, n), 0i64..8), 0..2),
+        proptest::collection::vec(-3i64..4, n),
+    )
+        .prop_map(|(domains, les, ges, objective)| SmallModel {
+            domains: domains.into_iter().map(|(lo, span)| (lo, lo + span)).collect(),
+            les,
+            ges,
+            objective,
+        })
+}
+
+fn build(model: &SmallModel) -> (CpModel, Vec<flashmem::solver::VarId>) {
+    let mut cp = CpModel::new();
+    let vars: Vec<_> = model
+        .domains
+        .iter()
+        .enumerate()
+        .map(|(i, (lo, hi))| cp.new_int_var(*lo, *hi, &format!("v{i}")))
+        .collect();
+    for (coeffs, bound) in &model.les {
+        let mut expr = LinearExpr::new();
+        for (v, c) in vars.iter().zip(coeffs) {
+            expr = expr.plus(*v, *c);
+        }
+        cp.add_le(expr, *bound);
+    }
+    for (coeffs, bound) in &model.ges {
+        let mut expr = LinearExpr::new();
+        for (v, c) in vars.iter().zip(coeffs) {
+            expr = expr.plus(*v, *c);
+        }
+        cp.add_ge(expr, *bound);
+    }
+    let mut obj = LinearExpr::new();
+    for (v, c) in vars.iter().zip(&model.objective) {
+        obj = obj.plus(*v, *c);
+    }
+    cp.minimize(obj);
+    (cp, vars)
+}
+
+/// Brute-force the optimum over the (tiny) cartesian product of domains.
+fn brute_force(model: &SmallModel, cp: &CpModel) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    let d = &model.domains;
+    for a in d[0].0..=d[0].1 {
+        for b in d[1].0..=d[1].1 {
+            for c in d[2].0..=d[2].1 {
+                let assignment = [a, b, c];
+                if cp.is_feasible(&assignment) {
+                    let obj: i64 = assignment
+                        .iter()
+                        .zip(&model.objective)
+                        .map(|(v, c)| v * c)
+                        .sum();
+                    best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+                }
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn solver_matches_brute_force_on_small_models(model in small_model_strategy()) {
+        let (cp, _) = build(&model);
+        let expected = brute_force(&model, &cp);
+        let outcome = CpSolver::new().solve(&cp);
+        match expected {
+            Some(best) => {
+                prop_assert_eq!(outcome.status, SolveStatus::Optimal);
+                prop_assert_eq!(outcome.objective, Some(best));
+                let solution = outcome.solution.unwrap();
+                prop_assert!(cp.is_feasible(solution.values()));
+            }
+            None => {
+                prop_assert_eq!(outcome.status, SolveStatus::Infeasible);
+                prop_assert!(outcome.solution.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_is_sound_on_small_models(model in small_model_strategy()) {
+        let (cp, _) = build(&model);
+        let mut domains = cp.domains().to_vec();
+        let result = propagate(&cp, &mut domains);
+        let d = &model.domains;
+        let mut any_feasible = false;
+        for a in d[0].0..=d[0].1 {
+            for b in d[1].0..=d[1].1 {
+                for c in d[2].0..=d[2].1 {
+                    let assignment = [a, b, c];
+                    if cp.is_feasible(&assignment) {
+                        any_feasible = true;
+                        // No feasible point may be pruned.
+                        for (value, dom) in assignment.iter().zip(&domains) {
+                            prop_assert!(*value >= dom.lo && *value <= dom.hi,
+                                "feasible value {value} pruned from [{}, {}]", dom.lo, dom.hi);
+                        }
+                    }
+                }
+            }
+        }
+        if result == PropagationResult::Conflict {
+            prop_assert!(!any_feasible, "propagation reported a conflict on a feasible model");
+        }
+    }
+}
