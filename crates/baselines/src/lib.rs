@@ -13,18 +13,22 @@
 //!   Figure 9, which share FlashMem's executor but plan without load-capacity
 //!   awareness.
 //!
-//! All of them implement the [`Framework`] trait so the benchmark harness can
-//! sweep the full model × framework matrix uniformly.
+//! All of them implement the [`InferenceEngine`] trait from `flashmem-core`,
+//! and [`registry`] assembles the standard line-ups so the benchmark harness
+//! can sweep the full engine × model × device matrix uniformly.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod framework;
 pub mod naive_overlap;
 pub mod preload;
+pub mod registry;
 pub mod smartmem;
 
-pub use framework::{run_or_dash, Framework, FrameworkKind};
+pub use flashmem_core::engine::{
+    run_or_dash, CompiledArtifact, EngineRegistry, FrameworkKind, InferenceEngine,
+};
 pub use naive_overlap::{NaiveOverlap, NaiveStrategy};
 pub use preload::{FrameworkProfile, PreloadFramework};
+pub use registry::{baseline_registry, flashmem_engine, standard_registry};
 pub use smartmem::SmartMem;

@@ -13,14 +13,13 @@
 //!   little better but leaves compute and data movement imbalanced (up to
 //!   2.4× slower).
 
-use flashmem_core::{ExecutionReport, FlashMemConfig, OverlapPlan, StreamingExecutor};
+use flashmem_core::engine::{execute_naive_plan, CompiledArtifact, FrameworkKind, InferenceEngine};
 use flashmem_core::lc_opg::node_to_kernel_map;
-use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_core::{ExecutionReport, FlashMemConfig, OverlapPlan};
+use flashmem_gpu_sim::error::SimResult;
+use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{FusionPlan, ModelSpec, WeightInventory};
-use flashmem_profiler::LoweringOptions;
 use serde::{Deserialize, Serialize};
-
-use crate::framework::{Framework, FrameworkKind};
 
 /// Which naive policy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,19 +83,23 @@ impl NaiveOverlap {
                     let consumer_category = fusion.groups()[consumer].dominant_category(graph);
                     (0..consumer)
                         .rev()
-                        .find(|&k| {
-                            fusion.groups()[k].dominant_category(graph) == consumer_category
-                        })
+                        .find(|&k| fusion.groups()[k].dominant_category(graph) == consumer_category)
                         .unwrap_or(consumer - 1)
                 }
             };
-            plan.add_streamed(weight.consumer, consumer, target, weight.bytes, &[(target, chunks)]);
+            plan.add_streamed(
+                weight.consumer,
+                consumer,
+                target,
+                weight.bytes,
+                &[(target, chunks)],
+            );
         }
         (fusion, plan)
     }
 }
 
-impl Framework for NaiveOverlap {
+impl InferenceEngine for NaiveOverlap {
     fn kind(&self) -> FrameworkKind {
         match self.strategy {
             NaiveStrategy::AlwaysNext => FrameworkKind::AlwaysNext,
@@ -104,24 +107,27 @@ impl Framework for NaiveOverlap {
         }
     }
 
-    fn supports(&self, _model: &ModelSpec) -> bool {
-        true
+    fn compile(&self, model: &ModelSpec, _device: &DeviceSpec) -> SimResult<CompiledArtifact> {
+        let (fusion, plan) = self.plan(model);
+        Ok(CompiledArtifact::NaivePlan { fusion, plan })
     }
 
-    fn run(&self, model: &ModelSpec, device: &DeviceSpec) -> Result<ExecutionReport, SimError> {
-        let (fusion, plan) = self.plan(model);
-        // The naive strategies stream weights but have neither load-capacity
-        // awareness nor rewritten kernels: every streamed weight pays a
-        // dedicated repack kernel that serialises with execution.
-        let executor = StreamingExecutor::new(device.clone(), LoweringOptions::texture_framework())
-            .with_embedded_transforms(false);
-        let outcome = executor.execute(model.graph(), &fusion, &plan)?;
-        Ok(ExecutionReport::from_outcome(
-            self.name(),
-            &model.abbr,
-            &outcome,
-            plan.streamed_fraction(),
-        ))
+    fn execute(
+        &self,
+        model: &ModelSpec,
+        artifact: &CompiledArtifact,
+        device: &DeviceSpec,
+    ) -> SimResult<ExecutionReport> {
+        match artifact {
+            // The naive strategies stream weights but have neither
+            // load-capacity awareness nor rewritten kernels: every streamed
+            // weight pays a dedicated repack kernel that serialises with
+            // execution.
+            CompiledArtifact::NaivePlan { fusion, plan } => {
+                execute_naive_plan(&self.name(), model, fusion, plan, device)
+            }
+            _ => Err(CompiledArtifact::mismatch(&self.name())),
+        }
     }
 }
 
@@ -137,8 +143,7 @@ mod tests {
         for naive in [NaiveOverlap::always_next(), NaiveOverlap::same_op_type()] {
             let model = ModelZoo::gptneo_small();
             let (_, plan) = naive.plan(&model);
-            let inventory =
-                WeightInventory::with_chunk_size(model.graph(), config.chunk_bytes);
+            let inventory = WeightInventory::with_chunk_size(model.graph(), config.chunk_bytes);
             plan.validate(&inventory, None).unwrap();
             assert!(plan.streamed_fraction() > 0.0);
         }

@@ -9,16 +9,18 @@
 //! they support at all. [`FrameworkProfile`] captures those differences and
 //! [`PreloadFramework`] compiles them onto the simulator.
 
+use flashmem_core::engine::{
+    execute_command_stream, CompiledArtifact, FrameworkKind, InferenceEngine,
+};
 use flashmem_core::ExecutionReport;
 use flashmem_gpu_sim::bandwidth::MemoryTier;
-use flashmem_gpu_sim::engine::{Command, CommandStream, GpuSimulator, QueueKind, SimConfig};
+use flashmem_gpu_sim::engine::{Command, CommandStream, QueueKind};
+use flashmem_gpu_sim::error::SimResult;
 use flashmem_gpu_sim::texture::WeightLayout;
 use flashmem_gpu_sim::{DeviceSpec, SimError};
 use flashmem_graph::{FusionPlan, Graph, ModelSpec};
 use flashmem_profiler::{kernel_for_group, LoweringOptions};
 use serde::{Deserialize, Serialize};
-
-use crate::framework::{Framework, FrameworkKind};
 
 /// Behavioural profile of a preloading framework.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -245,7 +247,7 @@ impl PreloadFramework {
     }
 
     /// Compile the preload-then-execute schedule for `graph`.
-    pub fn compile(&self, graph: &Graph) -> CommandStream {
+    pub fn compile_stream(&self, graph: &Graph) -> CommandStream {
         let profile = &self.profile;
         let fusion = FusionPlan::default_fusion(graph);
         let options = self.lowering_options();
@@ -329,7 +331,11 @@ impl PreloadFramework {
         if released > 0 && options.weight_layout != WeightLayout::LinearBuffer {
             // Model the partial release by freeing the staging buffer and
             // re-allocating the retained share.
-            let free = stream.push(Command::free("weights.um_release", um_alloc, &[last_transform]));
+            let free = stream.push(Command::free(
+                "weights.um_release",
+                um_alloc,
+                &[last_transform],
+            ));
             if total_weight_bytes > released {
                 stream.push(Command::alloc(
                     "weights.um_retained",
@@ -354,7 +360,7 @@ impl PreloadFramework {
     }
 }
 
-impl Framework for PreloadFramework {
+impl InferenceEngine for PreloadFramework {
     fn kind(&self) -> FrameworkKind {
         self.profile.kind
     }
@@ -381,21 +387,29 @@ impl Framework for PreloadFramework {
         true
     }
 
-    fn run(&self, model: &ModelSpec, device: &DeviceSpec) -> Result<ExecutionReport, SimError> {
+    fn compile(&self, model: &ModelSpec, _device: &DeviceSpec) -> SimResult<CompiledArtifact> {
         if !self.supports(model) {
             return Err(SimError::InvalidParameter {
                 message: format!("{} does not support {}", self.name(), model.abbr),
             });
         }
-        let stream = self.compile(model.graph());
-        let mut sim = GpuSimulator::new(device.clone(), SimConfig::default());
-        let outcome = sim.execute(&stream)?;
-        Ok(ExecutionReport::from_outcome(
-            self.name(),
-            &model.abbr,
-            &outcome,
-            0.0,
+        Ok(CompiledArtifact::Preload(
+            self.compile_stream(model.graph()),
         ))
+    }
+
+    fn execute(
+        &self,
+        model: &ModelSpec,
+        artifact: &CompiledArtifact,
+        device: &DeviceSpec,
+    ) -> SimResult<ExecutionReport> {
+        match artifact {
+            CompiledArtifact::Preload(stream) => {
+                execute_command_stream(&self.name(), model, stream, device)
+            }
+            _ => Err(CompiledArtifact::mismatch(&self.name())),
+        }
     }
 }
 
@@ -458,7 +472,11 @@ mod tests {
             .run(&ModelZoo::gptneo_small(), &DeviceSpec::oneplus_12())
             .unwrap();
         assert!(report.init_latency_ms > report.exec_latency_ms);
-        assert!(report.init_latency_ms > 1_000.0, "{}", report.init_latency_ms);
+        assert!(
+            report.init_latency_ms > 1_000.0,
+            "{}",
+            report.init_latency_ms
+        );
     }
 
     #[test]
@@ -504,7 +522,11 @@ mod tests {
             .collect();
         let tvm = reports.iter().find(|r| r.framework == "TVM").unwrap();
         for r in &reports {
-            assert!(tvm.average_memory_mb >= r.average_memory_mb, "{}", r.framework);
+            assert!(
+                tvm.average_memory_mb >= r.average_memory_mb,
+                "{}",
+                r.framework
+            );
         }
     }
 

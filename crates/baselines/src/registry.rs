@@ -1,0 +1,85 @@
+//! Assembly of the standard engine registries.
+//!
+//! `flashmem-core` defines the [`EngineRegistry`] type but cannot see the
+//! baseline frameworks (they depend on it), so the full evaluation line-ups
+//! are assembled here: every experiment driver that sweeps `engines × models
+//! × devices` starts from one of these constructors instead of wiring
+//! frameworks by hand.
+
+use flashmem_core::engine::{EngineRegistry, FlashMemVariant, InferenceEngine};
+use flashmem_core::FlashMemConfig;
+
+use crate::naive_overlap::NaiveOverlap;
+use crate::preload::{FrameworkProfile, PreloadFramework};
+use crate::smartmem::SmartMem;
+
+/// FlashMem with the paper's memory-priority configuration — the contender
+/// every table measures against.
+pub fn flashmem_engine() -> Box<dyn InferenceEngine> {
+    Box::new(FlashMemVariant::new(
+        "FlashMem",
+        FlashMemConfig::memory_priority(),
+    ))
+}
+
+/// The six baseline frameworks of Tables 7/8 (MNN, NCNN, TVM, LiteRT,
+/// ExecuTorch, SmartMem), in table order.
+pub fn baseline_registry() -> EngineRegistry {
+    let mut registry = EngineRegistry::new();
+    for profile in [
+        FrameworkProfile::mnn(),
+        FrameworkProfile::ncnn(),
+        FrameworkProfile::tvm(),
+        FrameworkProfile::litert(),
+        FrameworkProfile::executorch(),
+    ] {
+        registry.register(Box::new(PreloadFramework::new(profile)));
+    }
+    registry.register(Box::new(SmartMem::new()));
+    registry
+}
+
+/// Every framework of the paper's evaluation: the six preloading baselines,
+/// FlashMem, and the two naive overlap strawmen of Figure 9.
+pub fn standard_registry() -> EngineRegistry {
+    let mut registry = baseline_registry();
+    registry.register(flashmem_engine());
+    registry.register(Box::new(NaiveOverlap::always_next()));
+    registry.register(Box::new(NaiveOverlap::same_op_type()));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_core::engine::FrameworkKind;
+    use flashmem_gpu_sim::DeviceSpec;
+    use flashmem_graph::ModelZoo;
+
+    #[test]
+    fn standard_registry_covers_every_framework_kind() {
+        let registry = standard_registry();
+        assert_eq!(registry.len(), 9);
+        for kind in FrameworkKind::all() {
+            assert!(registry.get(kind).is_some(), "{kind} missing");
+        }
+    }
+
+    #[test]
+    fn baseline_registry_matches_table_order() {
+        let registry = baseline_registry();
+        let kinds = registry.kinds();
+        assert_eq!(kinds, FrameworkKind::baselines().to_vec());
+    }
+
+    #[test]
+    fn registry_engines_execute_through_the_trait() {
+        let registry = standard_registry();
+        let device = DeviceSpec::oneplus_12();
+        let model = ModelZoo::resnet50();
+        let engine = registry.get(FrameworkKind::SmartMem).unwrap();
+        let report = engine.run(&model, &device).unwrap();
+        assert_eq!(report.framework, "SmartMem");
+        assert!(report.integrated_latency_ms > 0.0);
+    }
+}

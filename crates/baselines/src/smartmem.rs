@@ -7,11 +7,12 @@
 //! Mem-ReDT column (Table 8), the breakdown study (Figure 7) and the
 //! portability study (Figure 10).
 
+use flashmem_core::engine::{CompiledArtifact, FrameworkKind, InferenceEngine};
 use flashmem_core::ExecutionReport;
-use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_gpu_sim::error::SimResult;
+use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::ModelSpec;
 
-use crate::framework::{Framework, FrameworkKind};
 use crate::preload::{FrameworkProfile, PreloadFramework};
 
 /// The SmartMem baseline.
@@ -40,7 +41,7 @@ impl Default for SmartMem {
     }
 }
 
-impl Framework for SmartMem {
+impl InferenceEngine for SmartMem {
     fn kind(&self) -> FrameworkKind {
         FrameworkKind::SmartMem
     }
@@ -49,8 +50,17 @@ impl Framework for SmartMem {
         self.inner.supports(model)
     }
 
-    fn run(&self, model: &ModelSpec, device: &DeviceSpec) -> Result<ExecutionReport, SimError> {
-        self.inner.run(model, device)
+    fn compile(&self, model: &ModelSpec, device: &DeviceSpec) -> SimResult<CompiledArtifact> {
+        self.inner.compile(model, device)
+    }
+
+    fn execute(
+        &self,
+        model: &ModelSpec,
+        artifact: &CompiledArtifact,
+        device: &DeviceSpec,
+    ) -> SimResult<ExecutionReport> {
+        self.inner.execute(model, artifact, device)
     }
 }
 

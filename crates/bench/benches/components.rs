@@ -1,11 +1,9 @@
-//! Criterion micro-benchmarks for the building blocks: the CP solver on an
-//! OPG window, the LC-OPG planner, the GPU simulator's command engine, the
-//! kernel cost model and the GBRT regressor. These are the hot paths whose
-//! cost determines offline planning time (Table 4) and simulation throughput.
+//! Micro-benchmarks for the building blocks: the CP solver on an OPG window,
+//! the LC-OPG planner, the GPU simulator's command engine, the kernel cost
+//! model and the GBRT regressor. These are the hot paths whose cost
+//! determines offline planning time (Table 4) and simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
-
+use flashmem_bench::timing::{bench, group};
 use flashmem_core::opg::greedy_hint;
 use flashmem_core::{
     build_weight_window_model, CandidateSlot, FlashMem, FlashMemConfig, LcOpgSolver,
@@ -17,7 +15,7 @@ use flashmem_graph::ModelZoo;
 use flashmem_profiler::{GbrtConfig, GbrtModel, KernelSample, KernelSampler, SamplingConfig};
 use flashmem_solver::{CpSolver, SolverConfig};
 
-fn bench_solver_window(c: &mut Criterion) {
+fn bench_solver_window() {
     let config = FlashMemConfig::memory_priority();
     let candidates: Vec<CandidateSlot> = (0..24)
         .map(|k| CandidateSlot {
@@ -31,43 +29,33 @@ fn bench_solver_window(c: &mut Criterion) {
     let solver = CpSolver::with_config(SolverConfig::with_time_limit_ms(
         config.solver_time_limit_ms,
     ));
-    let mut group = c.benchmark_group("solver");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(5));
-    group.bench_function("opg_window_solve_24_candidates", |b| {
-        b.iter(|| {
-            let window = build_weight_window_model(25, 40, &candidates, &config);
-            let hint = greedy_hint(&window);
-            solver.solve_with_hint(&window.model, Some(&hint))
-        })
+    group("solver");
+    bench("opg_window_solve_24_candidates", 10, || {
+        let window = build_weight_window_model(25, 40, &candidates, &config);
+        let hint = greedy_hint(&window);
+        solver.solve_with_hint(&window.model, Some(&hint))
     });
-    group.finish();
 }
 
-fn bench_lc_opg_plan(c: &mut Criterion) {
+fn bench_lc_opg_plan() {
     let graph = ModelZoo::gptneo_small().build();
     let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
-    let mut group = c.benchmark_group("planner");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(10));
-    group.bench_function("lc_opg_plan_gptneo_small", |b| b.iter(|| solver.plan(&graph)));
-    group.finish();
+    group("planner");
+    bench("lc_opg_plan_gptneo_small", 5, || solver.plan(&graph));
 }
 
-fn bench_end_to_end_run(c: &mut Criterion) {
+fn bench_end_to_end_run() {
     let model = ModelZoo::vit();
     let runtime =
         FlashMem::new(DeviceSpec::oneplus_12()).with_config(FlashMemConfig::memory_priority());
     let compiled = runtime.compile(model.graph());
-    let mut group = c.benchmark_group("runtime");
-    group.sample_size(10);
-    group.bench_function("flashmem_execute_vit_precompiled", |b| {
-        b.iter(|| runtime.run_compiled(model.graph(), &compiled).unwrap())
+    group("runtime");
+    bench("flashmem_execute_vit_precompiled", 10, || {
+        runtime.run_compiled(model.graph(), &compiled).unwrap()
     });
-    group.finish();
 }
 
-fn bench_simulator_engine(c: &mut Criterion) {
+fn bench_simulator_engine() {
     let device = DeviceSpec::oneplus_12();
     let mut stream = CommandStream::new();
     let mut prev = None;
@@ -90,32 +78,24 @@ fn bench_simulator_engine(c: &mut Criterion) {
         ));
         prev = Some(stream.push(Command::kernel(&format!("k{i}"), kernel, 0, &[t])));
     }
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(5));
-    group.bench_function("simulator_500_kernels_500_transfers", |b| {
-        b.iter_batched(
-            || GpuSimulator::new(device.clone(), SimConfig::default()),
-            |mut sim| sim.execute(&stream).unwrap(),
-            BatchSize::SmallInput,
-        )
+    group("simulator");
+    bench("simulator_500_kernels_500_transfers", 20, || {
+        let mut sim = GpuSimulator::new(device.clone(), SimConfig::default());
+        sim.execute(&stream).unwrap()
     });
-    group.finish();
 }
 
-fn bench_kernel_cost_model(c: &mut Criterion) {
+fn bench_kernel_cost_model() {
     let cost = KernelCostModel::new(DeviceSpec::oneplus_12());
     let kernel = KernelDesc::new("mm", KernelCategory::Reusable, 4.0e9, 16 << 20, 4 << 20)
         .with_launch(LaunchDims::new([1024, 1024, 1], [8, 8, 1]));
-    let mut group = c.benchmark_group("cost_model");
-    group.measurement_time(Duration::from_secs(5));
-    group.bench_function("kernel_capacity_bisection", |b| {
-        b.iter(|| cost.max_extra_load_bytes(&kernel, 0.2))
+    group("cost_model");
+    bench("kernel_capacity_bisection", 100, || {
+        cost.max_extra_load_bytes(&kernel, 0.2)
     });
-    group.finish();
 }
 
-fn bench_gbrt_training(c: &mut Criterion) {
+fn bench_gbrt_training() {
     let samples = KernelSampler::new(
         DeviceSpec::oneplus_12(),
         SamplingConfig {
@@ -130,21 +110,17 @@ fn bench_gbrt_training(c: &mut Criterion) {
         n_trees: 30,
         ..Default::default()
     };
-    let mut group = c.benchmark_group("profiler");
-    group.sample_size(10);
-    group.bench_function("gbrt_fit_150_samples", |b| {
-        b.iter(|| GbrtModel::fit(&features, &targets, &config))
+    group("profiler");
+    bench("gbrt_fit_150_samples", 10, || {
+        GbrtModel::fit(&features, &targets, &config)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_solver_window,
-    bench_lc_opg_plan,
-    bench_end_to_end_run,
-    bench_simulator_engine,
-    bench_kernel_cost_model,
-    bench_gbrt_training
-);
-criterion_main!(benches);
+fn main() {
+    bench_solver_window();
+    bench_lc_opg_plan();
+    bench_end_to_end_run();
+    bench_simulator_engine();
+    bench_kernel_cost_model();
+    bench_gbrt_training();
+}

@@ -1,40 +1,26 @@
-//! Criterion benches: one bench per table/figure of the paper, running the
-//! reduced (`quick`) variant of each experiment so `cargo bench` completes in
-//! a reasonable time. The full tables are produced by the `src/bin/*`
-//! binaries (or `--bin all`).
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+//! Benches: one timing per table/figure of the paper, running the reduced
+//! (`quick`) variant of each experiment so `cargo bench` completes in a
+//! reasonable time. The full tables are produced by the `src/bin/*` binaries
+//! (or `--bin all`).
 
 use flashmem_bench::experiments::{
     fig10, fig2, fig4, fig6, fig7, fig8, fig9, table1, table4, table6, table7, table8, table9,
 };
+use flashmem_bench::timing::{bench, group};
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
-    group.warm_up_time(Duration::from_millis(500));
-    group
+fn main() {
+    group("experiments");
+    bench("table1_motivation", 3, || table1::run(true));
+    bench("fig2_overlap_sensitivity", 3, || fig2::run(true));
+    bench("table4_solver_breakdown", 3, || table4::run(true));
+    bench("fig4_profiler_regression", 3, || fig4::run(true));
+    bench("table6_model_zoo", 3, || table6::run(true));
+    bench("table7_latency", 3, || table7::run(true));
+    bench("table8_memory", 3, || table8::run(true));
+    bench("table9_energy", 3, || table9::run(true));
+    bench("fig6_multi_model", 3, || fig6::run(true));
+    bench("fig7_breakdown", 3, || fig7::run(true));
+    bench("fig8_tradeoff", 3, || fig8::run(true));
+    bench("fig9_naive_overlap", 3, || fig9::run(true));
+    bench("fig10_portability", 3, || fig10::run(true));
 }
-
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = configure(c);
-    group.bench_function("table1_motivation", |b| b.iter(|| table1::run(true)));
-    group.bench_function("fig2_overlap_sensitivity", |b| b.iter(|| fig2::run(true)));
-    group.bench_function("table4_solver_breakdown", |b| b.iter(|| table4::run(true)));
-    group.bench_function("fig4_profiler_regression", |b| b.iter(|| fig4::run(true)));
-    group.bench_function("table6_model_zoo", |b| b.iter(|| table6::run(true)));
-    group.bench_function("table7_latency", |b| b.iter(|| table7::run(true)));
-    group.bench_function("table8_memory", |b| b.iter(|| table8::run(true)));
-    group.bench_function("table9_energy", |b| b.iter(|| table9::run(true)));
-    group.bench_function("fig6_multi_model", |b| b.iter(|| fig6::run(true)));
-    group.bench_function("fig7_breakdown", |b| b.iter(|| fig7::run(true)));
-    group.bench_function("fig8_tradeoff", |b| b.iter(|| fig8::run(true)));
-    group.bench_function("fig9_naive_overlap", |b| b.iter(|| fig9::run(true)));
-    group.bench_function("fig10_portability", |b| b.iter(|| fig10::run(true)));
-    group.finish();
-}
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -4,11 +4,11 @@
 //! not paper figures; they document how sensitive the reproduction is to each
 //! choice (and they are cheap regression guards for the planner).
 
-use flashmem_core::FlashMemConfig;
+use flashmem_core::{EngineRegistry, FlashMemConfig, FlashMemVariant};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
-use crate::flashmem_report_with;
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// One ablation point.
@@ -43,23 +43,9 @@ fn model(quick: bool) -> ModelSpec {
     }
 }
 
-/// Run the ablation sweeps.
-pub fn run(quick: bool) -> Ablations {
-    let device = DeviceSpec::oneplus_12();
-    let model = model(quick);
-    let mut points = Vec::new();
-
-    let mut record = |knob: &str, value: String, config: FlashMemConfig| {
-        if let Some(report) = flashmem_report_with(&model, &device, config) {
-            points.push(AblationPoint {
-                knob: knob.to_string(),
-                value,
-                streamed_fraction: report.streamed_weight_fraction,
-                integrated_ms: report.integrated_latency_ms,
-                average_memory_mb: report.average_memory_mb,
-            });
-        }
-    };
+/// Build the `(knob, value, config)` sweep grid.
+fn sweep(quick: bool) -> Vec<(String, String, FlashMemConfig)> {
+    let mut grid = Vec::new();
 
     // Chunk size S.
     let chunk_sizes: &[u64] = if quick {
@@ -68,42 +54,90 @@ pub fn run(quick: bool) -> Ablations {
         &[64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024]
     };
     for &s in chunk_sizes {
-        record(
-            "chunk_bytes",
+        grid.push((
+            "chunk_bytes".to_string(),
             format!("{} KiB", s / 1024),
             FlashMemConfig::memory_priority().with_chunk_bytes(s),
-        );
+        ));
     }
 
     // λ (preload penalty weight).
-    let lambdas: &[f64] = if quick { &[0.1, 0.9] } else { &[0.1, 0.3, 0.5, 0.7, 0.9] };
+    let lambdas: &[f64] = if quick {
+        &[0.1, 0.9]
+    } else {
+        &[0.1, 0.3, 0.5, 0.7, 0.9]
+    };
     for &l in lambdas {
-        record(
-            "lambda",
+        grid.push((
+            "lambda".to_string(),
             format!("{l:.1}"),
             FlashMemConfig::memory_priority().with_lambda(l),
-        );
+        ));
     }
 
     // α (fusion split threshold).
-    let alphas: &[f64] = if quick { &[0.0, 1.0] } else { &[0.0, 0.25, 0.5, 1.0, 4.0] };
+    let alphas: &[f64] = if quick {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 1.0, 4.0]
+    };
     for &a in alphas {
-        record(
-            "alpha",
+        grid.push((
+            "alpha".to_string(),
             format!("{a:.2}"),
             FlashMemConfig::memory_priority().with_alpha(a),
-        );
+        ));
     }
 
     // Rolling-window length.
-    let windows: &[usize] = if quick { &[8, 32] } else { &[8, 16, 32, 64, 128] };
+    let windows: &[usize] = if quick {
+        &[8, 32]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
     for &w in windows {
-        record(
-            "window",
+        grid.push((
+            "window".to_string(),
             format!("{w}"),
             FlashMemConfig::memory_priority().with_window(w),
-        );
+        ));
     }
+    grid
+}
+
+/// Run the ablation sweeps.
+pub fn run(quick: bool) -> Ablations {
+    let model = model(quick);
+    let grid = sweep(quick);
+
+    // One FlashMem variant per grid point, labelled `knob=value`, swept
+    // through the shared matrix harness like any other engine line-up.
+    let mut registry = EngineRegistry::new();
+    for (knob, value, config) in &grid {
+        registry.register(Box::new(FlashMemVariant::new(
+            format!("{knob}={value}"),
+            config.clone(),
+        )));
+    }
+    let matrix = run_matrix(
+        &registry,
+        std::slice::from_ref(&model),
+        &[DeviceSpec::oneplus_12()],
+    );
+
+    let points = grid
+        .iter()
+        .filter_map(|(knob, value, _)| {
+            let report = matrix.report(&format!("{knob}={value}"), &model.abbr)?;
+            Some(AblationPoint {
+                knob: knob.clone(),
+                value: value.clone(),
+                streamed_fraction: report.streamed_weight_fraction,
+                integrated_ms: report.integrated_latency_ms,
+                average_memory_mb: report.average_memory_mb,
+            })
+        })
+        .collect();
 
     Ablations {
         model: model.abbr.clone(),
@@ -113,7 +147,11 @@ pub fn run(quick: bool) -> Ablations {
 
 impl std::fmt::Display for Ablations {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Ablation sweeps on {} (design-choice sensitivity)", self.model)?;
+        writeln!(
+            f,
+            "Ablation sweeps on {} (design-choice sensitivity)",
+            self.model
+        )?;
         let mut t = TextTable::new(&[
             "Knob",
             "Value",
@@ -157,8 +195,11 @@ mod tests {
     #[test]
     fn tiny_windows_stream_no_more_than_large_windows() {
         let result = run(true);
-        let windows: Vec<&AblationPoint> =
-            result.points.iter().filter(|p| p.knob == "window").collect();
+        let windows: Vec<&AblationPoint> = result
+            .points
+            .iter()
+            .filter(|p| p.knob == "window")
+            .collect();
         assert!(windows.len() >= 2);
         let small = windows.first().unwrap();
         let large = windows.last().unwrap();

@@ -2,11 +2,12 @@
 //! Mi 6 and Google Pixel 8. Preloading runs out of memory for GPT-Neo-1.3B on
 //! the 6–8 GB devices (the empty bars); FlashMem runs everywhere.
 
-use flashmem_baselines::{Framework, SmartMem};
+use flashmem_baselines::{flashmem_engine, SmartMem};
+use flashmem_core::EngineRegistry;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
-use crate::flashmem_report;
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// Result of one (device, model) cell.
@@ -51,27 +52,29 @@ fn models(quick: bool) -> Vec<ModelSpec> {
     if quick {
         vec![ModelZoo::vit(), ModelZoo::gptneo_1_3b()]
     } else {
-        vec![ModelZoo::sd_unet(), ModelZoo::gptneo_1_3b(), ModelZoo::vit()]
+        vec![
+            ModelZoo::sd_unet(),
+            ModelZoo::gptneo_1_3b(),
+            ModelZoo::vit(),
+        ]
     }
 }
 
 /// Run the Figure 10 experiment.
 pub fn run(quick: bool) -> Fig10 {
-    let smartmem = SmartMem::new();
+    let registry = EngineRegistry::new()
+        .with(flashmem_engine())
+        .with(Box::new(SmartMem::new()));
+    let devices = devices(quick);
+    let matrix = run_matrix(&registry, &models(quick), &devices);
+
     let mut cells = Vec::new();
-    for device in devices(quick) {
+    for device in &devices {
         for model in models(quick) {
-            let ours = flashmem_report(&model, &device);
-            let theirs = if smartmem.supports(&model) {
-                smartmem.run(&model, &device)
-            } else {
-                Err(flashmem_gpu_sim::SimError::InvalidParameter {
-                    message: "unsupported".into(),
-                })
-            };
-            let smartmem_oom = theirs.is_err();
-            let (latency_speedup, memory_saving) = match (&ours, &theirs) {
-                (Some(o), Ok(t)) => (
+            let ours = matrix.report_on("FlashMem", &model.abbr, &device.name);
+            let theirs = matrix.report_on("SmartMem", &model.abbr, &device.name);
+            let (latency_speedup, memory_saving) = match (ours, theirs) {
+                (Some(o), Some(t)) => (
                     Some(t.integrated_latency_ms / o.integrated_latency_ms),
                     Some(t.average_memory_mb / o.average_memory_mb),
                 ),
@@ -82,7 +85,7 @@ pub fn run(quick: bool) -> Fig10 {
                 model: model.abbr.clone(),
                 latency_speedup,
                 memory_saving,
-                smartmem_oom,
+                smartmem_oom: theirs.is_none(),
                 flashmem_ms: ours.map(|o| o.integrated_latency_ms),
             });
         }
@@ -117,7 +120,11 @@ impl std::fmt::Display for Fig10 {
                 c.memory_saving
                     .map(|v| format!("{v:.1}×"))
                     .unwrap_or_else(|| "–".into()),
-                if c.smartmem_oom { "OOM".into() } else { "ok".to_string() },
+                if c.smartmem_oom {
+                    "OOM".into()
+                } else {
+                    "ok".to_string()
+                },
             ]);
         }
         write!(f, "{t}")
@@ -145,7 +152,12 @@ mod tests {
         let fig = run(true);
         for cell in &fig.cells {
             if let Some(speedup) = cell.latency_speedup {
-                assert!(speedup > 1.0, "{} on {}: {speedup}", cell.model, cell.device);
+                assert!(
+                    speedup > 1.0,
+                    "{} on {}: {speedup}",
+                    cell.model,
+                    cell.device
+                );
             }
             if let Some(saving) = cell.memory_saving {
                 assert!(saving > 1.0);

@@ -2,11 +2,13 @@
 //! distinct models execute back to back, FlashMem (with a manual 1.5 GB cap)
 //! versus an MNN-style preloading framework.
 
-use flashmem_baselines::{Framework, FrameworkProfile, PreloadFramework};
-use flashmem_core::{FlashMemConfig, MultiModelRunner};
+use flashmem_baselines::{FrameworkProfile, PreloadFramework};
+use flashmem_core::{EngineRegistry, FlashMemConfig, MultiModelRunner};
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
+
+use crate::harness::run_matrix;
 
 /// A resampled memory-over-time series for one runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,16 +79,18 @@ pub fn run(quick: bool) -> Fig6 {
     };
 
     // MNN-style FIFO: each model is fully preloaded, executed and evicted.
-    let mnn_framework = PreloadFramework::new(FrameworkProfile::mnn());
+    // The per-invocation reports come from the shared matrix harness
+    // (unsupported models are simply absent); the FIFO stitching is the only
+    // experiment-specific part.
+    let registry =
+        EngineRegistry::new().with(Box::new(PreloadFramework::new(FrameworkProfile::mnn())));
+    let matrix = run_matrix(&registry, &models, std::slice::from_ref(&device));
     let mut stitched = MemoryTrace::new();
     let mut clock = 0.0;
     let mut peak: f64 = 0.0;
     for _ in 0..iterations {
         for model in &models {
-            if !mnn_framework.supports(model) {
-                continue;
-            }
-            if let Ok(report) = mnn_framework.run(model, &device) {
+            if let Some(report) = matrix.report("MNN", &model.abbr) {
                 stitched.append_shifted(&report.memory_trace, clock);
                 clock += report.integrated_latency_ms;
                 stitched.record(clock, 0);

@@ -2,12 +2,12 @@
 //! memory reduction over SmartMem when enabling the OPG solver, adaptive
 //! fusion and kernel rewriting one after another.
 
-use flashmem_baselines::{Framework, SmartMem};
-use flashmem_core::FlashMemConfig;
+use flashmem_baselines::SmartMem;
+use flashmem_core::{EngineRegistry, FlashMemConfig, FlashMemVariant, InferenceEngine};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
-use crate::flashmem_report_with;
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// Cumulative contribution of one optimization stage.
@@ -41,43 +41,54 @@ fn models(quick: bool) -> Vec<ModelSpec> {
     if quick {
         vec![ModelZoo::vit()]
     } else {
-        vec![ModelZoo::vit(), ModelZoo::sd_unet(), ModelZoo::gptneo_1_3b()]
+        vec![
+            ModelZoo::vit(),
+            ModelZoo::sd_unet(),
+            ModelZoo::gptneo_1_3b(),
+        ]
+    }
+}
+
+/// The cumulative optimization stages, in paper order.
+const STAGES: [&str; 3] = ["OPG-Solver", "Adaptive Fusion", "Kernel Rewriting"];
+
+fn stage_config(stage: &str) -> FlashMemConfig {
+    match stage {
+        "OPG-Solver" => FlashMemConfig::memory_priority()
+            .with_adaptive_fusion(false)
+            .with_kernel_rewriting(false),
+        "Adaptive Fusion" => FlashMemConfig::memory_priority().with_kernel_rewriting(false),
+        _ => FlashMemConfig::memory_priority(),
     }
 }
 
 /// Run the Figure 7 experiment.
 pub fn run(quick: bool) -> Fig7 {
-    let device = DeviceSpec::oneplus_12();
     let smartmem = SmartMem::new();
+    let mut registry = EngineRegistry::new().with(Box::new(SmartMem::new()));
+    for stage in STAGES {
+        registry.register(Box::new(FlashMemVariant::new(stage, stage_config(stage))));
+    }
+    let models = models(quick);
+    let matrix = run_matrix(&registry, &models, &[DeviceSpec::oneplus_12()]);
 
-    let stage_configs: [(&str, FlashMemConfig); 3] = [
-        (
-            "OPG-Solver",
-            FlashMemConfig::memory_priority()
-                .with_adaptive_fusion(false)
-                .with_kernel_rewriting(false),
-        ),
-        (
-            "Adaptive Fusion",
-            FlashMemConfig::memory_priority().with_kernel_rewriting(false),
-        ),
-        ("Kernel Rewriting", FlashMemConfig::memory_priority()),
-    ];
-
-    let breakdowns = models(quick)
-        .into_iter()
-        .filter(|m| smartmem.supports(m))
+    let breakdowns = models
+        .iter()
+        // Models SmartMem declares unsupported are skipped quietly; a
+        // *failed* run on a supported model is a broken baseline and panics.
+        .filter(|model| smartmem.supports(model))
         .map(|model| {
-            let reference = smartmem
-                .run(&model, &device)
+            let reference = matrix
+                .report("SmartMem", &model.abbr)
                 .expect("SmartMem runs the breakdown models");
-            let stages = stage_configs
+            let stages = STAGES
                 .iter()
-                .map(|(label, config)| {
-                    let ours = flashmem_report_with(&model, &device, config.clone())
+                .map(|stage| {
+                    let ours = matrix
+                        .report(stage, &model.abbr)
                         .expect("FlashMem runs the breakdown models");
                     StageContribution {
-                        stage: label.to_string(),
+                        stage: stage.to_string(),
                         speedup: reference.integrated_latency_ms / ours.integrated_latency_ms,
                         memory_reduction: reference.average_memory_mb / ours.average_memory_mb,
                     }

@@ -2,11 +2,11 @@
 //! latency: as more weights are preloaded (larger `M_peak`, smaller `λ`),
 //! execution latency falls but integrated latency and memory rise.
 
-use flashmem_core::FlashMemConfig;
+use flashmem_core::{EngineRegistry, FlashMemConfig, FlashMemVariant};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
-use crate::flashmem_report_with;
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// One point of a trade-off curve.
@@ -51,18 +51,36 @@ fn models(quick: bool) -> Vec<ModelSpec> {
     }
 }
 
-/// The configurations swept to move along the preload-ratio axis.
-fn sweep_configs(quick: bool) -> Vec<FlashMemConfig> {
+/// The configurations swept to move along the preload-ratio axis, as named
+/// FlashMem variants.
+fn sweep_configs(quick: bool) -> Vec<(&'static str, FlashMemConfig)> {
     let base = vec![
-        FlashMemConfig::memory_priority().with_m_peak_mib(256).with_lambda(0.95),
-        FlashMemConfig::memory_priority(),
-        FlashMemConfig::balanced(),
-        FlashMemConfig::latency_priority(),
-        FlashMemConfig::latency_priority().with_lambda(0.05).with_m_peak_mib(4_096),
-        FlashMemConfig::memory_priority().with_opg(false), // full preload
+        (
+            "aggressive-streaming",
+            FlashMemConfig::memory_priority()
+                .with_m_peak_mib(256)
+                .with_lambda(0.95),
+        ),
+        ("memory-priority", FlashMemConfig::memory_priority()),
+        ("balanced", FlashMemConfig::balanced()),
+        ("latency-priority", FlashMemConfig::latency_priority()),
+        (
+            "eager-preload",
+            FlashMemConfig::latency_priority()
+                .with_lambda(0.05)
+                .with_m_peak_mib(4_096),
+        ),
+        (
+            "full-preload",
+            FlashMemConfig::memory_priority().with_opg(false),
+        ),
     ];
     if quick {
-        vec![base[1].clone(), base[3].clone(), base[5].clone()]
+        base.into_iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(i, 1 | 3 | 5))
+            .map(|(_, c)| c)
+            .collect()
     } else {
         base
     }
@@ -70,14 +88,21 @@ fn sweep_configs(quick: bool) -> Vec<FlashMemConfig> {
 
 /// Run the Figure 8 experiment.
 pub fn run(quick: bool) -> Fig8 {
-    let device = DeviceSpec::oneplus_12();
-    let curves = models(quick)
-        .into_iter()
+    let configs = sweep_configs(quick);
+    let mut registry = EngineRegistry::new();
+    for (label, config) in &configs {
+        registry.register(Box::new(FlashMemVariant::new(*label, config.clone())));
+    }
+    let models = models(quick);
+    let matrix = run_matrix(&registry, &models, &[DeviceSpec::oneplus_12()]);
+
+    let curves = models
+        .iter()
         .map(|model| {
-            let mut points: Vec<TradeoffPoint> = sweep_configs(quick)
-                .into_iter()
-                .filter_map(|config| {
-                    let report = flashmem_report_with(&model, &device, config)?;
+            let mut points: Vec<TradeoffPoint> = configs
+                .iter()
+                .filter_map(|(label, _)| {
+                    let report = matrix.report(label, &model.abbr)?;
                     Some(TradeoffPoint {
                         preload_fraction: 1.0 - report.streamed_weight_fraction,
                         memory_mb: report.average_memory_mb,

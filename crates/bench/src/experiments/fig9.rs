@@ -1,11 +1,12 @@
 //! Figure 9 — FlashMem versus the naive overlap strategies (Always-Next
 //! Loading and Same-Op-Type Prefetching).
 
-use flashmem_baselines::{Framework, NaiveOverlap};
+use flashmem_baselines::{flashmem_engine, NaiveOverlap};
+use flashmem_core::EngineRegistry;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
-use crate::flashmem_report;
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// Speedups of FlashMem over the two strawmen for one model.
@@ -45,18 +46,23 @@ fn models(quick: bool) -> Vec<ModelSpec> {
 
 /// Run the Figure 9 experiment.
 pub fn run(quick: bool) -> Fig9 {
-    let device = DeviceSpec::oneplus_12();
-    let always_next = NaiveOverlap::always_next();
-    let same_op = NaiveOverlap::same_op_type();
-    let rows = models(quick)
-        .into_iter()
+    let registry = EngineRegistry::new()
+        .with(flashmem_engine())
+        .with(Box::new(NaiveOverlap::always_next()))
+        .with(Box::new(NaiveOverlap::same_op_type()));
+    let models = models(quick);
+    let matrix = run_matrix(&registry, &models, &[DeviceSpec::oneplus_12()]);
+    let rows = models
+        .iter()
         .map(|model| {
-            let ours = flashmem_report(&model, &device).expect("FlashMem runs every model");
-            let an = always_next
-                .run(&model, &device)
+            let ours = matrix
+                .report("FlashMem", &model.abbr)
+                .expect("FlashMem runs every model");
+            let an = matrix
+                .report("Always-Next", &model.abbr)
                 .expect("Always-Next runs every model");
-            let so = same_op
-                .run(&model, &device)
+            let so = matrix
+                .report("Same-Op-Type", &model.abbr)
                 .expect("Same-Op-Type runs every model");
             Fig9Row {
                 model: model.abbr.clone(),
@@ -102,7 +108,12 @@ mod tests {
         let fig = run(true);
         assert_eq!(fig.rows.len(), 2);
         for r in &fig.rows {
-            assert!(r.speedup_vs_same_op > 1.0, "{}: {}", r.model, r.speedup_vs_same_op);
+            assert!(
+                r.speedup_vs_same_op > 1.0,
+                "{}: {}",
+                r.model,
+                r.speedup_vs_same_op
+            );
             assert!(
                 r.speedup_vs_always_next > 1.0,
                 "{}: {}",

@@ -3,11 +3,11 @@
 //! load / transform / inference phases.
 
 use flashmem_baselines::{FrameworkProfile, PreloadFramework};
-use flashmem_gpu_sim::engine::{GpuSimulator, SimConfig};
-use flashmem_gpu_sim::trace::EventKind;
+use flashmem_core::EngineRegistry;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
+use crate::harness::run_matrix;
 use crate::table::TextTable;
 
 /// One row of Table 1.
@@ -51,22 +51,24 @@ fn models(quick: bool) -> Vec<ModelSpec> {
 
 /// Run the Table 1 experiment.
 pub fn run(quick: bool) -> Table1 {
-    let device = DeviceSpec::oneplus_12();
-    let mnn = PreloadFramework::new(FrameworkProfile::mnn());
-    let rows = models(quick)
-        .into_iter()
+    let registry =
+        EngineRegistry::new().with(Box::new(PreloadFramework::new(FrameworkProfile::mnn())));
+    let models = models(quick);
+    let matrix = run_matrix(&registry, &models, &[DeviceSpec::oneplus_12()]);
+    let rows = models
+        .iter()
         .map(|model| {
-            let stream = mnn.compile(model.graph());
-            let mut sim = GpuSimulator::new(device.clone(), SimConfig::default());
-            let outcome = sim.execute(&stream).expect("flagship fits the motivation models");
+            let report = matrix
+                .report("MNN", &model.abbr)
+                .expect("flagship fits the motivation models");
             Table1Row {
                 model: model.abbr.clone(),
                 params_m: model.params_m(),
-                peak_memory_mb: outcome.peak_memory_mib(),
-                average_memory_mb: outcome.average_memory_mib(),
-                load_ms: outcome.timeline.busy_ms(EventKind::Transfer),
-                transform_ms: outcome.timeline.busy_ms(EventKind::Transform),
-                infer_ms: outcome.timeline.busy_ms(EventKind::Kernel),
+                peak_memory_mb: report.peak_memory_mb,
+                average_memory_mb: report.average_memory_mb,
+                load_ms: report.load_busy_ms,
+                transform_ms: report.transform_busy_ms,
+                infer_ms: report.kernel_busy_ms,
             }
         })
         .collect();
@@ -117,7 +119,11 @@ mod tests {
         assert!(r.load_ms + r.transform_ms > r.infer_ms);
         assert!(r.peak_memory_mb >= r.average_memory_mb);
         // Peak memory is well above the raw weight size (redundant copies).
-        assert!(r.peak_memory_mb > 1.2 * ModelZoo::gptneo_small().graph().total_weight_bytes() as f64 / (1024.0 * 1024.0));
+        assert!(
+            r.peak_memory_mb
+                > 1.2 * ModelZoo::gptneo_small().graph().total_weight_bytes() as f64
+                    / (1024.0 * 1024.0)
+        );
         let text = result.to_string();
         assert!(text.contains("GPTN-S"));
     }

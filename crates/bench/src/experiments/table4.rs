@@ -143,6 +143,9 @@ mod tests {
         let total = |r: &Table4Row| r.process_nodes + r.build_model + r.solve_model;
         // ViT has more weights to schedule than GPT-Neo-S (more blocks).
         assert!(vit.nodes > small.nodes);
-        assert!(total(vit) >= total(small) / 4, "planner time not absurdly inverted");
+        assert!(
+            total(vit) >= total(small) / 4,
+            "planner time not absurdly inverted"
+        );
     }
 }

@@ -76,7 +76,11 @@ mod tests {
         assert_eq!(table.rows.len(), 11);
         for r in &table.rows {
             let param_dev = (r.params_m.0 - r.params_m.1).abs() / r.params_m.1;
-            assert!(param_dev < 0.35, "{}: params deviate {param_dev:.2}", r.abbr);
+            assert!(
+                param_dev < 0.35,
+                "{}: params deviate {param_dev:.2}",
+                r.abbr
+            );
         }
         let text = table.to_string();
         assert!(text.contains("SD-UNet"));

@@ -5,11 +5,12 @@
 //! FlashMem, and the speedups of FlashMem over SmartMem (the research
 //! prototype) and over the best of the remaining frameworks, plus geo-means.
 
-use flashmem_core::{geo_mean, ExecutionReport};
+use flashmem_core::{geo_mean, ExecutionReport, FrameworkKind};
 use flashmem_gpu_sim::DeviceSpec;
 
+use crate::harness::{comparison_registry, run_matrix};
 use crate::table::TextTable;
-use crate::{baseline_reports, evaluated_models, flashmem_report, fmt_ms, fmt_ratio};
+use crate::{evaluated_models, fmt_ms, fmt_ratio};
 
 /// Per-framework latency cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,27 +59,34 @@ pub struct Table7 {
 
 /// Run the Table 7 experiment.
 pub fn run(quick: bool) -> Table7 {
-    let device = DeviceSpec::oneplus_12();
     let models = evaluated_models(quick);
+    let matrix = run_matrix(&comparison_registry(), &models, &[DeviceSpec::oneplus_12()]);
+
     let mut rows = Vec::new();
     let mut per_framework_ratios: Vec<(String, Vec<f64>)> = Vec::new();
-
     for model in &models {
-        let ours = flashmem_report(model, &device)
+        let ours = matrix
+            .report("FlashMem", &model.abbr)
             .expect("FlashMem supports every evaluated model on the flagship");
-        let baselines = baseline_reports(model, &device);
+        let baselines: Vec<&crate::MatrixCell> = matrix
+            .cells_for_model(&model.abbr)
+            .filter(|c| c.kind != FrameworkKind::FlashMem)
+            .collect();
         let mut cells = Vec::new();
-        for (name, report) in &baselines {
+        for cell in &baselines {
             cells.push(LatencyCell {
-                framework: name.clone(),
-                init_ms: report.as_ref().map(|r| r.init_latency_ms),
-                exec_ms: report.as_ref().map(|r| r.exec_latency_ms),
+                framework: cell.engine.clone(),
+                init_ms: cell.report.as_ref().map(|r| r.init_latency_ms),
+                exec_ms: cell.report.as_ref().map(|r| r.exec_latency_ms),
             });
-            if let Some(r) = report {
+            if let Some(r) = &cell.report {
                 let ratio = r.integrated_latency_ms / ours.integrated_latency_ms;
-                match per_framework_ratios.iter_mut().find(|(n, _)| n == name) {
+                match per_framework_ratios
+                    .iter_mut()
+                    .find(|(n, _)| *n == cell.engine)
+                {
                     Some((_, v)) => v.push(ratio),
-                    None => per_framework_ratios.push((name.clone(), vec![ratio])),
+                    None => per_framework_ratios.push((cell.engine.clone(), vec![ratio])),
                 }
             }
         }
@@ -87,12 +95,12 @@ pub fn run(quick: bool) -> Table7 {
         };
         let smartmem = baselines
             .iter()
-            .find(|(n, _)| n == "SmartMem")
-            .and_then(|(_, r)| r.as_ref());
+            .find(|c| c.kind == FrameworkKind::SmartMem)
+            .and_then(|c| c.report.as_ref());
         let best_other = baselines
             .iter()
-            .filter(|(n, _)| n != "SmartMem")
-            .filter_map(|(_, r)| r.as_ref())
+            .filter(|c| c.kind != FrameworkKind::SmartMem)
+            .filter_map(|c| c.report.as_ref())
             .min_by(|a, b| {
                 a.integrated_latency_ms
                     .partial_cmp(&b.integrated_latency_ms)

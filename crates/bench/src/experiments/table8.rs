@@ -1,11 +1,12 @@
 //! Table 8 — average memory consumption comparison and the memory-reduction
 //! factor over SmartMem (Mem-ReDT), plus geo-mean reductions per framework.
 
-use flashmem_core::geo_mean;
+use flashmem_core::{geo_mean, FrameworkKind};
 use flashmem_gpu_sim::DeviceSpec;
 
+use crate::harness::{comparison_registry, run_matrix};
 use crate::table::TextTable;
-use crate::{baseline_reports, evaluated_models, flashmem_report, fmt_ms, fmt_ratio};
+use crate::{evaluated_models, fmt_ms, fmt_ratio};
 
 /// One row (model) of Table 8.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,26 +32,30 @@ pub struct Table8 {
 
 /// Run the Table 8 experiment.
 pub fn run(quick: bool) -> Table8 {
-    let device = DeviceSpec::oneplus_12();
     let models = evaluated_models(quick);
+    let matrix = run_matrix(&comparison_registry(), &models, &[DeviceSpec::oneplus_12()]);
     let mut rows = Vec::new();
     let mut per_framework: Vec<(String, Vec<f64>)> = Vec::new();
 
     for model in &models {
-        let ours = flashmem_report(model, &device).expect("FlashMem runs every model");
-        let baselines = baseline_reports(model, &device);
+        let ours = matrix
+            .report("FlashMem", &model.abbr)
+            .expect("FlashMem runs every model");
         let mut cells = Vec::new();
         let mut reduction_vs_smartmem = None;
-        for (name, report) in &baselines {
-            let mb = report.as_ref().map(|r| r.average_memory_mb);
-            cells.push((name.clone(), mb));
+        for cell in matrix
+            .cells_for_model(&model.abbr)
+            .filter(|c| c.kind != FrameworkKind::FlashMem)
+        {
+            let mb = cell.report.as_ref().map(|r| r.average_memory_mb);
+            cells.push((cell.engine.clone(), mb));
             if let Some(mb) = mb {
                 let ratio = mb / ours.average_memory_mb;
-                match per_framework.iter_mut().find(|(n, _)| n == name) {
+                match per_framework.iter_mut().find(|(n, _)| *n == cell.engine) {
                     Some((_, v)) => v.push(ratio),
-                    None => per_framework.push((name.clone(), vec![ratio])),
+                    None => per_framework.push((cell.engine.clone(), vec![ratio])),
                 }
-                if name == "SmartMem" {
+                if cell.kind == FrameworkKind::SmartMem {
                     reduction_vs_smartmem = Some(ratio);
                 }
             }
@@ -95,7 +100,10 @@ impl std::fmt::Display for Table8 {
             t.row(&cells);
         }
         writeln!(f, "{t}")?;
-        writeln!(f, "Geo-mean memory reduction of FlashMem over each framework:")?;
+        writeln!(
+            f,
+            "Geo-mean memory reduction of FlashMem over each framework:"
+        )?;
         for (name, ratio) in &self.geo_mean_reductions {
             writeln!(f, "  {name:<12} {ratio:.1}×")?;
         }
@@ -143,6 +151,11 @@ mod tests {
                 .and_then(|r| r.reduction_vs_smartmem)
                 .unwrap()
         };
-        assert!(get("ViT") > get("ResNet"), "ViT {} vs ResNet {}", get("ViT"), get("ResNet"));
+        assert!(
+            get("ViT") > get("ResNet"),
+            "ViT {} vs ResNet {}",
+            get("ViT"),
+            get("ResNet")
+        );
     }
 }

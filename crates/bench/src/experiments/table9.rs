@@ -4,8 +4,8 @@
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 
+use crate::harness::{comparison_registry, run_matrix};
 use crate::table::TextTable;
-use crate::{baseline_reports, flashmem_report};
 
 /// Power/energy of one framework on one model.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,47 +37,34 @@ fn models(quick: bool) -> Vec<ModelSpec> {
 
 /// Run the Table 9 experiment.
 pub fn run(quick: bool) -> Table9 {
-    let device = DeviceSpec::oneplus_12();
     let model_specs = models(quick);
     let model_names: Vec<String> = model_specs.iter().map(|m| m.abbr.clone()).collect();
+    let matrix = run_matrix(
+        &comparison_registry(),
+        &model_specs,
+        &[DeviceSpec::oneplus_12()],
+    );
 
-    // Collect per framework: baselines + FlashMem.
-    let mut rows: Vec<(String, Vec<PowerCell>)> = Vec::new();
-    for (idx, model) in model_specs.iter().enumerate() {
-        let ours = flashmem_report(model, &device).expect("FlashMem runs the model");
-        let mut add = |name: &str, power: Option<f64>, energy: Option<f64>| {
-            let cell = PowerCell {
-                framework: name.to_string(),
-                power_w: power,
-                energy_j: energy,
-            };
-            match rows.iter_mut().find(|(n, _)| n == name) {
-                Some((_, cells)) => cells.push(cell),
-                None => {
-                    // Pad earlier models with empty cells if this framework
-                    // appears for the first time mid-way.
-                    let mut cells = vec![
-                        PowerCell {
-                            framework: name.to_string(),
-                            power_w: None,
-                            energy_j: None,
-                        };
-                        idx
-                    ];
-                    cells.push(cell);
-                    rows.push((name.to_string(), cells));
-                }
-            }
-        };
-        for (name, report) in baseline_reports(model, &device) {
-            add(
-                &name,
-                report.as_ref().map(|r| r.average_power_w),
-                report.as_ref().map(|r| r.energy_j),
-            );
-        }
-        add("FlashMem", Some(ours.average_power_w), Some(ours.energy_j));
-    }
+    // One row per engine, one cell per model column — straight out of the
+    // matrix; unsupported combinations stay `None` ("–").
+    let rows = matrix
+        .engine_names()
+        .into_iter()
+        .map(|engine| {
+            let cells = model_names
+                .iter()
+                .map(|model| {
+                    let report = matrix.report(&engine, model);
+                    PowerCell {
+                        framework: engine.clone(),
+                        power_w: report.map(|r| r.average_power_w),
+                        energy_j: report.map(|r| r.energy_j),
+                    }
+                })
+                .collect();
+            (engine, cells)
+        })
+        .collect();
     Table9 {
         models: model_names,
         rows,

@@ -1,0 +1,200 @@
+//! The shared engine × model × device sweep harness.
+//!
+//! Every comparison experiment in this crate used to wire its frameworks by
+//! hand; they now assemble an [`EngineRegistry`] and call [`run_matrix`],
+//! which produces one [`MatrixCell`] per combination. Unsupported models and
+//! simulator failures (most importantly out-of-memory on small devices) are
+//! recorded as `None` reports — the "–" cells and empty bars of the paper's
+//! tables and figures.
+
+use flashmem_baselines::{baseline_registry, flashmem_engine};
+use flashmem_core::engine::{run_or_dash, EngineRegistry, FrameworkKind};
+use flashmem_core::ExecutionReport;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::ModelSpec;
+
+/// Result of one engine on one model on one device.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Engine display name (distinguishes config variants of one kind).
+    pub engine: String,
+    /// Engine identity.
+    pub kind: FrameworkKind,
+    /// Model abbreviation.
+    pub model: String,
+    /// Device name.
+    pub device: String,
+    /// The run's report; `None` when the engine does not support the model
+    /// or the simulator failed (out-of-memory).
+    pub report: Option<ExecutionReport>,
+}
+
+/// The full sweep result, with lookup helpers shaped after how the
+/// experiment drivers consume it.
+#[derive(Debug, Clone, Default)]
+pub struct BenchMatrix {
+    /// All cells, ordered device-major, then model, then engine in
+    /// registration order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl BenchMatrix {
+    /// The report of `engine` (by display name) on `model`, on the sweep's
+    /// first device.
+    pub fn report(&self, engine: &str, model: &str) -> Option<&ExecutionReport> {
+        self.cells
+            .iter()
+            .find(|c| c.engine == engine && c.model == model)
+            .and_then(|c| c.report.as_ref())
+    }
+
+    /// The report of `engine` on `model` on a specific `device`.
+    pub fn report_on(&self, engine: &str, model: &str, device: &str) -> Option<&ExecutionReport> {
+        self.cell_on(engine, model, device)
+            .and_then(|c| c.report.as_ref())
+    }
+
+    /// The cell (present even for failed runs) of `engine` on `model` on
+    /// `device`.
+    pub fn cell_on(&self, engine: &str, model: &str, device: &str) -> Option<&MatrixCell> {
+        self.cells
+            .iter()
+            .find(|c| c.engine == engine && c.model == model && c.device == device)
+    }
+
+    /// The report of the first engine of `kind` on `model` (first device).
+    pub fn report_by_kind(&self, kind: FrameworkKind, model: &str) -> Option<&ExecutionReport> {
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind && c.model == model)
+            .and_then(|c| c.report.as_ref())
+    }
+
+    /// All cells of one model on the sweep's first device, in engine
+    /// registration order.
+    pub fn cells_for_model<'a>(&'a self, model: &'a str) -> impl Iterator<Item = &'a MatrixCell> {
+        // Cells are device-major, so the first cell carries the first device.
+        let first_device = self.cells.first().map(|c| c.device.as_str());
+        self.cells
+            .iter()
+            .filter(move |c| c.model == model && Some(c.device.as_str()) == first_device)
+    }
+
+    /// All cells of one engine (by display name), in sweep order.
+    pub fn cells_for_engine<'a>(&'a self, engine: &'a str) -> impl Iterator<Item = &'a MatrixCell> {
+        self.cells.iter().filter(move |c| c.engine == engine)
+    }
+
+    /// Engine display names, in registration order.
+    pub fn engine_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for cell in &self.cells {
+            if !names.contains(&cell.engine) {
+                names.push(cell.engine.clone());
+            }
+        }
+        names
+    }
+
+    /// Model abbreviations, in sweep order.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for cell in &self.cells {
+            if !names.contains(&cell.model) {
+                names.push(cell.model.clone());
+            }
+        }
+        names
+    }
+
+    /// Device names, in sweep order.
+    pub fn device_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for cell in &self.cells {
+            if !names.contains(&cell.device) {
+                names.push(cell.device.clone());
+            }
+        }
+        names
+    }
+}
+
+/// Run every registered engine on every model on every device.
+///
+/// This is the uniform sweep behind Tables 1/7/8/9, Figures 6/7/8/9/10 and
+/// the ablation sweeps: one loop, no per-framework branches. Cells are
+/// ordered device-major, then by model, then by engine registration order.
+pub fn run_matrix(
+    engines: &EngineRegistry,
+    models: &[ModelSpec],
+    devices: &[DeviceSpec],
+) -> BenchMatrix {
+    let mut cells = Vec::with_capacity(engines.len() * models.len() * devices.len());
+    for device in devices {
+        for model in models {
+            for engine in engines.iter() {
+                cells.push(MatrixCell {
+                    engine: engine.name(),
+                    kind: engine.kind(),
+                    model: model.abbr.clone(),
+                    device: device.name.clone(),
+                    report: run_or_dash(engine, model, device),
+                });
+            }
+        }
+    }
+    BenchMatrix { cells }
+}
+
+/// The registry behind Tables 7/8/9: the six preloading baselines in table
+/// order, then FlashMem with the paper's memory-priority configuration.
+pub fn comparison_registry() -> EngineRegistry {
+    let mut registry = baseline_registry();
+    registry.register(flashmem_engine());
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    #[test]
+    fn matrix_covers_the_full_cross_product() {
+        let registry = comparison_registry();
+        let models = [ModelZoo::resnet50()];
+        let devices = [DeviceSpec::oneplus_12()];
+        let matrix = run_matrix(&registry, &models, &devices);
+        assert_eq!(matrix.cells.len(), registry.len());
+        assert_eq!(matrix.engine_names().len(), 7);
+        assert_eq!(matrix.model_names(), vec!["ResNet".to_string()]);
+        assert_eq!(matrix.device_names().len(), 1);
+        // Every baseline supports ResNet-50, so no cell is a dash.
+        assert!(matrix.cells.iter().all(|c| c.report.is_some()));
+    }
+
+    #[test]
+    fn unsupported_models_become_dashes_not_errors() {
+        let registry = comparison_registry();
+        // NCNN has no GPU LayerNorm, so ViT is a dash for it.
+        let matrix = run_matrix(&registry, &[ModelZoo::vit()], &[DeviceSpec::oneplus_12()]);
+        assert!(matrix.report("NCNN", "ViT").is_none());
+        assert!(matrix.report("FlashMem", "ViT").is_some());
+        assert!(matrix
+            .report_by_kind(FrameworkKind::SmartMem, "ViT")
+            .is_some());
+    }
+
+    #[test]
+    fn lookups_distinguish_devices() {
+        let registry = EngineRegistry::new().with(super::flashmem_engine());
+        let devices = [DeviceSpec::oneplus_12(), DeviceSpec::xiaomi_mi_6()];
+        let matrix = run_matrix(&registry, &[ModelZoo::gptneo_small()], &devices);
+        assert_eq!(matrix.cells.len(), 2);
+        let flagship = matrix
+            .report_on("FlashMem", "GPTN-S", &devices[0].name)
+            .expect("runs on the flagship");
+        assert!(flagship.integrated_latency_ms > 0.0);
+        assert_eq!(matrix.device_names().len(), 2);
+    }
+}

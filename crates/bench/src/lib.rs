@@ -3,11 +3,13 @@
 //! The experiment harness that regenerates every table and figure of the
 //! FlashMem paper's evaluation (Section 5) on the simulated mobile GPU.
 //!
-//! Each experiment lives in [`experiments`] as a module exposing
+//! Comparison experiments assemble an
+//! [`EngineRegistry`](flashmem_core::EngineRegistry) and sweep it through
+//! [`harness::run_matrix`]; each experiment module in [`experiments`] exposes
 //! `run(quick) -> <Result>` plus a `Display` implementation that prints the
 //! same rows/series the paper reports. The `src/bin/` binaries print the full
-//! tables; the Criterion benches exercise reduced (`quick = true`) variants so
-//! `cargo bench` finishes in reasonable time.
+//! tables; the `benches/` binaries exercise reduced (`quick = true`) variants
+//! so `cargo bench` finishes in reasonable time.
 //!
 //! Absolute numbers come from a simulator, not the authors' phones; the
 //! claim being reproduced is the *shape* of each result (who wins, by roughly
@@ -17,61 +19,28 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
+pub mod timing;
 
-use flashmem_baselines::{Framework, PreloadFramework};
-use flashmem_core::{ExecutionReport, FlashMem, FlashMemConfig};
-use flashmem_gpu_sim::DeviceSpec;
+pub use harness::{comparison_registry, run_matrix, BenchMatrix, MatrixCell};
+
 use flashmem_graph::{ModelSpec, ModelZoo};
 
 /// The models used by a sweep.
 ///
 /// `quick = true` restricts sweeps to three small models so unit tests and
-/// Criterion benches stay fast; `quick = false` uses the full Table 6 zoo.
+/// the bench binaries stay fast; `quick = false` uses the full Table 6 zoo.
 pub fn evaluated_models(quick: bool) -> Vec<ModelSpec> {
     if quick {
-        vec![ModelZoo::gptneo_small(), ModelZoo::resnet50(), ModelZoo::vit()]
+        vec![
+            ModelZoo::gptneo_small(),
+            ModelZoo::resnet50(),
+            ModelZoo::vit(),
+        ]
     } else {
         ModelZoo::all_evaluated()
     }
-}
-
-/// Run FlashMem on a model with the paper's memory-priority configuration.
-/// Returns `None` if the device runs out of memory (used for the Figure 10
-/// "empty bar" cells).
-pub fn flashmem_report(model: &ModelSpec, device: &DeviceSpec) -> Option<ExecutionReport> {
-    flashmem_report_with(model, device, FlashMemConfig::memory_priority())
-}
-
-/// Run FlashMem on a model with an explicit configuration.
-pub fn flashmem_report_with(
-    model: &ModelSpec,
-    device: &DeviceSpec,
-    config: FlashMemConfig,
-) -> Option<ExecutionReport> {
-    FlashMem::new(device.clone())
-        .with_config(config)
-        .run(model)
-        .ok()
-}
-
-/// Run every baseline framework of Tables 7/8 on a model. Unsupported models
-/// and out-of-memory runs yield `None` (rendered as "–").
-pub fn baseline_reports(
-    model: &ModelSpec,
-    device: &DeviceSpec,
-) -> Vec<(String, Option<ExecutionReport>)> {
-    PreloadFramework::all_baselines()
-        .iter()
-        .map(|fw| {
-            let report = if fw.supports(model) {
-                fw.run(model, device).ok()
-            } else {
-                None
-            };
-            (fw.name().to_string(), report)
-        })
-        .collect()
 }
 
 /// Format an optional millisecond figure, rendering `None` as the paper's "–".
@@ -93,6 +62,7 @@ pub fn fmt_ratio(value: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flashmem_gpu_sim::DeviceSpec;
 
     #[test]
     fn quick_model_set_is_small_and_full_set_is_table_6() {
@@ -110,14 +80,16 @@ mod tests {
     }
 
     #[test]
-    fn flashmem_and_baselines_produce_reports_for_a_small_model() {
+    fn comparison_registry_produces_reports_for_a_small_model() {
         let device = DeviceSpec::oneplus_12();
         let model = ModelZoo::resnet50();
-        let ours = flashmem_report(&model, &device).expect("flashmem runs resnet");
+        let matrix = run_matrix(&comparison_registry(), &[model], &[device]);
+        // Six baselines + FlashMem, and every one of them supports ResNet-50.
+        assert_eq!(matrix.cells.len(), 7);
+        assert!(matrix.cells.iter().all(|c| c.report.is_some()));
+        let ours = matrix
+            .report("FlashMem", "ResNet")
+            .expect("flashmem runs resnet");
         assert!(ours.integrated_latency_ms > 0.0);
-        let baselines = baseline_reports(&model, &device);
-        assert_eq!(baselines.len(), 6);
-        // Every baseline supports ResNet-50.
-        assert!(baselines.iter().all(|(_, r)| r.is_some()));
     }
 }

@@ -1,0 +1,38 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! Criterion is unavailable offline, so the `benches/` targets are plain
+//! `harness = false` binaries built on this module: warm up once, time a
+//! fixed number of iterations, print mean and best. The numbers are
+//! indicative (no outlier rejection or statistical analysis) — good enough
+//! to catch order-of-magnitude regressions in the planner and simulator hot
+//! paths.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `iters` runs of `f` (after one warm-up run) and print a summary line
+/// under `name`.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    black_box(f());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(elapsed_ms);
+        total += elapsed_ms;
+    }
+    println!(
+        "{name:<45} mean {:>9.3} ms   best {:>9.3} ms   ({iters} iters)",
+        total / iters as f64,
+        best
+    );
+}
+
+/// Print a group header, mirroring Criterion's `benchmark_group` output
+/// structure so the bench logs stay scannable.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -235,7 +235,10 @@ impl StreamingExecutor {
                     let transform = stream.push(Command::transform(
                         &format!("{name}.repack@{kernel_idx}"),
                         assignment.bytes + overhead_bytes,
-                        self.options.weight_layout.transform_traffic_factor().max(1.0),
+                        self.options
+                            .weight_layout
+                            .transform_traffic_factor()
+                            .max(1.0),
                         QueueKind::Compute,
                         &chunk_deps,
                     ));
@@ -347,14 +350,10 @@ mod tests {
     use crate::lc_opg::{LcOpgSolver, PlannerMode};
     use flashmem_graph::{ModelZoo, WeightInventory};
 
-    fn plan_for(
-        graph: &Graph,
-        mode: PlannerMode,
-    ) -> (FusionPlan, OverlapPlan) {
+    fn plan_for(graph: &Graph, mode: PlannerMode) -> (FusionPlan, OverlapPlan) {
         let config = FlashMemConfig::memory_priority();
         let fusion = FusionPlan::default_fusion(graph);
-        let solver =
-            LcOpgSolver::new(DeviceSpec::oneplus_12(), config).with_mode(mode);
+        let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), config).with_mode(mode);
         let capacities = flashmem_profiler::CapacityProfiler::new(DeviceSpec::oneplus_12())
             .with_options(LoweringOptions::flashmem())
             .capacities(graph, &fusion);
@@ -445,7 +444,10 @@ mod tests {
         // Xiaomi Mi 6's app budget — the "no framework supports it" case.
         let graph = ModelZoo::gptneo_2_7b().build();
         let (fusion, plan) = plan_for(&graph, PlannerMode::FullPreload);
-        let exec = StreamingExecutor::new(DeviceSpec::xiaomi_mi_6(), LoweringOptions::texture_framework());
+        let exec = StreamingExecutor::new(
+            DeviceSpec::xiaomi_mi_6(),
+            LoweringOptions::texture_framework(),
+        );
         let result = exec.execute(&graph, &fusion, &plan);
         assert!(result.is_err(), "expected OOM, got {result:?}");
     }

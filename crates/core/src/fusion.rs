@@ -98,8 +98,8 @@ impl AdaptiveFusion {
 
             // Capacity check: C_v1 + C_v2 ≥ (1 + α) · C_fused.
             let fused_capacity = group_capacity(&profiler, graph, &group);
-            let split_capacity = group_capacity(&profiler, graph, &left)
-                + group_capacity(&profiler, graph, &right);
+            let split_capacity =
+                group_capacity(&profiler, graph, &left) + group_capacity(&profiler, graph, &right);
             if (split_capacity as f64) >= (1.0 + self.config.alpha) * fused_capacity as f64 {
                 refined.split_group(index, split_after);
                 splits += 1;
@@ -139,8 +139,8 @@ fn split_point(graph: &Graph, group: &FusionGroup) -> Option<usize> {
         .iter()
         .filter_map(|id| graph.node(*id).map(|n| n.category()))
         .collect();
-    let has_reusable = categories.iter().any(|c| *c == OpCategory::Reusable);
-    let has_elemental = categories.iter().any(|c| *c == OpCategory::Elemental);
+    let has_reusable = categories.contains(&OpCategory::Reusable);
+    let has_elemental = categories.contains(&OpCategory::Elemental);
     if !has_reusable || !has_elemental {
         return None;
     }
@@ -179,10 +179,7 @@ mod tests {
     fn refinement_increases_total_capacity() {
         let graph = ffn_graph();
         let plan = FusionPlan::default_fusion(&graph);
-        let pass = AdaptiveFusion::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let pass = AdaptiveFusion::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let (refined, report) = pass.refine(&graph, &plan);
         assert!(refined.is_valid_partition(&graph));
         assert!(report.capacity_after >= report.capacity_before);
@@ -258,10 +255,7 @@ mod tests {
     fn refinement_on_a_real_model_preserves_partition() {
         let model = ModelZoo::vit();
         let plan = FusionPlan::default_fusion(model.graph());
-        let pass = AdaptiveFusion::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let pass = AdaptiveFusion::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let (refined, report) = pass.refine(model.graph(), &plan);
         assert!(refined.is_valid_partition(model.graph()));
         assert!(report.capacity_after >= report.capacity_before);

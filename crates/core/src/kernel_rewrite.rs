@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn pipelined_template_has_no_thread_branches() {
         let src = KernelRewriter::pipelined().render("matmul_fused", 3);
-        assert!(!src.contains("if (tid"), "branch-free template must not guard on tid:\n{src}");
+        assert!(
+            !src.contains("if (tid"),
+            "branch-free template must not guard on tid:\n{src}"
+        );
         assert!(src.contains("pipeline_load"));
         assert!(src.contains("write_imagef"));
         assert!(src.contains("tail"));

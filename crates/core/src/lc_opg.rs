@@ -164,7 +164,7 @@ impl LcOpgSolver {
             // them), explicitly pinned weights, and convolution weights whose
             // Winograd/im2col transformation cannot be overlapped (the paper's
             // explanation for SD-UNet's smaller savings).
-            let pinned = self.config.explicit_preload.iter().any(|n| *n == weight.name);
+            let pinned = self.config.explicit_preload.contains(&weight.name);
             if consumer_kernel == 0 || pinned || weight.needs_transform || total_chunks == 0 {
                 plan.add_preload(weight.consumer, consumer_kernel, weight.bytes);
                 report.preloaded_weights += 1;
@@ -177,10 +177,7 @@ impl LcOpgSolver {
                                    inflight_bytes: &[u64]| {
                 (window_start..consumer_kernel)
                     .map(|k| {
-                        let headroom = self
-                            .config
-                            .m_peak_bytes
-                            .saturating_sub(inflight_bytes[k])
+                        let headroom = self.config.m_peak_bytes.saturating_sub(inflight_bytes[k])
                             / chunk_bytes;
                         CandidateSlot {
                             kernel: k,
@@ -394,7 +391,11 @@ mod tests {
         let (plan, report) = solver.plan(&graph);
         let inventory = WeightInventory::with_chunk_size(&graph, config.chunk_bytes);
         plan.validate(&inventory, None).unwrap();
-        assert!(plan.streamed_fraction() > 0.3, "{}", plan.streamed_fraction());
+        assert!(
+            plan.streamed_fraction() > 0.3,
+            "{}",
+            plan.streamed_fraction()
+        );
         assert!(report.windows > 0);
         assert!(report.status.has_solution());
         assert_eq!(
@@ -445,10 +446,7 @@ mod tests {
         // Transformer weights are MatMul-dominated (no conv transform), so the
         // planner should stream the bulk of them under memory priority.
         let graph = ModelZoo::vit().build();
-        let solver = LcOpgSolver::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let (plan, _) = solver.plan(&graph);
         assert!(plan.streamed_bytes() > plan.preload_bytes() / 2);
     }
@@ -488,10 +486,7 @@ mod tests {
     #[test]
     fn convolution_weights_are_preloaded() {
         let graph = ModelZoo::resnet50().build();
-        let solver = LcOpgSolver::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let (plan, _) = solver.plan(&graph);
         for node in graph.nodes() {
             if node.kind.needs_weight_transform() && node.weight_bytes() > 0 {
@@ -529,10 +524,7 @@ mod tests {
     #[test]
     fn report_total_time_is_sum_of_phases() {
         let graph = small_model();
-        let solver = LcOpgSolver::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let (_, report) = solver.plan(&graph);
         let total = report.total_time();
         assert!(total >= report.solve_model);

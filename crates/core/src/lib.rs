@@ -21,6 +21,9 @@
 //! * [`runtime`] — the end-to-end [`FlashMem`] API.
 //! * [`multi_model`] — FIFO multi-DNN execution under a memory cap.
 //! * [`metrics`] — [`ExecutionReport`], the unit of comparison in Tables 7–9.
+//! * [`engine`] — the [`InferenceEngine`] trait and [`EngineRegistry`] that
+//!   put FlashMem and every baseline framework behind one uniform
+//!   compile/execute interface for the benchmark harness.
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod engine;
 pub mod executor;
 pub mod fusion;
 pub mod kernel_rewrite;
@@ -53,6 +57,9 @@ pub mod plan;
 pub mod runtime;
 
 pub use config::FlashMemConfig;
+pub use engine::{
+    run_or_dash, CompiledArtifact, EngineRegistry, FlashMemVariant, FrameworkKind, InferenceEngine,
+};
 pub use executor::StreamingExecutor;
 pub use fusion::{AdaptiveFusion, AdaptiveFusionReport};
 pub use kernel_rewrite::{KernelRewriter, KernelTemplate};

@@ -7,7 +7,7 @@
 //! Figure 6-style plots.
 
 use flashmem_gpu_sim::engine::ExecutionOutcome;
-use flashmem_gpu_sim::trace::MemoryTrace;
+use flashmem_gpu_sim::trace::{EventKind, MemoryTrace};
 use serde::{Deserialize, Serialize};
 
 /// Summary of one inference run on the simulated device.
@@ -24,6 +24,15 @@ pub struct ExecutionReport {
     pub exec_latency_ms: f64,
     /// Integrated latency (init + exec) — the headline column of Table 7.
     pub integrated_latency_ms: f64,
+    /// Busy time of disk/memory transfers over the whole run in milliseconds
+    /// (the "Load" phase of Table 1).
+    pub load_busy_ms: f64,
+    /// Busy time of layout-transformation work in milliseconds (the "Trans."
+    /// phase of Table 1).
+    pub transform_busy_ms: f64,
+    /// Busy time of compute kernels in milliseconds (the "Infer" phase of
+    /// Table 1).
+    pub kernel_busy_ms: f64,
     /// Peak memory footprint in MB.
     pub peak_memory_mb: f64,
     /// Time-weighted average memory footprint in MB — the Table 8 metric.
@@ -54,6 +63,9 @@ impl ExecutionReport {
             init_latency_ms: outcome.init_time_ms,
             exec_latency_ms: outcome.exec_time_ms,
             integrated_latency_ms: outcome.total_time_ms,
+            load_busy_ms: outcome.timeline.busy_ms(EventKind::Transfer),
+            transform_busy_ms: outcome.timeline.busy_ms(EventKind::Transform),
+            kernel_busy_ms: outcome.timeline.busy_ms(EventKind::Kernel),
             peak_memory_mb: outcome.peak_memory_mib(),
             average_memory_mb: outcome.average_memory_mib(),
             average_power_w: outcome.energy.average_power_w,
@@ -125,6 +137,9 @@ mod tests {
             init_latency_ms: integrated * 0.6,
             exec_latency_ms: integrated * 0.4,
             integrated_latency_ms: integrated,
+            load_busy_ms: integrated * 0.3,
+            transform_busy_ms: integrated * 0.3,
+            kernel_busy_ms: integrated * 0.4,
             peak_memory_mb: avg_mem * 1.5,
             average_memory_mb: avg_mem,
             average_power_w: 5.0,

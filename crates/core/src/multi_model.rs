@@ -116,8 +116,15 @@ impl MultiModelRunner {
 
         for round in 0..iterations {
             for (idx, (model, compiled_model)) in compiled.iter().enumerate() {
-                let report: ExecutionReport =
-                    runtime.run_compiled_with_tracker(model.graph(), compiled_model, &mut tracker)?;
+                // Start a fresh trace segment so this invocation's report
+                // carries only its own samples in run-local time; the
+                // stitching below re-bases them onto the workload clock.
+                tracker.reset_trace();
+                let report: ExecutionReport = runtime.run_compiled_with_tracker(
+                    model.graph(),
+                    compiled_model,
+                    &mut tracker,
+                )?;
                 let sequence = round * queue.len() + idx;
                 invocations.push(InvocationResult {
                     model: model.abbr.clone(),
@@ -161,10 +168,8 @@ mod tests {
 
     #[test]
     fn fifo_run_executes_every_invocation() {
-        let runner = MultiModelRunner::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let report = runner.run_fifo(&small_queue(), 2).unwrap();
         assert_eq!(report.len(), 4);
         assert!(report.total_latency_ms > 0.0);
@@ -178,21 +183,17 @@ mod tests {
     #[test]
     fn memory_cap_is_respected_by_streaming_plans() {
         let cap = 1_536u64 * 1024 * 1024; // the paper's 1.5 GB constraint
-        let runner = MultiModelRunner::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        )
-        .with_memory_cap_bytes(cap);
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority())
+                .with_memory_cap_bytes(cap);
         let report = runner.run_fifo(&small_queue(), 1).unwrap();
         assert!(report.peak_memory_mb <= cap as f64 / (1024.0 * 1024.0) + 1.0);
     }
 
     #[test]
     fn eviction_returns_memory_to_zero_between_models() {
-        let runner = MultiModelRunner::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let report = runner.run_fifo(&small_queue(), 1).unwrap();
         // The stitched trace must hit zero at least twice (after each model).
         let zeros = report
@@ -206,21 +207,85 @@ mod tests {
 
     #[test]
     fn empty_queue_produces_empty_report() {
-        let runner = MultiModelRunner::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let report = runner.run_fifo(&[], 3).unwrap();
         assert!(report.is_empty());
         assert_eq!(report.total_latency_ms, 0.0);
     }
 
     #[test]
+    fn weights_are_evicted_before_the_next_model_starts() {
+        let queue = small_queue();
+        let iterations = 2;
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
+        let report = runner.run_fifo(&queue, iterations).unwrap();
+
+        // Each invocation holds memory while it runs…
+        for invocation in &report.invocations {
+            assert!(
+                invocation.peak_memory_mb > 0.0,
+                "invocation {} held no memory",
+                invocation.sequence
+            );
+        }
+
+        // …and at every invocation boundary the stitched trace records an
+        // eviction to zero at (or marginally after — trace clamping moves
+        // frees forward, never backward) that invocation's end, before the
+        // next invocation's window opens: FIFO eviction order.
+        let samples = report.memory_trace.samples();
+        let mut boundary_ms = 0.0;
+        for invocation in &report.invocations {
+            boundary_ms += invocation.latency_ms;
+            // Within 1% (+1 ms) of the boundary — tight enough that the zero
+            // belongs to this boundary, not the next model's own mid-run dips.
+            let window_end = boundary_ms * 1.01 + 1.0;
+            let evicted = samples.iter().any(|s| {
+                s.bytes == 0 && s.time_ms >= boundary_ms - 1e-6 && s.time_ms <= window_end
+            });
+            assert!(
+                evicted,
+                "invocation {} was not evicted to zero near its end at {boundary_ms} ms",
+                invocation.sequence
+            );
+        }
+
+        // The trace clock never runs backwards.
+        for pair in samples.windows(2) {
+            assert!(
+                pair[1].time_ms >= pair[0].time_ms - 1e-9,
+                "trace out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn stitched_trace_never_exceeds_the_figure_6_cap() {
+        let cap = 1_536u64 * 1024 * 1024; // the paper's 1.5 GB constraint
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority())
+                .with_memory_cap_bytes(cap);
+        let report = runner.run_fifo(&small_queue(), 2).unwrap();
+        // Every sample of the stitched trace — not just the reported peak —
+        // stays under the cap.
+        for sample in report.memory_trace.samples() {
+            assert!(
+                sample.bytes <= cap,
+                "trace sample at {} ms holds {} bytes, above the {} byte cap",
+                sample.time_ms,
+                sample.bytes,
+                cap
+            );
+        }
+        assert!(report.peak_memory_mb <= cap as f64 / (1024.0 * 1024.0) + 1e-6);
+    }
+
+    #[test]
     fn average_memory_is_below_peak() {
-        let runner = MultiModelRunner::new(
-            DeviceSpec::oneplus_12(),
-            FlashMemConfig::memory_priority(),
-        );
+        let runner =
+            MultiModelRunner::new(DeviceSpec::oneplus_12(), FlashMemConfig::memory_priority());
         let report = runner.run_fifo(&small_queue(), 1).unwrap();
         assert!(report.average_memory_mb <= report.peak_memory_mb);
     }

@@ -228,11 +228,13 @@ mod tests {
 
     fn candidates(caps: &[(usize, u64, u64)]) -> Vec<CandidateSlot> {
         caps.iter()
-            .map(|&(kernel, capacity_chunks, memory_headroom_chunks)| CandidateSlot {
-                kernel,
-                capacity_chunks,
-                memory_headroom_chunks,
-            })
+            .map(
+                |&(kernel, capacity_chunks, memory_headroom_chunks)| CandidateSlot {
+                    kernel,
+                    capacity_chunks,
+                    memory_headroom_chunks,
+                },
+            )
             .collect()
     }
 
@@ -295,8 +297,8 @@ mod tests {
         let config = FlashMemConfig::memory_priority();
         let slots = candidates(&[(3, 8, 100), (4, 8, 100)]);
         let window = build_weight_window_model(5, 10, &slots, &config);
-        let out = CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000))
-            .solve(&window.model);
+        let out =
+            CpSolver::with_config(SolverConfig::with_time_limit_ms(2_000)).solve(&window.model);
         assert_eq!(out.status, SolveStatus::Optimal);
         let solution = out.solution.unwrap();
         let decision = extract_decision(&window, &solution);
@@ -309,7 +311,10 @@ mod tests {
     fn greedy_hint_is_always_feasible() {
         let config = FlashMemConfig::balanced();
         for (total, caps) in [
-            (12u64, vec![(5usize, 10u64, 100u64), (6, 10, 100), (7, 10, 100)]),
+            (
+                12u64,
+                vec![(5usize, 10u64, 100u64), (6, 10, 100), (7, 10, 100)],
+            ),
             (40, vec![(2, 2, 100), (3, 3, 100)]),
             (20, vec![(1, 50, 1), (2, 50, 1), (3, 50, 30)]),
         ] {

@@ -110,7 +110,10 @@ impl std::fmt::Display for PlanError {
                 write!(f, "weight {weight} has chunks scheduled at kernel {kernel}, not before its consumer")
             }
             PlanError::AssignmentBeforeLoad { weight, kernel } => {
-                write!(f, "weight {weight} transforms chunks at kernel {kernel} before its disk load")
+                write!(
+                    f,
+                    "weight {weight} transforms chunks at kernel {kernel} before its disk load"
+                )
             }
             PlanError::PeakExceeded {
                 kernel,
@@ -301,12 +304,15 @@ impl OverlapPlan {
 
     /// Mean loading distance over streamed weights.
     pub fn mean_loading_distance(&self) -> f64 {
-        let streamed: Vec<&WeightSchedule> =
-            self.weights.iter().filter(|w| !w.preloaded).collect();
+        let streamed: Vec<&WeightSchedule> = self.weights.iter().filter(|w| !w.preloaded).collect();
         if streamed.is_empty() {
             return 0.0;
         }
-        streamed.iter().map(|w| w.loading_distance() as f64).sum::<f64>() / streamed.len() as f64
+        streamed
+            .iter()
+            .map(|w| w.loading_distance() as f64)
+            .sum::<f64>()
+            / streamed.len() as f64
     }
 
     /// In-flight streamed-weight bytes at each kernel: bytes already
@@ -466,7 +472,10 @@ mod tests {
             fc2.bytes
         );
         assert!(plan.streamed_fraction() > 0.0 && plan.streamed_fraction() < 1.0);
-        assert_eq!(plan.schedule_for(fc2.consumer).unwrap().loading_distance(), 2);
+        assert_eq!(
+            plan.schedule_for(fc2.consumer).unwrap().loading_distance(),
+            2
+        );
         // In-flight peaks at the full weight right before kernel 3.
         assert_eq!(plan.peak_inflight_bytes(), fc2.bytes);
     }

@@ -123,9 +123,14 @@ impl FlashMem {
     ///
     /// Propagates simulator errors (most importantly out-of-memory on
     /// constrained devices).
-    pub fn run_compiled(&self, graph: &Graph, compiled: &CompiledModel) -> SimResult<ExecutionReport> {
-        let executor = StreamingExecutor::new(self.device.clone(), self.rewriter().lowering_options())
-            .with_embedded_transforms(self.config.enable_kernel_rewriting);
+    pub fn run_compiled(
+        &self,
+        graph: &Graph,
+        compiled: &CompiledModel,
+    ) -> SimResult<ExecutionReport> {
+        let executor =
+            StreamingExecutor::new(self.device.clone(), self.rewriter().lowering_options())
+                .with_embedded_transforms(self.config.enable_kernel_rewriting);
         let outcome = executor.execute(graph, &compiled.fusion, &compiled.plan)?;
         Ok(ExecutionReport::from_outcome(
             "FlashMem",
@@ -147,9 +152,11 @@ impl FlashMem {
         compiled: &CompiledModel,
         tracker: &mut MemoryTracker,
     ) -> SimResult<ExecutionReport> {
-        let executor = StreamingExecutor::new(self.device.clone(), self.rewriter().lowering_options())
-            .with_embedded_transforms(self.config.enable_kernel_rewriting);
-        let outcome = executor.execute_with_tracker(graph, &compiled.fusion, &compiled.plan, tracker)?;
+        let executor =
+            StreamingExecutor::new(self.device.clone(), self.rewriter().lowering_options())
+                .with_embedded_transforms(self.config.enable_kernel_rewriting);
+        let outcome =
+            executor.execute_with_tracker(graph, &compiled.fusion, &compiled.plan, tracker)?;
         Ok(ExecutionReport::from_outcome(
             "FlashMem",
             &compiled.model_name,
@@ -187,8 +194,8 @@ mod tests {
 
     #[test]
     fn end_to_end_run_produces_sensible_report() {
-        let runtime = FlashMem::new(DeviceSpec::oneplus_12())
-            .with_config(FlashMemConfig::memory_priority());
+        let runtime =
+            FlashMem::new(DeviceSpec::oneplus_12()).with_config(FlashMemConfig::memory_priority());
         let model = ModelZoo::gptneo_small();
         let report = runtime.run(&model).unwrap();
         assert_eq!(report.framework, "FlashMem");
@@ -202,8 +209,8 @@ mod tests {
 
     #[test]
     fn compile_reports_planner_and_fusion_activity() {
-        let runtime = FlashMem::new(DeviceSpec::oneplus_12())
-            .with_config(FlashMemConfig::memory_priority());
+        let runtime =
+            FlashMem::new(DeviceSpec::oneplus_12()).with_config(FlashMemConfig::memory_priority());
         let model = ModelZoo::vit();
         let compiled = runtime.compile(model.graph());
         assert!(compiled.planner_report.windows > 0);

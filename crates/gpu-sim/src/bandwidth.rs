@@ -271,10 +271,16 @@ mod tests {
     fn texture_cache_hop_is_fastest() {
         let m = model();
         let cache = m
-            .hop_bandwidth(MemoryTier::TextureCache, MemoryTier::StreamingMultiprocessor)
+            .hop_bandwidth(
+                MemoryTier::TextureCache,
+                MemoryTier::StreamingMultiprocessor,
+            )
             .unwrap();
         let tm = m
-            .hop_bandwidth(MemoryTier::TextureMemory, MemoryTier::StreamingMultiprocessor)
+            .hop_bandwidth(
+                MemoryTier::TextureMemory,
+                MemoryTier::StreamingMultiprocessor,
+            )
             .unwrap();
         assert!(cache > tm);
     }

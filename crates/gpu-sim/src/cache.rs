@@ -106,7 +106,9 @@ mod tests {
     fn streaming_beats_random() {
         let m = TextureCacheModel::default();
         let l = layout();
-        assert!(m.hit_rate(&l, AccessPattern::RowStreaming) > m.hit_rate(&l, AccessPattern::Random));
+        assert!(
+            m.hit_rate(&l, AccessPattern::RowStreaming) > m.hit_rate(&l, AccessPattern::Random)
+        );
     }
 
     #[test]
@@ -138,7 +140,9 @@ mod tests {
             AccessPattern::RowStreaming,
             AccessPattern::Tiled2d,
             AccessPattern::Strided { stride_texels: 1 },
-            AccessPattern::Strided { stride_texels: 10_000 },
+            AccessPattern::Strided {
+                stride_texels: 10_000,
+            },
             AccessPattern::Random,
         ] {
             let h = m.hit_rate(&l, p);

@@ -149,7 +149,12 @@ impl Command {
     }
 
     /// Convenience constructor for a kernel command.
-    pub fn kernel(label: &str, desc: KernelDesc, extra_load_bytes: u64, deps: &[CommandId]) -> Self {
+    pub fn kernel(
+        label: &str,
+        desc: KernelDesc,
+        extra_load_bytes: u64,
+        deps: &[CommandId],
+    ) -> Self {
         Command {
             label: label.to_string(),
             kind: CommandKind::Kernel {
@@ -374,11 +379,7 @@ impl GpuSimulator {
         };
 
         for (idx, cmd) in stream.commands().iter().enumerate() {
-            let deps_ready = cmd
-                .deps
-                .iter()
-                .map(|&d| finish[d])
-                .fold(0.0_f64, f64::max);
+            let deps_ready = cmd.deps.iter().map(|&d| finish[d]).fold(0.0_f64, f64::max);
             let queue = cmd.queue();
             let queue_ready = *queue_free.get(&queue).unwrap_or(&0.0);
             let start = deps_ready.max(queue_ready);
@@ -427,11 +428,17 @@ impl GpuSimulator {
                     desc,
                     extra_load_bytes,
                 } => {
-                    let t = self.cost.latency_with_extra_load_ms(desc, *extra_load_bytes);
+                    let t = self
+                        .cost
+                        .latency_with_extra_load_ms(desc, *extra_load_bytes);
                     if first_kernel_start.is_none() {
                         first_kernel_start = Some(start);
                     }
-                    (t, desc.total_bytes() + extra_load_bytes, Some(EventKind::Kernel))
+                    (
+                        t,
+                        desc.total_bytes() + extra_load_bytes,
+                        Some(EventKind::Kernel),
+                    )
                 }
             };
 
@@ -451,12 +458,9 @@ impl GpuSimulator {
             }
         }
 
-        let total = timeline.makespan_ms().max(
-            finish
-                .iter()
-                .copied()
-                .fold(0.0_f64, f64::max),
-        );
+        let total = timeline
+            .makespan_ms()
+            .max(finish.iter().copied().fold(0.0_f64, f64::max));
         tracker.sample(total);
 
         let init = first_kernel_start.unwrap_or(total);
@@ -605,10 +609,7 @@ mod tests {
             device.app_budget_bytes + 1,
             &[],
         ));
-        assert!(matches!(
-            sim.execute(&s),
-            Err(SimError::OutOfMemory { .. })
-        ));
+        assert!(matches!(sim.execute(&s), Err(SimError::OutOfMemory { .. })));
     }
 
     #[test]

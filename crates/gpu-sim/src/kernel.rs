@@ -514,9 +514,8 @@ mod tests {
     fn capacity_ordering_matches_table_5() {
         // Elemental tolerance > reusable > hierarchical, per own-volume ratio.
         let m = model();
-        let cap_ratio = |k: &KernelDesc| {
-            m.max_extra_load_bytes(k, 0.25) as f64 / k.total_bytes() as f64
-        };
+        let cap_ratio =
+            |k: &KernelDesc| m.max_extra_load_bytes(k, 0.25) as f64 / k.total_bytes() as f64;
         assert!(cap_ratio(&relu()) > cap_ratio(&matmul()));
         assert!(cap_ratio(&matmul()) > cap_ratio(&layernorm()));
     }

@@ -58,6 +58,7 @@ pub mod engine;
 pub mod error;
 pub mod kernel;
 pub mod memory;
+pub mod rng;
 pub mod texture;
 pub mod trace;
 
@@ -68,6 +69,7 @@ pub use engine::{ExecutionOutcome, GpuSimulator, SimConfig};
 pub use error::{SimError, SimResult};
 pub use kernel::{KernelCategory, KernelDesc, LaunchDims};
 pub use memory::{MemoryPool, MemoryTracker};
+pub use rng::SplitMix64;
 pub use texture::Texture2p5dLayout;
 pub use trace::MemoryTrace;
 

@@ -284,6 +284,18 @@ impl MemoryTracker {
         &self.trace
     }
 
+    /// Discard the trace accumulated so far while keeping live allocations
+    /// and capacity state.
+    ///
+    /// Multi-run scenarios call this between executions so each run's
+    /// outcome carries only its own trace segment in run-local time —
+    /// without it, `trace()` keeps the previous run's samples and
+    /// [`MemoryTrace::record`]'s monotonic-time clamping pushes the new
+    /// run's (smaller) local timestamps forward onto the old run's end.
+    pub fn reset_trace(&mut self) {
+        self.trace = MemoryTrace::new();
+    }
+
     /// Drop every live allocation in both pools (model eviction).
     pub fn evict_all(&mut self, now_ms: f64) {
         self.unified.clear();

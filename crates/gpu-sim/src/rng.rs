@@ -1,0 +1,93 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The profiler's sampling sweep and the workspace's property-style tests
+//! only need a reproducible, reasonably well-mixed integer stream; with no
+//! registry access in this environment the `rand` crate is unavailable, so
+//! we use SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) — the same generator `rand` itself uses to seed
+//! `StdRng` state.
+
+/// SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "gen_range_inclusive: lo {lo} > hi {hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..10 {
+            let _ = rng.gen_range_inclusive(0, u64::MAX);
+        }
+        assert_eq!(rng.gen_range_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn range_respects_bounds_and_hits_all_values() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.gen_range_inclusive(2, 5);
+            assert!((2..=5).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -202,7 +202,8 @@ mod tests {
                 > WeightLayout::Texture2p5d.read_efficiency()
         );
         assert!(
-            WeightLayout::Texture2p5d.read_efficiency() > WeightLayout::LinearBuffer.read_efficiency()
+            WeightLayout::Texture2p5d.read_efficiency()
+                > WeightLayout::LinearBuffer.read_efficiency()
         );
     }
 }

@@ -156,7 +156,13 @@ impl GraphBuilder {
     }
 
     /// Depthwise 2D convolution.
-    pub fn depthwise_conv2d(&mut self, name: &str, input: NodeId, kernel: u64, stride: u64) -> NodeId {
+    pub fn depthwise_conv2d(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        kernel: u64,
+        stride: u64,
+    ) -> NodeId {
         let dims = &self.output_of(input).dims;
         let (c, h, w) = conv_dims(dims);
         let oh = (h / stride).max(1);

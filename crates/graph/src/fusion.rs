@@ -42,6 +42,12 @@ impl FusionGroup {
         self.nodes.len()
     }
 
+    /// True if the group has no operators (never produced by the fusion
+    /// passes, present for `len`/`is_empty` API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
     /// True if the group has exactly one operator.
     pub fn is_singleton(&self) -> bool {
         self.nodes.len() == 1

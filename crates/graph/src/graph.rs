@@ -97,7 +97,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::InvalidEdge { node, input } => {
-                write!(f, "node {node} consumes input {input} that does not precede it")
+                write!(
+                    f,
+                    "node {node} consumes input {input} that does not precede it"
+                )
             }
             GraphError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
             GraphError::Empty => write!(f, "graph has no nodes"),
@@ -209,7 +212,11 @@ impl Graph {
     /// Largest single weight tensor in bytes (a lower bound on any streaming
     /// plan's in-flight memory).
     pub fn max_weight_bytes(&self) -> u64 {
-        self.nodes.iter().map(|n| n.weight_bytes()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.weight_bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Peak activation bytes across nodes — a rough proxy for the working-set
@@ -312,7 +319,10 @@ mod tests {
     fn validation_rejects_forward_edge() {
         let g = Graph::from_nodes(
             "bad",
-            vec![node(0, "a", OpKind::MatMul, &[1], None), node(1, "b", OpKind::ReLU, &[], None)],
+            vec![
+                node(0, "a", OpKind::MatMul, &[1], None),
+                node(1, "b", OpKind::ReLU, &[], None),
+            ],
         );
         assert_eq!(
             g.validate(),
@@ -324,10 +334,19 @@ mod tests {
     fn validation_rejects_duplicate_names_and_empty() {
         let g = Graph::from_nodes(
             "dup",
-            vec![node(0, "x", OpKind::ReLU, &[], None), node(1, "x", OpKind::ReLU, &[0], None)],
+            vec![
+                node(0, "x", OpKind::ReLU, &[], None),
+                node(1, "x", OpKind::ReLU, &[0], None),
+            ],
         );
-        assert!(matches!(g.validate(), Err(GraphError::DuplicateName { .. })));
-        assert_eq!(Graph::from_nodes("e", vec![]).validate(), Err(GraphError::Empty));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::DuplicateName { .. })
+        ));
+        assert_eq!(
+            Graph::from_nodes("e", vec![]).validate(),
+            Err(GraphError::Empty)
+        );
     }
 
     #[test]

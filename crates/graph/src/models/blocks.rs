@@ -66,9 +66,21 @@ pub fn transformer_encoder_block(
     };
 
     // Head split: [seq, h] -> [heads, seq, head_dim] (reshape + transpose).
-    let q = b.reshape(&format!("{prefix}.attn.q_split"), q, &[cfg.heads, cfg.seq, head_dim]);
-    let k = b.reshape(&format!("{prefix}.attn.k_split"), k, &[cfg.heads, cfg.seq, head_dim]);
-    let v = b.reshape(&format!("{prefix}.attn.v_split"), v, &[cfg.heads, cfg.seq, head_dim]);
+    let q = b.reshape(
+        &format!("{prefix}.attn.q_split"),
+        q,
+        &[cfg.heads, cfg.seq, head_dim],
+    );
+    let k = b.reshape(
+        &format!("{prefix}.attn.k_split"),
+        k,
+        &[cfg.heads, cfg.seq, head_dim],
+    );
+    let v = b.reshape(
+        &format!("{prefix}.attn.v_split"),
+        v,
+        &[cfg.heads, cfg.seq, head_dim],
+    );
     let kt = b.transpose(&format!("{prefix}.attn.k_t"), k);
 
     // Scores and context.
@@ -80,7 +92,12 @@ pub fn transformer_encoder_block(
 
     let attn_out = b.matmul(&format!("{prefix}.attn.out"), context, h);
     let attn_out = b.bias_add(&format!("{prefix}.attn.out_bias"), attn_out);
-    let attn_res = b.binary(&format!("{prefix}.attn.residual"), OpKind::Add, attn_out, input);
+    let attn_res = b.binary(
+        &format!("{prefix}.attn.residual"),
+        OpKind::Add,
+        attn_out,
+        input,
+    );
 
     // --- MLP ---------------------------------------------------------------
     let ln2 = b.norm(&format!("{prefix}.ln2"), OpKind::LayerNorm, attn_res);
@@ -89,7 +106,12 @@ pub fn transformer_encoder_block(
     let act = b.unary(&format!("{prefix}.mlp.gelu"), OpKind::GeLU, fc1);
     let fc2 = b.matmul(&format!("{prefix}.mlp.fc2"), act, h);
     let fc2 = b.bias_add(&format!("{prefix}.mlp.fc2_bias"), fc2);
-    b.binary(&format!("{prefix}.mlp.residual"), OpKind::Add, fc2, attn_res)
+    b.binary(
+        &format!("{prefix}.mlp.residual"),
+        OpKind::Add,
+        fc2,
+        attn_res,
+    )
 }
 
 /// Append a transformer **decoder** block: self-attention, cross-attention
@@ -116,7 +138,12 @@ pub fn transformer_decoder_block(
     let probs = b.softmax(&format!("{prefix}.cross.softmax"), scores);
     let ctx = b.matmul_act(&format!("{prefix}.cross.pv"), probs, v);
     let out = b.matmul(&format!("{prefix}.cross.out"), ctx, h);
-    b.binary(&format!("{prefix}.cross.residual"), OpKind::Add, out, self_out)
+    b.binary(
+        &format!("{prefix}.cross.residual"),
+        OpKind::Add,
+        out,
+        self_out,
+    )
 }
 
 /// Append a ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand + skip).
@@ -138,7 +165,13 @@ pub fn bottleneck_block(
     let n3 = b.norm(&format!("{prefix}.bn3"), OpKind::BatchNorm, c3);
     // Projection shortcut when shape changes, identity otherwise.
     let shortcut = if stride != 1 {
-        let sc = b.conv2d(&format!("{prefix}.downsample"), input, out_channels, 1, stride);
+        let sc = b.conv2d(
+            &format!("{prefix}.downsample"),
+            input,
+            out_channels,
+            1,
+            stride,
+        );
         b.norm(&format!("{prefix}.downsample_bn"), OpKind::BatchNorm, sc)
     } else {
         // Channel change without spatial change still needs a projection.
@@ -155,7 +188,12 @@ pub fn bottleneck_block(
 }
 
 /// Append a UNet residual conv block (two 3x3 convs with group norms and SiLU).
-pub fn unet_res_block(b: &mut GraphBuilder, input: NodeId, out_channels: u64, prefix: &str) -> NodeId {
+pub fn unet_res_block(
+    b: &mut GraphBuilder,
+    input: NodeId,
+    out_channels: u64,
+    prefix: &str,
+) -> NodeId {
     let n1 = b.norm(&format!("{prefix}.gn1"), OpKind::GroupNorm, input);
     let a1 = b.unary(&format!("{prefix}.silu1"), OpKind::SiLU, n1);
     let c1 = b.conv2d(&format!("{prefix}.conv1"), a1, out_channels, 3, 1);

@@ -29,7 +29,12 @@ pub fn sd_unet() -> ModelSpec {
         for block in 0..2 {
             x = unet_res_block(&mut b, x, c, &format!("down.{level}.res{block}"));
             if with_attention {
-                x = unet_attention_block(&mut b, x, context_dim, &format!("down.{level}.attn{block}"));
+                x = unet_attention_block(
+                    &mut b,
+                    x,
+                    context_dim,
+                    &format!("down.{level}.attn{block}"),
+                );
             }
             skips.push(x);
         }
@@ -54,7 +59,12 @@ pub fn sd_unet() -> ModelSpec {
             let cat = b.concat(&format!("up.{level}.cat{block}"), x, skip);
             x = unet_res_block(&mut b, cat, c, &format!("up.{level}.res{block}"));
             if with_attention {
-                x = unet_attention_block(&mut b, x, context_dim, &format!("up.{level}.attn{block}"));
+                x = unet_attention_block(
+                    &mut b,
+                    x,
+                    context_dim,
+                    &format!("up.{level}.attn{block}"),
+                );
             }
         }
         if level > 0 {

@@ -375,7 +375,11 @@ mod tests {
 
     #[test]
     fn transformer_models_have_hierarchical_ops() {
-        for m in [ModelZoo::gptneo_small(), ModelZoo::vit(), ModelZoo::whisper_medium()] {
+        for m in [
+            ModelZoo::gptneo_small(),
+            ModelZoo::vit(),
+            ModelZoo::whisper_medium(),
+        ] {
             let hist = m.graph().category_histogram();
             assert!(hist[2].1 > 0, "{} should contain softmax/layernorm", m.name);
         }

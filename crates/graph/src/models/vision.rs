@@ -52,7 +52,12 @@ fn build_vit_encoder(
 
 /// Append a small DPT-style convolutional decoder head (DepthAnything) or mask
 /// decoder (SAM-2) on top of a ViT feature map.
-fn append_conv_decoder(b: &mut GraphBuilder, features: crate::graph::NodeId, hidden: u64, side: u64) {
+fn append_conv_decoder(
+    b: &mut GraphBuilder,
+    features: crate::graph::NodeId,
+    hidden: u64,
+    side: u64,
+) {
     let spatial = b.reshape("head.to_spatial", features, &[hidden, side, side]);
     let c1 = b.conv2d("head.conv1", spatial, hidden / 2, 3, 1);
     let r1 = b.unary("head.relu1", OpKind::ReLU, c1);
@@ -123,7 +128,12 @@ pub fn resnet50() -> ModelSpec {
     let mut x = b.pooling("stem.maxpool", stem, 2);
 
     // Stage configuration: (mid channels, out channels, blocks, first stride).
-    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (stage_idx, (mid, out, blocks, stride)) in stages.iter().enumerate() {
         for block in 0..*blocks {
             let s = if block == 0 { *stride } else { 1 };
@@ -190,7 +200,13 @@ pub fn sam2() -> ModelSpec {
     )
 }
 
-fn depth_anything(name: &str, abbr: &str, hidden: u64, layers: u64, paper: PaperStats) -> ModelSpec {
+fn depth_anything(
+    name: &str,
+    abbr: &str,
+    hidden: u64,
+    layers: u64,
+    paper: PaperStats,
+) -> ModelSpec {
     let tokens = 484u64; // 22x22 patch grid
     let side = 22u64;
     let mut b = GraphBuilder::new(name);
@@ -268,8 +284,7 @@ mod tests {
         // MACs per parameter much higher than GPT-Neo-S (many tokens).
         let sam_intensity = m.graph().total_macs() as f64 / m.graph().total_params() as f64;
         let gpt = super::super::language::gptneo_small();
-        let gpt_intensity =
-            gpt.graph().total_macs() as f64 / gpt.graph().total_params() as f64;
+        let gpt_intensity = gpt.graph().total_macs() as f64 / gpt.graph().total_params() as f64;
         assert!(sam_intensity > 3.0 * gpt_intensity);
     }
 
@@ -294,7 +309,10 @@ mod tests {
     fn conv_decoders_present_in_segmentation_models() {
         for m in [sam2(), depth_anything_small(), depth_anything_large()] {
             assert!(
-                m.graph().nodes().iter().any(|n| n.name.starts_with("head.")),
+                m.graph()
+                    .nodes()
+                    .iter()
+                    .any(|n| n.name.starts_with("head.")),
                 "{} should have a decoder head",
                 m.name
             );

@@ -105,8 +105,8 @@ impl OpKind {
             MatMul | Conv2d | DepthwiseConv2d | ConvTranspose2d | Attention | Embedding => {
                 OpCategory::Reusable
             }
-            Add | Mul | ReLU | GeLU | SiLU | Sigmoid | Tanh | Scale | BiasAdd
-            | RotaryEmbedding | Upsample | Pooling => OpCategory::Elemental,
+            Add | Mul | ReLU | GeLU | SiLU | Sigmoid | Tanh | Scale | BiasAdd | RotaryEmbedding
+            | Upsample | Pooling => OpCategory::Elemental,
             Softmax | LayerNorm | GroupNorm | RMSNorm | BatchNorm | ArgMax => {
                 OpCategory::Hierarchical
             }

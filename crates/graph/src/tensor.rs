@@ -8,9 +8,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Element data type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DType {
     /// 16-bit IEEE floating point (the paper's default GPU precision).
+    #[default]
     F16,
     /// 32-bit IEEE floating point.
     F32,
@@ -31,12 +32,6 @@ impl DType {
             DType::F16 => "f16",
             DType::F32 => "f32",
         }
-    }
-}
-
-impl Default for DType {
-    fn default() -> Self {
-        DType::F16
     }
 }
 

@@ -1,33 +1,48 @@
-//! Property-based tests for the graph substrate: the builder always produces
+//! Property-style tests for the graph substrate: the builder always produces
 //! valid graphs, weight chunking exactly covers every weight, and fusion plans
 //! partition the node set for arbitrarily shaped MLP/conv stacks.
+//!
+//! The random instances come from a seeded [`SplitMix64`] sweep instead of
+//! proptest (unavailable offline), so every run exercises the same corpus.
 
-use proptest::prelude::*;
+use flashmem_gpu_sim::rng::SplitMix64;
+use flashmem_graph::{FusionPlan, GraphBuilder, OpKind, WeightInventory};
 
-use flashmem_graph::{
-    FusionPlan, GraphBuilder, OpKind, WeightInventory, DEFAULT_CHUNK_BYTES,
-};
+const CASES: usize = 128;
 
 /// A random straight-line network description: alternating matmul / conv /
 /// elementwise / norm layers.
 #[derive(Debug, Clone)]
 enum LayerSpec {
     Dense(u64),
-    Conv { channels: u64, kernel: u64, stride: u64 },
+    Conv {
+        channels: u64,
+        kernel: u64,
+        stride: u64,
+    },
     Activation,
     Norm,
     Softmax,
 }
 
-fn layer_strategy() -> impl Strategy<Value = LayerSpec> {
-    prop_oneof![
-        (64u64..2048).prop_map(LayerSpec::Dense),
-        ((8u64..128), prop_oneof![Just(1u64), Just(3)], prop_oneof![Just(1u64), Just(2)])
-            .prop_map(|(channels, kernel, stride)| LayerSpec::Conv { channels, kernel, stride }),
-        Just(LayerSpec::Activation),
-        Just(LayerSpec::Norm),
-        Just(LayerSpec::Softmax),
-    ]
+fn layer(rng: &mut SplitMix64) -> LayerSpec {
+    match rng.gen_range_inclusive(0, 4) {
+        0 => LayerSpec::Dense(rng.gen_range_inclusive(64, 2047)),
+        1 => LayerSpec::Conv {
+            channels: rng.gen_range_inclusive(8, 127),
+            kernel: [1, 3][rng.gen_range_inclusive(0, 1) as usize],
+            stride: rng.gen_range_inclusive(1, 2),
+        },
+        2 => LayerSpec::Activation,
+        3 => LayerSpec::Norm,
+        _ => LayerSpec::Softmax,
+    }
+}
+
+fn layers(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<LayerSpec> {
+    (0..rng.gen_range_inclusive(min, max))
+        .map(|_| layer(rng))
+        .collect()
 }
 
 fn build(layers: &[LayerSpec], conv_input: bool) -> flashmem_graph::Graph {
@@ -50,7 +65,11 @@ fn build(layers: &[LayerSpec], conv_input: bool) -> flashmem_graph::Graph {
                 };
                 b.matmul(&format!("dense{i}"), flat, *n)
             }
-            LayerSpec::Conv { channels, kernel, stride } => {
+            LayerSpec::Conv {
+                channels,
+                kernel,
+                stride,
+            } => {
                 let dims = b.output_of(x).dims.clone();
                 if dims.len() == 3 {
                     b.conv2d(&format!("conv{i}"), x, *channels, *kernel, *stride)
@@ -66,80 +85,86 @@ fn build(layers: &[LayerSpec], conv_input: bool) -> flashmem_graph::Graph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
-
-    #[test]
-    fn builder_always_produces_valid_graphs(
-        layers in proptest::collection::vec(layer_strategy(), 1..25),
-        conv_input in any::<bool>(),
-    ) {
+#[test]
+fn builder_always_produces_valid_graphs() {
+    let mut rng = SplitMix64::seed_from_u64(21);
+    for _ in 0..CASES {
+        let layers = layers(&mut rng, 1, 24);
+        let conv_input = rng.gen_range_inclusive(0, 1) == 1;
         let graph = build(&layers, conv_input);
-        prop_assert!(graph.validate().is_ok());
-        prop_assert_eq!(graph.len(), graph.nodes().len());
+        assert!(graph.validate().is_ok(), "{layers:?}");
+        assert_eq!(graph.len(), graph.nodes().len());
         // Node ids equal their positions.
         for (idx, node) in graph.nodes().iter().enumerate() {
-            prop_assert_eq!(node.id.0, idx);
+            assert_eq!(node.id.0, idx);
         }
     }
+}
 
-    #[test]
-    fn weight_chunking_exactly_covers_every_weight(
-        layers in proptest::collection::vec(layer_strategy(), 1..25),
-        chunk_kib in 1u64..2048,
-    ) {
+#[test]
+fn weight_chunking_exactly_covers_every_weight() {
+    let mut rng = SplitMix64::seed_from_u64(22);
+    for _ in 0..CASES {
+        let layers = layers(&mut rng, 1, 24);
+        let chunk_kib = rng.gen_range_inclusive(1, 2047);
         let graph = build(&layers, false);
         let inventory = WeightInventory::with_chunk_size(&graph, chunk_kib * 1024);
-        prop_assert_eq!(inventory.total_bytes(), graph.total_weight_bytes());
+        assert_eq!(inventory.total_bytes(), graph.total_weight_bytes());
         for weight in inventory.weights() {
             let chunks = weight.chunks(inventory.chunk_bytes());
             let covered: u64 = chunks.iter().map(|c| c.bytes).sum();
-            prop_assert_eq!(covered, weight.bytes);
-            prop_assert_eq!(chunks.len() as u64, weight.chunk_count(inventory.chunk_bytes()));
+            assert_eq!(covered, weight.bytes);
+            assert_eq!(
+                chunks.len() as u64,
+                weight.chunk_count(inventory.chunk_bytes())
+            );
             // No chunk exceeds the configured size.
             for chunk in &chunks {
-                prop_assert!(chunk.bytes <= inventory.chunk_bytes());
+                assert!(chunk.bytes <= inventory.chunk_bytes());
             }
         }
-        // The default chunk size constant stays sane.
-        prop_assert!(DEFAULT_CHUNK_BYTES >= 4 * 1024);
     }
+}
 
-    #[test]
-    fn fusion_plans_partition_every_graph(
-        layers in proptest::collection::vec(layer_strategy(), 1..25),
-        conv_input in any::<bool>(),
-    ) {
+#[test]
+fn fusion_plans_partition_every_graph() {
+    let mut rng = SplitMix64::seed_from_u64(23);
+    for _ in 0..CASES {
+        let layers = layers(&mut rng, 1, 24);
+        let conv_input = rng.gen_range_inclusive(0, 1) == 1;
         let graph = build(&layers, conv_input);
         let unfused = FusionPlan::unfused(&graph);
         let fused = FusionPlan::default_fusion(&graph);
-        prop_assert!(unfused.is_valid_partition(&graph));
-        prop_assert!(fused.is_valid_partition(&graph));
-        prop_assert!(fused.len() <= unfused.len());
+        assert!(unfused.is_valid_partition(&graph));
+        assert!(fused.is_valid_partition(&graph));
+        assert!(fused.len() <= unfused.len());
         // Fusion preserves total work and weights.
         let fused_macs: u64 = fused.groups().iter().map(|g| g.macs(&graph)).sum();
-        prop_assert_eq!(fused_macs, graph.total_macs());
+        assert_eq!(fused_macs, graph.total_macs());
         let fused_weights: u64 = fused.groups().iter().map(|g| g.weight_bytes(&graph)).sum();
-        prop_assert_eq!(fused_weights, graph.total_weight_bytes());
+        assert_eq!(fused_weights, graph.total_weight_bytes());
         // Hierarchical ops are never fused with other nodes by the default pass.
         for group in fused.groups() {
             if group.len() > 1 {
                 for id in &group.nodes {
                     let node = graph.node(*id).unwrap();
-                    prop_assert!(
+                    assert!(
                         node.category() != flashmem_graph::OpCategory::Hierarchical,
-                        "hierarchical node {} fused", node.name
+                        "hierarchical node {} fused",
+                        node.name
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn splitting_groups_preserves_partitions(
-        layers in proptest::collection::vec(layer_strategy(), 2..20),
-        split_seed in 0usize..1000,
-    ) {
+#[test]
+fn splitting_groups_preserves_partitions() {
+    let mut rng = SplitMix64::seed_from_u64(24);
+    for _ in 0..CASES {
+        let layers = layers(&mut rng, 2, 19);
+        let split_seed = rng.gen_range_inclusive(0, 999) as usize;
         let graph = build(&layers, false);
         let mut plan = FusionPlan::default_fusion(&graph);
         // Attempt a split on a pseudo-random group; the plan must stay valid
@@ -147,6 +172,6 @@ proptest! {
         let index = split_seed % plan.len().max(1);
         let group_len = plan.groups()[index].len();
         let _ = plan.split_group(index, split_seed % group_len.max(1));
-        prop_assert!(plan.is_valid_partition(&graph));
+        assert!(plan.is_valid_partition(&graph));
     }
 }

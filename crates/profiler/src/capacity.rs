@@ -249,7 +249,8 @@ mod tests {
         // and elemental kernels should get clearly more than reusable ones in
         // relative terms.
         let ln_cap = caps[1].capacity_bytes as f64 / graph.nodes()[1].output_bytes().max(1) as f64;
-        let gelu_cap = caps[3].capacity_bytes as f64 / graph.nodes()[3].output_bytes().max(1) as f64;
+        let gelu_cap =
+            caps[3].capacity_bytes as f64 / graph.nodes()[3].output_bytes().max(1) as f64;
         assert!(ln_cap < gelu_cap, "ln {ln_cap} vs gelu {gelu_cap}");
     }
 

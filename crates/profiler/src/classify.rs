@@ -131,9 +131,18 @@ mod tests {
 
     #[test]
     fn thresholds_follow_section_4_2() {
-        assert_eq!(OperatorClass::of_kind(OpKind::Softmax).capacity_threshold(), 0.0);
-        assert_eq!(OperatorClass::of_kind(OpKind::Conv2d).capacity_threshold(), 0.20);
-        assert_eq!(OperatorClass::of_kind(OpKind::Add).capacity_threshold(), 3.0);
+        assert_eq!(
+            OperatorClass::of_kind(OpKind::Softmax).capacity_threshold(),
+            0.0
+        );
+        assert_eq!(
+            OperatorClass::of_kind(OpKind::Conv2d).capacity_threshold(),
+            0.20
+        );
+        assert_eq!(
+            OperatorClass::of_kind(OpKind::Add).capacity_threshold(),
+            3.0
+        );
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl RegressionTree {
         let n_features = features.first().map(|f| f.len()).unwrap_or(0);
         let parent_sse = Self::sse(targets, indices);
         let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
+        #[allow(clippy::needless_range_loop)] // `feature` indexes a column across rows
         for feature in 0..n_features {
             let mut values: Vec<f64> = indices.iter().map(|&i| features[i][feature]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -142,8 +143,22 @@ impl RegressionTree {
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
             .iter()
             .partition(|&&i| features[i][feature] <= threshold);
-        let left = Self::build(features, targets, &left_idx, depth - 1, min_samples_split, nodes);
-        let right = Self::build(features, targets, &right_idx, depth - 1, min_samples_split, nodes);
+        let left = Self::build(
+            features,
+            targets,
+            &left_idx,
+            depth - 1,
+            min_samples_split,
+            nodes,
+        );
+        let right = Self::build(
+            features,
+            targets,
+            &right_idx,
+            depth - 1,
+            min_samples_split,
+            nodes,
+        );
         nodes[node_index] = TreeNode::Split {
             feature,
             threshold,
@@ -202,7 +217,11 @@ impl GbrtModel {
     /// Panics if `features` and `targets` have different lengths. An empty
     /// training set produces a constant-zero model.
     pub fn fit(features: &[Vec<f64>], targets: &[f64], config: &GbrtConfig) -> Self {
-        assert_eq!(features.len(), targets.len(), "feature/target length mismatch");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "feature/target length mismatch"
+        );
         if features.is_empty() {
             return GbrtModel {
                 base: 0.0,

@@ -84,7 +84,9 @@ fn input_bytes(graph: &Graph, node: &Node) -> u64 {
 /// Pick an access pattern for a node's weight reads.
 fn access_pattern(node: &Node) -> AccessPattern {
     match node.kind {
-        OpKind::Conv2d | OpKind::DepthwiseConv2d | OpKind::ConvTranspose2d => AccessPattern::Tiled2d,
+        OpKind::Conv2d | OpKind::DepthwiseConv2d | OpKind::ConvTranspose2d => {
+            AccessPattern::Tiled2d
+        }
         OpKind::Gather | OpKind::Embedding => AccessPattern::Random,
         OpKind::Transpose => AccessPattern::Strided { stride_texels: 64 },
         _ => AccessPattern::RowStreaming,
@@ -98,7 +100,10 @@ fn launch_dims(node: &Node) -> LaunchDims {
         OpCategory::Elemental => LaunchDims::new([elements.div_ceil(4).max(1), 1, 1], [64, 1, 1]),
         OpCategory::Reusable => {
             let (rows, cols) = node.output.as_matrix();
-            LaunchDims::new([cols.div_ceil(4).max(1), rows.div_ceil(4).max(1), 1], [8, 8, 1])
+            LaunchDims::new(
+                [cols.div_ceil(4).max(1), rows.div_ceil(4).max(1), 1],
+                [8, 8, 1],
+            )
         }
         OpCategory::Hierarchical => {
             let (rows, _) = node.output.as_matrix();
@@ -130,7 +135,11 @@ pub fn kernel_for_node(graph: &Graph, node: &Node, options: &LoweringOptions) ->
 /// reads the group's external inputs and all member weights, writes the last
 /// member's output and performs the sum of member FLOPs. Its category is the
 /// group's dominant category (the least load-tolerant member governs).
-pub fn kernel_for_group(graph: &Graph, group: &FusionGroup, options: &LoweringOptions) -> KernelDesc {
+pub fn kernel_for_group(
+    graph: &Graph,
+    group: &FusionGroup,
+    options: &LoweringOptions,
+) -> KernelDesc {
     let members: Vec<&Node> = group
         .nodes
         .iter()
@@ -207,7 +216,11 @@ pub fn overlap_sweep(
             OverlapPoint {
                 extra_ratio: ratio,
                 latency_increase_ms: (with - base).max(0.0),
-                relative_increase: if base > 0.0 { (with - base).max(0.0) / base } else { 0.0 },
+                relative_increase: if base > 0.0 {
+                    (with - base).max(0.0) / base
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -300,7 +313,12 @@ mod tests {
         let softmax = pick(OpKind::Softmax);
         let gelu = pick(OpKind::GeLU);
 
-        let rel_at_1 = |k: &KernelDesc| overlap_sweep(&device, k, 1.0, 4).last().unwrap().relative_increase;
+        let rel_at_1 = |k: &KernelDesc| {
+            overlap_sweep(&device, k, 1.0, 4)
+                .last()
+                .unwrap()
+                .relative_increase
+        };
         assert!(rel_at_1(&softmax) > rel_at_1(&matmul));
         assert!(rel_at_1(&matmul) > rel_at_1(&gelu));
     }
@@ -326,7 +344,11 @@ mod tests {
         let cost = KernelCostModel::new(device);
         let node = &g.nodes()[1];
         let flash = cost.latency_ms(&kernel_for_node(&g, node, &LoweringOptions::flashmem()));
-        let texture = cost.latency_ms(&kernel_for_node(&g, node, &LoweringOptions::texture_framework()));
+        let texture = cost.latency_ms(&kernel_for_node(
+            &g,
+            node,
+            &LoweringOptions::texture_framework(),
+        ));
         let linear = cost.latency_ms(&kernel_for_node(
             &g,
             node,

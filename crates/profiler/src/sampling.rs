@@ -8,9 +8,8 @@
 //! noise term, and turned into feature vectors for the GBRT regressor.
 
 use flashmem_gpu_sim::kernel::{KernelCategory, KernelCostModel, KernelDesc, LaunchDims};
+use flashmem_gpu_sim::rng::SplitMix64;
 use flashmem_gpu_sim::DeviceSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One profiled execution of a kernel with injected extra I/O.
@@ -104,12 +103,12 @@ impl KernelSampler {
 
     /// Run the sweep and return all samples.
     pub fn collect(&self) -> Vec<KernelSample> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.config.seed);
         let cost = KernelCostModel::new(self.device.clone());
         let mut samples = Vec::with_capacity(self.config.kernels * self.config.extra_ratios.len());
 
         for _ in 0..self.config.kernels {
-            let category = match rng.gen_range(0..3) {
+            let category = match rng.gen_range_inclusive(0, 2) {
                 0 => KernelCategory::Elemental,
                 1 => KernelCategory::Reusable,
                 _ => KernelCategory::Hierarchical,
@@ -118,7 +117,7 @@ impl KernelSampler {
             for &ratio in &self.config.extra_ratios {
                 let extra = (kernel.total_bytes() as f64 * ratio) as u64;
                 let true_latency = cost.latency_with_extra_load_ms(&kernel, extra);
-                let noise = 1.0 + self.config.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+                let noise = 1.0 + self.config.noise * (rng.gen_f64() * 2.0 - 1.0);
                 samples.push(KernelSample {
                     category,
                     bytes_in: kernel.bytes_in,
@@ -134,20 +133,26 @@ impl KernelSampler {
         samples
     }
 
-    fn sample_kernel(&self, category: KernelCategory, rng: &mut StdRng) -> KernelDesc {
+    fn sample_kernel(&self, category: KernelCategory, rng: &mut SplitMix64) -> KernelDesc {
         // Tensor sizes spanning the ranges seen in the evaluated models:
         // hidden sizes 384..4096, token counts 64..1024.
-        let hidden = 1u64 << rng.gen_range(9..=12); // 512..4096
-        let tokens = 1u64 << rng.gen_range(6..=10); // 64..1024
+        let hidden = 1u64 << rng.gen_range_inclusive(9, 12); // 512..4096
+        let tokens = 1u64 << rng.gen_range_inclusive(6, 10); // 64..1024
         let elem_bytes = 2u64;
         match category {
             KernelCategory::Elemental => {
                 let bytes = tokens * hidden * elem_bytes;
-                KernelDesc::new("sample_elem", category, (tokens * hidden) as f64, bytes, bytes)
-                    .with_launch(LaunchDims::new([tokens * hidden / 4, 1, 1], [64, 1, 1]))
+                KernelDesc::new(
+                    "sample_elem",
+                    category,
+                    (tokens * hidden) as f64,
+                    bytes,
+                    bytes,
+                )
+                .with_launch(LaunchDims::new([tokens * hidden / 4, 1, 1], [64, 1, 1]))
             }
             KernelCategory::Reusable => {
-                let out = 1u64 << rng.gen_range(9..=12);
+                let out = 1u64 << rng.gen_range_inclusive(9, 12);
                 let bytes_in = (tokens * hidden + hidden * out) * elem_bytes;
                 let bytes_out = tokens * out * elem_bytes;
                 KernelDesc::new(
@@ -221,7 +226,8 @@ mod tests {
 
     #[test]
     fn all_three_categories_appear() {
-        let samples = KernelSampler::new(DeviceSpec::oneplus_12(), SamplingConfig::default()).collect();
+        let samples =
+            KernelSampler::new(DeviceSpec::oneplus_12(), SamplingConfig::default()).collect();
         for cat in [
             KernelCategory::Elemental,
             KernelCategory::Reusable,

@@ -134,10 +134,7 @@ impl CpSolver {
                 SolveOutcome {
                     status,
                     solution: Some(Solution::new(assignment)),
-                    objective: objective.or(Some(CpModel::eval_expr(
-                        &LinearExpr::new(),
-                        &[],
-                    ))),
+                    objective: objective.or(Some(CpModel::eval_expr(&LinearExpr::new(), &[]))),
                     nodes_explored: state.nodes,
                     solve_time: elapsed,
                 }
@@ -183,14 +180,19 @@ fn objective_lower_bound(expr: &LinearExpr, sense: Sense, domains: &[Domain]) ->
             Sense::Minimize => *c,
             Sense::Maximize => -*c,
         };
-        bound += if coeff >= 0 { coeff * d.lo } else { coeff * d.hi };
+        bound += if coeff >= 0 {
+            coeff * d.lo
+        } else {
+            coeff * d.hi
+        };
     }
     bound
 }
 
 fn dfs(state: &mut SearchState<'_>, mut domains: Vec<Domain>) {
     state.nodes += 1;
-    if state.nodes % 256 == 0 && (Instant::now() >= state.deadline || state.nodes >= state.max_nodes)
+    if state.nodes.is_multiple_of(256)
+        && (Instant::now() >= state.deadline || state.nodes >= state.max_nodes)
     {
         state.hit_limit = true;
     }
@@ -354,7 +356,9 @@ mod tests {
         // A knapsack-ish model large enough that a 0 ms limit cannot prove
         // optimality but the first dive still finds something feasible.
         let mut m = CpModel::new();
-        let vars: Vec<_> = (0..30).map(|i| m.new_int_var(0, 20, &format!("v{i}"))).collect();
+        let vars: Vec<_> = (0..30)
+            .map(|i| m.new_int_var(0, 20, &format!("v{i}")))
+            .collect();
         // Σ v_i >= 100
         m.add_ge(LinearExpr::sum(&vars), 100);
         m.minimize(LinearExpr::sum(&vars));

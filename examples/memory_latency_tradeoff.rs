@@ -14,11 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Trade-off sweep for {model}\n");
 
     let configurations = [
-        ("aggressive streaming", FlashMemConfig::memory_priority().with_m_peak_mib(256)),
+        (
+            "aggressive streaming",
+            FlashMemConfig::memory_priority().with_m_peak_mib(256),
+        ),
         ("memory priority", FlashMemConfig::memory_priority()),
         ("balanced", FlashMemConfig::balanced()),
         ("latency priority", FlashMemConfig::latency_priority()),
-        ("full preload", FlashMemConfig::latency_priority().with_opg(false)),
+        (
+            "full preload",
+            FlashMemConfig::latency_priority().with_opg(false),
+        ),
     ];
 
     println!(

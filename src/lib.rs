@@ -52,11 +52,12 @@ pub use flashmem_solver as solver;
 /// built on FlashMem.
 pub mod prelude {
     pub use flashmem_baselines::{
-        Framework, FrameworkKind, NaiveOverlap, PreloadFramework, SmartMem,
+        baseline_registry, standard_registry, NaiveOverlap, PreloadFramework, SmartMem,
     };
     pub use flashmem_core::{
-        AdaptiveFusion, ExecutionReport, FlashMem, FlashMemConfig, LcOpgSolver, MultiModelRunner,
-        OverlapPlan,
+        AdaptiveFusion, CompiledArtifact, EngineRegistry, ExecutionReport, FlashMem,
+        FlashMemConfig, FlashMemVariant, FrameworkKind, InferenceEngine, LcOpgSolver,
+        MultiModelRunner, OverlapPlan,
     };
     pub use flashmem_gpu_sim::{DeviceSpec, GpuSimulator, MemoryTracker, SimConfig};
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};

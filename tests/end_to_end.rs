@@ -13,7 +13,9 @@ fn flashmem(device: &DeviceSpec) -> FlashMem {
 fn flashmem_beats_every_supporting_baseline_on_gptneo_small() {
     let device = DeviceSpec::oneplus_12();
     let model = ModelZoo::gptneo_small();
-    let ours = flashmem(&device).run(&model).expect("FlashMem runs GPT-Neo-S");
+    let ours = flashmem(&device)
+        .run(&model)
+        .expect("FlashMem runs GPT-Neo-S");
 
     let mut compared = 0;
     for framework in PreloadFramework::all_baselines() {
@@ -37,7 +39,10 @@ fn flashmem_beats_every_supporting_baseline_on_gptneo_small() {
         );
         compared += 1;
     }
-    assert!(compared >= 3, "expected several baselines to support GPT-Neo-S");
+    assert!(
+        compared >= 3,
+        "expected several baselines to support GPT-Neo-S"
+    );
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! Trait-conformance tests: every engine in the standard registry must
+//! uphold the `InferenceEngine` contract and the `ExecutionReport`
+//! invariants on the same model, so the benchmark harness can treat them
+//! interchangeably.
+
+use flashmem::prelude::*;
+
+/// Run one engine on ViT and check every report invariant. Returns `false`
+/// when the engine (correctly) declares the model unsupported.
+fn check_engine(engine: &dyn InferenceEngine, model: &flashmem_graph::ModelSpec) -> bool {
+    let device = DeviceSpec::oneplus_12();
+    if !engine.supports(model) {
+        // Unsupported models must fail cleanly, not panic or OOM.
+        assert!(
+            engine.run(model, &device).is_err(),
+            "{}: run() on an unsupported model must error",
+            engine.name()
+        );
+        return false;
+    }
+
+    let artifact = engine
+        .compile(model, &device)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", engine.name()));
+    let streamed = artifact.streamed_fraction();
+    assert!(
+        (0.0..=1.0).contains(&streamed),
+        "{}: artifact streamed fraction {streamed} outside [0, 1]",
+        engine.name()
+    );
+
+    let report = engine
+        .execute(model, &artifact, &device)
+        .unwrap_or_else(|e| panic!("{}: execute failed: {e}", engine.name()));
+
+    assert_eq!(report.framework, engine.name(), "report names its engine");
+    assert_eq!(report.model, model.abbr, "report names its model");
+    assert!(
+        report.integrated_latency_ms > 0.0,
+        "{}: integrated latency must be positive",
+        engine.name()
+    );
+    assert!(
+        report.peak_memory_mb > 0.0,
+        "{}: peak memory must be positive",
+        engine.name()
+    );
+    assert!(
+        report.average_memory_mb <= report.peak_memory_mb + 1e-9,
+        "{}: average memory above peak",
+        engine.name()
+    );
+    assert!(
+        (0.0..=1.0).contains(&report.streamed_weight_fraction),
+        "{}: streamed fraction {} outside [0, 1]",
+        engine.name(),
+        report.streamed_weight_fraction
+    );
+    assert!(
+        (report.integrated_latency_ms - report.init_latency_ms - report.exec_latency_ms).abs()
+            < 1e-3,
+        "{}: init + exec must equal integrated latency",
+        engine.name()
+    );
+    assert!(
+        report.energy_j > 0.0,
+        "{}: energy must be positive",
+        engine.name()
+    );
+
+    // Streaming engines stream; preloading engines do not.
+    if engine.kind().is_streaming() {
+        assert!(
+            report.streamed_weight_fraction > 0.0,
+            "{}: a streaming engine must stream some weights",
+            engine.name()
+        );
+    } else {
+        assert_eq!(
+            report.streamed_weight_fraction,
+            0.0,
+            "{}: a preloading engine must not report streamed weights",
+            engine.name()
+        );
+    }
+    true
+}
+
+#[test]
+fn every_registered_engine_upholds_the_report_invariants_on_vit() {
+    let registry = standard_registry();
+    let model = ModelZoo::vit();
+    let mut conforming = 0;
+    for engine in registry.iter() {
+        if check_engine(engine, &model) {
+            conforming += 1;
+        }
+    }
+    // Everything except NCNN (no GPU LayerNorm) runs ViT.
+    assert_eq!(conforming, registry.len() - 1);
+}
+
+#[test]
+fn registry_kinds_resolve_to_engines_of_that_kind() {
+    let registry = standard_registry();
+    for kind in FrameworkKind::all() {
+        let engine = registry
+            .get(kind)
+            .unwrap_or_else(|| panic!("{kind} missing from the standard registry"));
+        assert_eq!(engine.kind(), kind);
+    }
+}
+
+#[test]
+fn run_composes_compile_and_execute() {
+    let registry = standard_registry();
+    let device = DeviceSpec::oneplus_12();
+    let model = ModelZoo::resnet50();
+    for engine in registry.iter() {
+        let composed = engine.run(&model, &device).expect("ResNet runs everywhere");
+        let artifact = engine.compile(&model, &device).unwrap();
+        let staged = engine.execute(&model, &artifact, &device).unwrap();
+        assert_eq!(
+            composed.integrated_latency_ms,
+            staged.integrated_latency_ms,
+            "{}: run() must equal compile() + execute()",
+            engine.name()
+        );
+    }
+}

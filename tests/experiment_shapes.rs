@@ -38,7 +38,12 @@ fn flashmem_wins_table_7_and_table_8_on_the_quick_subset() {
     for row in &latency.rows {
         for cell in &row.baselines {
             if let Some(integrated) = cell.integrated_ms() {
-                assert!(integrated > row.flashmem_ms, "{} on {}", cell.framework, row.model);
+                assert!(
+                    integrated > row.flashmem_ms,
+                    "{} on {}",
+                    cell.framework,
+                    row.model
+                );
             }
         }
     }

@@ -1,13 +1,15 @@
-//! Property-based tests over randomly generated models: the planner must
+//! Property-style tests over randomly generated models: the planner must
 //! produce constraint-satisfying overlap plans, the fusion passes must
 //! preserve the partition invariant, and the executor's memory accounting
 //! must respect the plan, for *any* well-formed graph — not just the zoo.
-
-use proptest::prelude::*;
+//!
+//! The random instances come from a seeded [`SplitMix64`] sweep instead of
+//! proptest (unavailable offline), so every run exercises the same corpus.
 
 use flashmem::prelude::*;
 use flashmem_core::lc_opg::{node_to_kernel_map, PlannerMode};
 use flashmem_core::{LcOpgSolver, StreamingExecutor};
+use flashmem_gpu_sim::rng::SplitMix64;
 use flashmem_graph::{FusionPlan, Graph, GraphBuilder, WeightInventory};
 use flashmem_profiler::LoweringOptions;
 
@@ -20,19 +22,19 @@ struct RandomModel {
     with_conv_stem: bool,
 }
 
-fn random_model_strategy() -> impl Strategy<Value = RandomModel> {
-    (
-        prop_oneof![Just(256u64), Just(384), Just(512), Just(768)],
-        1usize..6,
-        prop_oneof![Just(32u64), Just(64), Just(128)],
-        any::<bool>(),
-    )
-        .prop_map(|(hidden, blocks, seq, with_conv_stem)| RandomModel {
-            hidden,
-            blocks,
-            seq,
-            with_conv_stem,
+/// The deterministic corpus the three properties below are checked against.
+fn random_models(cases: usize) -> Vec<RandomModel> {
+    let mut rng = SplitMix64::seed_from_u64(0x9e3_7f4a);
+    let hiddens = [256u64, 384, 512, 768];
+    let seqs = [32u64, 64, 128];
+    (0..cases)
+        .map(|_| RandomModel {
+            hidden: hiddens[rng.gen_range_inclusive(0, 3) as usize],
+            blocks: rng.gen_range_inclusive(1, 5) as usize,
+            seq: seqs[rng.gen_range_inclusive(0, 2) as usize],
+            with_conv_stem: rng.gen_range_inclusive(0, 1) == 1,
         })
+        .collect()
 }
 
 fn build(model: &RandomModel) -> Graph {
@@ -63,17 +65,11 @@ fn build(model: &RandomModel) -> Graph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 20,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_models_validate_and_plan_correctly(model in random_model_strategy()) {
+#[test]
+fn random_models_validate_and_plan_correctly() {
+    for model in random_models(12) {
         let graph = build(&model);
-        prop_assert!(graph.validate().is_ok());
+        assert!(graph.validate().is_ok(), "{model:?}");
 
         let config = FlashMemConfig::memory_priority();
         let solver = LcOpgSolver::new(DeviceSpec::oneplus_12(), config.clone());
@@ -82,36 +78,53 @@ proptest! {
         // C0/C1 hold and the M_peak ceiling is respected (one chunk of slack
         // for the final short chunk of a weight).
         let inventory = WeightInventory::with_chunk_size(&graph, config.chunk_bytes);
-        prop_assert!(plan.validate(&inventory, Some(config.m_peak_bytes + config.chunk_bytes)).is_ok());
-        prop_assert_eq!(report.preloaded_weights + report.streamed_weights, inventory.len());
-        prop_assert!(plan.total_weight_bytes() == inventory.total_bytes());
+        assert!(
+            plan.validate(&inventory, Some(config.m_peak_bytes + config.chunk_bytes))
+                .is_ok(),
+            "{model:?}"
+        );
+        assert_eq!(
+            report.preloaded_weights + report.streamed_weights,
+            inventory.len(),
+            "{model:?}"
+        );
+        assert_eq!(
+            plan.total_weight_bytes(),
+            inventory.total_bytes(),
+            "{model:?}"
+        );
     }
+}
 
-    #[test]
-    fn fusion_passes_preserve_partitions_on_random_models(model in random_model_strategy()) {
+#[test]
+fn fusion_passes_preserve_partitions_on_random_models() {
+    for model in random_models(12) {
         let graph = build(&model);
         let base = FusionPlan::default_fusion(&graph);
-        prop_assert!(base.is_valid_partition(&graph));
+        assert!(base.is_valid_partition(&graph), "{model:?}");
 
         let pass = flashmem_core::AdaptiveFusion::new(
             DeviceSpec::oneplus_12(),
             FlashMemConfig::memory_priority(),
         );
         let (refined, fusion_report) = pass.refine(&graph, &base);
-        prop_assert!(refined.is_valid_partition(&graph));
-        prop_assert!(fusion_report.capacity_after >= fusion_report.capacity_before);
+        assert!(refined.is_valid_partition(&graph), "{model:?}");
+        assert!(
+            fusion_report.capacity_after >= fusion_report.capacity_before,
+            "{model:?}"
+        );
 
         // Every node is covered exactly once, and group aggregates match.
         let map = node_to_kernel_map(&refined);
-        prop_assert_eq!(map.len(), graph.len());
+        assert_eq!(map.len(), graph.len(), "{model:?}");
         let total_macs: u64 = refined.groups().iter().map(|g| g.macs(&graph)).sum();
-        prop_assert_eq!(total_macs, graph.total_macs());
+        assert_eq!(total_macs, graph.total_macs(), "{model:?}");
     }
+}
 
-    #[test]
-    fn executor_streams_are_valid_and_streaming_never_uses_more_memory(
-        model in random_model_strategy()
-    ) {
+#[test]
+fn executor_streams_are_valid_and_streaming_never_uses_more_memory() {
+    for model in random_models(12) {
         let graph = build(&model);
         let config = FlashMemConfig::memory_priority();
         let fusion = FusionPlan::default_fusion(&graph);
@@ -127,7 +140,7 @@ proptest! {
 
         let executor = StreamingExecutor::new(device, LoweringOptions::flashmem());
         let streamed_stream = executor.compile(&graph, &fusion, &streaming_plan);
-        prop_assert!(streamed_stream.validate().is_ok());
+        assert!(streamed_stream.validate().is_ok(), "{model:?}");
 
         let streamed = executor.execute(&graph, &fusion, &streaming_plan).unwrap();
         let preloaded = executor.execute(&graph, &fusion, &preload_plan).unwrap();
@@ -136,14 +149,21 @@ proptest! {
         // the time-weighted average must never be worse, and latency must not
         // regress materially.
         let slack = (8 * 1024 * 1024 + graph.total_weight_bytes() / 10) as f64;
-        prop_assert!(
+        assert!(
             streamed.peak_memory_bytes as f64 <= preloaded.peak_memory_bytes as f64 + slack,
-            "peak {} vs {}", streamed.peak_memory_bytes, preloaded.peak_memory_bytes
+            "{model:?}: peak {} vs {}",
+            streamed.peak_memory_bytes,
+            preloaded.peak_memory_bytes
         );
-        prop_assert!(
+        assert!(
             streamed.average_memory_bytes <= preloaded.average_memory_bytes + slack,
-            "avg {} vs {}", streamed.average_memory_bytes, preloaded.average_memory_bytes
+            "{model:?}: avg {} vs {}",
+            streamed.average_memory_bytes,
+            preloaded.average_memory_bytes
         );
-        prop_assert!(streamed.total_time_ms <= preloaded.total_time_ms * 1.05);
+        assert!(
+            streamed.total_time_ms <= preloaded.total_time_ms * 1.05,
+            "{model:?}"
+        );
     }
 }

@@ -1,10 +1,12 @@
-//! Property-based tests for the CP solver: solutions must satisfy the model,
+//! Property-style tests for the CP solver: solutions must satisfy the model,
 //! optimal objective values must match brute force on small instances, and
 //! propagation must never prune feasible assignments.
-
-use proptest::prelude::*;
+//!
+//! The random instances come from a seeded [`SplitMix64`] sweep instead of
+//! proptest (unavailable offline), so every run exercises the same corpus.
 
 use flashmem::solver::{propagate, CpModel, CpSolver, LinearExpr, PropagationResult, SolveStatus};
+use flashmem_gpu_sim::rng::SplitMix64;
 
 /// A small random model over `n` variables with random linear constraints.
 #[derive(Debug, Clone)]
@@ -15,20 +17,45 @@ struct SmallModel {
     objective: Vec<i64>,
 }
 
-fn small_model_strategy() -> impl Strategy<Value = SmallModel> {
-    let n = 3usize;
-    (
-        proptest::collection::vec((0i64..3, 3i64..7), n),
-        proptest::collection::vec((proptest::collection::vec(-2i64..3, n), 0i64..15), 0..3),
-        proptest::collection::vec((proptest::collection::vec(-1i64..3, n), 0i64..8), 0..2),
-        proptest::collection::vec(-3i64..4, n),
-    )
-        .prop_map(|(domains, les, ges, objective)| SmallModel {
-            domains: domains.into_iter().map(|(lo, span)| (lo, lo + span)).collect(),
-            les,
-            ges,
-            objective,
+const N: usize = 3;
+
+fn gen_i64(rng: &mut SplitMix64, lo: i64, hi: i64) -> i64 {
+    lo + rng.gen_range_inclusive(0, (hi - lo) as u64) as i64
+}
+
+/// The deterministic corpus the properties below are checked against.
+fn small_models(cases: usize) -> Vec<SmallModel> {
+    let mut rng = SplitMix64::seed_from_u64(0x50_1e4);
+    (0..cases)
+        .map(|_| {
+            let domains = (0..N)
+                .map(|_| {
+                    let lo = gen_i64(&mut rng, 0, 2);
+                    let span = gen_i64(&mut rng, 3, 6);
+                    (lo, lo + span)
+                })
+                .collect();
+            let les = (0..rng.gen_range_inclusive(0, 2))
+                .map(|_| {
+                    let coeffs = (0..N).map(|_| gen_i64(&mut rng, -2, 2)).collect();
+                    (coeffs, gen_i64(&mut rng, 0, 14))
+                })
+                .collect();
+            let ges = (0..rng.gen_range_inclusive(0, 1))
+                .map(|_| {
+                    let coeffs = (0..N).map(|_| gen_i64(&mut rng, -1, 2)).collect();
+                    (coeffs, gen_i64(&mut rng, 0, 7))
+                })
+                .collect();
+            let objective = (0..N).map(|_| gen_i64(&mut rng, -3, 3)).collect();
+            SmallModel {
+                domains,
+                les,
+                ges,
+                objective,
+            }
         })
+        .collect()
 }
 
 fn build(model: &SmallModel) -> (CpModel, Vec<flashmem::solver::VarId>) {
@@ -83,33 +110,30 @@ fn brute_force(model: &SmallModel, cp: &CpModel) -> Option<i64> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn solver_matches_brute_force_on_small_models(model in small_model_strategy()) {
+#[test]
+fn solver_matches_brute_force_on_small_models() {
+    for model in small_models(64) {
         let (cp, _) = build(&model);
         let expected = brute_force(&model, &cp);
         let outcome = CpSolver::new().solve(&cp);
         match expected {
             Some(best) => {
-                prop_assert_eq!(outcome.status, SolveStatus::Optimal);
-                prop_assert_eq!(outcome.objective, Some(best));
+                assert_eq!(outcome.status, SolveStatus::Optimal, "{model:?}");
+                assert_eq!(outcome.objective, Some(best), "{model:?}");
                 let solution = outcome.solution.unwrap();
-                prop_assert!(cp.is_feasible(solution.values()));
+                assert!(cp.is_feasible(solution.values()), "{model:?}");
             }
             None => {
-                prop_assert_eq!(outcome.status, SolveStatus::Infeasible);
-                prop_assert!(outcome.solution.is_none());
+                assert_eq!(outcome.status, SolveStatus::Infeasible, "{model:?}");
+                assert!(outcome.solution.is_none(), "{model:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn propagation_is_sound_on_small_models(model in small_model_strategy()) {
+#[test]
+fn propagation_is_sound_on_small_models() {
+    for model in small_models(64) {
         let (cp, _) = build(&model);
         let mut domains = cp.domains().to_vec();
         let result = propagate(&cp, &mut domains);
@@ -123,15 +147,22 @@ proptest! {
                         any_feasible = true;
                         // No feasible point may be pruned.
                         for (value, dom) in assignment.iter().zip(&domains) {
-                            prop_assert!(*value >= dom.lo && *value <= dom.hi,
-                                "feasible value {value} pruned from [{}, {}]", dom.lo, dom.hi);
+                            assert!(
+                                *value >= dom.lo && *value <= dom.hi,
+                                "feasible value {value} pruned from [{}, {}] in {model:?}",
+                                dom.lo,
+                                dom.hi
+                            );
                         }
                     }
                 }
             }
         }
         if result == PropagationResult::Conflict {
-            prop_assert!(!any_feasible, "propagation reported a conflict on a feasible model");
+            assert!(
+                !any_feasible,
+                "propagation reported a conflict on a feasible model {model:?}"
+            );
         }
     }
 }

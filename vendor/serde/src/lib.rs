@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The evaluation environment has no crates.io access, so this vendored stub
+//! keeps the workspace's `use serde::{Serialize, Deserialize}` imports and
+//! `#[derive(...)]` attributes compiling without pulling in the real
+//! dependency. Both traits are blanket-implemented for every type, so
+//! downstream `T: Serialize` bounds are always satisfied; no actual
+//! serialization machinery exists. Swap this and `vendor/serde_derive` for
+//! `serde = { version = "1", features = ["derive"] }` when networked.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s import path.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s import path.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The evaluation environment has no crates.io access, so the workspace
+//! vendors this no-op implementation: `#[derive(Serialize, Deserialize)]`
+//! parses and expands to nothing. Trait bounds still hold because the
+//! companion `serde` stub blanket-implements both traits for every type.
+//! Replace both vendor crates with the real dependency when networked.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
