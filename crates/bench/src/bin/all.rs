@@ -1,22 +1,64 @@
-//! Regenerates every table and figure of the paper's evaluation in one run.
+//! Regenerates every table and figure of the paper's evaluation — plus the
+//! serving sweep — in one run, and writes machine-readable JSON results next
+//! to the text tables.
 //!
-//! Usage: `cargo run --release -p flashmem-bench --bin all [-- --quick]`
+//! Usage: `cargo run --release -p flashmem-bench --bin all [-- --quick] [--json-dir DIR]`
+//! JSON goes to `target/bench-json/` by default; every run of this binary
+//! emits it so results can be diffed across PRs.
+
+use std::path::PathBuf;
 
 use flashmem_bench::experiments::*;
+use flashmem_bench::{plan_cache_stats, write_json};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir: PathBuf = match args.iter().position(|a| a == "--json-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) => PathBuf::from(dir),
+            None => {
+                eprintln!("error: --json-dir requires a directory argument");
+                std::process::exit(2);
+            }
+        },
+        None => PathBuf::from("target/bench-json"),
+    };
+
     println!("{}\n", table1::run(quick));
     println!("{}\n", fig2::run(quick));
     println!("{}\n", table4::run(quick));
     println!("{}\n", fig4::run(quick));
     println!("{}\n", table6::run(quick));
-    println!("{}\n", table7::run(quick));
-    println!("{}\n", table8::run(quick));
-    println!("{}\n", fig6::run(quick));
+
+    let t7 = table7::run(quick);
+    println!("{t7}\n");
+    let t8 = table8::run(quick);
+    println!("{t8}\n");
+    let f6 = fig6::run(quick);
+    println!("{f6}\n");
+
     println!("{}\n", fig7::run(quick));
     println!("{}\n", fig8::run(quick));
     println!("{}\n", fig9::run(quick));
     println!("{}\n", table9::run(quick));
-    println!("{}\n", fig10::run(quick));
+
+    let f10 = fig10::run(quick);
+    println!("{f10}\n");
+    let serving = serve::run(quick);
+    println!("{serving}\n");
+
+    for (name, json) in [
+        ("table7", t7.to_json()),
+        ("table8", t8.to_json()),
+        ("fig6", f6.to_json()),
+        ("fig10", f10.to_json()),
+        ("serve", serving.to_json()),
+    ] {
+        let path = json_dir.join(format!("{name}.json"));
+        write_json(&path, &json).expect("write bench JSON");
+        println!("wrote {}", path.display());
+    }
+
+    println!("\nshared plan cache: {}", plan_cache_stats());
 }

@@ -1,12 +1,11 @@
-//! Regenerates the paper's fig10 on the simulated device.
+//! Regenerates the `fig10` experiment on the simulated device.
 //!
-//! Usage: `cargo run --release -p flashmem-bench --bin fig10 [-- --quick]`
-//! The `--quick` flag restricts the sweep to a reduced model set.
+//! Usage: `cargo run --release -p flashmem-bench --bin fig10 [-- --quick] [--json PATH]`
+//! The `--quick` flag restricts the sweep to a reduced set; `--json`
+//! additionally writes the result as machine-readable JSON.
 
 use flashmem_bench::experiments::fig10;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let result = fig10::run(quick);
-    println!("{result}");
+    flashmem_bench::run_bin_with_json(fig10::run, fig10::Fig10::to_json);
 }

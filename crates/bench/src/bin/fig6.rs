@@ -1,12 +1,11 @@
-//! Regenerates the paper's fig6 on the simulated device.
+//! Regenerates the `fig6` experiment on the simulated device.
 //!
-//! Usage: `cargo run --release -p flashmem-bench --bin fig6 [-- --quick]`
-//! The `--quick` flag restricts the sweep to a reduced model set.
+//! Usage: `cargo run --release -p flashmem-bench --bin fig6 [-- --quick] [--json PATH]`
+//! The `--quick` flag restricts the sweep to a reduced set; `--json`
+//! additionally writes the result as machine-readable JSON.
 
 use flashmem_bench::experiments::fig6;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let result = fig6::run(quick);
-    println!("{result}");
+    flashmem_bench::run_bin_with_json(fig6::run, fig6::Fig6::to_json);
 }

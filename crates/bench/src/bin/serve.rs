@@ -1,0 +1,13 @@
+//! The multi-tenant serving benchmark: arrival patterns × scheduling
+//! policies × fleet sizes, reporting p50/p95/p99 latency, queue busy
+//! fractions and plan-cache hit rates.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin serve [-- --quick] [--json PATH]`
+//! The `--quick` flag runs the small smoke sweep (CI's serve-smoke step);
+//! `--json PATH` additionally writes the per-cell metrics as JSON.
+
+use flashmem_bench::experiments::serve;
+
+fn main() {
+    flashmem_bench::run_bin_with_json(serve::run, serve::ServeBench::to_json);
+}

@@ -1,12 +1,11 @@
-//! Regenerates the paper's table8 on the simulated device.
+//! Regenerates the `table8` experiment on the simulated device.
 //!
-//! Usage: `cargo run --release -p flashmem-bench --bin table8 [-- --quick]`
-//! The `--quick` flag restricts the sweep to a reduced model set.
+//! Usage: `cargo run --release -p flashmem-bench --bin table8 [-- --quick] [--json PATH]`
+//! The `--quick` flag restricts the sweep to a reduced set; `--json`
+//! additionally writes the result as machine-readable JSON.
 
 use flashmem_bench::experiments::table8;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let result = table8::run(quick);
-    println!("{result}");
+    flashmem_bench::run_bin_with_json(table8::run, table8::Table8::to_json);
 }

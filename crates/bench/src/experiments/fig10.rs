@@ -40,10 +40,16 @@ fn devices(quick: bool) -> Vec<DeviceSpec> {
     if quick {
         vec![DeviceSpec::xiaomi_mi_6()]
     } else {
+        // The paper's portability devices plus the expanded fleet (Mali
+        // mid-ranger, tablet, laptop iGPU) so the sweep covers a realistic
+        // device population.
         vec![
             DeviceSpec::oneplus_11(),
             DeviceSpec::xiaomi_mi_6(),
             DeviceSpec::pixel_8(),
+            DeviceSpec::galaxy_a54(),
+            DeviceSpec::galaxy_tab_s9(),
+            DeviceSpec::radeon_780m_laptop(),
         ]
     }
 }
@@ -91,6 +97,29 @@ pub fn run(quick: bool) -> Fig10 {
         }
     }
     Fig10 { cells }
+}
+
+impl Fig10 {
+    /// Machine-readable per-cell metrics.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("device", c.device.as_str())
+                    .field("model", c.model.as_str())
+                    .field("flashmem_ms", c.flashmem_ms)
+                    .field("latency_speedup", c.latency_speedup)
+                    .field("memory_saving", c.memory_saving)
+                    .field("smartmem_oom", c.smartmem_oom)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "fig10")
+            .field("cells", Json::Arr(cells))
+    }
 }
 
 impl std::fmt::Display for Fig10 {

@@ -3,10 +3,13 @@
 //! versus an MNN-style preloading framework.
 
 use flashmem_baselines::{FrameworkProfile, PreloadFramework};
-use flashmem_core::{EngineRegistry, FlashMemConfig, MultiModelRunner};
+use flashmem_core::{EngineRegistry, FlashMemConfig};
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::MultiModelRunner;
+
+use crate::json::Json;
 
 use crate::harness::run_matrix;
 
@@ -110,6 +113,33 @@ pub fn run(quick: bool) -> Fig6 {
         iterations,
         flashmem,
         mnn,
+    }
+}
+
+impl Fig6 {
+    /// Machine-readable series (one `(t, MB)` pair per resampled point).
+    pub fn to_json(&self) -> Json {
+        let series = |s: &MemorySeries| {
+            Json::obj()
+                .field("runtime", s.runtime.as_str())
+                .field("total_latency_ms", s.total_latency_ms)
+                .field("peak_memory_mb", s.peak_memory_mb)
+                .field(
+                    "samples",
+                    Json::Arr(
+                        s.samples
+                            .iter()
+                            .map(|(t, mb)| Json::array(vec![*t, *mb]))
+                            .collect(),
+                    ),
+                )
+        };
+        Json::obj()
+            .field("experiment", "fig6")
+            .field("queue", Json::array(self.queue.iter().map(String::as_str)))
+            .field("iterations", self.iterations)
+            .field("flashmem", series(&self.flashmem))
+            .field("mnn", series(&self.mnn))
     }
 }
 

@@ -15,6 +15,7 @@
 //! | [`fig9`] | Comparison with naive overlap strategies | Figure 9 |
 //! | [`table9`] | Power and energy consumption | Table 9 |
 //! | [`fig10`] | Portability across devices | Figure 10 |
+//! | [`serve`] | Multi-tenant serving sweep (beyond the paper) | — |
 
 pub mod ablations;
 pub mod fig10;
@@ -24,6 +25,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod table1;
 pub mod table4;
 pub mod table6;

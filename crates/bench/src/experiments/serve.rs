@@ -1,0 +1,303 @@
+//! Serving benchmark — beyond the paper: multi-tenant traffic on a fleet of
+//! simulated devices, sweeping arrival patterns × scheduling policies ×
+//! fleet sizes and reporting tail latency (p50/p95/p99), queue busy
+//! fractions and plan-cache hit rates.
+//!
+//! This is the "heavy traffic" regime the ROADMAP's north star asks for: the
+//! same dual-queue overlap that hides load latency inside one inference is
+//! time-shared across tenants by `flashmem-serve`'s event loop.
+
+use std::sync::Arc;
+
+use flashmem_core::{ArtifactCache, FlashMemConfig};
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::{
+    AffinityPolicy, ArrivalPattern, FifoPolicy, PriorityPolicy, SchedulePolicy, ServeEngine,
+    WorkloadSpec,
+};
+
+use crate::json::Json;
+use crate::table::TextTable;
+
+/// One (pattern × policy × fleet-size) cell of the serving sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCell {
+    /// Arrival-pattern name.
+    pub pattern: String,
+    /// Scheduling-policy name.
+    pub policy: String,
+    /// Number of devices in the fleet.
+    pub fleet: usize,
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Transfer-queue busy fraction, averaged over the fleet.
+    pub transfer_busy: f64,
+    /// Compute-queue busy fraction, averaged over the fleet.
+    pub compute_busy: f64,
+    /// Plan-cache hit rate over the cell's run.
+    pub cache_hit_rate: f64,
+}
+
+/// The serving benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBench {
+    /// All sweep cells, pattern-major then policy then fleet size.
+    pub cells: Vec<ServeCell>,
+}
+
+fn patterns(quick: bool) -> Vec<ArrivalPattern> {
+    let mut patterns = vec![
+        ArrivalPattern::Steady { interval_ms: 400.0 },
+        ArrivalPattern::Bursty {
+            burst_size: 4,
+            gap_ms: 2_000.0,
+        },
+    ];
+    if !quick {
+        patterns.push(ArrivalPattern::Poisson {
+            mean_interval_ms: 400.0,
+        });
+    }
+    patterns
+}
+
+/// A named policy constructor (policies are consumed per cell, so each cell
+/// builds a fresh boxed instance).
+type PolicyFactory = Box<dyn Fn() -> Box<dyn SchedulePolicy>>;
+
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        ("fifo", Box::new(|| Box::new(FifoPolicy) as _)),
+        (
+            "priority",
+            Box::new(|| Box::new(PriorityPolicy::with_max_in_flight(2)) as _),
+        ),
+        (
+            "affinity",
+            Box::new(|| Box::new(AffinityPolicy::new()) as _),
+        ),
+    ]
+}
+
+fn fleet_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
+/// The serving fleet: flagship phone first, then the expanded device matrix
+/// (tablet, laptop iGPU, Pixel) cycled up to `size` devices.
+pub fn serving_fleet(size: usize) -> Vec<DeviceSpec> {
+    let pool = [
+        DeviceSpec::oneplus_12(),
+        DeviceSpec::galaxy_tab_s9(),
+        DeviceSpec::radeon_780m_laptop(),
+        DeviceSpec::pixel_8(),
+    ];
+    (0..size.max(1))
+        .map(|i| pool[i % pool.len()].clone())
+        .collect()
+}
+
+fn serving_models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+    } else {
+        vec![
+            ModelZoo::gptneo_small(),
+            ModelZoo::vit(),
+            ModelZoo::resnet50(),
+            ModelZoo::depth_anything_small(),
+        ]
+    }
+}
+
+/// Run the serving sweep.
+pub fn run(quick: bool) -> ServeBench {
+    let models = serving_models(quick);
+    let request_count = if quick { 8 } else { 32 };
+    let mut cells = Vec::new();
+    for pattern in patterns(quick) {
+        for (policy_name, make_policy) in policies() {
+            for fleet_size in fleet_sizes(quick) {
+                let workload = WorkloadSpec {
+                    pattern,
+                    requests: request_count,
+                    tenants: 4,
+                    priority_levels: 3,
+                    seed: 0xF1A5_0000 + fleet_size as u64,
+                };
+                let requests = workload.generate(&models);
+                // A fresh cache per cell so the reported hit rate reflects
+                // this cell's traffic, not earlier sweep cells.
+                let cache = Arc::new(ArtifactCache::new());
+                let engine =
+                    ServeEngine::new(serving_fleet(fleet_size), FlashMemConfig::memory_priority())
+                        .with_policy(make_policy())
+                        .with_cache(Arc::clone(&cache));
+                let report = engine.run(&requests).expect("serving sweep runs");
+                let fleet_len = report.devices.len() as f64;
+                cells.push(ServeCell {
+                    pattern: pattern.name().to_string(),
+                    policy: policy_name.to_string(),
+                    fleet: fleet_size,
+                    requests: report.outcomes.len(),
+                    completed: report.completed(),
+                    p50_ms: report.latency.p50_ms,
+                    p95_ms: report.latency.p95_ms,
+                    p99_ms: report.latency.p99_ms,
+                    mean_ms: report.latency.mean_ms,
+                    throughput_rps: report.throughput_rps,
+                    transfer_busy: report
+                        .devices
+                        .iter()
+                        .map(|d| d.transfer_busy_fraction)
+                        .sum::<f64>()
+                        / fleet_len,
+                    compute_busy: report
+                        .devices
+                        .iter()
+                        .map(|d| d.compute_busy_fraction)
+                        .sum::<f64>()
+                        / fleet_len,
+                    cache_hit_rate: report.cache.hit_rate(),
+                });
+            }
+        }
+    }
+    ServeBench { cells }
+}
+
+impl ServeBench {
+    /// Machine-readable per-cell metrics.
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("pattern", c.pattern.as_str())
+                    .field("policy", c.policy.as_str())
+                    .field("fleet", c.fleet)
+                    .field("requests", c.requests)
+                    .field("completed", c.completed)
+                    .field("p50_ms", c.p50_ms)
+                    .field("p95_ms", c.p95_ms)
+                    .field("p99_ms", c.p99_ms)
+                    .field("mean_ms", c.mean_ms)
+                    .field("throughput_rps", c.throughput_rps)
+                    .field("transfer_busy_fraction", c.transfer_busy)
+                    .field("compute_busy_fraction", c.compute_busy)
+                    .field("cache_hit_rate", c.cache_hit_rate)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "serve")
+            .field("cells", Json::Arr(cells))
+    }
+}
+
+impl std::fmt::Display for ServeBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Serving sweep: arrival pattern × policy × fleet size (latencies in ms)"
+        )?;
+        let mut t = TextTable::new(&[
+            "Pattern",
+            "Policy",
+            "Fleet",
+            "Done",
+            "p50",
+            "p95",
+            "p99",
+            "Mean",
+            "Req/s",
+            "Load busy",
+            "Compute busy",
+            "Cache hits",
+        ]);
+        for c in &self.cells {
+            t.row(&[
+                c.pattern.clone(),
+                c.policy.clone(),
+                format!("{}", c.fleet),
+                format!("{}/{}", c.completed, c.requests),
+                format!("{:.0}", c.p50_ms),
+                format!("{:.0}", c.p95_ms),
+                format!("{:.0}", c.p99_ms),
+                format!("{:.0}", c.mean_ms),
+                format!("{:.2}", c.throughput_rps),
+                format!("{:.0}%", 100.0 * c.transfer_busy),
+                format!("{:.0}%", 100.0 * c.compute_busy),
+                format!("{:.0}%", 100.0 * c.cache_hit_rate),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_every_policy_and_completes() {
+        let bench = run(true);
+        // 2 patterns × 3 policies × 2 fleet sizes.
+        assert_eq!(bench.cells.len(), 12);
+        for cell in &bench.cells {
+            assert_eq!(cell.completed, cell.requests, "{cell:?}");
+            assert!(cell.p50_ms <= cell.p95_ms);
+            assert!(cell.p95_ms <= cell.p99_ms);
+            assert!(cell.throughput_rps > 0.0);
+            // Few distinct models, many requests: the plan cache must hit.
+            assert!(cell.cache_hit_rate > 0.0, "{cell:?}");
+        }
+        let policies: std::collections::BTreeSet<&str> =
+            bench.cells.iter().map(|c| c.policy.as_str()).collect();
+        assert_eq!(policies.len(), 3);
+    }
+
+    #[test]
+    fn larger_fleets_do_not_hurt_tail_latency_under_bursts() {
+        let bench = run(true);
+        let p99 = |policy: &str, fleet: usize| {
+            bench
+                .cells
+                .iter()
+                .find(|c| c.pattern == "bursty" && c.policy == policy && c.fleet == fleet)
+                .map(|c| c.p99_ms)
+                .expect("cell present")
+        };
+        // Doubling the fleet under bursty traffic must not make the tail
+        // worse for the round-robin policies.
+        assert!(p99("fifo", 2) <= p99("fifo", 1) * 1.05);
+        assert!(p99("priority", 2) <= p99("priority", 1) * 1.05);
+    }
+
+    #[test]
+    fn json_output_has_per_cell_metrics() {
+        let bench = run(true);
+        let json = bench.to_json().pretty();
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"policy\": \"affinity\""));
+    }
+}

@@ -126,6 +126,49 @@ pub fn run(quick: bool) -> Table7 {
     }
 }
 
+impl Table7 {
+    /// Machine-readable per-cell metrics.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let baselines: Vec<Json> = row
+                    .baselines
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .field("framework", c.framework.as_str())
+                            .field("init_ms", c.init_ms)
+                            .field("exec_ms", c.exec_ms)
+                            .field("integrated_ms", c.integrated_ms())
+                    })
+                    .collect();
+                Json::obj()
+                    .field("model", row.model.as_str())
+                    .field("baselines", Json::Arr(baselines))
+                    .field("flashmem_ms", row.flashmem_ms)
+                    .field("speedup_vs_smartmem", row.speedup_vs_smartmem)
+                    .field("speedup_vs_others", row.speedup_vs_others)
+            })
+            .collect();
+        let geo: Vec<Json> = self
+            .geo_mean_speedups
+            .iter()
+            .map(|(name, ratio)| {
+                Json::obj()
+                    .field("framework", name.as_str())
+                    .field("geo_mean_speedup", *ratio)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "table7")
+            .field("rows", Json::Arr(rows))
+            .field("geo_mean_speedups", Json::Arr(geo))
+    }
+}
+
 impl std::fmt::Display for Table7 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(

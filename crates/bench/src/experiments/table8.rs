@@ -77,6 +77,46 @@ pub fn run(quick: bool) -> Table8 {
     }
 }
 
+impl Table8 {
+    /// Machine-readable per-cell metrics.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let baselines: Vec<Json> = row
+                    .baselines
+                    .iter()
+                    .map(|(name, mb)| {
+                        Json::obj()
+                            .field("framework", name.as_str())
+                            .field("average_memory_mb", *mb)
+                    })
+                    .collect();
+                Json::obj()
+                    .field("model", row.model.as_str())
+                    .field("baselines", Json::Arr(baselines))
+                    .field("flashmem_mb", row.flashmem_mb)
+                    .field("reduction_vs_smartmem", row.reduction_vs_smartmem)
+            })
+            .collect();
+        let geo: Vec<Json> = self
+            .geo_mean_reductions
+            .iter()
+            .map(|(name, ratio)| {
+                Json::obj()
+                    .field("framework", name.as_str())
+                    .field("geo_mean_reduction", *ratio)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "table8")
+            .field("rows", Json::Arr(rows))
+            .field("geo_mean_reductions", Json::Arr(geo))
+    }
+}
+
 impl std::fmt::Display for Table8 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 8: average memory consumption (MB)")?;

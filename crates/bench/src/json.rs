@@ -1,0 +1,280 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace's vendored `serde` stub is a no-op (this environment has no
+//! registry access), so machine-readable bench output is produced by this
+//! tiny value tree instead: experiments build a [`Json`] document and the
+//! binaries write it next to their text tables so results can be diffed
+//! across PRs. Emission is deterministic: object keys keep insertion order.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert a field (builder style; objects only — no-op otherwise).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        if let Json::Obj(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// An array from anything iterable over `Into<Json>`.
+    pub fn array<T: Into<Json>>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Pretty-print with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(v) => v.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Write a JSON document to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json(path: &Path, json: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.pretty().as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Parse a `--json <path>` or `--json=<path>` flag from a binary's argument
+/// list, returning the requested output path.
+pub fn json_path_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--json=") {
+            return Some(path.into());
+        }
+        if arg == "--json" {
+            return args.get(i + 1).map(|p| p.into());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_nested_json() {
+        let doc = Json::obj()
+            .field("name", "fig10")
+            .field("ok", true)
+            .field("missing", Json::Null)
+            .field("speedup", 8.5)
+            .field("cells", Json::array(vec![1.0, 2.5]))
+            .field("nested", Json::obj().field("k", "v"));
+        let text = doc.pretty();
+        assert!(text.starts_with('{'));
+        assert!(text.contains("\"name\": \"fig10\""));
+        assert!(text.contains("\"ok\": true"));
+        assert!(text.contains("\"missing\": null"));
+        assert!(text.contains("\"speedup\": 8.5"));
+        assert!(text.contains("\"cells\": [\n"));
+        assert!(text.contains("\"k\": \"v\""));
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let doc = Json::obj()
+            .field("quote", "say \"hi\"\n\tdone\\")
+            .field("inf", f64::INFINITY)
+            .field("nan", f64::NAN);
+        let text = doc.pretty();
+        assert!(text.contains("\\\"hi\\\""));
+        assert!(text.contains("\\n\\tdone\\\\"));
+        assert!(text.contains("\"inf\": null"));
+        assert!(text.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn option_and_empty_containers() {
+        let none: Option<f64> = None;
+        let doc = Json::obj()
+            .field("maybe", none)
+            .field("empty_arr", Json::Arr(Vec::new()))
+            .field("empty_obj", Json::obj());
+        let text = doc.pretty();
+        assert!(text.contains("\"maybe\": null"));
+        assert!(text.contains("\"empty_arr\": []"));
+        assert!(text.contains("\"empty_obj\": {}"));
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = vec!["--quick".into(), "--json".into(), "out.json".into()];
+        assert_eq!(
+            json_path_from_args(&args).unwrap().to_str().unwrap(),
+            "out.json"
+        );
+        let args: Vec<String> = vec!["--json=a/b.json".into()];
+        assert_eq!(
+            json_path_from_args(&args).unwrap().to_str().unwrap(),
+            "a/b.json"
+        );
+        assert!(json_path_from_args(&["--quick".to_string()]).is_none());
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join("flashmem-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        write_json(&path, &Json::obj().field("x", 1.0)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

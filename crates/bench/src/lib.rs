@@ -20,10 +20,34 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod table;
 pub mod timing;
 
-pub use harness::{comparison_registry, run_matrix, BenchMatrix, MatrixCell};
+pub use harness::{
+    comparison_registry, matrix_to_json, plan_cache, plan_cache_stats, run_matrix, BenchMatrix,
+    MatrixCell,
+};
+pub use json::{json_path_from_args, write_json, Json};
+
+/// Shared main body for the experiment binaries: parse `--quick`, run the
+/// experiment, print its text table, and honour `--json PATH` /
+/// `--json=PATH` by writing the experiment's machine-readable form. Keeps
+/// the per-table binaries to one line so flag handling cannot drift between
+/// them.
+pub fn run_bin_with_json<T: std::fmt::Display>(
+    run: impl FnOnce(bool) -> T,
+    to_json: impl FnOnce(&T) -> Json,
+) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let result = run(quick);
+    println!("{result}");
+    if let Some(path) = json_path_from_args(&args) {
+        write_json(&path, &to_json(&result)).expect("write bench JSON");
+        println!("\nwrote {}", path.display());
+    }
+}
 
 use flashmem_graph::{ModelSpec, ModelZoo};
 

@@ -1,0 +1,391 @@
+//! The keyed compilation-artifact cache.
+//!
+//! FlashMem's offline stage — adaptive fusion, capacity profiling and the
+//! LC-OPG solve — is by far the most expensive part of `compile`, and both
+//! the benchmark matrix and a multi-tenant server ask for the *same*
+//! (engine, model, device) combination over and over. [`ArtifactCache`] sits
+//! in front of [`InferenceEngine::compile`] and memoises the
+//! [`CompiledArtifact`] under a fingerprint of the engine configuration, the
+//! model and the device, with hit/miss counters that experiment drivers
+//! surface in their reports.
+//!
+//! Compilation is deterministic, so a cached artifact is byte-identical to a
+//! cold compile; the cache changes *when* planning work happens, never what
+//! executes.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use flashmem_gpu_sim::error::SimResult;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::ModelSpec;
+
+use crate::engine::{CompiledArtifact, InferenceEngine};
+use crate::metrics::ExecutionReport;
+
+/// 64-bit FNV-1a, the workspace's stand-in for a hasher with a stable,
+/// documented output (we key a cache with it, so stability across runs and
+/// platforms matters more than speed).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Fold raw bytes into the state.
+    pub fn write(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold a string (length-prefixed so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn write_str(self, s: &str) -> Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Fold a `u64`.
+    pub fn write_u64(self, v: u64) -> Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Fold an `f64` by bit pattern.
+    pub fn write_f64(self, v: f64) -> Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprint of the device parameters that influence compilation.
+fn device_fingerprint(device: &DeviceSpec) -> u64 {
+    Fnv1a::new()
+        .write_str(&device.name)
+        .write_str(&device.gpu)
+        .write_u64(device.ram_bytes)
+        .write_u64(device.app_budget_bytes)
+        .write_u64(device.texture_budget_bytes)
+        .write_f64(device.disk_bw)
+        .write_f64(device.unified_bw)
+        .write_f64(device.texture_bw)
+        .write_f64(device.texture_cache_bw)
+        .write_f64(device.fp16_flops)
+        .write_f64(device.fp32_flops)
+        .write_u64(u64::from(device.num_sms))
+        .write_f64(device.kernel_launch_overhead_ms)
+        .finish()
+}
+
+/// Fingerprint of the model identity (name, abbreviation and graph shape).
+fn model_fingerprint(model: &ModelSpec) -> u64 {
+    let graph = model.graph();
+    Fnv1a::new()
+        .write_str(&model.name)
+        .write_str(&model.abbr)
+        .write_str(graph.name())
+        .write_u64(graph.len() as u64)
+        .finish()
+}
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Distinct artifacts currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.0}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.entries
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, CompiledArtifact>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe artifact cache keyed by engine × model × device fingerprint.
+///
+/// The engine part of the key combines [`InferenceEngine::name`] (which
+/// already distinguishes configuration variants in every registry the
+/// workspace builds) with [`InferenceEngine::cache_salt`], a fingerprint of
+/// the engine's configuration, so two engines that happen to share a display
+/// name but differ in configuration can never alias.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// The cache key for an (engine, model, device) combination.
+    pub fn key_for(engine: &dyn InferenceEngine, model: &ModelSpec, device: &DeviceSpec) -> u64 {
+        Fnv1a::new()
+            .write_str(engine.kind().name())
+            .write_str(&engine.name())
+            .write_u64(engine.cache_salt())
+            .write_u64(model_fingerprint(model))
+            .write_u64(device_fingerprint(device))
+            .finish()
+    }
+
+    /// Compile through the cache: returns the artifact plus `true` when it
+    /// was served from the cache, `false` on a cold compile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InferenceEngine::compile`] errors; failures are not
+    /// cached.
+    pub fn compile(
+        &self,
+        engine: &dyn InferenceEngine,
+        model: &ModelSpec,
+        device: &DeviceSpec,
+    ) -> SimResult<(CompiledArtifact, bool)> {
+        let key = Self::key_for(engine, model, device);
+        {
+            let mut inner = self.inner.lock().expect("artifact cache poisoned");
+            if let Some(artifact) = inner.map.get(&key) {
+                let artifact = artifact.clone();
+                inner.hits += 1;
+                return Ok((artifact, true));
+            }
+        }
+        // Compile outside the lock: LC-OPG solves are the expensive part and
+        // other threads should be able to hit on unrelated keys meanwhile.
+        let artifact = engine.compile(model, device)?;
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.misses += 1;
+        inner.map.entry(key).or_insert_with(|| artifact.clone());
+        Ok((artifact, false))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("artifact cache poisoned")
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every artifact and reset the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+/// Run `engine` on `model`/`device`, compiling through `cache`.
+///
+/// # Errors
+///
+/// Propagates compile and execution errors.
+pub fn run_cached(
+    cache: &ArtifactCache,
+    engine: &dyn InferenceEngine,
+    model: &ModelSpec,
+    device: &DeviceSpec,
+) -> SimResult<ExecutionReport> {
+    let (artifact, _) = cache.compile(engine, model, device)?;
+    engine.execute(model, &artifact, device)
+}
+
+/// An [`InferenceEngine`] decorator that routes `compile` through a shared
+/// [`ArtifactCache`] and forwards everything else.
+pub struct CachedEngine<E> {
+    inner: E,
+    cache: std::sync::Arc<ArtifactCache>,
+}
+
+impl<E: InferenceEngine> CachedEngine<E> {
+    /// Wrap `inner`, sharing `cache`.
+    pub fn new(inner: E, cache: std::sync::Arc<ArtifactCache>) -> Self {
+        CachedEngine { inner, cache }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: InferenceEngine> InferenceEngine for CachedEngine<E> {
+    fn kind(&self) -> crate::engine::FrameworkKind {
+        self.inner.kind()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn supports(&self, model: &ModelSpec) -> bool {
+        self.inner.supports(model)
+    }
+
+    fn cache_salt(&self) -> u64 {
+        self.inner.cache_salt()
+    }
+
+    fn compile(&self, model: &ModelSpec, device: &DeviceSpec) -> SimResult<CompiledArtifact> {
+        self.cache
+            .compile(&self.inner, model, device)
+            .map(|(artifact, _)| artifact)
+    }
+
+    fn execute(
+        &self,
+        model: &ModelSpec,
+        artifact: &CompiledArtifact,
+        device: &DeviceSpec,
+    ) -> SimResult<ExecutionReport> {
+        self.inner.execute(model, artifact, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlashMemConfig;
+    use crate::engine::FlashMemVariant;
+    use flashmem_graph::ModelZoo;
+    use std::sync::Arc;
+
+    fn engine() -> FlashMemVariant {
+        FlashMemVariant::new("FlashMem", FlashMemConfig::memory_priority())
+    }
+
+    #[test]
+    fn second_compile_hits_and_returns_an_identical_artifact() {
+        let cache = ArtifactCache::new();
+        let model = ModelZoo::gptneo_small();
+        let device = DeviceSpec::oneplus_12();
+        let engine = engine();
+        let (cold, hit0) = cache.compile(&engine, &model, &device).unwrap();
+        let (warm, hit1) = cache.compile(&engine, &model, &device).unwrap();
+        assert!(!hit0);
+        assert!(hit1);
+        // Artifacts must behave identically: same streamed fraction and the
+        // same execution report on replay.
+        assert_eq!(cold.streamed_fraction(), warm.streamed_fraction());
+        let a = engine.execute(&model, &cold, &device).unwrap();
+        let b = engine.execute(&model, &warm, &device).unwrap();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_distinguish_model_device_and_config() {
+        let model_a = ModelZoo::gptneo_small();
+        let model_b = ModelZoo::vit();
+        let dev_a = DeviceSpec::oneplus_12();
+        let dev_b = DeviceSpec::xiaomi_mi_6();
+        let capped = dev_a.clone().with_app_budget_bytes(1 << 30);
+        let e1 = engine();
+        let e2 = FlashMemVariant::new("FlashMem", FlashMemConfig::latency_priority());
+        let base = ArtifactCache::key_for(&e1, &model_a, &dev_a);
+        assert_ne!(base, ArtifactCache::key_for(&e1, &model_b, &dev_a));
+        assert_ne!(base, ArtifactCache::key_for(&e1, &model_a, &dev_b));
+        assert_ne!(base, ArtifactCache::key_for(&e1, &model_a, &capped));
+        // Same display name, different configuration: the salt must split them.
+        assert_ne!(base, ArtifactCache::key_for(&e2, &model_a, &dev_a));
+    }
+
+    #[test]
+    fn cached_engine_decorator_shares_one_cache() {
+        let cache = Arc::new(ArtifactCache::new());
+        let wrapped = CachedEngine::new(engine(), Arc::clone(&cache));
+        let model = ModelZoo::gptneo_small();
+        let device = DeviceSpec::oneplus_12();
+        use crate::engine::InferenceEngine as _;
+        let report_a = wrapped.run(&model, &device).unwrap();
+        let report_b = wrapped.run(&model, &device).unwrap();
+        assert_eq!(report_a, report_b);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let cache = ArtifactCache::new();
+        let model = ModelZoo::gptneo_small();
+        let device = DeviceSpec::oneplus_12();
+        cache.compile(&engine(), &model, &device).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -165,6 +165,28 @@ impl FlashMemConfig {
     pub fn m_peak_mib(&self) -> f64 {
         self.m_peak_bytes as f64 / MIB as f64
     }
+
+    /// A stable fingerprint over every field that influences compilation —
+    /// the configuration part of [`ArtifactCache`](crate::cache::ArtifactCache)
+    /// keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::cache::Fnv1a::new()
+            .write_u64(self.m_peak_bytes)
+            .write_f64(self.lambda)
+            .write_f64(self.mu)
+            .write_u64(self.chunk_bytes)
+            .write_f64(self.alpha)
+            .write_u64(self.window as u64)
+            .write_u64(self.solver_time_limit_ms)
+            .write_u64(self.total_solver_budget_ms)
+            .write_u64(u64::from(self.enable_opg))
+            .write_u64(u64::from(self.enable_adaptive_fusion))
+            .write_u64(u64::from(self.enable_kernel_rewriting));
+        for name in &self.explicit_preload {
+            h = h.write_str(name);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +207,27 @@ mod tests {
         let lat = FlashMemConfig::latency_priority();
         assert!(lat.m_peak_bytes > mem.m_peak_bytes);
         assert!(lat.lambda < mem.lambda);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configurations() {
+        let base = FlashMemConfig::memory_priority();
+        assert_eq!(
+            base.fingerprint(),
+            FlashMemConfig::memory_priority().fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            FlashMemConfig::latency_priority().fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_kernel_rewriting(false).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_explicit_preload("w0").fingerprint()
+        );
     }
 
     #[test]

@@ -182,6 +182,14 @@ pub trait InferenceEngine: Send + Sync {
         true
     }
 
+    /// Fingerprint of the engine's *configuration*, mixed into
+    /// [`ArtifactCache`](crate::cache::ArtifactCache) keys so two engines
+    /// sharing a display name but differing in configuration never alias.
+    /// Engines without tunable configuration keep the default.
+    fn cache_salt(&self) -> u64 {
+        0
+    }
+
     /// Compile `model` for `device`.
     ///
     /// # Errors
@@ -343,6 +351,10 @@ impl InferenceEngine for FlashMem {
         FrameworkKind::FlashMem
     }
 
+    fn cache_salt(&self) -> u64 {
+        self.config().fingerprint()
+    }
+
     fn compile(&self, model: &ModelSpec, device: &DeviceSpec) -> SimResult<CompiledArtifact> {
         // The runtime is pinned to one device at construction; the engine
         // interface targets whichever device the matrix sweep asks for.
@@ -393,6 +405,10 @@ impl InferenceEngine for FlashMemVariant {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn cache_salt(&self) -> u64 {
+        self.config.fingerprint()
     }
 
     fn compile(&self, model: &ModelSpec, device: &DeviceSpec) -> SimResult<CompiledArtifact> {

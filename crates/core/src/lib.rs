@@ -19,11 +19,17 @@
 //! * [`plan`] / [`executor`] — the overlap plan and the streaming executor
 //!   that compiles it onto the simulated GPU's dual command queues.
 //! * [`runtime`] — the end-to-end [`FlashMem`] API.
-//! * [`multi_model`] — FIFO multi-DNN execution under a memory cap.
 //! * [`metrics`] — [`ExecutionReport`], the unit of comparison in Tables 7–9.
 //! * [`engine`] — the [`InferenceEngine`] trait and [`EngineRegistry`] that
 //!   put FlashMem and every baseline framework behind one uniform
 //!   compile/execute interface for the benchmark harness.
+//! * [`cache`] — the keyed [`ArtifactCache`] fronting
+//!   [`InferenceEngine::compile`] so sweeps and servers skip redundant
+//!   LC-OPG solves.
+//!
+//! Multi-model FIFO execution, which lived here as `multi_model` through
+//! PR 1, moved to the `flashmem-serve` crate where the general multi-tenant
+//! scheduler subsumes it.
 //!
 //! ## Example
 //!
@@ -44,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod executor;
@@ -51,11 +58,11 @@ pub mod fusion;
 pub mod kernel_rewrite;
 pub mod lc_opg;
 pub mod metrics;
-pub mod multi_model;
 pub mod opg;
 pub mod plan;
 pub mod runtime;
 
+pub use cache::{run_cached, ArtifactCache, CacheStats, CachedEngine};
 pub use config::FlashMemConfig;
 pub use engine::{
     run_or_dash, CompiledArtifact, EngineRegistry, FlashMemVariant, FrameworkKind, InferenceEngine,
@@ -65,7 +72,6 @@ pub use fusion::{AdaptiveFusion, AdaptiveFusionReport};
 pub use kernel_rewrite::{KernelRewriter, KernelTemplate};
 pub use lc_opg::{LcOpgReport, LcOpgSolver, PlannerMode};
 pub use metrics::{geo_mean, ExecutionReport};
-pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
 pub use opg::{build_weight_window_model, CandidateSlot, WeightWindowModel, WindowDecision};
 pub use plan::{ChunkAssignment, OverlapPlan, PlanError, WeightSchedule};
 pub use runtime::{CompiledModel, FlashMem};

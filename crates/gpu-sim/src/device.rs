@@ -174,8 +174,78 @@ impl DeviceSpec {
         )
     }
 
-    /// All four devices evaluated in the paper, flagship first.
+    /// The Samsung Galaxy A54 5G (Exynos 1380, Mali-G68 MP5, 8 GB RAM) — a
+    /// mid-range Mali phone. UFS 2.2 storage and a narrow LPDDR4X bus put it
+    /// between the Mi 6 and the Pixel 8 in the hierarchy.
+    pub fn galaxy_a54() -> Self {
+        Self::from_headline(
+            "Samsung Galaxy A54",
+            "Mali-G68 MP5",
+            8.0,
+            1.0,
+            22.0,
+            55.0,
+            180.0,
+            970.0,
+            5,
+        )
+    }
+
+    /// The Samsung Galaxy Tab S9 (Snapdragon 8 Gen 2, Adreno 740, 12 GB RAM)
+    /// — a tablet-class device with near-flagship bandwidth but a larger
+    /// thermal envelope, so sustained figures sit slightly under the
+    /// OnePlus 11's peaks.
+    pub fn galaxy_tab_s9() -> Self {
+        Self::from_headline(
+            "Samsung Galaxy Tab S9",
+            "Adreno 740",
+            12.0,
+            1.4,
+            55.0,
+            145.0,
+            455.0,
+            2450.0,
+            6,
+        )
+    }
+
+    /// A laptop-class integrated GPU: AMD Radeon 780M (Ryzen 7 7840U,
+    /// 32 GB LPDDR5x). NVMe storage and a wide memory bus dwarf every phone;
+    /// the 12 RDNA3 compute units deliver roughly 3× the flagship phone's
+    /// FP16 throughput.
+    pub fn radeon_780m_laptop() -> Self {
+        Self::from_headline(
+            "Ryzen 7840U Laptop",
+            "Radeon 780M",
+            32.0,
+            5.0,
+            105.0,
+            240.0,
+            780.0,
+            8600.0,
+            12,
+        )
+    }
+
+    /// All devices evaluated in the paper (flagship first), followed by the
+    /// expanded fleet: a Mali mid-ranger, a tablet and a laptop iGPU, so
+    /// portability sweeps (Figure 10) and serving fleets cover a realistic
+    /// device population.
     pub fn all_evaluated() -> Vec<DeviceSpec> {
+        vec![
+            Self::oneplus_12(),
+            Self::oneplus_11(),
+            Self::pixel_8(),
+            Self::xiaomi_mi_6(),
+            Self::galaxy_a54(),
+            Self::galaxy_tab_s9(),
+            Self::radeon_780m_laptop(),
+        ]
+    }
+
+    /// The four phones of the paper's own evaluation (Section 5.1), without
+    /// the expanded fleet.
+    pub fn paper_devices() -> Vec<DeviceSpec> {
         vec![
             Self::oneplus_12(),
             Self::oneplus_11(),
@@ -298,6 +368,35 @@ mod tests {
             assert!(mi6.ram_bytes <= d.ram_bytes);
             assert!(mi6.capability_score() <= d.capability_score() + 1e-12);
         }
+    }
+
+    #[test]
+    fn expanded_fleet_contains_the_paper_devices_plus_three() {
+        let all = DeviceSpec::all_evaluated();
+        let paper = DeviceSpec::paper_devices();
+        assert_eq!(paper.len(), 4);
+        assert_eq!(all.len(), paper.len() + 3);
+        for d in &paper {
+            assert!(all.iter().any(|a| a.name == d.name), "{} missing", d.name);
+        }
+    }
+
+    #[test]
+    fn new_presets_sit_where_expected_in_the_hierarchy() {
+        let a54 = DeviceSpec::galaxy_a54();
+        let tab = DeviceSpec::galaxy_tab_s9();
+        let laptop = DeviceSpec::radeon_780m_laptop();
+        let mi6 = DeviceSpec::xiaomi_mi_6();
+        let flagship = DeviceSpec::oneplus_12();
+        // Mali mid-ranger: above the Mi 6, below the Pixel 8.
+        assert!(a54.capability_score() > mi6.capability_score());
+        assert!(a54.capability_score() < DeviceSpec::pixel_8().capability_score());
+        // Tablet: near the OnePlus 11, under the flagship.
+        assert!(tab.capability_score() < flagship.capability_score());
+        assert!(tab.capability_score() > a54.capability_score());
+        // Laptop iGPU: the only device above the flagship phone.
+        assert!(laptop.capability_score() > flagship.capability_score());
+        assert!(laptop.ram_bytes > flagship.ram_bytes);
     }
 
     #[test]

@@ -300,6 +300,332 @@ impl ExecutionOutcome {
     }
 }
 
+/// Availability clocks for a device's hardware queues, shared by every
+/// command stream being stepped onto that device.
+///
+/// The monolithic [`GpuSimulator::execute`] keeps these clocks internally;
+/// multi-tenant serving steps *several* [`StreamStepper`]s against one shared
+/// `QueueClocks`, which is exactly how concurrent inferences contend for the
+/// GPU's transfer and compute queues.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueClocks {
+    transfer_free_ms: f64,
+    compute_free_ms: f64,
+}
+
+impl QueueClocks {
+    /// Clocks with both queues free at time zero.
+    pub fn new() -> Self {
+        QueueClocks::default()
+    }
+
+    /// Earliest time the given queue can accept new work. The host queue is
+    /// always free (bookkeeping commands are instantaneous).
+    pub fn ready_ms(&self, queue: QueueKind) -> f64 {
+        match queue {
+            QueueKind::Transfer => self.transfer_free_ms,
+            QueueKind::Compute => self.compute_free_ms,
+            QueueKind::Host => 0.0,
+        }
+    }
+
+    /// Mark `queue` busy until `until_ms`. No-op for the host queue.
+    pub fn occupy(&mut self, queue: QueueKind, until_ms: f64) {
+        match queue {
+            QueueKind::Transfer => self.transfer_free_ms = until_ms,
+            QueueKind::Compute => self.compute_free_ms = until_ms,
+            QueueKind::Host => {}
+        }
+    }
+
+    /// Latest busy-until time across both queues.
+    pub fn horizon_ms(&self) -> f64 {
+        self.transfer_free_ms.max(self.compute_free_ms)
+    }
+
+    /// Reset both queues to free-at-zero (used when a device goes idle and
+    /// its timeline is re-based onto a new epoch).
+    pub fn reset(&mut self) {
+        *self = QueueClocks::default();
+    }
+}
+
+/// The scheduling record of one executed command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEvent {
+    /// Index of the command inside its stream.
+    pub command: CommandId,
+    /// Queue the command ran on.
+    pub queue: QueueKind,
+    /// Start time in (stream-local) milliseconds.
+    pub start_ms: f64,
+    /// End time in (stream-local) milliseconds.
+    pub end_ms: f64,
+}
+
+impl StepEvent {
+    /// Duration of the command in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+}
+
+/// Incremental, one-command-at-a-time execution of a [`CommandStream`].
+///
+/// This is the queue-stepping hook behind `flashmem-serve`: where
+/// [`GpuSimulator::execute_with_tracker`] drains a whole stream in one call,
+/// a stepper advances a *single* command per [`step`](Self::step) against
+/// caller-owned [`QueueClocks`], so an event loop can interleave many
+/// in-flight inferences onto one device's transfer/compute queues at
+/// per-command granularity. The monolithic executor is itself implemented on
+/// top of the stepper, so stepping a stream to completion against fresh
+/// clocks is *bit-for-bit* identical to `execute_with_tracker`.
+#[derive(Debug, Clone)]
+pub struct StreamStepper {
+    stream: CommandStream,
+    next: usize,
+    finish: Vec<f64>,
+    allocs: HashMap<CommandId, (MemoryTier, AllocationId)>,
+    timeline: Timeline,
+    first_kernel_start: Option<f64>,
+    floor_ms: f64,
+}
+
+impl StreamStepper {
+    /// Wrap a validated stream for stepping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CommandStream::validate`] errors.
+    pub fn new(stream: CommandStream) -> SimResult<Self> {
+        stream.validate()?;
+        let len = stream.len();
+        Ok(StreamStepper {
+            stream,
+            next: 0,
+            finish: vec![0.0; len],
+            allocs: HashMap::new(),
+            timeline: Timeline::new(),
+            first_kernel_start: None,
+            floor_ms: 0.0,
+        })
+    }
+
+    /// Forbid any command of this stream from starting before `floor_ms`
+    /// (stream-local time). Serving uses this so a request admitted onto a
+    /// partially idle queue cannot execute before its own arrival.
+    pub fn with_floor_ms(mut self, floor_ms: f64) -> Self {
+        self.floor_ms = floor_ms.max(0.0);
+        self
+    }
+
+    /// The stream being stepped.
+    pub fn stream(&self) -> &CommandStream {
+        &self.stream
+    }
+
+    /// True once every command has executed.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.stream.len()
+    }
+
+    /// Number of commands not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.stream.len() - self.next
+    }
+
+    /// Queue of the next pending command.
+    pub fn peek_queue(&self) -> Option<QueueKind> {
+        self.stream.commands().get(self.next).map(Command::queue)
+    }
+
+    /// Earliest (stream-local) start time of the next pending command under
+    /// the given queue clocks, or `None` when the stream is done.
+    pub fn peek_start_ms(&self, clocks: &QueueClocks) -> Option<f64> {
+        let cmd = self.stream.commands().get(self.next)?;
+        let deps_ready = cmd
+            .deps
+            .iter()
+            .map(|&d| self.finish[d])
+            .fold(0.0_f64, f64::max);
+        Some(
+            deps_ready
+                .max(clocks.ready_ms(cmd.queue()))
+                .max(self.floor_ms),
+        )
+    }
+
+    /// Execute the next command against `clocks` and `tracker`, returning its
+    /// scheduling record (or `None` when the stream is already done). Memory
+    /// effects are recorded at `time_base_ms + start` so several steppers can
+    /// share one tracker whose clock runs ahead of their stream-local time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker errors — most importantly out-of-memory.
+    pub fn step(
+        &mut self,
+        sim: &GpuSimulator,
+        clocks: &mut QueueClocks,
+        tracker: &mut MemoryTracker,
+        time_base_ms: f64,
+    ) -> SimResult<Option<StepEvent>> {
+        let idx = self.next;
+        let Some(cmd) = self.stream.commands().get(idx) else {
+            return Ok(None);
+        };
+        let deps_ready = cmd
+            .deps
+            .iter()
+            .map(|&d| self.finish[d])
+            .fold(0.0_f64, f64::max);
+        let queue = cmd.queue();
+        let start = deps_ready.max(clocks.ready_ms(queue)).max(self.floor_ms);
+
+        let (duration, bytes, event_kind) = match &cmd.kind {
+            CommandKind::Alloc { tier, bytes } => {
+                let id = tracker.allocate(*tier, *bytes, &cmd.label, time_base_ms + start)?;
+                self.allocs.insert(idx, (*tier, id));
+                (0.0, *bytes, None)
+            }
+            CommandKind::Free { alloc } => {
+                let (tier, id) = self
+                    .allocs
+                    .remove(alloc)
+                    .ok_or(SimError::UnknownDependency {
+                        command: idx,
+                        dependency: *alloc,
+                    })?;
+                tracker.free(tier, id, time_base_ms + start)?;
+                (0.0, 0, None)
+            }
+            CommandKind::Barrier => (0.0, 0, None),
+            CommandKind::Transfer { bytes, from, to } => {
+                let mut t = sim.bandwidth.transfer_time_ms(*bytes, *from, *to)?;
+                if !sim.config.charge_transfer_setup {
+                    t = (t - sim.bandwidth.transfer_setup_ms).max(0.0);
+                }
+                (t, *bytes, Some(EventKind::Transfer))
+            }
+            CommandKind::Transform {
+                bytes,
+                traffic_factor,
+                ..
+            } => {
+                let traffic = (*bytes as f64 * traffic_factor.max(0.0)) as u64;
+                let t = if traffic == 0 {
+                    0.0
+                } else {
+                    sim.bandwidth.transfer_time_ms(
+                        traffic,
+                        MemoryTier::UnifiedMemory,
+                        MemoryTier::TextureMemory,
+                    )?
+                };
+                (t, *bytes, Some(EventKind::Transform))
+            }
+            CommandKind::Kernel {
+                desc,
+                extra_load_bytes,
+            } => {
+                let t = sim.cost.latency_with_extra_load_ms(desc, *extra_load_bytes);
+                if self.first_kernel_start.is_none() {
+                    self.first_kernel_start = Some(start);
+                }
+                (
+                    t,
+                    desc.total_bytes() + extra_load_bytes,
+                    Some(EventKind::Kernel),
+                )
+            }
+        };
+
+        let end = start + duration;
+        self.finish[idx] = end;
+        self.next += 1;
+        if queue != QueueKind::Host {
+            clocks.occupy(queue, end);
+        }
+        if let Some(kind) = event_kind {
+            self.timeline.push(ExecutionEvent {
+                label: cmd.label.clone(),
+                kind,
+                start_ms: start,
+                end_ms: end,
+                bytes,
+            });
+        }
+        Ok(Some(StepEvent {
+            command: idx,
+            queue,
+            start_ms: start,
+            end_ms: end,
+        }))
+    }
+
+    /// The per-event timeline accumulated so far (stream-local times).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Stream-local time at which the first kernel started, if any ran yet.
+    pub fn first_kernel_start_ms(&self) -> Option<f64> {
+        self.first_kernel_start
+    }
+
+    /// Stream-local completion time: latest event end or command finish.
+    pub fn makespan_ms(&self) -> f64 {
+        self.timeline
+            .makespan_ms()
+            .max(self.finish.iter().copied().fold(0.0_f64, f64::max))
+    }
+
+    /// Free every allocation this stream still holds (model eviction at the
+    /// end of a served request), at absolute tracker time `now_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker errors on stale handles (a stepper bug, not a
+    /// modelled outcome).
+    pub fn release_remaining(
+        &mut self,
+        tracker: &mut MemoryTracker,
+        now_ms: f64,
+    ) -> SimResult<u64> {
+        let mut live: Vec<(CommandId, (MemoryTier, AllocationId))> = self.allocs.drain().collect();
+        live.sort_by_key(|(cmd, _)| *cmd);
+        let mut freed = 0;
+        for (_, (tier, id)) in live {
+            freed += tracker.free(tier, id, now_ms)?;
+        }
+        Ok(freed)
+    }
+
+    /// Finalize a fully stepped stream into the same [`ExecutionOutcome`]
+    /// the monolithic executor produces: samples the tracker at the makespan
+    /// and summarises timeline, memory and energy.
+    pub fn finish(self, sim: &GpuSimulator, tracker: &mut MemoryTracker) -> ExecutionOutcome {
+        let total = self.makespan_ms();
+        tracker.sample(total);
+        let init = self.first_kernel_start.unwrap_or(total);
+        let energy = sim.power.report(&self.timeline);
+        ExecutionOutcome {
+            total_time_ms: total,
+            init_time_ms: init,
+            exec_time_ms: (total - init).max(0.0),
+            peak_memory_bytes: tracker.peak_bytes(),
+            average_memory_bytes: tracker.average_bytes(),
+            timeline: self.timeline,
+            memory_trace: if sim.config.record_trace {
+                tracker.trace().clone()
+            } else {
+                MemoryTrace::new()
+            },
+            energy,
+        }
+    }
+}
+
 /// The discrete-event mobile GPU simulator.
 #[derive(Debug, Clone)]
 pub struct GpuSimulator {
@@ -364,121 +690,12 @@ impl GpuSimulator {
         stream: &CommandStream,
         tracker: &mut MemoryTracker,
     ) -> SimResult<ExecutionOutcome> {
-        stream.validate()?;
-
-        let mut finish: Vec<f64> = vec![0.0; stream.len()];
-        let mut allocs: HashMap<CommandId, (MemoryTier, AllocationId)> = HashMap::new();
-        let mut queue_free: HashMap<QueueKind, f64> = HashMap::new();
-        let mut timeline = Timeline::new();
-        let mut first_kernel_start: Option<f64> = None;
-
-        let setup = if self.config.charge_transfer_setup {
-            self.bandwidth.transfer_setup_ms
-        } else {
-            0.0
-        };
-
-        for (idx, cmd) in stream.commands().iter().enumerate() {
-            let deps_ready = cmd.deps.iter().map(|&d| finish[d]).fold(0.0_f64, f64::max);
-            let queue = cmd.queue();
-            let queue_ready = *queue_free.get(&queue).unwrap_or(&0.0);
-            let start = deps_ready.max(queue_ready);
-
-            let (duration, bytes, event_kind) = match &cmd.kind {
-                CommandKind::Alloc { tier, bytes } => {
-                    let id = tracker.allocate(*tier, *bytes, &cmd.label, start)?;
-                    allocs.insert(idx, (*tier, id));
-                    (0.0, *bytes, None)
-                }
-                CommandKind::Free { alloc } => {
-                    let (tier, id) = allocs.remove(alloc).ok_or(SimError::UnknownDependency {
-                        command: idx,
-                        dependency: *alloc,
-                    })?;
-                    tracker.free(tier, id, start)?;
-                    (0.0, 0, None)
-                }
-                CommandKind::Barrier => (0.0, 0, None),
-                CommandKind::Transfer { bytes, from, to } => {
-                    let mut t = self.bandwidth.transfer_time_ms(*bytes, *from, *to)?;
-                    if !self.config.charge_transfer_setup {
-                        t = (t - self.bandwidth.transfer_setup_ms).max(0.0);
-                    }
-                    let _ = setup;
-                    (t, *bytes, Some(EventKind::Transfer))
-                }
-                CommandKind::Transform {
-                    bytes,
-                    traffic_factor,
-                    ..
-                } => {
-                    let traffic = (*bytes as f64 * traffic_factor.max(0.0)) as u64;
-                    let t = if traffic == 0 {
-                        0.0
-                    } else {
-                        self.bandwidth.transfer_time_ms(
-                            traffic,
-                            MemoryTier::UnifiedMemory,
-                            MemoryTier::TextureMemory,
-                        )?
-                    };
-                    (t, *bytes, Some(EventKind::Transform))
-                }
-                CommandKind::Kernel {
-                    desc,
-                    extra_load_bytes,
-                } => {
-                    let t = self
-                        .cost
-                        .latency_with_extra_load_ms(desc, *extra_load_bytes);
-                    if first_kernel_start.is_none() {
-                        first_kernel_start = Some(start);
-                    }
-                    (
-                        t,
-                        desc.total_bytes() + extra_load_bytes,
-                        Some(EventKind::Kernel),
-                    )
-                }
-            };
-
-            let end = start + duration;
-            finish[idx] = end;
-            if queue != QueueKind::Host {
-                queue_free.insert(queue, end);
-            }
-            if let Some(kind) = event_kind {
-                timeline.push(ExecutionEvent {
-                    label: cmd.label.clone(),
-                    kind,
-                    start_ms: start,
-                    end_ms: end,
-                    bytes,
-                });
-            }
+        let mut stepper = StreamStepper::new(stream.clone())?;
+        let mut clocks = QueueClocks::new();
+        while !stepper.is_done() {
+            stepper.step(self, &mut clocks, tracker, 0.0)?;
         }
-
-        let total = timeline
-            .makespan_ms()
-            .max(finish.iter().copied().fold(0.0_f64, f64::max));
-        tracker.sample(total);
-
-        let init = first_kernel_start.unwrap_or(total);
-        let energy = self.power.report(&timeline);
-        Ok(ExecutionOutcome {
-            total_time_ms: total,
-            init_time_ms: init,
-            exec_time_ms: (total - init).max(0.0),
-            peak_memory_bytes: tracker.peak_bytes(),
-            average_memory_bytes: tracker.average_bytes(),
-            timeline,
-            memory_trace: if self.config.record_trace {
-                tracker.trace().clone()
-            } else {
-                MemoryTrace::new()
-            },
-            energy,
-        })
+        Ok(stepper.finish(self, tracker))
     }
 }
 
@@ -666,6 +883,138 @@ mod tests {
         let a = sim.execute(&plain).unwrap().total_time_ms;
         let b = sim.execute(&loaded).unwrap().total_time_ms;
         assert!(b > a);
+    }
+
+    fn streaming_like_stream() -> CommandStream {
+        // Alloc → load → kernel chains with an independent prefetch, shaped
+        // like the streaming executor's output.
+        let mut s = CommandStream::new();
+        let a0 = s.push(Command::alloc(
+            "w0.um",
+            MemoryTier::UnifiedMemory,
+            64 << 20,
+            &[],
+        ));
+        let l0 = s.push(Command::transfer(
+            "w0.load",
+            64 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[a0],
+        ));
+        let k0 = s.push(Command::kernel("k0", small_kernel("k0"), 8 << 20, &[l0]));
+        let a1 = s.push(Command::alloc(
+            "w1.um",
+            MemoryTier::UnifiedMemory,
+            32 << 20,
+            &[],
+        ));
+        let l1 = s.push(Command::transfer(
+            "w1.load",
+            32 << 20,
+            MemoryTier::Disk,
+            MemoryTier::UnifiedMemory,
+            &[a1],
+        ));
+        let k1 = s.push(Command::kernel("k1", small_kernel("k1"), 0, &[k0, l1]));
+        s.push(Command::free("w0.um_free", a0, &[k1]));
+        s.push(Command::free("w1.um_free", a1, &[k1]));
+        s
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_monolithic_execution() {
+        let stream = streaming_like_stream();
+        let mut sim = simulator();
+        let expected = sim.execute(&stream).unwrap();
+
+        let sim2 = simulator();
+        let mut tracker = MemoryTracker::for_device(sim2.device());
+        let mut stepper = StreamStepper::new(stream).unwrap();
+        let mut clocks = QueueClocks::new();
+        while !stepper.is_done() {
+            stepper.step(&sim2, &mut clocks, &mut tracker, 0.0).unwrap();
+        }
+        let stepped = stepper.finish(&sim2, &mut tracker);
+
+        assert_eq!(stepped.total_time_ms, expected.total_time_ms);
+        assert_eq!(stepped.init_time_ms, expected.init_time_ms);
+        assert_eq!(stepped.peak_memory_bytes, expected.peak_memory_bytes);
+        assert_eq!(stepped.average_memory_bytes, expected.average_memory_bytes);
+        assert_eq!(stepped.timeline.events(), expected.timeline.events());
+        assert_eq!(
+            stepped.memory_trace.samples(),
+            expected.memory_trace.samples()
+        );
+    }
+
+    #[test]
+    fn two_steppers_contend_for_shared_queue_clocks() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut a = StreamStepper::new(streaming_like_stream()).unwrap();
+        let mut b = StreamStepper::new(streaming_like_stream()).unwrap();
+
+        // Alternate fairly: always advance the stepper whose next command can
+        // start earliest (ties favour `a`), exactly like the serve loop.
+        while !a.is_done() || !b.is_done() {
+            let sa = a.peek_start_ms(&clocks).unwrap_or(f64::INFINITY);
+            let sb = b.peek_start_ms(&clocks).unwrap_or(f64::INFINITY);
+            if sa <= sb {
+                a.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+            } else {
+                b.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+            }
+        }
+
+        // Interleaved makespan must beat running the two streams back to back
+        // (the whole point of sharing the dual queues), yet neither stream
+        // can finish faster than it would alone.
+        let mut solo_sim = simulator();
+        let solo = solo_sim.execute(&streaming_like_stream()).unwrap();
+        let shared_makespan = a.makespan_ms().max(b.makespan_ms());
+        assert!(shared_makespan < 2.0 * solo.total_time_ms);
+        assert!(a.makespan_ms() >= solo.total_time_ms - 1e-9);
+        assert!(b.makespan_ms() >= solo.total_time_ms - 1e-9);
+    }
+
+    #[test]
+    fn floor_delays_every_command() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut s = CommandStream::new();
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[]));
+        let mut stepper = StreamStepper::new(s).unwrap().with_floor_ms(25.0);
+        let ev = stepper
+            .step(&sim, &mut clocks, &mut tracker, 0.0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ev.start_ms, 25.0);
+    }
+
+    #[test]
+    fn release_remaining_frees_leftover_allocations() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut s = CommandStream::new();
+        s.push(Command::alloc(
+            "persistent",
+            MemoryTier::TextureMemory,
+            10 << 20,
+            &[],
+        ));
+        s.push(Command::kernel("k", small_kernel("k"), 0, &[]));
+        let mut stepper = StreamStepper::new(s).unwrap();
+        while !stepper.is_done() {
+            stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        }
+        assert_eq!(tracker.total_in_use(), 10 << 20);
+        let freed = stepper.release_remaining(&mut tracker, 50.0).unwrap();
+        assert_eq!(freed, 10 << 20);
+        assert_eq!(tracker.total_in_use(), 0);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! # flashmem-serve
+//!
+//! The multi-tenant serving layer over the FlashMem simulator: where
+//! `flashmem-core` replays **one** inference synchronously, this crate models
+//! the "heavy traffic" regime — many in-flight inferences from many tenants
+//! time-sharing the load/compute command queues of a fleet of simulated
+//! devices.
+//!
+//! The crate is tokio-free by design: simulated time is advanced by a
+//! hand-rolled discrete event loop ([`server::ServeEngine`]) that steps each
+//! in-flight inference's lowered [`CommandStream`](flashmem_gpu_sim::engine::CommandStream)
+//! one command at a time through
+//! [`StreamStepper`](flashmem_gpu_sim::engine::StreamStepper), always
+//! advancing whichever request can start its next command earliest on the
+//! shared [`QueueClocks`](flashmem_gpu_sim::engine::QueueClocks).
+//!
+//! * [`request`] — [`ServeRequest`], the unit of admission (model, tenant,
+//!   priority, arrival time).
+//! * [`policy`] — the [`SchedulePolicy`] trait plus the FIFO, priority and
+//!   device-affinity policies.
+//! * [`server`] — the [`ServeEngine`] event loop with per-tenant memory caps,
+//!   fronted by the shared [`ArtifactCache`](flashmem_core::ArtifactCache).
+//! * [`metrics`] — per-request outcomes, per-device utilization and the
+//!   latency-percentile summary.
+//! * [`workload`] — deterministic seeded request generators (steady, Poisson
+//!   and bursty arrivals).
+//! * [`multi_model`] — the FIFO [`MultiModelRunner`] of Figure 6, now a thin
+//!   delegation to the scheduler's exclusive (single-slot) mode; its traces
+//!   reproduce the legacy `flashmem-core` implementation byte for byte.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use flashmem_core::FlashMemConfig;
+//! use flashmem_gpu_sim::DeviceSpec;
+//! use flashmem_graph::ModelZoo;
+//! use flashmem_serve::{ArrivalPattern, PriorityPolicy, ServeEngine, WorkloadSpec};
+//!
+//! let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()];
+//! let engine = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+//!     .with_policy(Box::new(PriorityPolicy::with_max_in_flight(2)));
+//! let workload = WorkloadSpec {
+//!     pattern: ArrivalPattern::Steady { interval_ms: 200.0 },
+//!     requests: 6,
+//!     tenants: 3,
+//!     priority_levels: 2,
+//!     seed: 7,
+//! };
+//! let requests = workload.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
+//! let report = engine.run(&requests).unwrap();
+//! assert_eq!(report.outcomes.len(), 6);
+//! assert!(report.latency.p99_ms >= report.latency.p50_ms);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod multi_model;
+pub mod policy;
+pub mod request;
+pub mod server;
+pub mod workload;
+
+pub use metrics::{DeviceReport, LatencySummary, RequestOutcome, ServeReport};
+pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
+pub use policy::{AffinityPolicy, FifoPolicy, PendingEntry, PriorityPolicy, SchedulePolicy};
+pub use request::ServeRequest;
+pub use server::ServeEngine;
+pub use workload::{ArrivalPattern, WorkloadSpec};

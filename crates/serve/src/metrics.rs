@@ -1,0 +1,231 @@
+//! Serving metrics: per-request outcomes, per-device utilization, latency
+//! percentiles.
+
+use flashmem_core::cache::CacheStats;
+use flashmem_core::ExecutionReport;
+use flashmem_gpu_sim::trace::MemoryTrace;
+use flashmem_gpu_sim::SimError;
+
+/// What happened to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Submission sequence number.
+    pub seq: usize,
+    /// Model abbreviation.
+    pub model: String,
+    /// Tenant the request belongs to.
+    pub tenant: String,
+    /// Request priority.
+    pub priority: u8,
+    /// Name of the device that served (or rejected) the request.
+    pub device: String,
+    /// Index of that device in the fleet.
+    pub device_index: usize,
+    /// Arrival time (global simulated milliseconds).
+    pub arrival_ms: f64,
+    /// Time the request was admitted and became eligible to issue commands.
+    pub start_ms: f64,
+    /// Completion (or failure) time.
+    pub completion_ms: f64,
+    /// Time spent waiting for admission: `start - arrival`.
+    pub queue_wait_ms: f64,
+    /// End-to-end latency: `completion - arrival`.
+    pub latency_ms: f64,
+    /// True when the compilation artifact came from the plan cache.
+    pub cache_hit: bool,
+    /// Peak device memory footprint (MB) observed while the request was
+    /// resident. Under concurrent policies this is the *device* footprint
+    /// during the request's window, which is the quantity capacity planning
+    /// cares about.
+    pub peak_memory_mb: f64,
+    /// The failure, if the request did not complete (out-of-memory, tenant
+    /// cap smaller than the model's working set, ...).
+    pub error: Option<SimError>,
+    /// The full execution report, available under exclusive (single-slot)
+    /// policies where a request owns the whole device while it runs.
+    pub report: Option<ExecutionReport>,
+}
+
+impl RequestOutcome {
+    /// True when the request completed.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Utilization summary of one device of the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device name.
+    pub device: String,
+    /// Requests placed on this device.
+    pub requests: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Wall-clock end of the device's timeline in milliseconds.
+    pub makespan_ms: f64,
+    /// Busy time of the transfer (DMA) queue in milliseconds.
+    pub transfer_busy_ms: f64,
+    /// Busy time of the compute queue in milliseconds.
+    pub compute_busy_ms: f64,
+    /// Transfer-queue busy time over the makespan.
+    pub transfer_busy_fraction: f64,
+    /// Compute-queue busy time over the makespan.
+    pub compute_busy_fraction: f64,
+    /// Peak memory footprint of the device over the whole run, in MB.
+    pub peak_memory_mb: f64,
+    /// The device's memory trace over the whole serving run (the multi-model
+    /// Figure 6 curve generalised to many tenants).
+    pub memory_trace: MemoryTrace,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice. `q` in `[0, 1]`.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency distribution summary over the completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median end-to-end latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency.
+    pub p95_ms: f64,
+    /// 99th percentile latency.
+    pub p99_ms: f64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Worst observed latency.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a set of latencies (order irrelevant).
+    pub fn from_latencies(latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencySummary {
+            p50_ms: percentile(&sorted, 0.50),
+            p95_ms: percentile(&sorted, 0.95),
+            p99_ms: percentile(&sorted, 0.99),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The full result of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Name of the scheduling policy that ran.
+    pub policy: String,
+    /// Per-request outcomes in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per-device utilization, in fleet order.
+    pub devices: Vec<DeviceReport>,
+    /// Latency percentiles over completed requests.
+    pub latency: LatencySummary,
+    /// Completed requests per second of simulated makespan.
+    pub throughput_rps: f64,
+    /// Plan-cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// Number of requests that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.succeeded()).count()
+    }
+
+    /// Number of requests that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// Wall-clock end of the whole run (max across devices).
+    pub fn makespan_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.makespan_ms)
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} policy: {}/{} requests completed in {:.0} ms ({:.2} req/s)",
+            self.policy,
+            self.completed(),
+            self.outcomes.len(),
+            self.makespan_ms(),
+            self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ms (mean {:.0}, max {:.0})",
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.mean_ms,
+            self.latency.max_ms
+        )?;
+        for d in &self.devices {
+            writeln!(
+                f,
+                "  {}: {} reqs, makespan {:.0} ms, load queue {:.0}% busy, compute {:.0}% busy, peak {:.0} MB",
+                d.device,
+                d.requests,
+                d.makespan_ms,
+                100.0 * d.transfer_busy_fraction,
+                100.0 * d.compute_busy_fraction,
+                d.peak_memory_mb
+            )?;
+        }
+        write!(f, "plan cache: {}", self.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let lat = [120.0, 10.0, 45.0, 300.0, 60.0];
+        let s = LatencySummary::from_latencies(&lat);
+        assert!(s.p50_ms <= s.p95_ms);
+        assert!(s.p95_ms <= s.p99_ms);
+        assert_eq!(s.max_ms, 300.0);
+        assert!((s.mean_ms - 107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(
+            LatencySummary::from_latencies(&[]),
+            LatencySummary::default()
+        );
+    }
+}

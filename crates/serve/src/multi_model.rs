@@ -1,23 +1,28 @@
-//! FIFO multi-model execution (Section 2.2 / Figure 6).
+//! FIFO multi-model execution (Section 2.2 / Figure 6), as a special case of
+//! the serving scheduler.
 //!
 //! AI-powered mobile apps chain several distinct DNNs (detector → depth →
 //! generator, or ASR → translation → image generation). Holding every model
 //! resident is infeasible; naive FIFO execution re-pays the full load +
 //! layout-transform cost on every invocation. [`MultiModelRunner`] executes a
 //! FIFO queue of models under a global memory cap: each model is compiled
-//! once, executed with its streaming plan, and its weights are evicted before
-//! the next model starts, producing the stitched memory-over-time trace that
-//! Figure 6 plots.
+//! once (through the plan cache), executed with its streaming plan, and its
+//! weights are evicted before the next model starts, producing the stitched
+//! memory-over-time trace that Figure 6 plots.
+//!
+//! Through PR 1 this lived in `flashmem-core` as a bespoke loop; it now
+//! delegates to [`ServeEngine`] under the FIFO policy, whose exclusive mode
+//! performs the identical float arithmetic — the reports are byte-for-byte
+//! equal to the legacy implementation (proven in `tests/scheduler.rs`).
 
-use flashmem_gpu_sim::memory::MemoryTracker;
+use flashmem_core::FlashMemConfig;
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::{DeviceSpec, SimError};
 use flashmem_graph::ModelSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::config::FlashMemConfig;
-use crate::metrics::ExecutionReport;
-use crate::runtime::FlashMem;
+use crate::request::ServeRequest;
+use crate::server::ServeEngine;
 
 /// One model invocation inside a FIFO workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,12 +88,15 @@ impl MultiModelRunner {
         self
     }
 
-    /// Run `iterations` rounds over the FIFO `queue` of models.
+    /// Run `iterations` rounds over the FIFO `queue` of models by delegating
+    /// to the serving scheduler under the FIFO policy (one in-flight
+    /// inference, eviction between invocations).
     ///
     /// # Errors
     ///
     /// Returns the first simulator error (typically out-of-memory when the
-    /// cap is too small for a preloading configuration).
+    /// cap is too small for a preloading configuration), like the legacy
+    /// implementation.
     pub fn run_fifo(
         &self,
         queue: &[ModelSpec],
@@ -98,49 +106,34 @@ impl MultiModelRunner {
             Some(cap) => self.device.clone().with_app_budget_bytes(cap),
             None => self.device.clone(),
         };
-        let runtime = FlashMem::new(device.clone()).with_config(self.config.clone());
-
-        // Compile each distinct model once (the paper's FIFO scenario reuses
-        // the overlap plan across invocations; planning happens offline).
-        let compiled: Vec<_> = queue
-            .iter()
-            .map(|m| (m, runtime.compile(m.graph())))
+        let requests: Vec<ServeRequest> = (0..iterations)
+            .flat_map(|_| queue.iter())
+            .map(|model| ServeRequest::new(model.clone(), "fifo"))
             .collect();
+        let engine = ServeEngine::new(vec![device], self.config.clone());
+        let serve_report = engine.run(&requests)?;
 
-        let mut tracker = MemoryTracker::for_device(&device);
-        let mut invocations = Vec::new();
-        let mut stitched = MemoryTrace::new();
+        let mut invocations = Vec::with_capacity(serve_report.outcomes.len());
         let mut clock_ms = 0.0;
         let mut peak_mb: f64 = 0.0;
         let mut weighted_mem = 0.0;
-
-        for round in 0..iterations {
-            for (idx, (model, compiled_model)) in compiled.iter().enumerate() {
-                // Start a fresh trace segment so this invocation's report
-                // carries only its own samples in run-local time; the
-                // stitching below re-bases them onto the workload clock.
-                tracker.reset_trace();
-                let report: ExecutionReport = runtime.run_compiled_with_tracker(
-                    model.graph(),
-                    compiled_model,
-                    &mut tracker,
-                )?;
-                let sequence = round * queue.len() + idx;
-                invocations.push(InvocationResult {
-                    model: model.abbr.clone(),
-                    sequence,
-                    latency_ms: report.integrated_latency_ms,
-                    peak_memory_mb: report.peak_memory_mb,
-                });
-                stitched.append_shifted(&report.memory_trace, clock_ms);
-                weighted_mem += report.average_memory_mb * report.integrated_latency_ms;
-                clock_ms += report.integrated_latency_ms;
-                peak_mb = peak_mb.max(report.peak_memory_mb);
-                // FIFO eviction: the finished model's weights leave memory
-                // before the next model starts.
-                tracker.evict_all(clock_ms);
-                stitched.record(clock_ms, 0);
+        for (sequence, outcome) in serve_report.outcomes.iter().enumerate() {
+            if let Some(error) = &outcome.error {
+                return Err(error.clone());
             }
+            let report = outcome
+                .report
+                .as_ref()
+                .expect("exclusive FIFO outcomes carry full reports");
+            invocations.push(InvocationResult {
+                model: outcome.model.clone(),
+                sequence,
+                latency_ms: report.integrated_latency_ms,
+                peak_memory_mb: report.peak_memory_mb,
+            });
+            weighted_mem += report.average_memory_mb * report.integrated_latency_ms;
+            clock_ms += report.integrated_latency_ms;
+            peak_mb = peak_mb.max(report.peak_memory_mb);
         }
 
         Ok(MultiModelReport {
@@ -152,7 +145,7 @@ impl MultiModelRunner {
             } else {
                 0.0
             },
-            memory_trace: stitched,
+            memory_trace: serve_report.devices[0].memory_trace.clone(),
         })
     }
 }

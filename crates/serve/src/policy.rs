@@ -1,0 +1,234 @@
+//! Pluggable scheduling policies.
+//!
+//! A policy decides three things: which device of the fleet a request is
+//! placed on, which of the arrived-but-unadmitted requests is admitted next
+//! when a slot frees up, and how many inferences may be in flight on one
+//! device at once (1 = exclusive, the FIFO baseline; >1 = the event loop
+//! interleaves their command streams on the device's dual queues).
+
+use flashmem_core::cache::Fnv1a;
+
+use crate::request::ServeRequest;
+
+/// The scheduling-relevant view of one pending request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingEntry {
+    /// Submission sequence number (global, stable tie-breaker).
+    pub seq: usize,
+    /// Request priority (higher = more urgent).
+    pub priority: u8,
+    /// Arrival time in milliseconds.
+    pub arrival_ms: f64,
+}
+
+/// A scheduling policy for the [`ServeEngine`](crate::ServeEngine).
+pub trait SchedulePolicy: Send + Sync {
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of in-flight inferences per device. The event loop
+    /// clamps this to at least 1.
+    fn max_in_flight(&self) -> usize {
+        1
+    }
+
+    /// Device index (into a fleet of `fleet_len` devices) for a request.
+    fn place(&self, request: &ServeRequest, seq: usize, fleet_len: usize) -> usize;
+
+    /// Index into `candidates` (non-empty, all arrived) of the request to
+    /// admit next.
+    fn pick(&self, candidates: &[PendingEntry]) -> usize;
+}
+
+/// Index of the candidate minimising (arrival, seq) — plain FIFO order.
+fn pick_fifo(candidates: &[PendingEntry]) -> usize {
+    let mut best = 0;
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        let b = &candidates[best];
+        if (c.arrival_ms, c.seq) < (b.arrival_ms, b.seq) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// First-in-first-out, one inference at a time per device, requests placed
+/// round-robin across the fleet. On a single device this reproduces the
+/// legacy `MultiModelRunner` exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl SchedulePolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn place(&self, _request: &ServeRequest, seq: usize, fleet_len: usize) -> usize {
+        seq % fleet_len.max(1)
+    }
+
+    fn pick(&self, candidates: &[PendingEntry]) -> usize {
+        pick_fifo(candidates)
+    }
+}
+
+/// Strict priority admission: among arrived requests the highest priority is
+/// admitted first; ties fall back to FIFO order, so a high-priority request
+/// can never be overtaken by a lower-priority one that was pending at the
+/// same time (no priority inversion).
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityPolicy {
+    max_in_flight: usize,
+}
+
+impl PriorityPolicy {
+    /// Exclusive (one in-flight inference per device) priority scheduling.
+    pub fn new() -> Self {
+        PriorityPolicy { max_in_flight: 1 }
+    }
+
+    /// Priority scheduling with up to `slots` concurrent inferences per
+    /// device sharing the dual queues.
+    pub fn with_max_in_flight(slots: usize) -> Self {
+        PriorityPolicy {
+            max_in_flight: slots.max(1),
+        }
+    }
+}
+
+impl Default for PriorityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulePolicy for PriorityPolicy {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    fn place(&self, _request: &ServeRequest, seq: usize, fleet_len: usize) -> usize {
+        seq % fleet_len.max(1)
+    }
+
+    fn pick(&self, candidates: &[PendingEntry]) -> usize {
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let b = &candidates[best];
+            // Higher priority wins; ties go to the earlier (arrival, seq).
+            let better = c.priority > b.priority
+                || (c.priority == b.priority && (c.arrival_ms, c.seq) < (b.arrival_ms, b.seq));
+            if better {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Device-affinity sharding: every request of one tenant lands on the same
+/// device (stable hash of the tenant name), so a tenant's weights never
+/// bounce between devices and its plan-cache entries stay hot on one shard.
+/// Within a shard, admission is FIFO with a configurable concurrency.
+#[derive(Debug, Clone, Copy)]
+pub struct AffinityPolicy {
+    max_in_flight: usize,
+}
+
+impl AffinityPolicy {
+    /// Affinity sharding with two in-flight inferences per device — the
+    /// dual-queue sweet spot (one inference's loads overlap another's
+    /// kernels).
+    pub fn new() -> Self {
+        AffinityPolicy { max_in_flight: 2 }
+    }
+
+    /// Affinity sharding with up to `slots` concurrent inferences per device.
+    pub fn with_max_in_flight(slots: usize) -> Self {
+        AffinityPolicy {
+            max_in_flight: slots.max(1),
+        }
+    }
+}
+
+impl Default for AffinityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulePolicy for AffinityPolicy {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    fn place(&self, request: &ServeRequest, _seq: usize, fleet_len: usize) -> usize {
+        let hash = Fnv1a::new().write_str(&request.tenant).finish();
+        (hash % fleet_len.max(1) as u64) as usize
+    }
+
+    fn pick(&self, candidates: &[PendingEntry]) -> usize {
+        pick_fifo(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    fn entry(seq: usize, priority: u8, arrival_ms: f64) -> PendingEntry {
+        PendingEntry {
+            seq,
+            priority,
+            arrival_ms,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_earliest_arrival_then_sequence() {
+        let c = [entry(2, 9, 5.0), entry(0, 0, 5.0), entry(1, 0, 1.0)];
+        assert_eq!(FifoPolicy.pick(&c), 2);
+        let tie = [entry(3, 0, 0.0), entry(1, 0, 0.0)];
+        assert_eq!(FifoPolicy.pick(&tie), 1);
+    }
+
+    #[test]
+    fn priority_beats_arrival_order() {
+        let p = PriorityPolicy::new();
+        let c = [entry(0, 1, 0.0), entry(1, 5, 10.0), entry(2, 5, 2.0)];
+        // Highest priority wins; among equal priorities the earlier arrival.
+        assert_eq!(p.pick(&c), 2);
+        assert_eq!(p.max_in_flight(), 1);
+        assert_eq!(PriorityPolicy::with_max_in_flight(0).max_in_flight(), 1);
+    }
+
+    #[test]
+    fn affinity_is_stable_per_tenant() {
+        let policy = AffinityPolicy::new();
+        let a = ServeRequest::new(ModelZoo::vit(), "tenant-a");
+        let b = ServeRequest::new(ModelZoo::vit(), "tenant-b");
+        let da = policy.place(&a, 0, 4);
+        for seq in 1..10 {
+            assert_eq!(policy.place(&a, seq, 4), da);
+        }
+        // Different tenants may differ (and do for these names on 4 shards).
+        assert_ne!(policy.place(&a, 0, 4), policy.place(&b, 0, 4));
+    }
+
+    #[test]
+    fn round_robin_placement_covers_the_fleet() {
+        let seen: std::collections::BTreeSet<usize> = (0..8)
+            .map(|seq| FifoPolicy.place(&ServeRequest::new(ModelZoo::vit(), "t"), seq, 4))
+            .collect();
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! The unit of admission: one tenant's inference request.
+
+use flashmem_graph::ModelSpec;
+
+/// One inference request submitted to a [`ServeEngine`](crate::ServeEngine).
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The model to run.
+    pub model: ModelSpec,
+    /// Tenant identity (per-tenant memory caps and affinity sharding key).
+    pub tenant: String,
+    /// Scheduling priority — higher values are more urgent.
+    pub priority: u8,
+    /// Simulated arrival time in milliseconds. A request can never execute
+    /// (or occupy queue time) before it arrives.
+    pub arrival_ms: f64,
+}
+
+impl ServeRequest {
+    /// A priority-0 request from `tenant` arriving at time zero.
+    pub fn new(model: ModelSpec, tenant: impl Into<String>) -> Self {
+        ServeRequest {
+            model,
+            tenant: tenant.into(),
+            priority: 0,
+            arrival_ms: 0.0,
+        }
+    }
+
+    /// Set the priority (builder style).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the arrival time (builder style, clamped to non-negative).
+    pub fn with_arrival_ms(mut self, arrival_ms: f64) -> Self {
+        self.arrival_ms = arrival_ms.max(0.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    #[test]
+    fn builder_defaults_and_clamps() {
+        let r = ServeRequest::new(ModelZoo::vit(), "app-a");
+        assert_eq!(r.priority, 0);
+        assert_eq!(r.arrival_ms, 0.0);
+        let r = r.with_priority(3).with_arrival_ms(-5.0);
+        assert_eq!(r.priority, 3);
+        assert_eq!(r.arrival_ms, 0.0);
+    }
+}

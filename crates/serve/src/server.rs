@@ -1,0 +1,727 @@
+//! The multi-tenant serving engine: a hand-rolled (tokio-free) discrete
+//! event loop that time-shares each device's dual command queues across many
+//! in-flight inferences.
+//!
+//! ## How time advances
+//!
+//! Every admitted request owns a [`StreamStepper`] over its lowered command
+//! stream. Devices are independent timelines; on each device the loop
+//! repeatedly (1) admits arrived requests into free slots in policy order,
+//! then (2) advances whichever in-flight stepper can start its next command
+//! earliest on the shared [`QueueClocks`]. One inference's disk loads
+//! therefore fill transfer-queue gaps left by another inference's kernels —
+//! per-layer interleaving, not back-to-back replay.
+//!
+//! ## Exclusive mode and legacy equivalence
+//!
+//! When the policy allows a single in-flight inference
+//! (`max_in_flight() == 1`, e.g. [`FifoPolicy`]), each
+//! request runs in run-local time against freshly reset queue clocks, its
+//! memory-trace segment is stitched onto the device timeline, and its weights
+//! are evicted before the next admission — the *identical* float arithmetic
+//! of the legacy `MultiModelRunner::run_fifo`, which is why the FIFO policy
+//! reproduces Figure 6 traces byte for byte (see `tests/scheduler.rs`).
+//!
+//! Under concurrent policies the device keeps one global timeline (re-based
+//! only across idle gaps) and a shared memory tracker, and a finished
+//! request's remaining allocations are released individually. The tracker
+//! applies memory effects in event order, which the earliest-start stepping
+//! rule keeps near time order; tiny reorderings across concurrent streams are
+//! an accepted modelling artifact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flashmem_core::cache::ArtifactCache;
+use flashmem_core::engine::CompiledArtifact;
+use flashmem_core::executor::RUNTIME_OVERHEAD_BYTES;
+use flashmem_core::{ExecutionReport, FlashMem, FlashMemConfig, KernelRewriter, StreamingExecutor};
+use flashmem_gpu_sim::engine::{
+    CommandStream, GpuSimulator, QueueClocks, QueueKind, SimConfig, StreamStepper,
+};
+use flashmem_gpu_sim::error::SimResult;
+use flashmem_gpu_sim::memory::MemoryTracker;
+use flashmem_gpu_sim::trace::MemoryTrace;
+use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_graph::ModelSpec;
+use flashmem_profiler::LoweringOptions;
+
+use crate::metrics::{DeviceReport, LatencySummary, RequestOutcome, ServeReport};
+use crate::policy::{FifoPolicy, PendingEntry, SchedulePolicy};
+use crate::request::ServeRequest;
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Lower a compiled artifact to the command stream the event loop steps.
+///
+/// Streaming artifacts reuse the [`StreamingExecutor`] lowering the one-shot
+/// runtime uses; preload artifacts *are* command streams; naive plans lower
+/// through the executor without kernel rewriting, as in the Figure 9 strawmen.
+pub fn lower_artifact(
+    artifact: &CompiledArtifact,
+    model: &ModelSpec,
+    device: &DeviceSpec,
+    config: &FlashMemConfig,
+) -> CommandStream {
+    match artifact {
+        CompiledArtifact::Streaming(compiled) => {
+            let rewriter = if config.enable_kernel_rewriting {
+                KernelRewriter::pipelined()
+            } else {
+                KernelRewriter::naive()
+            };
+            StreamingExecutor::new(device.clone(), rewriter.lowering_options())
+                .with_embedded_transforms(config.enable_kernel_rewriting)
+                .compile(model.graph(), &compiled.fusion, &compiled.plan)
+        }
+        CompiledArtifact::Preload(stream) => stream.clone(),
+        CompiledArtifact::NaivePlan { fusion, plan } => {
+            StreamingExecutor::new(device.clone(), LoweringOptions::texture_framework())
+                .with_embedded_transforms(false)
+                .compile(model.graph(), fusion, plan)
+        }
+    }
+}
+
+/// Estimated resident bytes of one in-flight request — the admission-control
+/// quantity behind per-tenant memory caps. Runtime overhead + double-buffered
+/// activations + everything the plan keeps resident, plus the largest
+/// streamed weight as staging headroom.
+pub fn estimate_resident_bytes(artifact: &CompiledArtifact, model: &ModelSpec) -> u64 {
+    let base = RUNTIME_OVERHEAD_BYTES + (2 * model.graph().max_activation_bytes()).max(1);
+    match artifact {
+        CompiledArtifact::Streaming(compiled) => {
+            base + plan_resident_bytes(compiled.plan.weights())
+        }
+        CompiledArtifact::NaivePlan { plan, .. } => base + plan_resident_bytes(plan.weights()),
+        CompiledArtifact::Preload(stream) => {
+            // No plan to consult: every allocation in the stream is an upper
+            // bound on what can be live at once.
+            base + stream
+                .commands()
+                .iter()
+                .filter_map(|c| match &c.kind {
+                    flashmem_gpu_sim::engine::CommandKind::Alloc { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .sum::<u64>()
+        }
+    }
+}
+
+fn plan_resident_bytes(weights: &[flashmem_core::WeightSchedule]) -> u64 {
+    let preloaded: u64 = weights
+        .iter()
+        .filter(|w| w.preloaded)
+        .map(|w| w.bytes)
+        .sum();
+    let largest_streamed = weights
+        .iter()
+        .filter(|w| !w.preloaded)
+        .map(|w| w.bytes)
+        .max()
+        .unwrap_or(0);
+    preloaded + largest_streamed
+}
+
+/// One admitted, in-flight request on a device.
+struct InFlight {
+    seq: usize,
+    abbr: String,
+    tenant: String,
+    priority: u8,
+    arrival_ms: f64,
+    start_ms: f64,
+    cache_hit: bool,
+    streamed_fraction: f64,
+    estimate_bytes: u64,
+    trace_start: usize,
+    order: usize,
+    stepper: StreamStepper,
+}
+
+/// The multi-tenant serving engine over a fleet of simulated devices.
+pub struct ServeEngine {
+    fleet: Vec<DeviceSpec>,
+    config: FlashMemConfig,
+    policy: Box<dyn SchedulePolicy>,
+    cache: Arc<ArtifactCache>,
+    tenant_caps: HashMap<String, u64>,
+}
+
+impl ServeEngine {
+    /// A FIFO engine over `fleet` (an empty fleet falls back to the default
+    /// flagship device) running FlashMem under `config`.
+    pub fn new(fleet: Vec<DeviceSpec>, config: FlashMemConfig) -> Self {
+        let fleet = if fleet.is_empty() {
+            vec![DeviceSpec::default()]
+        } else {
+            fleet
+        };
+        ServeEngine {
+            fleet,
+            config,
+            policy: Box::new(FifoPolicy),
+            cache: Arc::new(ArtifactCache::new()),
+            tenant_caps: HashMap::new(),
+        }
+    }
+
+    /// Replace the scheduling policy (builder style).
+    pub fn with_policy(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Share an existing plan cache (e.g. the benchmark harness's) instead of
+    /// a private one.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Cap `tenant`'s estimated resident bytes per device. Requests that
+    /// would exceed the cap wait for the tenant's in-flight work to finish;
+    /// a request whose own working set exceeds the cap fails outright.
+    pub fn with_tenant_cap(mut self, tenant: impl Into<String>, bytes: u64) -> Self {
+        self.tenant_caps.insert(tenant.into(), bytes);
+        self
+    }
+
+    /// The fleet being served.
+    pub fn fleet(&self) -> &[DeviceSpec] {
+        &self.fleet
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Serve `requests` (any order; arrival times need not be sorted) and
+    /// report per-request outcomes, per-device utilization and latency
+    /// percentiles.
+    ///
+    /// Per-request failures (out-of-memory, tenant caps) are recorded in the
+    /// outcomes, not propagated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for malformed command streams — an internal
+    /// invariant violation, not a modelled outcome.
+    pub fn run(&self, requests: &[ServeRequest]) -> SimResult<ServeReport> {
+        let fleet_len = self.fleet.len();
+        let mut per_device: Vec<Vec<(usize, &ServeRequest)>> = vec![Vec::new(); fleet_len];
+        for (seq, request) in requests.iter().enumerate() {
+            let device = self
+                .policy
+                .place(request, seq, fleet_len)
+                .min(fleet_len - 1);
+            per_device[device].push((seq, request));
+        }
+
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut devices = Vec::with_capacity(fleet_len);
+        for (index, device) in self.fleet.iter().enumerate() {
+            let assigned = std::mem::take(&mut per_device[index]);
+            let (mut device_outcomes, report) = self.run_device(index, device, assigned)?;
+            outcomes.append(&mut device_outcomes);
+            devices.push(report);
+        }
+        outcomes.sort_by_key(|o| o.seq);
+
+        let latencies: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.succeeded())
+            .map(|o| o.latency_ms)
+            .collect();
+        let latency = LatencySummary::from_latencies(&latencies);
+        let makespan = devices
+            .iter()
+            .map(|d| d.makespan_ms)
+            .fold(0.0_f64, f64::max);
+        let throughput_rps = if makespan > 0.0 {
+            latencies.len() as f64 * 1000.0 / makespan
+        } else {
+            0.0
+        };
+        Ok(ServeReport {
+            policy: self.policy.name().to_string(),
+            outcomes,
+            devices,
+            latency,
+            throughput_rps,
+            cache: self.cache.stats(),
+        })
+    }
+
+    /// Run one device's timeline to completion.
+    #[allow(clippy::too_many_lines)]
+    fn run_device(
+        &self,
+        device_index: usize,
+        device: &DeviceSpec,
+        assigned: Vec<(usize, &ServeRequest)>,
+    ) -> SimResult<(Vec<RequestOutcome>, DeviceReport)> {
+        let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
+        let sim = GpuSimulator::new(device.clone(), SimConfig::default());
+        let mut tracker = MemoryTracker::for_device(device);
+        let slots = self.policy.max_in_flight().max(1);
+        let exclusive = slots == 1;
+
+        let total_assigned = assigned.len();
+        let mut pending = assigned;
+        pending.sort_by(|a, b| {
+            a.1.arrival_ms
+                .partial_cmp(&b.1.arrival_ms)
+                .expect("arrival times are finite")
+                .then(a.0.cmp(&b.0))
+        });
+
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut epoch = 0.0_f64;
+        let mut clocks = QueueClocks::new();
+        let mut stitched = MemoryTrace::new();
+        let mut transfer_busy = 0.0_f64;
+        let mut compute_busy = 0.0_f64;
+        let mut makespan = 0.0_f64;
+        let mut tenant_bytes: HashMap<String, u64> = HashMap::new();
+        let mut admit_order = 0_usize;
+
+        let fail = |outcomes: &mut Vec<RequestOutcome>,
+                    seq: usize,
+                    request: &ServeRequest,
+                    now: f64,
+                    error: SimError| {
+            outcomes.push(RequestOutcome {
+                seq,
+                model: request.model.abbr.clone(),
+                tenant: request.tenant.clone(),
+                priority: request.priority,
+                device: device.name.clone(),
+                device_index,
+                arrival_ms: request.arrival_ms,
+                start_ms: now,
+                completion_ms: now,
+                queue_wait_ms: (now - request.arrival_ms).max(0.0),
+                latency_ms: (now - request.arrival_ms).max(0.0),
+                cache_hit: false,
+                peak_memory_mb: 0.0,
+                error: Some(error),
+                report: None,
+            });
+        };
+
+        loop {
+            // ---------------- admission ----------------
+            'admit: while in_flight.len() < slots && !pending.is_empty() {
+                if in_flight.is_empty() {
+                    // Idle: re-base the device timeline onto a fresh epoch at
+                    // the later of "now" and the earliest pending arrival.
+                    let earliest = pending
+                        .iter()
+                        .map(|(_, r)| r.arrival_ms)
+                        .fold(f64::INFINITY, f64::min);
+                    epoch = (epoch + clocks.horizon_ms()).max(earliest);
+                    clocks.reset();
+                }
+                let now = if in_flight.is_empty() {
+                    epoch
+                } else {
+                    epoch
+                        + in_flight
+                            .iter()
+                            .filter_map(|f| f.stepper.peek_start_ms(&clocks))
+                            .fold(f64::INFINITY, f64::min)
+                };
+                let mut candidates: Vec<PendingEntry> = pending
+                    .iter()
+                    .filter(|(_, r)| r.arrival_ms <= now)
+                    .map(|(seq, r)| PendingEntry {
+                        seq: *seq,
+                        priority: r.priority,
+                        arrival_ms: r.arrival_ms,
+                    })
+                    .collect();
+                while !candidates.is_empty() {
+                    let choice = self.policy.pick(&candidates).min(candidates.len() - 1);
+                    let chosen_seq = candidates[choice].seq;
+                    let position = pending
+                        .iter()
+                        .position(|(seq, _)| *seq == chosen_seq)
+                        .expect("candidate is pending");
+                    let (seq, request) = pending[position];
+
+                    let (artifact, cache_hit) =
+                        match self.cache.compile(&engine, &request.model, device) {
+                            Ok(compiled) => compiled,
+                            Err(error) => {
+                                pending.remove(position);
+                                fail(&mut outcomes, seq, request, now, error);
+                                continue 'admit;
+                            }
+                        };
+                    let estimate = estimate_resident_bytes(&artifact, &request.model);
+                    if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
+                        let used = tenant_bytes.get(&request.tenant).copied().unwrap_or(0);
+                        if used.saturating_add(estimate) > cap {
+                            if used == 0 {
+                                // The cap cannot fit this model at all.
+                                pending.remove(position);
+                                fail(
+                                    &mut outcomes,
+                                    seq,
+                                    request,
+                                    now,
+                                    SimError::OutOfMemory {
+                                        pool: format!("tenant `{}` cap", request.tenant),
+                                        requested: estimate,
+                                        available: cap,
+                                        capacity: cap,
+                                    },
+                                );
+                                continue 'admit;
+                            }
+                            // Defer until the tenant's in-flight work drains.
+                            candidates.remove(choice);
+                            continue;
+                        }
+                    }
+
+                    pending.remove(position);
+                    let stream = lower_artifact(&artifact, &request.model, device, &self.config);
+                    let floor = (request.arrival_ms - epoch).max(0.0);
+                    let stepper = StreamStepper::new(stream)?.with_floor_ms(floor);
+                    if exclusive {
+                        tracker.reset_trace();
+                    }
+                    *tenant_bytes.entry(request.tenant.clone()).or_insert(0) += estimate;
+                    in_flight.push(InFlight {
+                        seq,
+                        abbr: request.model.abbr.clone(),
+                        tenant: request.tenant.clone(),
+                        priority: request.priority,
+                        arrival_ms: request.arrival_ms,
+                        start_ms: now.max(request.arrival_ms),
+                        cache_hit,
+                        streamed_fraction: artifact.streamed_fraction(),
+                        estimate_bytes: estimate,
+                        trace_start: tracker.trace().len(),
+                        order: admit_order,
+                        stepper,
+                    });
+                    admit_order += 1;
+                    continue 'admit;
+                }
+                break 'admit;
+            }
+
+            if in_flight.is_empty() {
+                if pending.is_empty() {
+                    break;
+                }
+                // Nothing admissible right now (all candidates deferred on
+                // tenant caps with no in-flight work — prevented by the
+                // `used == 0` fail path, but keep the loop safe).
+                continue;
+            }
+
+            // ---------------- step ----------------
+            let mut chosen = 0;
+            let mut chosen_start = f64::INFINITY;
+            for (i, flight) in in_flight.iter().enumerate() {
+                let start = flight
+                    .stepper
+                    .peek_start_ms(&clocks)
+                    .unwrap_or(f64::INFINITY);
+                let earlier = start < chosen_start
+                    || (start == chosen_start && flight.order < in_flight[chosen].order);
+                if i == 0 || earlier {
+                    chosen = i;
+                    chosen_start = start;
+                }
+            }
+            let base = if exclusive { 0.0 } else { epoch };
+            match in_flight[chosen]
+                .stepper
+                .step(&sim, &mut clocks, &mut tracker, base)
+            {
+                Ok(Some(event)) => match event.queue {
+                    QueueKind::Transfer => transfer_busy += event.duration_ms(),
+                    QueueKind::Compute => compute_busy += event.duration_ms(),
+                    QueueKind::Host => {}
+                },
+                Ok(None) => {}
+                Err(error) => {
+                    // The request failed mid-run (modelled OOM): release what
+                    // it held and keep serving everyone else.
+                    let mut flight = in_flight.remove(chosen);
+                    let now_local = flight.stepper.makespan_ms();
+                    let now_global = base + now_local;
+                    flight.stepper.release_remaining(&mut tracker, now_global)?;
+                    if exclusive {
+                        stitched.append_shifted(tracker.trace(), epoch);
+                        tracker.evict_all(epoch + now_local);
+                        stitched.record(epoch + now_local, 0);
+                        epoch += now_local;
+                        clocks.reset();
+                    }
+                    decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
+                    makespan = makespan.max(if exclusive { epoch } else { now_global });
+                    outcomes.push(RequestOutcome {
+                        seq: flight.seq,
+                        model: flight.abbr,
+                        tenant: flight.tenant,
+                        priority: flight.priority,
+                        device: device.name.clone(),
+                        device_index,
+                        arrival_ms: flight.arrival_ms,
+                        start_ms: flight.start_ms,
+                        completion_ms: if exclusive { epoch } else { now_global },
+                        queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
+                        latency_ms: ((if exclusive { epoch } else { now_global })
+                            - flight.arrival_ms)
+                            .max(0.0),
+                        cache_hit: flight.cache_hit,
+                        peak_memory_mb: 0.0,
+                        error: Some(error),
+                        report: None,
+                    });
+                    continue;
+                }
+            }
+
+            // ---------------- completion ----------------
+            if !in_flight[chosen].stepper.is_done() {
+                continue;
+            }
+            let flight = in_flight.remove(chosen);
+            if exclusive {
+                // Legacy path: the request ran in run-local time against a
+                // freshly reset trace; finalize exactly like the monolithic
+                // executor, stitch, then evict the whole model.
+                let seq = flight.seq;
+                let outcome_exec = flight.stepper.finish(&sim, &mut tracker);
+                let report = ExecutionReport::from_outcome(
+                    "FlashMem",
+                    &flight.abbr,
+                    &outcome_exec,
+                    flight.streamed_fraction,
+                );
+                let total = report.integrated_latency_ms;
+                stitched.append_shifted(&report.memory_trace, epoch);
+                let completion = epoch + total;
+                epoch = completion;
+                tracker.evict_all(epoch);
+                stitched.record(epoch, 0);
+                clocks.reset();
+                decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
+                makespan = makespan.max(completion);
+                outcomes.push(RequestOutcome {
+                    seq,
+                    model: flight.abbr,
+                    tenant: flight.tenant,
+                    priority: flight.priority,
+                    device: device.name.clone(),
+                    device_index,
+                    arrival_ms: flight.arrival_ms,
+                    start_ms: flight.start_ms,
+                    completion_ms: completion,
+                    queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
+                    latency_ms: (completion - flight.arrival_ms).max(0.0),
+                    cache_hit: flight.cache_hit,
+                    peak_memory_mb: report.peak_memory_mb,
+                    error: None,
+                    report: Some(report),
+                });
+            } else {
+                let mut flight = flight;
+                let total_local = flight.stepper.makespan_ms();
+                let completion = epoch + total_local;
+                tracker.sample(completion);
+                flight.stepper.release_remaining(&mut tracker, completion)?;
+                let peak_bytes = tracker.trace().samples()[flight.trace_start..]
+                    .iter()
+                    .map(|s| s.bytes)
+                    .max()
+                    .unwrap_or(0);
+                decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
+                makespan = makespan.max(completion);
+                outcomes.push(RequestOutcome {
+                    seq: flight.seq,
+                    model: flight.abbr,
+                    tenant: flight.tenant,
+                    priority: flight.priority,
+                    device: device.name.clone(),
+                    device_index,
+                    arrival_ms: flight.arrival_ms,
+                    start_ms: flight.start_ms,
+                    completion_ms: completion,
+                    queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
+                    latency_ms: (completion - flight.arrival_ms).max(0.0),
+                    cache_hit: flight.cache_hit,
+                    peak_memory_mb: peak_bytes as f64 / MIB,
+                    error: None,
+                    report: None,
+                });
+            }
+        }
+
+        let trace = if exclusive {
+            stitched
+        } else {
+            tracker.trace().clone()
+        };
+        let completed = outcomes.iter().filter(|o| o.succeeded()).count();
+        let report = DeviceReport {
+            device: device.name.clone(),
+            requests: total_assigned,
+            completed,
+            makespan_ms: makespan,
+            transfer_busy_ms: transfer_busy,
+            compute_busy_ms: compute_busy,
+            transfer_busy_fraction: if makespan > 0.0 {
+                transfer_busy / makespan
+            } else {
+                0.0
+            },
+            compute_busy_fraction: if makespan > 0.0 {
+                compute_busy / makespan
+            } else {
+                0.0
+            },
+            peak_memory_mb: trace.peak_bytes() as f64 / MIB,
+            memory_trace: trace,
+        };
+        Ok((outcomes, report))
+    }
+}
+
+fn decrement(tenant_bytes: &mut HashMap<String, u64>, tenant: &str, bytes: u64) {
+    if let Some(used) = tenant_bytes.get_mut(tenant) {
+        *used = used.saturating_sub(bytes);
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field(
+                "fleet",
+                &self.fleet.iter().map(|d| &d.name).collect::<Vec<_>>(),
+            )
+            .field("policy", &self.policy.name())
+            .field("tenant_caps", &self.tenant_caps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PriorityPolicy;
+    use flashmem_graph::ModelZoo;
+
+    fn requests(n: usize) -> Vec<ServeRequest> {
+        (0..n)
+            .map(|i| {
+                ServeRequest::new(
+                    if i % 2 == 0 {
+                        ModelZoo::gptneo_small()
+                    } else {
+                        ModelZoo::vit()
+                    },
+                    format!("tenant-{}", i % 2),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_run_completes_every_request_in_order() {
+        let engine = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        );
+        let report = engine.run(&requests(4)).unwrap();
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.policy, "fifo");
+        // Exclusive FIFO on one device: completions are strictly ordered.
+        for pair in report.outcomes.windows(2) {
+            assert!(pair[1].completion_ms > pair[0].completion_ms);
+            assert!(pair[1].start_ms >= pair[0].completion_ms - 1e-9);
+        }
+        // Repeated models hit the plan cache.
+        assert!(report.cache.hits >= 2, "{}", report.cache);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.devices[0].compute_busy_fraction > 0.0);
+        assert!(report.devices[0].transfer_busy_fraction > 0.0);
+    }
+
+    #[test]
+    fn concurrent_slots_interleave_and_beat_exclusive_makespan() {
+        let device = DeviceSpec::oneplus_12();
+        let reqs = requests(4);
+        let exclusive = ServeEngine::new(vec![device.clone()], FlashMemConfig::memory_priority())
+            .with_policy(Box::new(PriorityPolicy::new()))
+            .run(&reqs)
+            .unwrap();
+        let concurrent = ServeEngine::new(vec![device], FlashMemConfig::memory_priority())
+            .with_policy(Box::new(PriorityPolicy::with_max_in_flight(2)))
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(concurrent.completed(), 4);
+        assert!(
+            concurrent.makespan_ms() < exclusive.makespan_ms(),
+            "interleaving {} vs exclusive {}",
+            concurrent.makespan_ms(),
+            exclusive.makespan_ms()
+        );
+        // Sharing the queues cannot beat the sum of pure compute/load time:
+        // utilization goes up instead.
+        assert!(
+            concurrent.devices[0].transfer_busy_fraction
+                > exclusive.devices[0].transfer_busy_fraction - 1e-9
+        );
+    }
+
+    #[test]
+    fn arrivals_gate_execution() {
+        let engine = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        );
+        let reqs = vec![ServeRequest::new(ModelZoo::gptneo_small(), "a").with_arrival_ms(10_000.0)];
+        let report = engine.run(&reqs).unwrap();
+        let outcome = &report.outcomes[0];
+        assert!(outcome.start_ms >= 10_000.0);
+        assert_eq!(outcome.queue_wait_ms, 0.0);
+        assert!(outcome.completion_ms > 10_000.0);
+    }
+
+    #[test]
+    fn tenant_cap_smaller_than_model_fails_fast() {
+        let engine = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        )
+        .with_tenant_cap("tiny", 1024);
+        let reqs = vec![ServeRequest::new(ModelZoo::gptneo_small(), "tiny")];
+        let report = engine.run(&reqs).unwrap();
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.outcomes[0].error,
+            Some(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_fleet_falls_back_to_default_device() {
+        let engine = ServeEngine::new(Vec::new(), FlashMemConfig::memory_priority());
+        assert_eq!(engine.fleet().len(), 1);
+        let report = engine.run(&[]).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.makespan_ms(), 0.0);
+    }
+}

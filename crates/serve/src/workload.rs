@@ -1,0 +1,199 @@
+//! Deterministic seeded workload generation.
+//!
+//! The serving benchmarks sweep arrival *patterns* × policies × fleet sizes;
+//! every pattern here is a pure function of its seed (SplitMix64, the
+//! workspace's offline PRNG), so two runs of the same spec produce identical
+//! request lists and every serving experiment is reproducible.
+
+use flashmem_gpu_sim::rng::SplitMix64;
+use flashmem_graph::ModelSpec;
+
+use crate::request::ServeRequest;
+
+/// How request arrival times are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// One request every `interval_ms` — a steady camera-pipeline cadence.
+    Steady {
+        /// Fixed gap between consecutive arrivals.
+        interval_ms: f64,
+    },
+    /// Exponentially distributed gaps with the given mean — open-loop user
+    /// traffic.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_interval_ms: f64,
+    },
+    /// Bursts of `burst_size` simultaneous arrivals separated by `gap_ms` —
+    /// the notification-fan-out worst case.
+    Bursty {
+        /// Requests per burst.
+        burst_size: usize,
+        /// Gap between bursts.
+        gap_ms: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Short name used in tables and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Steady { .. } => "steady",
+            ArrivalPattern::Poisson { .. } => "poisson",
+            ArrivalPattern::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Arrival time of request `index` given the previous arrival.
+    fn next_arrival(&self, previous_ms: f64, index: usize, rng: &mut SplitMix64) -> f64 {
+        match self {
+            ArrivalPattern::Steady { interval_ms } => {
+                if index == 0 {
+                    0.0
+                } else {
+                    previous_ms + interval_ms.max(0.0)
+                }
+            }
+            ArrivalPattern::Poisson { mean_interval_ms } => {
+                if index == 0 {
+                    0.0
+                } else {
+                    // Inverse-CDF exponential gap; clamp the uniform away from
+                    // 1.0 so ln() stays finite.
+                    let u = rng.gen_f64().min(1.0 - 1e-12);
+                    previous_ms + mean_interval_ms.max(0.0) * (-(1.0 - u).ln())
+                }
+            }
+            ArrivalPattern::Bursty { burst_size, gap_ms } => {
+                let burst = (*burst_size).max(1);
+                (index / burst) as f64 * gap_ms.max(0.0)
+            }
+        }
+    }
+}
+
+/// A reproducible serving workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Arrival-time pattern.
+    pub pattern: ArrivalPattern,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct tenants (`tenant-0` … `tenant-{n-1}`).
+    pub tenants: usize,
+    /// Number of priority levels (priorities are drawn from `0..levels`).
+    pub priority_levels: u8,
+    /// PRNG seed — same seed, same workload.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generate the request list, drawing models round-robin-free (uniformly
+    /// seeded) from `models`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn generate(&self, models: &[ModelSpec]) -> Vec<ServeRequest> {
+        assert!(!models.is_empty(), "workload needs at least one model");
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
+        let tenants = self.tenants.max(1);
+        let levels = self.priority_levels.max(1);
+        let mut arrival = 0.0;
+        let mut requests = Vec::with_capacity(self.requests);
+        for index in 0..self.requests {
+            arrival = self.pattern.next_arrival(arrival, index, &mut rng);
+            let model =
+                models[rng.gen_range_inclusive(0, models.len() as u64 - 1) as usize].clone();
+            let tenant = format!("tenant-{}", rng.gen_range_inclusive(0, tenants as u64 - 1));
+            let priority = rng.gen_range_inclusive(0, u64::from(levels) - 1) as u8;
+            requests.push(ServeRequest {
+                model,
+                tenant,
+                priority,
+                arrival_ms: arrival,
+            });
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashmem_graph::ModelZoo;
+
+    fn models() -> Vec<ModelSpec> {
+        vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+    }
+
+    fn spec(pattern: ArrivalPattern) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern,
+            requests: 12,
+            tenants: 3,
+            priority_levels: 3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = spec(ArrivalPattern::Poisson {
+            mean_interval_ms: 100.0,
+        });
+        let a = s.generate(&models());
+        let b = s.generate(&models());
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.model.abbr, y.model.abbr);
+        }
+        let other = WorkloadSpec { seed: 43, ..s }.generate(&models());
+        assert!(a
+            .iter()
+            .zip(&other)
+            .any(|(x, y)| x.arrival_ms != y.arrival_ms || x.tenant != y.tenant));
+    }
+
+    #[test]
+    fn steady_arrivals_are_evenly_spaced() {
+        let reqs = spec(ArrivalPattern::Steady { interval_ms: 50.0 }).generate(&models());
+        for (i, r) in reqs.iter().enumerate() {
+            assert!((r.arrival_ms - 50.0 * i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bursts_share_arrival_instants() {
+        let reqs = spec(ArrivalPattern::Bursty {
+            burst_size: 4,
+            gap_ms: 1000.0,
+        })
+        .generate(&models());
+        assert_eq!(reqs[0].arrival_ms, reqs[3].arrival_ms);
+        assert_eq!(reqs[4].arrival_ms, 1000.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone() {
+        let reqs = spec(ArrivalPattern::Poisson {
+            mean_interval_ms: 10.0,
+        })
+        .generate(&models());
+        for pair in reqs.windows(2) {
+            assert!(pair[1].arrival_ms >= pair[0].arrival_ms);
+        }
+    }
+
+    #[test]
+    fn tenants_and_priorities_stay_in_range() {
+        let reqs = spec(ArrivalPattern::Steady { interval_ms: 1.0 }).generate(&models());
+        for r in &reqs {
+            assert!(r.priority < 3);
+            assert!(r.tenant.starts_with("tenant-"));
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Portability across devices (Figure 10): run the same models on the four
-//! evaluated phones. On the memory-constrained Xiaomi Mi 6 and Pixel 8 the
+//! evaluated phones plus the expanded fleet (Mali mid-ranger, tablet,
+//! laptop iGPU). On the memory-constrained Xiaomi Mi 6 and Pixel 8 the
 //! preloading SmartMem baseline runs out of memory for GPT-Neo-1.3B, while
 //! FlashMem's streaming plan still fits.
 //!

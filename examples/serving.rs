@@ -1,0 +1,49 @@
+//! Multi-tenant serving: bursty traffic from several apps lands on a small
+//! fleet of simulated devices; the scheduler time-shares each device's dual
+//! command queues across in-flight inferences, priority requests jump the
+//! queue, and the plan cache skips repeated LC-OPG solves.
+//!
+//! ```bash
+//! cargo run --release --example serving
+//! ```
+
+use flashmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two devices, shared by three tenants; the camera app is latency
+    // critical and gets priority 2.
+    let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()];
+    let engine = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_policy(Box::new(PriorityPolicy::with_max_in_flight(2)))
+        .with_tenant_cap("background-indexer", 1_536 * 1024 * 1024);
+
+    let workload = WorkloadSpec {
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 3,
+            gap_ms: 1_500.0,
+        },
+        requests: 9,
+        tenants: 3,
+        priority_levels: 3,
+        seed: 42,
+    };
+    let requests = workload.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
+
+    let report = engine.run(&requests)?;
+    println!("{report}\n");
+
+    println!("per-request outcomes:");
+    for o in &report.outcomes {
+        println!(
+            "  #{:<2} {:<8} prio {} on {:<12} wait {:>6.0} ms, latency {:>7.0} ms{}",
+            o.seq,
+            o.model,
+            o.priority,
+            o.device,
+            o.queue_wait_ms,
+            o.latency_ms,
+            if o.cache_hit { " (plan cache hit)" } else { "" },
+        );
+    }
+    Ok(())
+}

@@ -20,6 +20,9 @@
 //!   fallbacks, adaptive fusion, kernel rewriting and the streaming executor.
 //! * [`baselines`] — simulated baseline frameworks (MNN, NCNN, TVM, LiteRT,
 //!   ExecuTorch, SmartMem) and naive overlap strategies.
+//! * [`serve`] — the multi-tenant serving layer: a dual-queue event loop,
+//!   FIFO/priority/affinity scheduling over a device fleet, per-tenant
+//!   memory caps and the plan cache.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use flashmem_core as core;
 pub use flashmem_gpu_sim as gpu_sim;
 pub use flashmem_graph as graph;
 pub use flashmem_profiler as profiler;
+pub use flashmem_serve as serve;
 pub use flashmem_solver as solver;
 
 /// Convenience prelude re-exporting the types used by nearly every program
@@ -55,12 +59,16 @@ pub mod prelude {
         baseline_registry, standard_registry, NaiveOverlap, PreloadFramework, SmartMem,
     };
     pub use flashmem_core::{
-        AdaptiveFusion, CompiledArtifact, EngineRegistry, ExecutionReport, FlashMem,
-        FlashMemConfig, FlashMemVariant, FrameworkKind, InferenceEngine, LcOpgSolver,
-        MultiModelRunner, OverlapPlan,
+        AdaptiveFusion, ArtifactCache, CachedEngine, CompiledArtifact, EngineRegistry,
+        ExecutionReport, FlashMem, FlashMemConfig, FlashMemVariant, FrameworkKind, InferenceEngine,
+        LcOpgSolver, OverlapPlan,
     };
     pub use flashmem_gpu_sim::{DeviceSpec, GpuSimulator, MemoryTracker, SimConfig};
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};
     pub use flashmem_profiler::{CapacityProfiler, LoadCapacity, OperatorClass};
+    pub use flashmem_serve::{
+        AffinityPolicy, ArrivalPattern, FifoPolicy, MultiModelRunner, PriorityPolicy, ServeEngine,
+        ServeRequest, WorkloadSpec,
+    };
     pub use flashmem_solver::{CpModel, CpSolver, SolveStatus};
 }
