@@ -1,6 +1,7 @@
 //! The multi-tenant serving benchmark: arrival patterns × scheduling
-//! policies × fleet sizes, reporting p50/p95/p99 latency, queue busy
-//! fractions and plan-cache hit rates.
+//! policies (FIFO, priority, affinity, preemptive) × fleet sizes, reporting
+//! p50/p95/p99 latency (overall and per priority), SLO attainment,
+//! preemption counts, queue busy fractions and plan-cache hit rates.
 //!
 //! Usage: `cargo run --release -p flashmem-bench --bin serve [-- --quick] [--json PATH]`
 //! The `--quick` flag runs the small smoke sweep (CI's serve-smoke step);

@@ -1,7 +1,9 @@
 //! Serving benchmark — beyond the paper: multi-tenant traffic on a fleet of
-//! simulated devices, sweeping arrival patterns × scheduling policies ×
-//! fleet sizes and reporting tail latency (p50/p95/p99), queue busy
-//! fractions and plan-cache hit rates.
+//! simulated devices, sweeping arrival patterns × scheduling policies
+//! (including the preemptive one) × fleet sizes and reporting tail latency
+//! (p50/p95/p99, overall and per priority), SLO attainment under per-tenant
+//! deadlines, preemption counts, queue busy fractions and plan-cache hit
+//! rates.
 //!
 //! This is the "heavy traffic" regime the ROADMAP's north star asks for: the
 //! same dual-queue overlap that hides load latency inside one inference is
@@ -13,8 +15,8 @@ use flashmem_core::{ArtifactCache, FlashMemConfig};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 use flashmem_serve::{
-    AffinityPolicy, ArrivalPattern, FifoPolicy, PriorityPolicy, SchedulePolicy, ServeEngine,
-    WorkloadSpec,
+    AffinityPolicy, ArrivalPattern, FifoPolicy, PreemptivePriorityPolicy, PriorityPolicy,
+    SchedulePolicy, ServeEngine, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -49,6 +51,18 @@ pub struct ServeCell {
     pub compute_busy: f64,
     /// Plan-cache hit rate over the cell's run.
     pub cache_hit_rate: f64,
+    /// Requests that carried an SLO deadline.
+    pub slo_tracked: usize,
+    /// Deadline-carrying requests that met their deadline.
+    pub slo_met: usize,
+    /// SLO attainment over the deadline-carrying requests, in `[0, 1]`.
+    pub slo_attainment: f64,
+    /// Total preemptions across the cell's run (0 under non-preemptive
+    /// policies).
+    pub preemptions: usize,
+    /// Per-priority latency percentiles: `(priority, completed, p50, p95,
+    /// p99)` ascending by priority.
+    pub per_priority: Vec<(u8, usize, f64, f64, f64)>,
 }
 
 /// The serving benchmark result.
@@ -59,16 +73,20 @@ pub struct ServeBench {
 }
 
 fn patterns(quick: bool) -> Vec<ArrivalPattern> {
+    // Arrival gaps sit below the per-request service time on purpose: queues
+    // build up, so scheduling policy (admission order, preemption) is what
+    // separates the cells — an underloaded fleet makes every policy look
+    // identical.
     let mut patterns = vec![
-        ArrivalPattern::Steady { interval_ms: 400.0 },
+        ArrivalPattern::Steady { interval_ms: 150.0 },
         ArrivalPattern::Bursty {
-            burst_size: 4,
-            gap_ms: 2_000.0,
+            burst_size: 6,
+            gap_ms: 1_200.0,
         },
     ];
     if !quick {
         patterns.push(ArrivalPattern::Poisson {
-            mean_interval_ms: 400.0,
+            mean_interval_ms: 250.0,
         });
     }
     patterns
@@ -89,7 +107,26 @@ fn policies() -> Vec<(&'static str, PolicyFactory)> {
             "affinity",
             Box::new(|| Box::new(AffinityPolicy::new()) as _),
         ),
+        (
+            // Single-slot on purpose: preemption is the exclusive-device
+            // story (a long low-priority inference monopolizes the GPU until
+            // a higher-priority arrival suspends it). With 2+ slots a free
+            // slot almost always exists and nothing ever needs preempting.
+            "preemptive",
+            Box::new(|| Box::new(PreemptivePriorityPolicy::new()) as _),
+        ),
     ]
+}
+
+/// Per-tenant SLO deadlines for the sweep: latency-critical tenants get
+/// tight budgets, background tenants loose ones, so attainment is a real
+/// discriminator between preemptive and non-preemptive policies.
+fn tenant_slo_ms(tenant: usize) -> f64 {
+    match tenant {
+        0 => 800.0,
+        1 => 2_000.0,
+        _ => 6_000.0,
+    }
 }
 
 fn fleet_sizes(quick: bool) -> Vec<usize> {
@@ -146,10 +183,14 @@ pub fn run(quick: bool) -> ServeBench {
                 // A fresh cache per cell so the reported hit rate reflects
                 // this cell's traffic, not earlier sweep cells.
                 let cache = Arc::new(ArtifactCache::new());
-                let engine =
+                let mut engine =
                     ServeEngine::new(serving_fleet(fleet_size), FlashMemConfig::memory_priority())
                         .with_policy(make_policy())
                         .with_cache(Arc::clone(&cache));
+                for tenant in 0..workload.tenants {
+                    engine =
+                        engine.with_tenant_slo(format!("tenant-{tenant}"), tenant_slo_ms(tenant));
+                }
                 let report = engine.run(&requests).expect("serving sweep runs");
                 let fleet_len = report.devices.len() as f64;
                 cells.push(ServeCell {
@@ -176,6 +217,23 @@ pub fn run(quick: bool) -> ServeBench {
                         .sum::<f64>()
                         / fleet_len,
                     cache_hit_rate: report.cache.hit_rate(),
+                    slo_tracked: report.slo.tracked,
+                    slo_met: report.slo.met,
+                    slo_attainment: report.slo.attainment(),
+                    preemptions: report.preemptions,
+                    per_priority: report
+                        .per_priority
+                        .iter()
+                        .map(|p| {
+                            (
+                                p.priority,
+                                p.completed,
+                                p.latency.p50_ms,
+                                p.latency.p95_ms,
+                                p.latency.p99_ms,
+                            )
+                        })
+                        .collect(),
                 });
             }
         }
@@ -190,6 +248,18 @@ impl ServeBench {
             .cells
             .iter()
             .map(|c| {
+                let per_priority: Vec<Json> = c
+                    .per_priority
+                    .iter()
+                    .map(|(priority, completed, p50, p95, p99)| {
+                        Json::obj()
+                            .field("priority", u64::from(*priority))
+                            .field("completed", *completed)
+                            .field("p50_ms", *p50)
+                            .field("p95_ms", *p95)
+                            .field("p99_ms", *p99)
+                    })
+                    .collect();
                 Json::obj()
                     .field("pattern", c.pattern.as_str())
                     .field("policy", c.policy.as_str())
@@ -204,6 +274,11 @@ impl ServeBench {
                     .field("transfer_busy_fraction", c.transfer_busy)
                     .field("compute_busy_fraction", c.compute_busy)
                     .field("cache_hit_rate", c.cache_hit_rate)
+                    .field("slo_tracked", c.slo_tracked)
+                    .field("slo_met", c.slo_met)
+                    .field("slo_attainment", c.slo_attainment)
+                    .field("preemptions", c.preemptions)
+                    .field("per_priority", Json::Arr(per_priority))
             })
             .collect();
         Json::obj()
@@ -231,6 +306,8 @@ impl std::fmt::Display for ServeBench {
             "Load busy",
             "Compute busy",
             "Cache hits",
+            "SLO",
+            "Preempt",
         ]);
         for c in &self.cells {
             t.row(&[
@@ -246,6 +323,8 @@ impl std::fmt::Display for ServeBench {
                 format!("{:.0}%", 100.0 * c.transfer_busy),
                 format!("{:.0}%", 100.0 * c.compute_busy),
                 format!("{:.0}%", 100.0 * c.cache_hit_rate),
+                format!("{:.0}%", 100.0 * c.slo_attainment),
+                format!("{}", c.preemptions),
             ]);
         }
         write!(f, "{t}")
@@ -259,8 +338,8 @@ mod tests {
     #[test]
     fn quick_sweep_covers_every_policy_and_completes() {
         let bench = run(true);
-        // 2 patterns × 3 policies × 2 fleet sizes.
-        assert_eq!(bench.cells.len(), 12);
+        // 2 patterns × 4 policies × 2 fleet sizes.
+        assert_eq!(bench.cells.len(), 16);
         for cell in &bench.cells {
             assert_eq!(cell.completed, cell.requests, "{cell:?}");
             assert!(cell.p50_ms <= cell.p95_ms);
@@ -268,10 +347,31 @@ mod tests {
             assert!(cell.throughput_rps > 0.0);
             // Few distinct models, many requests: the plan cache must hit.
             assert!(cell.cache_hit_rate > 0.0, "{cell:?}");
+            // Every tenant has an SLO default, so every request is tracked.
+            assert_eq!(cell.slo_tracked, cell.requests, "{cell:?}");
+            assert!(cell.slo_attainment >= 0.0 && cell.slo_attainment <= 1.0);
+            assert!(cell.slo_met <= cell.slo_tracked, "{cell:?}");
+            // Per-priority rows cover every completed request.
+            let per_priority_total: usize =
+                cell.per_priority.iter().map(|(_, done, ..)| done).sum();
+            assert_eq!(per_priority_total, cell.completed, "{cell:?}");
+            // Only the preemptive policy ever preempts.
+            if cell.policy != "preemptive" {
+                assert_eq!(cell.preemptions, 0, "{cell:?}");
+            }
         }
         let policies: std::collections::BTreeSet<&str> =
             bench.cells.iter().map(|c| c.policy.as_str()).collect();
-        assert_eq!(policies.len(), 3);
+        assert_eq!(policies.len(), 4);
+        // Bursty single-device traffic is the regime preemption exists for:
+        // at least one preemptive cell must actually preempt.
+        assert!(
+            bench
+                .cells
+                .iter()
+                .any(|c| c.policy == "preemptive" && c.preemptions > 0),
+            "no preemptive cell preempted"
+        );
     }
 
     #[test]
@@ -299,5 +399,10 @@ mod tests {
         assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"policy\": \"affinity\""));
+        // The SLO/preemption fields ride along in every cell.
+        assert!(json.contains("\"policy\": \"preemptive\""));
+        assert!(json.contains("\"slo_attainment\""));
+        assert!(json.contains("\"preemptions\""));
+        assert!(json.contains("\"per_priority\""));
     }
 }

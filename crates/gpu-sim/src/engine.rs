@@ -601,6 +601,82 @@ impl StreamStepper {
         Ok(freed)
     }
 
+    /// Suspend at the current command boundary, keeping the stream's
+    /// allocations resident. `now_ms` is the stream-local suspension time
+    /// (recorded for accounting; resuming via [`Suspension::resume`] does not
+    /// depend on it). Commands already issued keep their finish times — a
+    /// kernel that was dispatched before the suspension still completes.
+    pub fn suspend(self, clocks: &QueueClocks, now_ms: f64) -> Suspension {
+        Suspension {
+            stepper: self,
+            clocks: *clocks,
+            suspended_at_ms: now_ms,
+            evicted: Vec::new(),
+        }
+    }
+
+    /// Suspend and release every allocation the stream still holds back to
+    /// `tracker` (recorded at `time_base_ms + now_ms`, like
+    /// [`step`](Self::step)'s memory effects) — what a preempting scheduler
+    /// does to free the device for a higher-priority inference. The released
+    /// set is remembered inside the [`Suspension`] so
+    /// [`Suspension::resume_into`] can re-acquire the identical residency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tracker errors on stale handles (a stepper bug, not a
+    /// modelled outcome).
+    pub fn suspend_evicting(
+        mut self,
+        clocks: &QueueClocks,
+        tracker: &mut MemoryTracker,
+        now_ms: f64,
+        time_base_ms: f64,
+    ) -> SimResult<Suspension> {
+        let mut live: Vec<(CommandId, (MemoryTier, AllocationId))> = self.allocs.drain().collect();
+        live.sort_by_key(|(cmd, _)| *cmd);
+        let mut evicted = Vec::with_capacity(live.len());
+        for (command, (tier, id)) in live {
+            let label = match tier {
+                MemoryTier::TextureMemory => tracker.texture().get(id),
+                _ => tracker.unified().get(id),
+            }
+            .map(|alloc| alloc.label.clone())
+            .unwrap_or_default();
+            let bytes = tracker.free(tier, id, time_base_ms + now_ms)?;
+            evicted.push(EvictedAllocation {
+                command,
+                tier,
+                bytes,
+                label,
+            });
+        }
+        Ok(Suspension {
+            stepper: self,
+            clocks: *clocks,
+            suspended_at_ms: now_ms,
+            evicted,
+        })
+    }
+
+    /// Bytes this stream currently holds in the tracker, split as
+    /// `(unified, texture)` — what an evicting suspension would release.
+    pub fn resident_split(&self, tracker: &MemoryTracker) -> (u64, u64) {
+        let mut unified = 0;
+        let mut texture = 0;
+        for (tier, id) in self.allocs.values() {
+            match tier {
+                MemoryTier::TextureMemory => {
+                    texture += tracker.texture().get(*id).map_or(0, |a| a.bytes);
+                }
+                _ => {
+                    unified += tracker.unified().get(*id).map_or(0, |a| a.bytes);
+                }
+            }
+        }
+        (unified, texture)
+    }
+
     /// Finalize a fully stepped stream into the same [`ExecutionOutcome`]
     /// the monolithic executor produces: samples the tracker at the makespan
     /// and summarises timeline, memory and energy.
@@ -623,6 +699,228 @@ impl StreamStepper {
             },
             energy,
         }
+    }
+}
+
+/// What resuming a preempted stream costs.
+///
+/// When the serving layer suspends an inference to make room for a
+/// higher-priority one, the suspended stream's resident weights are usually
+/// evicted (see [`StreamStepper::suspend_evicting`]). Getting them resident
+/// again is not free on real hardware: unified-memory pages must be re-read
+/// from disk and texture-backed weights re-packed into the 2.5D layout. This
+/// knob controls how much of that work is charged when the stream resumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionCost {
+    /// Fixed per-resume overhead in milliseconds (command-buffer rebuild,
+    /// context re-setup). Negative values are treated as zero.
+    pub fixed_ms: f64,
+    /// Charge re-loading the evicted bytes: disk → unified memory for
+    /// everything, plus a unified → texture repack for the texture-resident
+    /// part. When `false`, eviction is modelled as free to undo (the
+    /// optimistic lower bound).
+    pub reload_evicted: bool,
+}
+
+impl PreemptionCost {
+    /// Resuming is free: no fixed overhead, no re-residency traffic.
+    pub fn free() -> Self {
+        PreemptionCost {
+            fixed_ms: 0.0,
+            reload_evicted: false,
+        }
+    }
+
+    /// Charge full re-residency of the evicted bytes (the realistic default).
+    pub fn reload() -> Self {
+        PreemptionCost {
+            fixed_ms: 0.0,
+            reload_evicted: true,
+        }
+    }
+
+    /// Add a fixed per-resume overhead (builder style).
+    pub fn with_fixed_ms(mut self, fixed_ms: f64) -> Self {
+        self.fixed_ms = fixed_ms;
+        self
+    }
+
+    /// Milliseconds charged for resuming a stream that had
+    /// `unified_bytes` + `texture_bytes` resident when it was suspended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bandwidth-model errors (none for the tiers used here).
+    pub fn penalty_ms(
+        &self,
+        sim: &GpuSimulator,
+        unified_bytes: u64,
+        texture_bytes: u64,
+    ) -> SimResult<f64> {
+        let mut penalty = self.fixed_ms.max(0.0);
+        if self.reload_evicted {
+            let reload = unified_bytes + texture_bytes;
+            if reload > 0 {
+                penalty += sim.bandwidth.transfer_time_ms(
+                    reload,
+                    MemoryTier::Disk,
+                    MemoryTier::UnifiedMemory,
+                )?;
+            }
+            if texture_bytes > 0 {
+                penalty += sim.bandwidth.transfer_time_ms(
+                    texture_bytes,
+                    MemoryTier::UnifiedMemory,
+                    MemoryTier::TextureMemory,
+                )?;
+            }
+        }
+        Ok(penalty)
+    }
+}
+
+/// One allocation released by an evicting suspension, remembered so the
+/// resume path can re-acquire the identical residency.
+#[derive(Debug, Clone, PartialEq)]
+struct EvictedAllocation {
+    command: CommandId,
+    tier: MemoryTier,
+    bytes: u64,
+    label: String,
+}
+
+/// A checkpoint of a partially executed [`CommandStream`].
+///
+/// A [`StreamStepper`] advances one command per [`step`](StreamStepper::step),
+/// so every boundary between commands is a natural yield point. `Suspension`
+/// freezes the stepper there — queue clocks, per-command finish times (the
+/// in-flight transfers/kernels that were already issued), the accumulated
+/// timeline, and the resident-memory state — so the stream can be set aside
+/// and deterministically resumed later.
+///
+/// Two flavours:
+///
+/// * [`StreamStepper::suspend`] keeps the stream's allocations resident.
+///   Resuming via [`Suspension::resume`] restores the captured clocks and is
+///   *bit-for-bit* identical to never having suspended at all (the oracle in
+///   `crates/serve/tests/preemption.rs` proves this on full
+///   `ExecutionReport`s).
+/// * [`StreamStepper::suspend_evicting`] additionally releases every live
+///   allocation back to the tracker (what a preempting scheduler does to free
+///   the device). Resuming via [`Suspension::resume_into`] re-acquires the
+///   identical residency and charges a configurable [`PreemptionCost`].
+#[derive(Debug, Clone)]
+pub struct Suspension {
+    stepper: StreamStepper,
+    clocks: QueueClocks,
+    suspended_at_ms: f64,
+    evicted: Vec<EvictedAllocation>,
+}
+
+impl Suspension {
+    /// The queue clocks captured at suspension time.
+    pub fn clocks(&self) -> QueueClocks {
+        self.clocks
+    }
+
+    /// Stream-local time at which the stream was suspended.
+    pub fn suspended_at_ms(&self) -> f64 {
+        self.suspended_at_ms
+    }
+
+    /// Number of commands that had not yet executed when suspended.
+    pub fn remaining(&self) -> usize {
+        self.stepper.remaining()
+    }
+
+    /// Bytes released by an evicting suspension, split as
+    /// `(unified, texture)`. Both zero for a memory-resident suspension.
+    pub fn evicted_split(&self) -> (u64, u64) {
+        let mut unified = 0;
+        let mut texture = 0;
+        for alloc in &self.evicted {
+            match alloc.tier {
+                MemoryTier::TextureMemory => texture += alloc.bytes,
+                _ => unified += alloc.bytes,
+            }
+        }
+        (unified, texture)
+    }
+
+    /// Total bytes released by an evicting suspension.
+    pub fn evicted_bytes(&self) -> u64 {
+        let (u, t) = self.evicted_split();
+        u + t
+    }
+
+    /// True when `tracker` currently has room to re-acquire the evicted
+    /// residency — the admission check a scheduler performs before calling
+    /// [`resume_into`](Self::resume_into).
+    pub fn can_resume(&self, tracker: &MemoryTracker) -> bool {
+        let (unified, texture) = self.evicted_split();
+        unified <= tracker.unified().available()
+            && texture <= tracker.texture().available()
+            && unified + texture <= tracker.budget().saturating_sub(tracker.total_in_use())
+    }
+
+    /// Undo the suspension exactly: the stepper and the captured queue clocks
+    /// come back untouched, so stepping onward is bit-for-bit identical to an
+    /// uninterrupted run. Only valid for memory-resident suspensions; an
+    /// evicted one must go through [`resume_into`](Self::resume_into).
+    pub fn resume(self) -> (StreamStepper, QueueClocks) {
+        (self.stepper, self.clocks)
+    }
+
+    /// Resume onto live scheduler state: re-acquire any evicted residency
+    /// from `tracker` (recorded at `time_base_ms + resume_at_ms`, like
+    /// [`StreamStepper::step`]'s memory effects) and forbid the stream from
+    /// issuing commands before `resume_at_ms` plus the re-residency penalty
+    /// charged by `cost`. Returns the resumed stepper and the penalty in
+    /// milliseconds.
+    ///
+    /// The caller supplies the clocks to step against (usually the shared,
+    /// since-advanced ones — the snapshot's clocks are for
+    /// [`resume`](Self::resume)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the evicted residency no longer
+    /// fits; the tracker is left unchanged in that case (all partial
+    /// re-allocations are rolled back), so the suspension can be retried
+    /// later — check [`can_resume`](Self::can_resume) first to avoid the
+    /// round-trip.
+    pub fn resume_into(
+        self,
+        sim: &GpuSimulator,
+        tracker: &mut MemoryTracker,
+        resume_at_ms: f64,
+        time_base_ms: f64,
+        cost: &PreemptionCost,
+    ) -> SimResult<(StreamStepper, f64)> {
+        let (unified, texture) = self.evicted_split();
+        let mut stepper = self.stepper;
+        let penalty = cost.penalty_ms(sim, unified, texture)?;
+        let now = time_base_ms + resume_at_ms;
+        let mut acquired: Vec<(MemoryTier, AllocationId)> = Vec::new();
+        for alloc in &self.evicted {
+            match tracker.allocate(alloc.tier, alloc.bytes, &alloc.label, now) {
+                Ok(id) => {
+                    stepper.allocs.insert(alloc.command, (alloc.tier, id));
+                    acquired.push((alloc.tier, id));
+                }
+                Err(error) => {
+                    for (tier, id) in acquired {
+                        tracker.free(tier, id, now)?;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        stepper.floor_ms = stepper
+            .floor_ms
+            .max(self.suspended_at_ms)
+            .max(resume_at_ms + penalty);
+        Ok((stepper, penalty))
     }
 }
 
@@ -1015,6 +1313,130 @@ mod tests {
         let freed = stepper.release_remaining(&mut tracker, 50.0).unwrap();
         assert_eq!(freed, 10 << 20);
         assert_eq!(tracker.total_in_use(), 0);
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_identical_at_every_boundary() {
+        let stream = streaming_like_stream();
+        let mut sim = simulator();
+        let expected = sim.execute(&stream).unwrap();
+
+        for suspend_at in 0..stream.len() {
+            let sim = simulator();
+            let mut tracker = MemoryTracker::for_device(sim.device());
+            let mut stepper = StreamStepper::new(stream.clone()).unwrap();
+            let mut clocks = QueueClocks::new();
+            for _ in 0..suspend_at {
+                stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+            }
+            let suspension = stepper.suspend(&clocks, clocks.horizon_ms());
+            assert_eq!(suspension.remaining(), stream.len() - suspend_at);
+            assert_eq!(suspension.evicted_bytes(), 0);
+            let (mut stepper, mut clocks) = suspension.resume();
+            while !stepper.is_done() {
+                stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+            }
+            let resumed = stepper.finish(&sim, &mut tracker);
+            assert_eq!(resumed.total_time_ms, expected.total_time_ms);
+            assert_eq!(resumed.init_time_ms, expected.init_time_ms);
+            assert_eq!(resumed.peak_memory_bytes, expected.peak_memory_bytes);
+            assert_eq!(resumed.average_memory_bytes, expected.average_memory_bytes);
+            assert_eq!(resumed.timeline.events(), expected.timeline.events());
+            assert_eq!(
+                resumed.memory_trace.samples(),
+                expected.memory_trace.samples()
+            );
+        }
+    }
+
+    #[test]
+    fn evicting_suspension_releases_and_reacquires_residency() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut stepper = StreamStepper::new(streaming_like_stream()).unwrap();
+        // Execute alloc + load (commands 0-1), so 64 MiB is resident.
+        stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        assert_eq!(tracker.total_in_use(), 64 << 20);
+        let (unified, texture) = stepper.resident_split(&tracker);
+        assert_eq!((unified, texture), (64 << 20, 0));
+
+        let now = clocks.horizon_ms();
+        let suspension = stepper
+            .suspend_evicting(&clocks, &mut tracker, now, 0.0)
+            .unwrap();
+        assert_eq!(tracker.total_in_use(), 0);
+        assert_eq!(suspension.evicted_bytes(), 64 << 20);
+        assert!(suspension.can_resume(&tracker));
+
+        let (mut stepper, penalty) = suspension
+            .resume_into(
+                &sim,
+                &mut tracker,
+                now + 100.0,
+                0.0,
+                &PreemptionCost::free(),
+            )
+            .unwrap();
+        assert_eq!(penalty, 0.0);
+        assert_eq!(tracker.total_in_use(), 64 << 20);
+        // The stream completes; the Free commands find their re-acquired
+        // allocations (no lost handles).
+        while !stepper.is_done() {
+            stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        }
+        assert_eq!(tracker.total_in_use(), 0);
+    }
+
+    #[test]
+    fn resume_penalty_charges_reload_and_delays_the_stream() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut stepper = StreamStepper::new(streaming_like_stream()).unwrap();
+        stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        let now = clocks.horizon_ms();
+        let suspension = stepper
+            .suspend_evicting(&clocks, &mut tracker, now, 0.0)
+            .unwrap();
+        let cost = PreemptionCost::reload().with_fixed_ms(2.0);
+        let (mut stepper, penalty) = suspension
+            .resume_into(&sim, &mut tracker, now, 0.0, &cost)
+            .unwrap();
+        // 64 MiB back through disk → unified is far from free.
+        assert!(penalty > 2.0, "penalty {penalty}");
+        let event = stepper
+            .step(&sim, &mut clocks, &mut tracker, 0.0)
+            .unwrap()
+            .unwrap();
+        assert!(event.start_ms >= now + penalty - 1e-9);
+    }
+
+    #[test]
+    fn resume_into_rolls_back_on_oom() {
+        let sim = simulator();
+        let mut tracker = MemoryTracker::for_device(sim.device());
+        let mut clocks = QueueClocks::new();
+        let mut stepper = StreamStepper::new(streaming_like_stream()).unwrap();
+        stepper.step(&sim, &mut clocks, &mut tracker, 0.0).unwrap();
+        let suspension = stepper
+            .suspend_evicting(&clocks, &mut tracker, 0.0, 0.0)
+            .unwrap();
+        // Fill the budget so the 64 MiB re-acquisition cannot fit.
+        let hog_bytes = tracker.budget() - (32 << 20);
+        let hog = tracker
+            .allocate(MemoryTier::UnifiedMemory, hog_bytes, "hog", 0.0)
+            .unwrap();
+        assert!(!suspension.can_resume(&tracker));
+        let err = suspension
+            .resume_into(&sim, &mut tracker, 0.0, 0.0, &PreemptionCost::free())
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        // Rollback: only the hog remains.
+        assert_eq!(tracker.total_in_use(), hog_bytes);
+        tracker.free(MemoryTier::UnifiedMemory, hog, 0.0).unwrap();
     }
 
     #[test]

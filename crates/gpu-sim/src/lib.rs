@@ -65,7 +65,7 @@ pub mod trace;
 pub use bandwidth::MemoryTier;
 pub use device::DeviceSpec;
 pub use energy::{EnergyReport, PowerModel};
-pub use engine::{ExecutionOutcome, GpuSimulator, SimConfig};
+pub use engine::{ExecutionOutcome, GpuSimulator, PreemptionCost, SimConfig, Suspension};
 pub use error::{SimError, SimResult};
 pub use kernel::{KernelCategory, KernelDesc, LaunchDims};
 pub use memory::{MemoryPool, MemoryTracker};

@@ -15,18 +15,34 @@
 //! shared [`QueueClocks`](flashmem_gpu_sim::engine::QueueClocks).
 //!
 //! * [`request`] — [`ServeRequest`], the unit of admission (model, tenant,
-//!   priority, arrival time).
-//! * [`policy`] — the [`SchedulePolicy`] trait plus the FIFO, priority and
-//!   device-affinity policies.
-//! * [`server`] — the [`ServeEngine`] event loop with per-tenant memory caps,
-//!   fronted by the shared [`ArtifactCache`](flashmem_core::ArtifactCache).
-//! * [`metrics`] — per-request outcomes, per-device utilization and the
-//!   latency-percentile summary.
+//!   priority, arrival time, optional SLO deadline).
+//! * [`policy`] — the [`SchedulePolicy`] trait plus the FIFO, priority,
+//!   device-affinity and preemptive-priority policies.
+//! * [`server`] — the [`ServeEngine`] event loop with per-tenant memory caps
+//!   and SLO defaults, fronted by the shared
+//!   [`ArtifactCache`](flashmem_core::ArtifactCache).
+//! * [`metrics`] — per-request outcomes, per-device utilization, latency
+//!   percentiles (overall and per priority), SLO attainment and preemption
+//!   accounting.
 //! * [`workload`] — deterministic seeded request generators (steady, Poisson
 //!   and bursty arrivals).
 //! * [`multi_model`] — the FIFO [`MultiModelRunner`] of Figure 6, now a thin
 //!   delegation to the scheduler's exclusive (single-slot) mode; its traces
 //!   reproduce the legacy `flashmem-core` implementation byte for byte.
+//!
+//! ## Preemption and SLOs
+//!
+//! A [`PreemptivePriorityPolicy`] may *interrupt* running work: when every
+//! slot is busy and an arrived request strictly outranks the lowest-priority
+//! in-flight inference, that inference is suspended at its next command
+//! boundary — the simulator freezes its stepper into a
+//! [`Suspension`](flashmem_gpu_sim::engine::Suspension) snapshot and evicts
+//! its resident weights — and resumed once a slot frees, paying a
+//! configurable [`PreemptionCost`] (texture re-residency) before issuing its
+//! next command. Requests carry optional relative deadlines (their own, or a
+//! per-tenant default via [`ServeEngine::with_tenant_slo`]); the report
+//! tallies attainment in [`SloSummary`] and breaks latency percentiles down
+//! per priority level in [`PriorityLatency`].
 //!
 //! ## Example
 //!
@@ -62,9 +78,15 @@ pub mod request;
 pub mod server;
 pub mod workload;
 
-pub use metrics::{DeviceReport, LatencySummary, RequestOutcome, ServeReport};
+pub use flashmem_gpu_sim::engine::PreemptionCost;
+pub use metrics::{
+    DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
+};
 pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
-pub use policy::{AffinityPolicy, FifoPolicy, PendingEntry, PriorityPolicy, SchedulePolicy};
+pub use policy::{
+    AffinityPolicy, FifoPolicy, PendingEntry, PreemptivePriorityPolicy, PriorityPolicy,
+    SchedulePolicy,
+};
 pub use request::ServeRequest;
 pub use server::ServeEngine;
 pub use workload::{ArrivalPattern, WorkloadSpec};

@@ -1,5 +1,21 @@
 //! Serving metrics: per-request outcomes, per-device utilization, latency
-//! percentiles.
+//! percentiles, SLO attainment and preemption accounting.
+//!
+//! Everything a [`ServeEngine`](crate::ServeEngine) run produces funnels into
+//! a [`ServeReport`]:
+//!
+//! * [`RequestOutcome`] — one row per submitted request: where it ran, how
+//!   long it waited, whether it hit the plan cache, how often it was
+//!   preempted and how much suspension/re-residency time that cost, and
+//!   whether it met its SLO deadline.
+//! * [`DeviceReport`] — one row per fleet device: makespan, dual-queue busy
+//!   fractions and the stitched memory trace.
+//! * [`LatencySummary`] — nearest-rank p50/p95/p99 plus mean and max over
+//!   the completed requests.
+//! * [`PriorityLatency`] — the same latency summary broken down per priority
+//!   level, which is how a preemptive policy's tail-latency shift becomes
+//!   visible (high priorities tighten, low priorities pay).
+//! * [`SloSummary`] — attainment over the requests that carried a deadline.
 
 use flashmem_core::cache::CacheStats;
 use flashmem_core::ExecutionReport;
@@ -31,6 +47,19 @@ pub struct RequestOutcome {
     pub queue_wait_ms: f64,
     /// End-to-end latency: `completion - arrival`.
     pub latency_ms: f64,
+    /// The request's effective SLO deadline as a relative latency budget
+    /// (from the request itself or the tenant default), if any.
+    pub deadline_ms: Option<f64>,
+    /// How many times a preemptive policy suspended this request to make
+    /// room for higher-priority work.
+    pub preemptions: usize,
+    /// Total time the request spent suspended (between eviction and
+    /// re-admission), in milliseconds.
+    pub suspended_ms: f64,
+    /// Total re-residency penalty charged across all resumes (texture
+    /// re-packing, unified-memory reload, fixed per-resume overhead), in
+    /// milliseconds.
+    pub resume_penalty_ms: f64,
     /// True when the compilation artifact came from the plan cache.
     pub cache_hit: bool,
     /// Peak device memory footprint (MB) observed while the request was
@@ -50,6 +79,14 @@ impl RequestOutcome {
     /// True when the request completed.
     pub fn succeeded(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// SLO verdict: `None` when the request carries no deadline, otherwise
+    /// whether it completed within its latency budget (a failed request with
+    /// a deadline counts as missed).
+    pub fn slo_met(&self) -> Option<bool> {
+        self.deadline_ms
+            .map(|deadline| self.succeeded() && self.latency_ms <= deadline + 1e-9)
     }
 }
 
@@ -123,6 +160,90 @@ impl LatencySummary {
     }
 }
 
+/// Latency percentiles of one priority level — the lens that shows what a
+/// preemptive policy buys: high-priority tails tighten while low-priority
+/// tails absorb the suspension and re-residency cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityLatency {
+    /// The priority level summarised.
+    pub priority: u8,
+    /// Completed requests at this priority.
+    pub completed: usize,
+    /// Latency percentiles over those requests.
+    pub latency: LatencySummary,
+}
+
+impl PriorityLatency {
+    /// Per-priority latency summaries over the completed requests, ascending
+    /// by priority. Levels with no completed request are omitted.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Vec<PriorityLatency> {
+        let mut levels: Vec<u8> = outcomes
+            .iter()
+            .filter(|o| o.succeeded())
+            .map(|o| o.priority)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+            .into_iter()
+            .map(|priority| {
+                let latencies: Vec<f64> = outcomes
+                    .iter()
+                    .filter(|o| o.succeeded() && o.priority == priority)
+                    .map(|o| o.latency_ms)
+                    .collect();
+                PriorityLatency {
+                    priority,
+                    completed: latencies.len(),
+                    latency: LatencySummary::from_latencies(&latencies),
+                }
+            })
+            .collect()
+    }
+}
+
+/// SLO attainment over the requests that carried a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSummary {
+    /// Requests with an effective deadline (request-level or tenant
+    /// default).
+    pub tracked: usize,
+    /// Requests that completed within their deadline.
+    pub met: usize,
+}
+
+impl SloSummary {
+    /// Tally SLO verdicts across a run's outcomes.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Self {
+        let mut summary = SloSummary::default();
+        for outcome in outcomes {
+            if let Some(met) = outcome.slo_met() {
+                summary.tracked += 1;
+                if met {
+                    summary.met += 1;
+                }
+            }
+        }
+        summary
+    }
+
+    /// Deadline-carrying requests that missed (late or failed).
+    pub fn missed(&self) -> usize {
+        self.tracked - self.met
+    }
+
+    /// Fraction of deadline-carrying requests that met their deadline, in
+    /// `[0, 1]`. Returns 1.0 when nothing carried a deadline (an SLO nobody
+    /// asked for is vacuously attained).
+    pub fn attainment(&self) -> f64 {
+        if self.tracked == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.tracked as f64
+        }
+    }
+}
+
 /// The full result of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -134,6 +255,13 @@ pub struct ServeReport {
     pub devices: Vec<DeviceReport>,
     /// Latency percentiles over completed requests.
     pub latency: LatencySummary,
+    /// Latency percentiles broken down per priority level.
+    pub per_priority: Vec<PriorityLatency>,
+    /// SLO attainment over the deadline-carrying requests.
+    pub slo: SloSummary,
+    /// Total preemptions across all requests (0 under non-preemptive
+    /// policies).
+    pub preemptions: usize,
     /// Completed requests per second of simulated makespan.
     pub throughput_rps: f64,
     /// Plan-cache counters at the end of the run.
@@ -180,6 +308,26 @@ impl std::fmt::Display for ServeReport {
             self.latency.mean_ms,
             self.latency.max_ms
         )?;
+        for p in &self.per_priority {
+            writeln!(
+                f,
+                "  prio {}: {} done, p50/p95/p99 {:.0}/{:.0}/{:.0} ms",
+                p.priority, p.completed, p.latency.p50_ms, p.latency.p95_ms, p.latency.p99_ms
+            )?;
+        }
+        if self.slo.tracked > 0 {
+            writeln!(
+                f,
+                "SLO: {}/{} deadlines met ({:.0}% attainment), {} preemption{}",
+                self.slo.met,
+                self.slo.tracked,
+                100.0 * self.slo.attainment(),
+                self.preemptions,
+                if self.preemptions == 1 { "" } else { "s" }
+            )?;
+        } else if self.preemptions > 0 {
+            writeln!(f, "{} preemptions (no SLO deadlines set)", self.preemptions)?;
+        }
         for d in &self.devices {
             writeln!(
                 f,
@@ -227,5 +375,68 @@ mod tests {
             LatencySummary::from_latencies(&[]),
             LatencySummary::default()
         );
+    }
+
+    fn outcome(priority: u8, latency_ms: f64, deadline_ms: Option<f64>) -> RequestOutcome {
+        RequestOutcome {
+            seq: 0,
+            model: "m".into(),
+            tenant: "t".into(),
+            priority,
+            device: "d".into(),
+            device_index: 0,
+            arrival_ms: 0.0,
+            start_ms: 0.0,
+            completion_ms: latency_ms,
+            queue_wait_ms: 0.0,
+            latency_ms,
+            deadline_ms,
+            preemptions: 0,
+            suspended_ms: 0.0,
+            resume_penalty_ms: 0.0,
+            cache_hit: false,
+            peak_memory_mb: 0.0,
+            error: None,
+            report: None,
+        }
+    }
+
+    #[test]
+    fn slo_verdicts_and_attainment() {
+        let ok = outcome(0, 100.0, Some(200.0));
+        let late = outcome(0, 300.0, Some(200.0));
+        let untracked = outcome(0, 999.0, None);
+        let mut failed = outcome(0, 50.0, Some(200.0));
+        failed.error = Some(SimError::InvalidParameter {
+            message: "x".into(),
+        });
+        assert_eq!(ok.slo_met(), Some(true));
+        assert_eq!(late.slo_met(), Some(false));
+        assert_eq!(untracked.slo_met(), None);
+        assert_eq!(failed.slo_met(), Some(false));
+
+        let slo = SloSummary::from_outcomes(&[ok, late, untracked, failed]);
+        assert_eq!(slo.tracked, 3);
+        assert_eq!(slo.met, 1);
+        assert_eq!(slo.missed(), 2);
+        assert!((slo.attainment() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SloSummary::default().attainment(), 1.0);
+    }
+
+    #[test]
+    fn per_priority_breakdown_groups_and_sorts() {
+        let outcomes = vec![
+            outcome(2, 10.0, None),
+            outcome(0, 100.0, None),
+            outcome(2, 30.0, None),
+            outcome(0, 200.0, None),
+        ];
+        let per = PriorityLatency::from_outcomes(&outcomes);
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].priority, 0);
+        assert_eq!(per[0].completed, 2);
+        assert_eq!(per[0].latency.max_ms, 200.0);
+        assert_eq!(per[1].priority, 2);
+        assert_eq!(per[1].latency.max_ms, 30.0);
     }
 }

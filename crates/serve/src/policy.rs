@@ -1,12 +1,15 @@
 //! Pluggable scheduling policies.
 //!
-//! A policy decides three things: which device of the fleet a request is
+//! A policy decides four things: which device of the fleet a request is
 //! placed on, which of the arrived-but-unadmitted requests is admitted next
-//! when a slot frees up, and how many inferences may be in flight on one
+//! when a slot frees up, how many inferences may be in flight on one
 //! device at once (1 = exclusive, the FIFO baseline; >1 = the event loop
-//! interleaves their command streams on the device's dual queues).
+//! interleaves their command streams on the device's dual queues), and
+//! whether a waiting higher-priority request may *preempt* a running
+//! lower-priority one (and at what resume cost).
 
 use flashmem_core::cache::Fnv1a;
+use flashmem_gpu_sim::engine::PreemptionCost;
 
 use crate::request::ServeRequest;
 
@@ -38,6 +41,16 @@ pub trait SchedulePolicy: Send + Sync {
     /// Index into `candidates` (non-empty, all arrived) of the request to
     /// admit next.
     fn pick(&self, candidates: &[PendingEntry]) -> usize;
+
+    /// When `Some`, the policy is *preemptive*: if every slot is busy and a
+    /// waiting request strictly outranks the lowest-priority in-flight
+    /// inference, the event loop suspends that inference at its next command
+    /// boundary (evicting its resident memory) and charges the returned
+    /// [`PreemptionCost`] when it later resumes. `None` (the default) never
+    /// interrupts running work.
+    fn preemption(&self) -> Option<PreemptionCost> {
+        None
+    }
 }
 
 /// Index of the candidate minimising (arrival, seq) — plain FIFO order.
@@ -46,6 +59,21 @@ fn pick_fifo(candidates: &[PendingEntry]) -> usize {
     for (i, c) in candidates.iter().enumerate().skip(1) {
         let b = &candidates[best];
         if (c.arrival_ms, c.seq) < (b.arrival_ms, b.seq) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the highest-priority candidate; ties go to the earlier
+/// (arrival, seq), so equal-priority admission stays FIFO.
+fn pick_priority(candidates: &[PendingEntry]) -> usize {
+    let mut best = 0;
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        let b = &candidates[best];
+        let better = c.priority > b.priority
+            || (c.priority == b.priority && (c.arrival_ms, c.seq) < (b.arrival_ms, b.seq));
+        if better {
             best = i;
         }
     }
@@ -116,17 +144,75 @@ impl SchedulePolicy for PriorityPolicy {
     }
 
     fn pick(&self, candidates: &[PendingEntry]) -> usize {
-        let mut best = 0;
-        for (i, c) in candidates.iter().enumerate().skip(1) {
-            let b = &candidates[best];
-            // Higher priority wins; ties go to the earlier (arrival, seq).
-            let better = c.priority > b.priority
-                || (c.priority == b.priority && (c.arrival_ms, c.seq) < (b.arrival_ms, b.seq));
-            if better {
-                best = i;
-            }
+        pick_priority(candidates)
+    }
+}
+
+/// Priority scheduling that may *interrupt* running work: when every slot is
+/// busy and an arrived request strictly outranks the lowest-priority
+/// in-flight inference, that inference is suspended at its next command
+/// boundary (its resident weights evicted) and resumed once a slot frees,
+/// paying the configured [`PreemptionCost`] for re-residency. This is what
+/// lets a latency-critical request meet its SLO even while a long
+/// low-priority inference monopolizes the device.
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptivePriorityPolicy {
+    max_in_flight: usize,
+    cost: PreemptionCost,
+}
+
+impl PreemptivePriorityPolicy {
+    /// Exclusive (one in-flight inference per device) preemptive scheduling
+    /// with full re-residency cost charged on resume.
+    pub fn new() -> Self {
+        PreemptivePriorityPolicy {
+            max_in_flight: 1,
+            cost: PreemptionCost::reload(),
         }
-        best
+    }
+
+    /// Preemptive scheduling with up to `slots` concurrent inferences per
+    /// device sharing the dual queues.
+    pub fn with_max_in_flight(slots: usize) -> Self {
+        PreemptivePriorityPolicy {
+            max_in_flight: slots.max(1),
+            ..Self::new()
+        }
+    }
+
+    /// Override the cost charged when a preempted inference resumes
+    /// (builder style).
+    pub fn with_cost(mut self, cost: PreemptionCost) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl Default for PreemptivePriorityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulePolicy for PreemptivePriorityPolicy {
+    fn name(&self) -> &'static str {
+        "preemptive"
+    }
+
+    fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    fn place(&self, _request: &ServeRequest, seq: usize, fleet_len: usize) -> usize {
+        seq % fleet_len.max(1)
+    }
+
+    fn pick(&self, candidates: &[PendingEntry]) -> usize {
+        pick_priority(candidates)
+    }
+
+    fn preemption(&self) -> Option<PreemptionCost> {
+        Some(self.cost)
     }
 }
 
@@ -209,6 +295,25 @@ mod tests {
         assert_eq!(p.pick(&c), 2);
         assert_eq!(p.max_in_flight(), 1);
         assert_eq!(PriorityPolicy::with_max_in_flight(0).max_in_flight(), 1);
+    }
+
+    #[test]
+    fn preemptive_policy_exposes_its_cost_and_picks_like_priority() {
+        let p = PreemptivePriorityPolicy::new();
+        assert_eq!(p.max_in_flight(), 1);
+        assert!(p.preemption().expect("preemptive").reload_evicted);
+        let free = PreemptivePriorityPolicy::with_max_in_flight(2)
+            .with_cost(PreemptionCost::free().with_fixed_ms(5.0));
+        assert_eq!(free.max_in_flight(), 2);
+        let cost = free.preemption().expect("preemptive");
+        assert!(!cost.reload_evicted);
+        assert_eq!(cost.fixed_ms, 5.0);
+        // Non-preemptive policies report None.
+        assert!(FifoPolicy.preemption().is_none());
+        assert!(PriorityPolicy::new().preemption().is_none());
+        // Same admission order as the plain priority policy.
+        let c = [entry(0, 1, 0.0), entry(1, 5, 10.0), entry(2, 5, 2.0)];
+        assert_eq!(p.pick(&c), PriorityPolicy::new().pick(&c));
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! The unit of admission: one tenant's inference request.
+//!
+//! A [`ServeRequest`] is everything the scheduler knows about a piece of
+//! work before compiling it: which model to run, who is asking (the tenant,
+//! which drives memory caps, affinity sharding and per-tenant SLOs), how
+//! urgent it is (the priority, which drives admission order and preemption),
+//! when it arrives, and — optionally — the latency budget it must meet for
+//! its service-level objective to count as attained.
 
 use flashmem_graph::ModelSpec;
 
@@ -7,23 +14,35 @@ use flashmem_graph::ModelSpec;
 pub struct ServeRequest {
     /// The model to run.
     pub model: ModelSpec,
-    /// Tenant identity (per-tenant memory caps and affinity sharding key).
+    /// Tenant identity (per-tenant memory caps, affinity sharding key and
+    /// per-tenant SLO lookup).
     pub tenant: String,
-    /// Scheduling priority — higher values are more urgent.
+    /// Scheduling priority — higher values are more urgent. Under a
+    /// preemptive policy a higher-priority arrival can suspend a running
+    /// lower-priority inference.
     pub priority: u8,
     /// Simulated arrival time in milliseconds. A request can never execute
     /// (or occupy queue time) before it arrives.
     pub arrival_ms: f64,
+    /// Optional SLO deadline as a *relative* latency budget in milliseconds:
+    /// the request meets its SLO iff it completes within `deadline_ms` of
+    /// `arrival_ms`. When `None`, the engine falls back to the tenant's
+    /// default deadline (see
+    /// [`ServeEngine::with_tenant_slo`](crate::ServeEngine::with_tenant_slo)),
+    /// and if neither is set the request is excluded from SLO accounting.
+    pub deadline_ms: Option<f64>,
 }
 
 impl ServeRequest {
-    /// A priority-0 request from `tenant` arriving at time zero.
+    /// A priority-0 request from `tenant` arriving at time zero with no
+    /// deadline.
     pub fn new(model: ModelSpec, tenant: impl Into<String>) -> Self {
         ServeRequest {
             model,
             tenant: tenant.into(),
             priority: 0,
             arrival_ms: 0.0,
+            deadline_ms: None,
         }
     }
 
@@ -38,6 +57,13 @@ impl ServeRequest {
         self.arrival_ms = arrival_ms.max(0.0);
         self
     }
+
+    /// Set the relative SLO deadline (builder style, clamped to
+    /// non-negative).
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms.max(0.0));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -50,8 +76,17 @@ mod tests {
         let r = ServeRequest::new(ModelZoo::vit(), "app-a");
         assert_eq!(r.priority, 0);
         assert_eq!(r.arrival_ms, 0.0);
+        assert_eq!(r.deadline_ms, None);
         let r = r.with_priority(3).with_arrival_ms(-5.0);
         assert_eq!(r.priority, 3);
         assert_eq!(r.arrival_ms, 0.0);
+    }
+
+    #[test]
+    fn deadline_is_clamped_non_negative() {
+        let r = ServeRequest::new(ModelZoo::vit(), "a").with_deadline_ms(-1.0);
+        assert_eq!(r.deadline_ms, Some(0.0));
+        let r = r.with_deadline_ms(500.0);
+        assert_eq!(r.deadline_ms, Some(500.0));
     }
 }

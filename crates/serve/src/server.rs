@@ -6,15 +6,33 @@
 //!
 //! Every admitted request owns a [`StreamStepper`] over its lowered command
 //! stream. Devices are independent timelines; on each device the loop
-//! repeatedly (1) admits arrived requests into free slots in policy order,
-//! then (2) advances whichever in-flight stepper can start its next command
-//! earliest on the shared [`QueueClocks`]. One inference's disk loads
-//! therefore fill transfer-queue gaps left by another inference's kernels —
-//! per-layer interleaving, not back-to-back replay.
+//! repeatedly (1) preempts in-flight work if the policy allows and a waiting
+//! request outranks it, (2) admits arrived requests into free slots in
+//! policy order, then (3) advances whichever in-flight stepper can start its
+//! next command earliest on the shared [`QueueClocks`]. One inference's disk
+//! loads therefore fill transfer-queue gaps left by another inference's
+//! kernels — per-layer interleaving, not back-to-back replay.
+//!
+//! ## Preemption
+//!
+//! Under a preemptive policy (one whose
+//! [`SchedulePolicy::preemption`] returns a cost), a running inference can be
+//! suspended at any command boundary: its [`StreamStepper`] is frozen into a
+//! [`Suspension`] snapshot (queue clocks, in-flight command finish times,
+//! resident-memory state) and its allocations are evicted so the
+//! higher-priority request has the device to itself. Commands that were
+//! already issued still drain — a dispatched kernel cannot be aborted, the
+//! stream just stops issuing new work. When a slot frees up the suspended
+//! request competes for admission again (at its original priority and
+//! arrival, so FIFO tie-breaking favours it over younger work) and, on
+//! resume, re-acquires the identical residency and pays the policy's
+//! [`PreemptionCost`] before issuing its next command. The suspended
+//! request's tenant-cap reservation is kept while suspended, so a tenant
+//! cannot starve its own preempted work by submitting more requests.
 //!
 //! ## Exclusive mode and legacy equivalence
 //!
-//! When the policy allows a single in-flight inference
+//! When the policy allows a single in-flight inference and is not preemptive
 //! (`max_in_flight() == 1`, e.g. [`FifoPolicy`]), each
 //! request runs in run-local time against freshly reset queue clocks, its
 //! memory-trace segment is stitched onto the device timeline, and its weights
@@ -22,12 +40,12 @@
 //! of the legacy `MultiModelRunner::run_fifo`, which is why the FIFO policy
 //! reproduces Figure 6 traces byte for byte (see `tests/scheduler.rs`).
 //!
-//! Under concurrent policies the device keeps one global timeline (re-based
-//! only across idle gaps) and a shared memory tracker, and a finished
-//! request's remaining allocations are released individually. The tracker
-//! applies memory effects in event order, which the earliest-start stepping
-//! rule keeps near time order; tiny reorderings across concurrent streams are
-//! an accepted modelling artifact.
+//! Under concurrent (and all preemptive) policies the device keeps one global
+//! timeline (re-based only across idle gaps) and a shared memory tracker, and
+//! a finished request's remaining allocations are released individually. The
+//! tracker applies memory effects in event order, which the earliest-start
+//! stepping rule keeps near time order; tiny reorderings across concurrent
+//! streams are an accepted modelling artifact.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,7 +55,8 @@ use flashmem_core::engine::CompiledArtifact;
 use flashmem_core::executor::RUNTIME_OVERHEAD_BYTES;
 use flashmem_core::{ExecutionReport, FlashMem, FlashMemConfig, KernelRewriter, StreamingExecutor};
 use flashmem_gpu_sim::engine::{
-    CommandStream, GpuSimulator, QueueClocks, QueueKind, SimConfig, StreamStepper,
+    CommandStream, GpuSimulator, PreemptionCost, QueueClocks, QueueKind, SimConfig, StreamStepper,
+    Suspension,
 };
 use flashmem_gpu_sim::error::SimResult;
 use flashmem_gpu_sim::memory::MemoryTracker;
@@ -46,7 +65,9 @@ use flashmem_gpu_sim::{DeviceSpec, SimError};
 use flashmem_graph::ModelSpec;
 use flashmem_profiler::LoweringOptions;
 
-use crate::metrics::{DeviceReport, LatencySummary, RequestOutcome, ServeReport};
+use crate::metrics::{
+    DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
+};
 use crate::policy::{FifoPolicy, PendingEntry, SchedulePolicy};
 use crate::request::ServeRequest;
 
@@ -124,20 +145,101 @@ fn plan_resident_bytes(weights: &[flashmem_core::WeightSchedule]) -> u64 {
     preloaded + largest_streamed
 }
 
-/// One admitted, in-flight request on a device.
-struct InFlight {
+/// The scheduler-visible view of everything that could be admitted at `now`:
+/// pending requests that have arrived, plus every suspended request (a
+/// suspended request arrived before it was first admitted, by construction).
+/// Both the admission phase and the preemption phase rank exactly this list,
+/// so a preemption can only fire for a candidate admission would pick.
+fn arrived_candidates(
+    pending: &[(usize, &ServeRequest)],
+    suspended: &[Suspended],
+    now: f64,
+) -> Vec<PendingEntry> {
+    let mut candidates: Vec<PendingEntry> = pending
+        .iter()
+        .filter(|(_, r)| r.arrival_ms <= now)
+        .map(|(seq, r)| PendingEntry {
+            seq: *seq,
+            priority: r.priority,
+            arrival_ms: r.arrival_ms,
+        })
+        .collect();
+    candidates.extend(suspended.iter().map(|s| PendingEntry {
+        seq: s.meta.seq,
+        priority: s.meta.priority,
+        arrival_ms: s.meta.arrival_ms,
+    }));
+    candidates
+}
+
+/// Everything the loop knows about an admitted request except its execution
+/// state — shared between the in-flight and suspended representations.
+struct FlightMeta {
     seq: usize,
     abbr: String,
     tenant: String,
     priority: u8,
     arrival_ms: f64,
+    deadline_ms: Option<f64>,
     start_ms: f64,
     cache_hit: bool,
     streamed_fraction: f64,
     estimate_bytes: u64,
     trace_start: usize,
     order: usize,
+    preemptions: usize,
+    suspended_ms: f64,
+    penalty_ms: f64,
+}
+
+impl FlightMeta {
+    /// Build the outcome row for this request, completing (or failing) at
+    /// `completion_ms`.
+    fn into_outcome(
+        self,
+        device: &str,
+        device_index: usize,
+        completion_ms: f64,
+        peak_memory_mb: f64,
+        error: Option<SimError>,
+        report: Option<ExecutionReport>,
+    ) -> RequestOutcome {
+        RequestOutcome {
+            seq: self.seq,
+            model: self.abbr,
+            tenant: self.tenant,
+            priority: self.priority,
+            device: device.to_string(),
+            device_index,
+            arrival_ms: self.arrival_ms,
+            start_ms: self.start_ms,
+            completion_ms,
+            queue_wait_ms: (self.start_ms - self.arrival_ms).max(0.0),
+            latency_ms: (completion_ms - self.arrival_ms).max(0.0),
+            deadline_ms: self.deadline_ms,
+            preemptions: self.preemptions,
+            suspended_ms: self.suspended_ms,
+            resume_penalty_ms: self.penalty_ms,
+            cache_hit: self.cache_hit,
+            peak_memory_mb,
+            error,
+            report,
+        }
+    }
+}
+
+/// One admitted, in-flight request on a device.
+struct InFlight {
+    meta: FlightMeta,
     stepper: StreamStepper,
+}
+
+/// A preempted request waiting for a slot (and its residency) to come back.
+struct Suspended {
+    meta: FlightMeta,
+    /// Global (device-timeline) time at which the request was suspended.
+    suspended_at_ms: f64,
+    suspension: Suspension,
 }
 
 /// The multi-tenant serving engine over a fleet of simulated devices.
@@ -147,6 +249,7 @@ pub struct ServeEngine {
     policy: Box<dyn SchedulePolicy>,
     cache: Arc<ArtifactCache>,
     tenant_caps: HashMap<String, u64>,
+    tenant_slos: HashMap<String, f64>,
 }
 
 impl ServeEngine {
@@ -164,6 +267,7 @@ impl ServeEngine {
             policy: Box::new(FifoPolicy),
             cache: Arc::new(ArtifactCache::new()),
             tenant_caps: HashMap::new(),
+            tenant_slos: HashMap::new(),
         }
     }
 
@@ -188,6 +292,15 @@ impl ServeEngine {
         self
     }
 
+    /// Give every request of `tenant` a default SLO deadline: a relative
+    /// latency budget in milliseconds, used when the request does not carry
+    /// its own [`deadline_ms`](ServeRequest::deadline_ms). Deadline-carrying
+    /// requests feed the report's [`SloSummary`].
+    pub fn with_tenant_slo(mut self, tenant: impl Into<String>, deadline_ms: f64) -> Self {
+        self.tenant_slos.insert(tenant.into(), deadline_ms.max(0.0));
+        self
+    }
+
     /// The fleet being served.
     pub fn fleet(&self) -> &[DeviceSpec] {
         &self.fleet
@@ -198,9 +311,18 @@ impl ServeEngine {
         &self.cache
     }
 
+    /// The deadline a request must meet, if any: its own, else its tenant's
+    /// default.
+    fn effective_deadline(&self, request: &ServeRequest) -> Option<f64> {
+        request
+            .deadline_ms
+            .or_else(|| self.tenant_slos.get(&request.tenant).copied())
+    }
+
     /// Serve `requests` (any order; arrival times need not be sorted) and
-    /// report per-request outcomes, per-device utilization and latency
-    /// percentiles.
+    /// report per-request outcomes, per-device utilization, latency
+    /// percentiles (overall and per priority), SLO attainment and preemption
+    /// counts.
     ///
     /// Per-request failures (out-of-memory, tenant caps) are recorded in the
     /// outcomes, not propagated.
@@ -236,6 +358,9 @@ impl ServeEngine {
             .map(|o| o.latency_ms)
             .collect();
         let latency = LatencySummary::from_latencies(&latencies);
+        let per_priority = PriorityLatency::from_outcomes(&outcomes);
+        let slo = SloSummary::from_outcomes(&outcomes);
+        let preemptions = outcomes.iter().map(|o| o.preemptions).sum();
         let makespan = devices
             .iter()
             .map(|d| d.makespan_ms)
@@ -250,6 +375,9 @@ impl ServeEngine {
             outcomes,
             devices,
             latency,
+            per_priority,
+            slo,
+            preemptions,
             throughput_rps,
             cache: self.cache.stats(),
         })
@@ -267,7 +395,7 @@ impl ServeEngine {
         let sim = GpuSimulator::new(device.clone(), SimConfig::default());
         let mut tracker = MemoryTracker::for_device(device);
         let slots = self.policy.max_in_flight().max(1);
-        let exclusive = slots == 1;
+        let exclusive = slots == 1 && self.policy.preemption().is_none();
 
         let total_assigned = assigned.len();
         let mut pending = assigned;
@@ -279,6 +407,7 @@ impl ServeEngine {
         });
 
         let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut suspended: Vec<Suspended> = Vec::new();
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
         let mut epoch = 0.0_f64;
         let mut clocks = QueueClocks::new();
@@ -288,10 +417,14 @@ impl ServeEngine {
         let mut makespan = 0.0_f64;
         let mut tenant_bytes: HashMap<String, u64> = HashMap::new();
         let mut admit_order = 0_usize;
+        // Resident-byte estimates computed by the preemption phase's
+        // feasibility checks, memoized per request seq.
+        let mut estimate_memo: HashMap<usize, u64> = HashMap::new();
 
         let fail = |outcomes: &mut Vec<RequestOutcome>,
                     seq: usize,
                     request: &ServeRequest,
+                    deadline_ms: Option<f64>,
                     now: f64,
                     error: SimError| {
             outcomes.push(RequestOutcome {
@@ -306,6 +439,10 @@ impl ServeEngine {
                 completion_ms: now,
                 queue_wait_ms: (now - request.arrival_ms).max(0.0),
                 latency_ms: (now - request.arrival_ms).max(0.0),
+                deadline_ms,
+                preemptions: 0,
+                suspended_ms: 0.0,
+                resume_penalty_ms: 0.0,
                 cache_hit: false,
                 peak_memory_mb: 0.0,
                 error: Some(error),
@@ -314,11 +451,30 @@ impl ServeEngine {
         };
 
         loop {
+            // ---------------- preemption ----------------
+            if self.policy.preemption().is_some() {
+                self.preempt_outranked(
+                    &engine,
+                    device,
+                    slots,
+                    epoch,
+                    &clocks,
+                    &mut tracker,
+                    &pending,
+                    &tenant_bytes,
+                    &mut estimate_memo,
+                    &mut in_flight,
+                    &mut suspended,
+                )?;
+            }
+
             // ---------------- admission ----------------
-            'admit: while in_flight.len() < slots && !pending.is_empty() {
-                if in_flight.is_empty() {
+            'admit: while in_flight.len() < slots && !(pending.is_empty() && suspended.is_empty()) {
+                if in_flight.is_empty() && suspended.is_empty() {
                     // Idle: re-base the device timeline onto a fresh epoch at
                     // the later of "now" and the earliest pending arrival.
+                    // (Never re-based while work is suspended — suspension
+                    // snapshots reference the current epoch's local times.)
                     let earliest = pending
                         .iter()
                         .map(|(_, r)| r.arrival_ms)
@@ -327,7 +483,12 @@ impl ServeEngine {
                     clocks.reset();
                 }
                 let now = if in_flight.is_empty() {
-                    epoch
+                    if suspended.is_empty() {
+                        epoch
+                    } else {
+                        // Resume as soon as the queues drain.
+                        epoch + clocks.horizon_ms()
+                    }
                 } else {
                     epoch
                         + in_flight
@@ -335,18 +496,64 @@ impl ServeEngine {
                             .filter_map(|f| f.stepper.peek_start_ms(&clocks))
                             .fold(f64::INFINITY, f64::min)
                 };
-                let mut candidates: Vec<PendingEntry> = pending
-                    .iter()
-                    .filter(|(_, r)| r.arrival_ms <= now)
-                    .map(|(seq, r)| PendingEntry {
-                        seq: *seq,
-                        priority: r.priority,
-                        arrival_ms: r.arrival_ms,
-                    })
-                    .collect();
+                let mut candidates = arrived_candidates(&pending, &suspended, now);
                 while !candidates.is_empty() {
                     let choice = self.policy.pick(&candidates).min(candidates.len() - 1);
                     let chosen_seq = candidates[choice].seq;
+
+                    if let Some(pos) = suspended.iter().position(|s| s.meta.seq == chosen_seq) {
+                        // -------- resume a preempted request --------
+                        if !suspended[pos].suspension.can_resume(&tracker) {
+                            if in_flight.is_empty() {
+                                // Nothing running will ever free the memory:
+                                // the residency is unrecoverable.
+                                let s = suspended.remove(pos);
+                                let requested = s.suspension.evicted_bytes();
+                                makespan = makespan.max(now);
+                                decrement(&mut tenant_bytes, &s.meta.tenant, s.meta.estimate_bytes);
+                                let mut meta = s.meta;
+                                meta.suspended_ms += (now - s.suspended_at_ms).max(0.0);
+                                outcomes.push(meta.into_outcome(
+                                    &device.name,
+                                    device_index,
+                                    now,
+                                    0.0,
+                                    Some(SimError::OutOfMemory {
+                                        pool: "resume residency".to_string(),
+                                        requested,
+                                        available:
+                                            tracker.budget().saturating_sub(tracker.total_in_use()),
+                                        capacity: tracker.budget(),
+                                    }),
+                                    None,
+                                ));
+                                continue 'admit;
+                            }
+                            // Defer until in-flight work frees memory.
+                            candidates.remove(choice);
+                            continue;
+                        }
+                        let s = suspended.remove(pos);
+                        let cost = self
+                            .policy
+                            .preemption()
+                            .unwrap_or_else(PreemptionCost::free);
+                        let resume_local = (now - epoch).max(0.0);
+                        let (stepper, penalty) = s.suspension.resume_into(
+                            &sim,
+                            &mut tracker,
+                            resume_local,
+                            epoch,
+                            &cost,
+                        )?;
+                        let mut meta = s.meta;
+                        meta.suspended_ms += (now - s.suspended_at_ms).max(0.0);
+                        meta.penalty_ms += penalty;
+                        in_flight.push(InFlight { meta, stepper });
+                        continue 'admit;
+                    }
+
+                    // -------- admit a fresh request --------
                     let position = pending
                         .iter()
                         .position(|(seq, _)| *seq == chosen_seq)
@@ -358,7 +565,8 @@ impl ServeEngine {
                             Ok(compiled) => compiled,
                             Err(error) => {
                                 pending.remove(position);
-                                fail(&mut outcomes, seq, request, now, error);
+                                let deadline = self.effective_deadline(request);
+                                fail(&mut outcomes, seq, request, deadline, now, error);
                                 continue 'admit;
                             }
                         };
@@ -369,10 +577,12 @@ impl ServeEngine {
                             if used == 0 {
                                 // The cap cannot fit this model at all.
                                 pending.remove(position);
+                                let deadline = self.effective_deadline(request);
                                 fail(
                                     &mut outcomes,
                                     seq,
                                     request,
+                                    deadline,
                                     now,
                                     SimError::OutOfMemory {
                                         pool: format!("tenant `{}` cap", request.tenant),
@@ -398,17 +608,23 @@ impl ServeEngine {
                     }
                     *tenant_bytes.entry(request.tenant.clone()).or_insert(0) += estimate;
                     in_flight.push(InFlight {
-                        seq,
-                        abbr: request.model.abbr.clone(),
-                        tenant: request.tenant.clone(),
-                        priority: request.priority,
-                        arrival_ms: request.arrival_ms,
-                        start_ms: now.max(request.arrival_ms),
-                        cache_hit,
-                        streamed_fraction: artifact.streamed_fraction(),
-                        estimate_bytes: estimate,
-                        trace_start: tracker.trace().len(),
-                        order: admit_order,
+                        meta: FlightMeta {
+                            seq,
+                            abbr: request.model.abbr.clone(),
+                            tenant: request.tenant.clone(),
+                            priority: request.priority,
+                            arrival_ms: request.arrival_ms,
+                            deadline_ms: self.effective_deadline(request),
+                            start_ms: now.max(request.arrival_ms),
+                            cache_hit,
+                            streamed_fraction: artifact.streamed_fraction(),
+                            estimate_bytes: estimate,
+                            trace_start: tracker.trace().len(),
+                            order: admit_order,
+                            preemptions: 0,
+                            suspended_ms: 0.0,
+                            penalty_ms: 0.0,
+                        },
                         stepper,
                     });
                     admit_order += 1;
@@ -418,12 +634,13 @@ impl ServeEngine {
             }
 
             if in_flight.is_empty() {
-                if pending.is_empty() {
+                if pending.is_empty() && suspended.is_empty() {
                     break;
                 }
                 // Nothing admissible right now (all candidates deferred on
                 // tenant caps with no in-flight work — prevented by the
-                // `used == 0` fail path, but keep the loop safe).
+                // `used == 0` fail path and the unrecoverable-resume path,
+                // but keep the loop safe).
                 continue;
             }
 
@@ -436,7 +653,7 @@ impl ServeEngine {
                     .peek_start_ms(&clocks)
                     .unwrap_or(f64::INFINITY);
                 let earlier = start < chosen_start
-                    || (start == chosen_start && flight.order < in_flight[chosen].order);
+                    || (start == chosen_start && flight.meta.order < in_flight[chosen].meta.order);
                 if i == 0 || earlier {
                     chosen = i;
                     chosen_start = start;
@@ -467,27 +684,21 @@ impl ServeEngine {
                         epoch += now_local;
                         clocks.reset();
                     }
-                    decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
-                    makespan = makespan.max(if exclusive { epoch } else { now_global });
-                    outcomes.push(RequestOutcome {
-                        seq: flight.seq,
-                        model: flight.abbr,
-                        tenant: flight.tenant,
-                        priority: flight.priority,
-                        device: device.name.clone(),
+                    decrement(
+                        &mut tenant_bytes,
+                        &flight.meta.tenant,
+                        flight.meta.estimate_bytes,
+                    );
+                    let completion = if exclusive { epoch } else { now_global };
+                    makespan = makespan.max(completion);
+                    outcomes.push(flight.meta.into_outcome(
+                        &device.name,
                         device_index,
-                        arrival_ms: flight.arrival_ms,
-                        start_ms: flight.start_ms,
-                        completion_ms: if exclusive { epoch } else { now_global },
-                        queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
-                        latency_ms: ((if exclusive { epoch } else { now_global })
-                            - flight.arrival_ms)
-                            .max(0.0),
-                        cache_hit: flight.cache_hit,
-                        peak_memory_mb: 0.0,
-                        error: Some(error),
-                        report: None,
-                    });
+                        completion,
+                        0.0,
+                        Some(error),
+                        None,
+                    ));
                     continue;
                 }
             }
@@ -501,13 +712,12 @@ impl ServeEngine {
                 // Legacy path: the request ran in run-local time against a
                 // freshly reset trace; finalize exactly like the monolithic
                 // executor, stitch, then evict the whole model.
-                let seq = flight.seq;
                 let outcome_exec = flight.stepper.finish(&sim, &mut tracker);
                 let report = ExecutionReport::from_outcome(
                     "FlashMem",
-                    &flight.abbr,
+                    &flight.meta.abbr,
                     &outcome_exec,
-                    flight.streamed_fraction,
+                    flight.meta.streamed_fraction,
                 );
                 let total = report.integrated_latency_ms;
                 stitched.append_shifted(&report.memory_trace, epoch);
@@ -516,55 +726,46 @@ impl ServeEngine {
                 tracker.evict_all(epoch);
                 stitched.record(epoch, 0);
                 clocks.reset();
-                decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
+                decrement(
+                    &mut tenant_bytes,
+                    &flight.meta.tenant,
+                    flight.meta.estimate_bytes,
+                );
                 makespan = makespan.max(completion);
-                outcomes.push(RequestOutcome {
-                    seq,
-                    model: flight.abbr,
-                    tenant: flight.tenant,
-                    priority: flight.priority,
-                    device: device.name.clone(),
+                let peak_memory_mb = report.peak_memory_mb;
+                outcomes.push(flight.meta.into_outcome(
+                    &device.name,
                     device_index,
-                    arrival_ms: flight.arrival_ms,
-                    start_ms: flight.start_ms,
-                    completion_ms: completion,
-                    queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
-                    latency_ms: (completion - flight.arrival_ms).max(0.0),
-                    cache_hit: flight.cache_hit,
-                    peak_memory_mb: report.peak_memory_mb,
-                    error: None,
-                    report: Some(report),
-                });
+                    completion,
+                    peak_memory_mb,
+                    None,
+                    Some(report),
+                ));
             } else {
                 let mut flight = flight;
                 let total_local = flight.stepper.makespan_ms();
                 let completion = epoch + total_local;
                 tracker.sample(completion);
                 flight.stepper.release_remaining(&mut tracker, completion)?;
-                let peak_bytes = tracker.trace().samples()[flight.trace_start..]
+                let peak_bytes = tracker.trace().samples()[flight.meta.trace_start..]
                     .iter()
                     .map(|s| s.bytes)
                     .max()
                     .unwrap_or(0);
-                decrement(&mut tenant_bytes, &flight.tenant, flight.estimate_bytes);
+                decrement(
+                    &mut tenant_bytes,
+                    &flight.meta.tenant,
+                    flight.meta.estimate_bytes,
+                );
                 makespan = makespan.max(completion);
-                outcomes.push(RequestOutcome {
-                    seq: flight.seq,
-                    model: flight.abbr,
-                    tenant: flight.tenant,
-                    priority: flight.priority,
-                    device: device.name.clone(),
+                outcomes.push(flight.meta.into_outcome(
+                    &device.name,
                     device_index,
-                    arrival_ms: flight.arrival_ms,
-                    start_ms: flight.start_ms,
-                    completion_ms: completion,
-                    queue_wait_ms: (flight.start_ms - flight.arrival_ms).max(0.0),
-                    latency_ms: (completion - flight.arrival_ms).max(0.0),
-                    cache_hit: flight.cache_hit,
-                    peak_memory_mb: peak_bytes as f64 / MIB,
-                    error: None,
-                    report: None,
-                });
+                    completion,
+                    peak_bytes as f64 / MIB,
+                    None,
+                    None,
+                ));
             }
         }
 
@@ -596,6 +797,138 @@ impl ServeEngine {
         };
         Ok((outcomes, report))
     }
+
+    /// Preemption phase of the device loop: while every slot is busy and an
+    /// arrived (or previously suspended) request strictly outranks the
+    /// lowest-priority in-flight inference, suspend that inference at its
+    /// next command boundary and evict its residency. Candidates that could
+    /// not actually use the freed slot — a suspended request whose residency
+    /// would still not fit, or a pending request its tenant cap would defer —
+    /// never trigger a preemption, so the loop cannot thrash.
+    #[allow(clippy::too_many_arguments)]
+    fn preempt_outranked(
+        &self,
+        engine: &FlashMem,
+        device: &DeviceSpec,
+        slots: usize,
+        epoch: f64,
+        clocks: &QueueClocks,
+        tracker: &mut MemoryTracker,
+        pending: &[(usize, &ServeRequest)],
+        tenant_bytes: &HashMap<String, u64>,
+        estimate_memo: &mut HashMap<usize, u64>,
+        in_flight: &mut Vec<InFlight>,
+        suspended: &mut Vec<Suspended>,
+    ) -> SimResult<()> {
+        while in_flight.len() >= slots && !in_flight.is_empty() {
+            let now = epoch
+                + in_flight
+                    .iter()
+                    .filter_map(|f| f.stepper.peek_start_ms(clocks))
+                    .fold(f64::INFINITY, f64::min);
+            if !now.is_finite() {
+                return Ok(());
+            }
+            // Victim: lowest priority; ties go to the most recently admitted,
+            // so older work keeps its progress.
+            let mut victim_idx = 0;
+            for (i, flight) in in_flight.iter().enumerate().skip(1) {
+                let v = &in_flight[victim_idx];
+                if (flight.meta.priority, std::cmp::Reverse(flight.meta.order))
+                    < (v.meta.priority, std::cmp::Reverse(v.meta.order))
+                {
+                    victim_idx = i;
+                }
+            }
+            let victim_priority = in_flight[victim_idx].meta.priority;
+            let (victim_unified, victim_texture) =
+                in_flight[victim_idx].stepper.resident_split(tracker);
+
+            let mut candidates = arrived_candidates(pending, suspended, now);
+
+            let mut trigger = false;
+            while !candidates.is_empty() {
+                let choice = self.policy.pick(&candidates).min(candidates.len() - 1);
+                let cand = candidates[choice];
+                if cand.priority <= victim_priority {
+                    // The policy's best remaining candidate cannot outrank
+                    // the victim, so nothing can.
+                    break;
+                }
+                if let Some(pos) = suspended.iter().position(|s| s.meta.seq == cand.seq) {
+                    // Only preempt for a suspended request whose residency
+                    // fits once the victim is evicted.
+                    let (need_unified, need_texture) = suspended[pos].suspension.evicted_split();
+                    let headroom = tracker.budget().saturating_sub(tracker.total_in_use());
+                    let fits = need_unified <= tracker.unified().available() + victim_unified
+                        && need_texture <= tracker.texture().available() + victim_texture
+                        && need_unified + need_texture
+                            <= headroom + victim_unified + victim_texture;
+                    if !fits {
+                        candidates.remove(choice);
+                        continue;
+                    }
+                } else {
+                    // Only preempt for a pending request its tenant cap
+                    // would actually let in.
+                    let request = pending
+                        .iter()
+                        .find(|(seq, _)| *seq == cand.seq)
+                        .map(|(_, r)| *r)
+                        .expect("candidate is pending");
+                    if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
+                        // Memoized per request: this phase runs at every
+                        // command boundary, and repeated cache probes would
+                        // inflate the plan-cache hit counters.
+                        let estimate = match estimate_memo.get(&cand.seq) {
+                            Some(&estimate) => estimate,
+                            None => match self.cache.compile(engine, &request.model, device) {
+                                Ok((artifact, _)) => {
+                                    let estimate =
+                                        estimate_resident_bytes(&artifact, &request.model);
+                                    estimate_memo.insert(cand.seq, estimate);
+                                    estimate
+                                }
+                                Err(_) => {
+                                    // Compilation failures surface at
+                                    // admission.
+                                    candidates.remove(choice);
+                                    continue;
+                                }
+                            },
+                        };
+                        let used = tenant_bytes.get(&request.tenant).copied().unwrap_or(0);
+                        if used.saturating_add(estimate) > cap {
+                            candidates.remove(choice);
+                            continue;
+                        }
+                    }
+                }
+                trigger = true;
+                break;
+            }
+            if !trigger {
+                return Ok(());
+            }
+
+            // Suspend the victim at its current command boundary: commands it
+            // already issued drain, no new ones are issued, and its resident
+            // memory is evicted for the higher-priority work.
+            let flight = in_flight.remove(victim_idx);
+            let local_now = (now - epoch).max(flight.stepper.makespan_ms());
+            let mut meta = flight.meta;
+            meta.preemptions += 1;
+            let suspension = flight
+                .stepper
+                .suspend_evicting(clocks, tracker, local_now, epoch)?;
+            suspended.push(Suspended {
+                meta,
+                suspended_at_ms: epoch + local_now,
+                suspension,
+            });
+        }
+        Ok(())
+    }
 }
 
 fn decrement(tenant_bytes: &mut HashMap<String, u64>, tenant: &str, bytes: u64) {
@@ -613,6 +946,7 @@ impl std::fmt::Debug for ServeEngine {
             )
             .field("policy", &self.policy.name())
             .field("tenant_caps", &self.tenant_caps)
+            .field("tenant_slos", &self.tenant_slos)
             .finish()
     }
 }
@@ -620,7 +954,7 @@ impl std::fmt::Debug for ServeEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::PriorityPolicy;
+    use crate::policy::{PreemptivePriorityPolicy, PriorityPolicy};
     use flashmem_graph::ModelZoo;
 
     fn requests(n: usize) -> Vec<ServeRequest> {
@@ -657,6 +991,10 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         assert!(report.devices[0].compute_busy_fraction > 0.0);
         assert!(report.devices[0].transfer_busy_fraction > 0.0);
+        // Non-preemptive: nothing was suspended, SLOs vacuously attained.
+        assert_eq!(report.preemptions, 0);
+        assert_eq!(report.slo.tracked, 0);
+        assert_eq!(report.slo.attainment(), 1.0);
     }
 
     #[test]
@@ -723,5 +1061,60 @@ mod tests {
         let report = engine.run(&[]).unwrap();
         assert!(report.outcomes.is_empty());
         assert_eq!(report.makespan_ms(), 0.0);
+    }
+
+    #[test]
+    fn tenant_slo_sets_effective_deadlines() {
+        let engine = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        )
+        .with_tenant_slo("tenant-0", 1e9);
+        let report = engine.run(&requests(2)).unwrap();
+        // tenant-0's request inherits the tenant default; tenant-1's has none.
+        let t0 = report.outcomes.iter().find(|o| o.tenant == "tenant-0");
+        let t1 = report.outcomes.iter().find(|o| o.tenant == "tenant-1");
+        assert_eq!(t0.unwrap().deadline_ms, Some(1e9));
+        assert_eq!(t1.unwrap().deadline_ms, None);
+        assert_eq!(report.slo.tracked, 1);
+        assert_eq!(report.slo.met, 1);
+        // A request-level deadline overrides the tenant default.
+        let reqs = vec![ServeRequest::new(ModelZoo::vit(), "tenant-0").with_deadline_ms(0.5)];
+        let engine = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        )
+        .with_tenant_slo("tenant-0", 1e9);
+        let report = engine.run(&reqs).unwrap();
+        assert_eq!(report.outcomes[0].deadline_ms, Some(0.5));
+        assert_eq!(report.slo.missed(), 1);
+    }
+
+    #[test]
+    fn preemptive_policy_suspends_low_priority_work() {
+        // A long low-priority inference arrives first; a high-priority one
+        // arrives while it runs. Under the preemptive policy the later
+        // arrival must preempt (preemption count > 0) and every request must
+        // still complete.
+        let reqs = vec![
+            ServeRequest::new(ModelZoo::gptneo_small(), "background").with_priority(0),
+            ServeRequest::new(ModelZoo::vit(), "camera")
+                .with_priority(5)
+                .with_arrival_ms(50.0),
+        ];
+        let report = ServeEngine::new(
+            vec![DeviceSpec::oneplus_12()],
+            FlashMemConfig::memory_priority(),
+        )
+        .with_policy(Box::new(PreemptivePriorityPolicy::new()))
+        .run(&reqs)
+        .unwrap();
+        assert_eq!(report.completed(), 2, "{report}");
+        assert!(report.preemptions > 0, "{report}");
+        let background = &report.outcomes[0];
+        assert!(background.preemptions > 0);
+        assert!(background.suspended_ms > 0.0);
+        // The preempted request pays for re-residency.
+        assert!(background.resume_penalty_ms > 0.0);
     }
 }

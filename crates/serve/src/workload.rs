@@ -112,6 +112,7 @@ impl WorkloadSpec {
                 tenant,
                 priority,
                 arrival_ms: arrival,
+                deadline_ms: None,
             });
         }
         requests

@@ -1,7 +1,8 @@
 //! Multi-tenant serving: bursty traffic from several apps lands on a small
-//! fleet of simulated devices; the scheduler time-shares each device's dual
-//! command queues across in-flight inferences, priority requests jump the
-//! queue, and the plan cache skips repeated LC-OPG solves.
+//! fleet of simulated devices; the preemptive scheduler time-shares each
+//! device's dual command queues, suspends long low-priority inferences when
+//! latency-critical work arrives, and reports SLO attainment against
+//! per-tenant deadlines. The plan cache skips repeated LC-OPG solves.
 //!
 //! ```bash
 //! cargo run --release --example serving
@@ -11,16 +12,22 @@ use flashmem::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two devices, shared by three tenants; the camera app is latency
-    // critical and gets priority 2.
+    // critical (priority 2, tight deadline), the indexer runs best-effort
+    // under a memory cap and a loose deadline.
     let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()];
     let engine = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
-        .with_policy(Box::new(PriorityPolicy::with_max_in_flight(2)))
-        .with_tenant_cap("background-indexer", 1_536 * 1024 * 1024);
+        .with_policy(Box::new(
+            PreemptivePriorityPolicy::new().with_cost(PreemptionCost::reload()),
+        ))
+        .with_tenant_cap("tenant-2", 1_536 * 1024 * 1024)
+        .with_tenant_slo("tenant-0", 800.0)
+        .with_tenant_slo("tenant-1", 2_500.0)
+        .with_tenant_slo("tenant-2", 6_000.0);
 
     let workload = WorkloadSpec {
         pattern: ArrivalPattern::Bursty {
             burst_size: 3,
-            gap_ms: 1_500.0,
+            gap_ms: 400.0,
         },
         requests: 9,
         tenants: 3,
@@ -31,18 +38,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = engine.run(&requests)?;
     println!("{report}\n");
+    println!(
+        "SLO attainment: {:.0}% ({}/{} deadlines met, {} preemptions)\n",
+        100.0 * report.slo.attainment(),
+        report.slo.met,
+        report.slo.tracked,
+        report.preemptions,
+    );
 
     println!("per-request outcomes:");
     for o in &report.outcomes {
+        let slo = match o.slo_met() {
+            Some(true) => " [SLO met]",
+            Some(false) => " [SLO missed]",
+            None => "",
+        };
         println!(
-            "  #{:<2} {:<8} prio {} on {:<12} wait {:>6.0} ms, latency {:>7.0} ms{}",
+            "  #{:<2} {:<8} prio {} on {:<12} wait {:>6.0} ms, latency {:>7.0} ms, \
+             preempted {}x{}{}",
             o.seq,
             o.model,
             o.priority,
             o.device,
             o.queue_wait_ms,
             o.latency_ms,
+            o.preemptions,
             if o.cache_hit { " (plan cache hit)" } else { "" },
+            slo,
         );
     }
     Ok(())

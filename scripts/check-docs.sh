@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fail CI when docs/ARCHITECTURE.md references a workspace path that no
+# longer exists (crates get renamed, files move), or when the README stops
+# linking the architecture doc. Run from the repository root.
+set -euo pipefail
+
+doc="docs/ARCHITECTURE.md"
+fail=0
+
+if [ ! -f "$doc" ]; then
+    echo "missing $doc"
+    exit 1
+fi
+
+# Every backtick-quoted repository path mentioned in the doc must exist.
+paths=$(grep -oE '`(crates|src|vendor|examples|tests|docs)(/[A-Za-z0-9_.-]+)*`' "$doc" \
+    | tr -d '`' | sort -u)
+for path in $paths; do
+    if [ ! -e "$path" ]; then
+        echo "dangling path reference in $doc: $path"
+        fail=1
+    fi
+done
+
+if ! grep -q 'docs/ARCHITECTURE.md' README.md; then
+    echo "README.md does not link docs/ARCHITECTURE.md"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    count=$(printf '%s\n' "$paths" | sed '/^$/d' | wc -l)
+    echo "check-docs: $count path references in $doc all resolve"
+fi
+exit "$fail"

@@ -21,8 +21,11 @@
 //! * [`baselines`] — simulated baseline frameworks (MNN, NCNN, TVM, LiteRT,
 //!   ExecuTorch, SmartMem) and naive overlap strategies.
 //! * [`serve`] — the multi-tenant serving layer: a dual-queue event loop,
-//!   FIFO/priority/affinity scheduling over a device fleet, per-tenant
-//!   memory caps and the plan cache.
+//!   FIFO/priority/affinity/preemptive scheduling over a device fleet,
+//!   per-tenant memory caps, SLO deadlines and the plan cache.
+//!
+//! A crate-by-crate walkthrough of how these layers fit together lives in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -67,8 +70,9 @@ pub mod prelude {
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};
     pub use flashmem_profiler::{CapacityProfiler, LoadCapacity, OperatorClass};
     pub use flashmem_serve::{
-        AffinityPolicy, ArrivalPattern, FifoPolicy, MultiModelRunner, PriorityPolicy, ServeEngine,
-        ServeRequest, WorkloadSpec,
+        AffinityPolicy, ArrivalPattern, FifoPolicy, MultiModelRunner, PreemptionCost,
+        PreemptivePriorityPolicy, PriorityPolicy, ServeEngine, ServeRequest, SloSummary,
+        WorkloadSpec,
     };
     pub use flashmem_solver::{CpModel, CpSolver, SolveStatus};
 }
