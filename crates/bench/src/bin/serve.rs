@@ -1,7 +1,9 @@
 //! The multi-tenant serving benchmark: arrival patterns × scheduling
-//! policies (FIFO, priority, affinity, preemptive) × fleet sizes, reporting
-//! p50/p95/p99 latency (overall and per priority), SLO attainment,
-//! preemption counts, queue busy fractions and plan-cache hit rates.
+//! policies (FIFO, priority, affinity, preemptive, EDF, least-laxity,
+//! deadline-preemptive) × fleet sizes, reporting p50/p95/p99 latency
+//! (overall and per priority), SLO attainment with per-cause deadline-miss
+//! counts, mean admission laxity, preemption counts, queue busy fractions
+//! and plan-cache hit rates.
 //!
 //! Usage: `cargo run --release -p flashmem-bench --bin serve [-- --quick] [--json PATH]`
 //! The `--quick` flag runs the small smoke sweep (CI's serve-smoke step);

@@ -110,6 +110,65 @@ mod tests {
     }
 
     #[test]
+    fn zero_makespan_timeline_reports_zero_energy() {
+        // Not just the empty timeline: instantaneous (zero-duration) events
+        // span no wall-clock time, so no energy can have been drawn.
+        let m = PowerModel::new(DeviceSpec::oneplus_12());
+        let mut tl = Timeline::new();
+        tl.push(event(EventKind::Kernel, 0.0, 0.0));
+        tl.push(event(EventKind::Transfer, 0.0, 0.0));
+        let r = m.report(&tl);
+        assert_eq!(r.duration_ms, 0.0);
+        assert_eq!(r.energy_j, 0.0);
+        assert_eq!(r.sm_utilization, 0.0);
+        assert_eq!(r.transfer_utilization, 0.0);
+        assert_eq!(r.average_power_w, m.device().idle_power_w);
+    }
+
+    #[test]
+    fn energy_is_additive_across_any_command_boundary_split() {
+        // A gapless serial timeline split at any command boundary must obey
+        // E(full) = E(prefix) + E(suffix-rebased-to-zero): energy is a time
+        // integral, so cutting the integration interval cannot create or
+        // destroy joules. This is the property fleet-level accounting relies
+        // on when summing per-request segments into device totals.
+        let m = PowerModel::new(DeviceSpec::oneplus_12());
+        let segments = [
+            (EventKind::Transfer, 0.0, 100.0),
+            (EventKind::Kernel, 100.0, 250.0),
+            (EventKind::Transform, 250.0, 300.0),
+            (EventKind::Kernel, 300.0, 420.0),
+            (EventKind::Transfer, 420.0, 500.0),
+        ];
+        let mut full = Timeline::new();
+        for &(kind, start, end) in &segments {
+            full.push(event(kind, start, end));
+        }
+        let total = m.report(&full).energy_j;
+        assert!(total > 0.0);
+
+        let boundaries: Vec<f64> = segments.iter().map(|&(_, _, end)| end).collect();
+        for &cut in &boundaries {
+            let mut prefix = Timeline::new();
+            let mut suffix = Timeline::new();
+            for &(kind, start, end) in &segments {
+                if end <= cut {
+                    prefix.push(event(kind, start, end));
+                } else {
+                    // Re-base the suffix so its makespan covers only its own
+                    // wall-clock span.
+                    suffix.push(event(kind, start - cut, end - cut));
+                }
+            }
+            let split = m.report(&prefix).energy_j + m.report(&suffix).energy_j;
+            assert!(
+                (split - total).abs() < 1e-9 * total,
+                "split at {cut} ms: {split} J vs {total} J"
+            );
+        }
+    }
+
+    #[test]
     fn busy_sms_raise_power_above_idle() {
         let m = PowerModel::new(DeviceSpec::oneplus_12());
         let mut tl = Timeline::new();

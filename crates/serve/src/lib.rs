@@ -17,7 +17,8 @@
 //! * [`request`] — [`ServeRequest`], the unit of admission (model, tenant,
 //!   priority, arrival time, optional SLO deadline).
 //! * [`policy`] — the [`SchedulePolicy`] trait plus the FIFO, priority,
-//!   device-affinity and preemptive-priority policies.
+//!   device-affinity, preemptive-priority and deadline-aware (EDF,
+//!   least-laxity, deadline-triggered preemption) policies.
 //! * [`server`] — the [`ServeEngine`] event loop with per-tenant memory caps
 //!   and SLO defaults, fronted by the shared
 //!   [`ArtifactCache`](flashmem_core::ArtifactCache).
@@ -43,6 +44,20 @@
 //! per-tenant default via [`ServeEngine::with_tenant_slo`]); the report
 //! tallies attainment in [`SloSummary`] and breaks latency percentiles down
 //! per priority level in [`PriorityLatency`].
+//!
+//! ## Deadline-aware scheduling
+//!
+//! Beyond static priority, three policies order work by *urgency*:
+//! [`EdfPolicy`] admits the earliest absolute deadline first;
+//! [`LeastLaxityPolicy`] admits the smallest **laxity** first, where
+//! `laxity = deadline − now − estimated_remaining_service` and the estimate
+//! is the compiled plan's uncontended stream makespan
+//! ([`server::predicted_service_ms`]); and [`DeadlinePreemptivePolicy`]
+//! additionally suspends a running inference when an arrival's laxity would
+//! go negative waiting for it while the victim stays slack. Every decision
+//! receives a [`PolicyContext`] with the simulated clock, and the report
+//! attributes each deadline miss to a [`metrics::MissCause`] (queueing,
+//! execution, preemption or failure).
 //!
 //! ## Example
 //!
@@ -80,11 +95,13 @@ pub mod workload;
 
 pub use flashmem_gpu_sim::engine::PreemptionCost;
 pub use metrics::{
-    DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
+    DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome, ServeReport,
+    SloSummary,
 };
 pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
 pub use policy::{
-    AffinityPolicy, FifoPolicy, PendingEntry, PreemptivePriorityPolicy, PriorityPolicy,
+    AffinityPolicy, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy, InFlightEntry,
+    LeastLaxityPolicy, PendingEntry, PolicyContext, PreemptivePriorityPolicy, PriorityPolicy,
     SchedulePolicy,
 };
 pub use request::ServeRequest;

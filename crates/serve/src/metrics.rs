@@ -15,7 +15,9 @@
 //! * [`PriorityLatency`] — the same latency summary broken down per priority
 //!   level, which is how a preemptive policy's tail-latency shift becomes
 //!   visible (high priorities tighten, low priorities pay).
-//! * [`SloSummary`] — attainment over the requests that carried a deadline.
+//! * [`SloSummary`] — attainment over the requests that carried a deadline,
+//!   with every miss attributed to a [`MissCause`] (queueing, execution,
+//!   preemption or outright failure).
 
 use flashmem_core::cache::CacheStats;
 use flashmem_core::ExecutionReport;
@@ -50,6 +52,20 @@ pub struct RequestOutcome {
     /// The request's effective SLO deadline as a relative latency budget
     /// (from the request itself or the tenant default), if any.
     pub deadline_ms: Option<f64>,
+    /// Laxity at admission time: absolute deadline minus admission time
+    /// minus the predicted service time, for deadline-carrying requests.
+    /// Positive means the scheduler admitted it with slack to spare;
+    /// negative means it was already predicted to miss when it started.
+    /// Under policies that do not request service-time estimates
+    /// ([`SchedulePolicy::uses_estimates`](crate::SchedulePolicy::uses_estimates))
+    /// the predicted service time is zero and this is simply the time to
+    /// deadline at admission.
+    pub admission_laxity_ms: Option<f64>,
+    /// Estimated resident bytes reserved for this request by admission
+    /// control — the quantity per-tenant memory caps are charged against
+    /// while the request is in flight (zero for requests that failed before
+    /// admission).
+    pub resident_estimate_bytes: u64,
     /// How many times a preemptive policy suspended this request to make
     /// room for higher-priority work.
     pub preemptions: usize,
@@ -88,6 +104,55 @@ impl RequestOutcome {
         self.deadline_ms
             .map(|deadline| self.succeeded() && self.latency_ms <= deadline + 1e-9)
     }
+
+    /// Final slack against the deadline: `deadline − latency`, for
+    /// deadline-carrying requests. Positive = met with that much room,
+    /// negative = missed by that much.
+    pub fn slack_ms(&self) -> Option<f64> {
+        self.deadline_ms.map(|deadline| deadline - self.latency_ms)
+    }
+
+    /// Why this request missed its deadline, or `None` when it carried no
+    /// deadline or met it. Causes are tested in order of specificity:
+    /// failure first, then time lost to preemption, then admission
+    /// queueing, and only when the service time alone blew the budget is
+    /// the miss blamed on execution.
+    pub fn miss_cause(&self) -> Option<MissCause> {
+        if self.slo_met() != Some(false) {
+            return None;
+        }
+        let deadline = self.deadline_ms.expect("a missed SLO implies a deadline");
+        let preempted_ms = self.suspended_ms + self.resume_penalty_ms;
+        Some(if !self.succeeded() {
+            MissCause::Failed
+        } else if preempted_ms > 0.0 && self.latency_ms - preempted_ms <= deadline + 1e-9 {
+            MissCause::Preemption
+        } else if self.latency_ms - self.queue_wait_ms <= deadline + 1e-9 {
+            MissCause::QueueWait
+        } else {
+            MissCause::Execution
+        })
+    }
+}
+
+/// Why a deadline-carrying request missed its SLO — the breakdown that tells
+/// an operator whether to buy devices (queueing), pick a different plan
+/// (execution), or tune the preemption trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCause {
+    /// The request failed outright (out-of-memory, tenant cap smaller than
+    /// the model, unrecoverable resume).
+    Failed,
+    /// It would have met its deadline without the time it spent suspended
+    /// (plus re-residency penalties) — the cost a preemptive policy shifted
+    /// onto this request.
+    Preemption,
+    /// Its service time fit the budget but admission queueing consumed the
+    /// slack — the fleet was oversubscribed or the policy ordered it late.
+    QueueWait,
+    /// Execution alone exceeded the budget: no admission order could have
+    /// met this deadline on this device.
+    Execution,
 }
 
 /// Utilization summary of one device of the fleet.
@@ -202,7 +267,8 @@ impl PriorityLatency {
     }
 }
 
-/// SLO attainment over the requests that carried a deadline.
+/// SLO attainment over the requests that carried a deadline, with every
+/// miss attributed to a [`MissCause`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SloSummary {
     /// Requests with an effective deadline (request-level or tenant
@@ -210,6 +276,15 @@ pub struct SloSummary {
     pub tracked: usize,
     /// Requests that completed within their deadline.
     pub met: usize,
+    /// Misses blamed on admission queueing ([`MissCause::QueueWait`]).
+    pub missed_queue_wait: usize,
+    /// Misses blamed on service time alone ([`MissCause::Execution`]).
+    pub missed_execution: usize,
+    /// Misses blamed on suspension/re-residency time
+    /// ([`MissCause::Preemption`]).
+    pub missed_preemption: usize,
+    /// Misses from requests that failed outright ([`MissCause::Failed`]).
+    pub missed_failed: usize,
 }
 
 impl SloSummary {
@@ -222,6 +297,13 @@ impl SloSummary {
                 if met {
                     summary.met += 1;
                 }
+            }
+            match outcome.miss_cause() {
+                Some(MissCause::QueueWait) => summary.missed_queue_wait += 1,
+                Some(MissCause::Execution) => summary.missed_execution += 1,
+                Some(MissCause::Preemption) => summary.missed_preemption += 1,
+                Some(MissCause::Failed) => summary.missed_failed += 1,
+                None => {}
             }
         }
         summary
@@ -286,6 +368,22 @@ impl ServeReport {
             .map(|d| d.makespan_ms)
             .fold(0.0_f64, f64::max)
     }
+
+    /// Mean admission-time laxity over the deadline-carrying requests, or
+    /// 0.0 when nothing carried a deadline. Positive means the scheduler
+    /// typically admitted deadline work with slack in hand.
+    pub fn mean_admission_laxity_ms(&self) -> f64 {
+        let laxities: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.admission_laxity_ms)
+            .collect();
+        if laxities.is_empty() {
+            0.0
+        } else {
+            laxities.iter().sum::<f64>() / laxities.len() as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ServeReport {
@@ -325,6 +423,16 @@ impl std::fmt::Display for ServeReport {
                 self.preemptions,
                 if self.preemptions == 1 { "" } else { "s" }
             )?;
+            if self.slo.missed() > 0 {
+                writeln!(
+                    f,
+                    "  misses by cause: {} queueing, {} execution, {} preemption, {} failed",
+                    self.slo.missed_queue_wait,
+                    self.slo.missed_execution,
+                    self.slo.missed_preemption,
+                    self.slo.missed_failed
+                )?;
+            }
         } else if self.preemptions > 0 {
             writeln!(f, "{} preemptions (no SLO deadlines set)", self.preemptions)?;
         }
@@ -391,6 +499,8 @@ mod tests {
             queue_wait_ms: 0.0,
             latency_ms,
             deadline_ms,
+            admission_laxity_ms: None,
+            resident_estimate_bytes: 0,
             preemptions: 0,
             suspended_ms: 0.0,
             resume_penalty_ms: 0.0,
@@ -414,6 +524,9 @@ mod tests {
         assert_eq!(late.slo_met(), Some(false));
         assert_eq!(untracked.slo_met(), None);
         assert_eq!(failed.slo_met(), Some(false));
+        assert_eq!(ok.slack_ms(), Some(100.0));
+        assert_eq!(late.slack_ms(), Some(-100.0));
+        assert_eq!(untracked.slack_ms(), None);
 
         let slo = SloSummary::from_outcomes(&[ok, late, untracked, failed]);
         assert_eq!(slo.tracked, 3);
@@ -421,6 +534,65 @@ mod tests {
         assert_eq!(slo.missed(), 2);
         assert!((slo.attainment() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(SloSummary::default().attainment(), 1.0);
+    }
+
+    #[test]
+    fn miss_causes_classify_in_order_of_specificity() {
+        // Met or untracked: no cause.
+        assert_eq!(outcome(0, 100.0, Some(200.0)).miss_cause(), None);
+        assert_eq!(outcome(0, 999.0, None).miss_cause(), None);
+        // Failed beats everything.
+        let mut failed = outcome(0, 300.0, Some(200.0));
+        failed.error = Some(SimError::InvalidParameter {
+            message: "x".into(),
+        });
+        assert_eq!(failed.miss_cause(), Some(MissCause::Failed));
+        // Suspension time that alone explains the overshoot: preemption.
+        let mut preempted = outcome(0, 300.0, Some(200.0));
+        preempted.suspended_ms = 120.0;
+        preempted.resume_penalty_ms = 30.0;
+        assert_eq!(preempted.miss_cause(), Some(MissCause::Preemption));
+        // Queueing that alone explains the overshoot: queue wait.
+        let mut queued = outcome(0, 300.0, Some(200.0));
+        queued.queue_wait_ms = 250.0;
+        assert_eq!(queued.miss_cause(), Some(MissCause::QueueWait));
+        // Neither: the service time itself blew the budget.
+        let slow = outcome(0, 300.0, Some(200.0));
+        assert_eq!(slow.miss_cause(), Some(MissCause::Execution));
+        // Suspension too small to explain the miss falls through to the
+        // next cause.
+        let mut barely_preempted = outcome(0, 300.0, Some(200.0));
+        barely_preempted.suspended_ms = 10.0;
+        assert_eq!(barely_preempted.miss_cause(), Some(MissCause::Execution));
+    }
+
+    #[test]
+    fn slo_summary_attributes_every_miss_to_exactly_one_cause() {
+        let ok = outcome(0, 100.0, Some(200.0));
+        let slow = outcome(0, 300.0, Some(200.0));
+        let mut queued = outcome(0, 300.0, Some(200.0));
+        queued.queue_wait_ms = 250.0;
+        let mut preempted = outcome(0, 300.0, Some(200.0));
+        preempted.suspended_ms = 150.0;
+        let mut failed = outcome(0, 50.0, Some(200.0));
+        failed.error = Some(SimError::InvalidParameter {
+            message: "x".into(),
+        });
+        let slo = SloSummary::from_outcomes(&[ok, slow, queued, preempted, failed]);
+        assert_eq!(slo.tracked, 5);
+        assert_eq!(slo.met, 1);
+        assert_eq!(slo.missed(), 4);
+        assert_eq!(slo.missed_execution, 1);
+        assert_eq!(slo.missed_queue_wait, 1);
+        assert_eq!(slo.missed_preemption, 1);
+        assert_eq!(slo.missed_failed, 1);
+        assert_eq!(
+            slo.missed_queue_wait
+                + slo.missed_execution
+                + slo.missed_preemption
+                + slo.missed_failed,
+            slo.missed()
+        );
     }
 
     #[test]

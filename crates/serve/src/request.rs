@@ -64,6 +64,16 @@ impl ServeRequest {
         self.deadline_ms = Some(deadline_ms.max(0.0));
         self
     }
+
+    /// The request's own absolute deadline on the simulated clock
+    /// (`arrival + deadline`), if it carries one. This only covers the
+    /// request-level budget: tenant-default SLOs
+    /// ([`ServeEngine::with_tenant_slo`](crate::ServeEngine::with_tenant_slo))
+    /// are folded in by the engine, which feeds the resulting absolute
+    /// instant to the deadline-aware policies.
+    pub fn absolute_deadline_ms(&self) -> Option<f64> {
+        self.deadline_ms.map(|d| self.arrival_ms + d)
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +98,13 @@ mod tests {
         assert_eq!(r.deadline_ms, Some(0.0));
         let r = r.with_deadline_ms(500.0);
         assert_eq!(r.deadline_ms, Some(500.0));
+    }
+
+    #[test]
+    fn absolute_deadline_is_arrival_plus_budget() {
+        let r = ServeRequest::new(ModelZoo::vit(), "a");
+        assert_eq!(r.absolute_deadline_ms(), None);
+        let r = r.with_arrival_ms(250.0).with_deadline_ms(500.0);
+        assert_eq!(r.absolute_deadline_ms(), Some(750.0));
     }
 }

@@ -68,7 +68,7 @@ use flashmem_profiler::LoweringOptions;
 use crate::metrics::{
     DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
 };
-use crate::policy::{FifoPolicy, PendingEntry, SchedulePolicy};
+use crate::policy::{FifoPolicy, InFlightEntry, PendingEntry, PolicyContext, SchedulePolicy};
 use crate::request::ServeRequest;
 
 const MIB: f64 = 1024.0 * 1024.0;
@@ -130,6 +130,39 @@ pub fn estimate_resident_bytes(artifact: &CompiledArtifact, model: &ModelSpec) -
     }
 }
 
+/// Predicted uncontended service time of a compiled artifact on `device`:
+/// the makespan of stepping its lowered command stream alone against idle
+/// queues and an empty tracker. This is what laxity-driven policies
+/// ([`LeastLaxityPolicy`](crate::LeastLaxityPolicy),
+/// [`DeadlinePreemptivePolicy`](crate::DeadlinePreemptivePolicy)) use as the
+/// estimated remaining service time of a request that has not started yet;
+/// the engine computes it once per distinct model per device and scales it
+/// by the remaining command fraction for partially executed streams.
+///
+/// Returns 0.0 for a stream that fails validation, and the makespan reached
+/// so far if stepping fails mid-stream (e.g. the model alone exceeds the
+/// device budget — admission will surface that as its own failure).
+pub fn predicted_service_ms(
+    artifact: &CompiledArtifact,
+    model: &ModelSpec,
+    device: &DeviceSpec,
+    config: &FlashMemConfig,
+) -> f64 {
+    let stream = lower_artifact(artifact, model, device, config);
+    let sim = GpuSimulator::new(device.clone(), SimConfig::default());
+    let mut tracker = MemoryTracker::for_device(device);
+    let mut clocks = QueueClocks::new();
+    let Ok(mut stepper) = StreamStepper::new(stream) else {
+        return 0.0;
+    };
+    while !stepper.is_done() {
+        if stepper.step(&sim, &mut clocks, &mut tracker, 0.0).is_err() {
+            break;
+        }
+    }
+    stepper.makespan_ms()
+}
+
 fn plan_resident_bytes(weights: &[flashmem_core::WeightSchedule]) -> u64 {
     let preloaded: u64 = weights
         .iter()
@@ -154,6 +187,8 @@ fn arrived_candidates(
     pending: &[(usize, &ServeRequest)],
     suspended: &[Suspended],
     now: f64,
+    deadlines: &HashMap<usize, Option<f64>>,
+    estimates: &HashMap<usize, f64>,
 ) -> Vec<PendingEntry> {
     let mut candidates: Vec<PendingEntry> = pending
         .iter()
@@ -162,12 +197,16 @@ fn arrived_candidates(
             seq: *seq,
             priority: r.priority,
             arrival_ms: r.arrival_ms,
+            deadline_ms: deadlines.get(seq).copied().flatten(),
+            estimated_remaining_ms: estimates.get(seq).copied().unwrap_or(0.0),
         })
         .collect();
     candidates.extend(suspended.iter().map(|s| PendingEntry {
         seq: s.meta.seq,
         priority: s.meta.priority,
         arrival_ms: s.meta.arrival_ms,
+        deadline_ms: s.meta.absolute_deadline_ms(),
+        estimated_remaining_ms: s.meta.estimated_remaining_ms(s.suspension.remaining()),
     }));
     candidates
 }
@@ -185,6 +224,14 @@ struct FlightMeta {
     cache_hit: bool,
     streamed_fraction: f64,
     estimate_bytes: u64,
+    /// Predicted uncontended service time of the whole stream (0.0 when the
+    /// policy does not use estimates).
+    predicted_ms: f64,
+    /// Command count of the lowered stream, for scaling `predicted_ms` to
+    /// a partially executed remainder.
+    total_commands: usize,
+    /// Laxity at admission: absolute deadline − start − predicted service.
+    admission_laxity_ms: Option<f64>,
     trace_start: usize,
     order: usize,
     preemptions: usize,
@@ -193,6 +240,21 @@ struct FlightMeta {
 }
 
 impl FlightMeta {
+    /// Absolute deadline on the device clock, if the request carries one.
+    fn absolute_deadline_ms(&self) -> Option<f64> {
+        self.deadline_ms.map(|d| self.arrival_ms + d)
+    }
+
+    /// Predicted service time still ahead of a stream with `remaining`
+    /// commands left: the whole-stream prediction scaled by the unexecuted
+    /// command fraction.
+    fn estimated_remaining_ms(&self, remaining: usize) -> f64 {
+        if self.total_commands == 0 {
+            0.0
+        } else {
+            self.predicted_ms * remaining as f64 / self.total_commands as f64
+        }
+    }
     /// Build the outcome row for this request, completing (or failing) at
     /// `completion_ms`.
     fn into_outcome(
@@ -217,6 +279,8 @@ impl FlightMeta {
             queue_wait_ms: (self.start_ms - self.arrival_ms).max(0.0),
             latency_ms: (completion_ms - self.arrival_ms).max(0.0),
             deadline_ms: self.deadline_ms,
+            admission_laxity_ms: self.admission_laxity_ms,
+            resident_estimate_bytes: self.estimate_bytes,
             preemptions: self.preemptions,
             suspended_ms: self.suspended_ms,
             resume_penalty_ms: self.penalty_ms,
@@ -406,6 +470,51 @@ impl ServeEngine {
                 .then(a.0.cmp(&b.0))
         });
 
+        // Static per-request scheduling inputs. Absolute deadlines are cheap
+        // and always resolved; service-time predictions cost one uncontended
+        // stream replay per distinct model, so they are only computed when
+        // the policy asks ([`SchedulePolicy::uses_estimates`]) and are
+        // memoized by model abbreviation (plan, device and config are fixed
+        // within one device run). Prediction compiles through the shared
+        // plan cache on purpose: the artifact is needed again at admission,
+        // and solving LC-OPG twice to keep the hit counters pristine would
+        // double the expensive part. Under estimate-using policies the
+        // admission-time compile of each model is therefore always a cache
+        // hit (the precompute paid the miss).
+        let uses_estimates = self.policy.uses_estimates();
+        let mut service_memo: HashMap<String, f64> = HashMap::new();
+        let mut deadlines: HashMap<usize, Option<f64>> = HashMap::new();
+        let mut estimates: HashMap<usize, f64> = HashMap::new();
+        for (seq, request) in &pending {
+            deadlines.insert(
+                *seq,
+                request.absolute_deadline_ms().or_else(|| {
+                    self.tenant_slos
+                        .get(&request.tenant)
+                        .map(|d| request.arrival_ms + d)
+                }),
+            );
+            let estimate = if uses_estimates {
+                *service_memo
+                    .entry(request.model.abbr.clone())
+                    .or_insert_with(|| {
+                        match self.cache.compile(&engine, &request.model, device) {
+                            Ok((artifact, _)) => predicted_service_ms(
+                                &artifact,
+                                &request.model,
+                                device,
+                                &self.config,
+                            ),
+                            // Compilation failures surface at admission.
+                            Err(_) => 0.0,
+                        }
+                    })
+            } else {
+                0.0
+            };
+            estimates.insert(*seq, estimate);
+        }
+
         let mut in_flight: Vec<InFlight> = Vec::new();
         let mut suspended: Vec<Suspended> = Vec::new();
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
@@ -440,6 +549,8 @@ impl ServeEngine {
                 queue_wait_ms: (now - request.arrival_ms).max(0.0),
                 latency_ms: (now - request.arrival_ms).max(0.0),
                 deadline_ms,
+                admission_laxity_ms: None,
+                resident_estimate_bytes: 0,
                 preemptions: 0,
                 suspended_ms: 0.0,
                 resume_penalty_ms: 0.0,
@@ -463,6 +574,8 @@ impl ServeEngine {
                     &pending,
                     &tenant_bytes,
                     &mut estimate_memo,
+                    &deadlines,
+                    &estimates,
                     &mut in_flight,
                     &mut suspended,
                 )?;
@@ -496,9 +609,14 @@ impl ServeEngine {
                             .filter_map(|f| f.stepper.peek_start_ms(&clocks))
                             .fold(f64::INFINITY, f64::min)
                 };
-                let mut candidates = arrived_candidates(&pending, &suspended, now);
+                let mut candidates =
+                    arrived_candidates(&pending, &suspended, now, &deadlines, &estimates);
+                let ctx = PolicyContext::at(now);
                 while !candidates.is_empty() {
-                    let choice = self.policy.pick(&candidates).min(candidates.len() - 1);
+                    let choice = self
+                        .policy
+                        .pick(&candidates, &ctx)
+                        .min(candidates.len() - 1);
                     let chosen_seq = candidates[choice].seq;
 
                     if let Some(pos) = suspended.iter().position(|s| s.meta.seq == chosen_seq) {
@@ -601,12 +719,20 @@ impl ServeEngine {
 
                     pending.remove(position);
                     let stream = lower_artifact(&artifact, &request.model, device, &self.config);
+                    let total_commands = stream.len();
                     let floor = (request.arrival_ms - epoch).max(0.0);
                     let stepper = StreamStepper::new(stream)?.with_floor_ms(floor);
                     if exclusive {
                         tracker.reset_trace();
                     }
                     *tenant_bytes.entry(request.tenant.clone()).or_insert(0) += estimate;
+                    let predicted_ms = estimates.get(&seq).copied().unwrap_or(0.0);
+                    let start_ms = now.max(request.arrival_ms);
+                    let admission_laxity_ms = deadlines
+                        .get(&seq)
+                        .copied()
+                        .flatten()
+                        .map(|deadline| deadline - start_ms - predicted_ms);
                     in_flight.push(InFlight {
                         meta: FlightMeta {
                             seq,
@@ -615,10 +741,13 @@ impl ServeEngine {
                             priority: request.priority,
                             arrival_ms: request.arrival_ms,
                             deadline_ms: self.effective_deadline(request),
-                            start_ms: now.max(request.arrival_ms),
+                            start_ms,
                             cache_hit,
                             streamed_fraction: artifact.streamed_fraction(),
                             estimate_bytes: estimate,
+                            predicted_ms,
+                            total_commands,
+                            admission_laxity_ms,
                             trace_start: tracker.trace().len(),
                             order: admit_order,
                             preemptions: 0,
@@ -799,12 +928,17 @@ impl ServeEngine {
     }
 
     /// Preemption phase of the device loop: while every slot is busy and an
-    /// arrived (or previously suspended) request strictly outranks the
-    /// lowest-priority in-flight inference, suspend that inference at its
-    /// next command boundary and evict its residency. Candidates that could
-    /// not actually use the freed slot — a suspended request whose residency
-    /// would still not fit, or a pending request its tenant cap would defer —
-    /// never trigger a preemption, so the loop cannot thrash.
+    /// arrived (or previously suspended) request
+    /// [`outranks`](SchedulePolicy::outranks) the policy's chosen
+    /// [`victim`](SchedulePolicy::victim) among the in-flight inferences,
+    /// suspend that victim at its next command boundary and evict its
+    /// residency. Under the priority policies a candidate outranks by
+    /// strictly higher priority; under the deadline-triggered policy it
+    /// outranks when its laxity would go negative waiting for the victim
+    /// while the victim stays slack. Candidates that could not actually use
+    /// the freed slot — a suspended request whose residency would still not
+    /// fit, or a pending request its tenant cap would defer — never trigger
+    /// a preemption, so the loop cannot thrash.
     #[allow(clippy::too_many_arguments)]
     fn preempt_outranked(
         &self,
@@ -817,6 +951,8 @@ impl ServeEngine {
         pending: &[(usize, &ServeRequest)],
         tenant_bytes: &HashMap<String, u64>,
         estimate_memo: &mut HashMap<usize, u64>,
+        deadlines: &HashMap<usize, Option<f64>>,
+        estimates: &HashMap<usize, f64>,
         in_flight: &mut Vec<InFlight>,
         suspended: &mut Vec<Suspended>,
     ) -> SimResult<()> {
@@ -829,31 +965,39 @@ impl ServeEngine {
             if !now.is_finite() {
                 return Ok(());
             }
-            // Victim: lowest priority; ties go to the most recently admitted,
-            // so older work keeps its progress.
-            let mut victim_idx = 0;
-            for (i, flight) in in_flight.iter().enumerate().skip(1) {
-                let v = &in_flight[victim_idx];
-                if (flight.meta.priority, std::cmp::Reverse(flight.meta.order))
-                    < (v.meta.priority, std::cmp::Reverse(v.meta.order))
-                {
-                    victim_idx = i;
-                }
-            }
-            let victim_priority = in_flight[victim_idx].meta.priority;
+            let ctx = PolicyContext::at(now);
+            let flights: Vec<InFlightEntry> = in_flight
+                .iter()
+                .map(|f| InFlightEntry {
+                    seq: f.meta.seq,
+                    priority: f.meta.priority,
+                    order: f.meta.order,
+                    deadline_ms: f.meta.absolute_deadline_ms(),
+                    estimated_remaining_ms: f.meta.estimated_remaining_ms(f.stepper.remaining()),
+                })
+                .collect();
+            let victim_idx = self.policy.victim(&flights, &ctx).min(flights.len() - 1);
+            let victim_entry = flights[victim_idx];
             let (victim_unified, victim_texture) =
                 in_flight[victim_idx].stepper.resident_split(tracker);
 
-            let mut candidates = arrived_candidates(pending, suspended, now);
+            let mut candidates = arrived_candidates(pending, suspended, now, deadlines, estimates);
 
             let mut trigger = false;
             while !candidates.is_empty() {
-                let choice = self.policy.pick(&candidates).min(candidates.len() - 1);
+                let choice = self
+                    .policy
+                    .pick(&candidates, &ctx)
+                    .min(candidates.len() - 1);
                 let cand = candidates[choice];
-                if cand.priority <= victim_priority {
-                    // The policy's best remaining candidate cannot outrank
-                    // the victim, so nothing can.
-                    break;
+                if !self.policy.outranks(&cand, &victim_entry, &ctx) {
+                    // Keep scanning in the policy's preference order: pick
+                    // order need not be monotone with outranking (under the
+                    // deadline-triggered policy the least-laxity candidate
+                    // can be too *long* to rescue while a shorter, slightly
+                    // slacker one qualifies).
+                    candidates.remove(choice);
+                    continue;
                 }
                 if let Some(pos) = suspended.iter().position(|s| s.meta.seq == cand.seq) {
                     // Only preempt for a suspended request whose residency

@@ -138,6 +138,19 @@ mod tests {
         }
     }
 
+    fn all_patterns() -> Vec<ArrivalPattern> {
+        vec![
+            ArrivalPattern::Steady { interval_ms: 50.0 },
+            ArrivalPattern::Poisson {
+                mean_interval_ms: 100.0,
+            },
+            ArrivalPattern::Bursty {
+                burst_size: 4,
+                gap_ms: 1000.0,
+            },
+        ]
+    }
+
     #[test]
     fn generation_is_deterministic_per_seed() {
         let s = spec(ArrivalPattern::Poisson {
@@ -157,6 +170,73 @@ mod tests {
             .iter()
             .zip(&other)
             .any(|(x, y)| x.arrival_ms != y.arrival_ms || x.tenant != y.tenant));
+    }
+
+    #[test]
+    fn same_seed_reproduces_arrivals_across_every_pattern() {
+        for pattern in all_patterns() {
+            let s = spec(pattern);
+            let a = s.generate(&models());
+            let b = s.generate(&models());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.arrival_ms, y.arrival_ms, "{pattern:?}");
+                assert_eq!(x.tenant, y.tenant, "{pattern:?}");
+                assert_eq!(x.priority, y.priority, "{pattern:?}");
+                assert_eq!(x.model.abbr, y.model.abbr, "{pattern:?}");
+            }
+            // Arrivals are non-negative and non-decreasing under every
+            // pattern.
+            let mut previous = 0.0;
+            for r in &a {
+                assert!(r.arrival_ms >= previous, "{pattern:?}");
+                previous = r.arrival_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_the_configured_rate() {
+        let mean_interval_ms = 120.0;
+        let n = 4000;
+        let reqs = WorkloadSpec {
+            pattern: ArrivalPattern::Poisson { mean_interval_ms },
+            requests: n,
+            tenants: 2,
+            priority_levels: 2,
+            seed: 0x00A1_1CE5,
+        }
+        .generate(&models());
+        let span = reqs.last().unwrap().arrival_ms - reqs[0].arrival_ms;
+        let mean_gap = span / (n - 1) as f64;
+        // Exponential gaps: the sample mean over 4k draws lands within 10%
+        // of the configured mean.
+        assert!(
+            (mean_gap - mean_interval_ms).abs() < 0.1 * mean_interval_ms,
+            "poisson mean gap {mean_gap} vs configured {mean_interval_ms}"
+        );
+    }
+
+    #[test]
+    fn bursty_mean_gap_matches_the_configured_rate() {
+        let (burst_size, gap_ms) = (4, 800.0);
+        let n = 4000;
+        let reqs = WorkloadSpec {
+            pattern: ArrivalPattern::Bursty { burst_size, gap_ms },
+            requests: n,
+            tenants: 2,
+            priority_levels: 2,
+            seed: 7,
+        }
+        .generate(&models());
+        let span = reqs.last().unwrap().arrival_ms - reqs[0].arrival_ms;
+        let mean_gap = span / (n - 1) as f64;
+        // A burst of k simultaneous arrivals every gap ms averages to
+        // gap / k per request.
+        let expected = gap_ms / burst_size as f64;
+        assert!(
+            (mean_gap - expected).abs() < 0.01 * expected,
+            "bursty mean gap {mean_gap} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Deadline-aware scheduling oracles:
+//!
+//! 1. **EDF rescue** — a workload where static priority provably misses a
+//!    deadline that EDF meets: a long high-priority inference and a short
+//!    low-priority one with a tight budget arrive together on one device.
+//!    Priority order serves the long one first and the tight deadline dies
+//!    in the queue; EDF serves the earlier deadline first and both SLOs
+//!    hold. EDF attainment must *strictly* beat priority attainment.
+//! 2. **Least-laxity rescue** — the same workload under least-laxity-first,
+//!    which additionally weighs predicted remaining service time.
+//! 3. **Deadline-triggered preemption** — a deadline-less blocker is
+//!    suspended only when an arrival's laxity would go negative waiting it
+//!    out, mirroring PR 3's priority-preemption SLO-rescue oracle.
+//! 4. **Accounting** — admission laxity is reported for deadline-carrying
+//!    requests and every miss carries a cause.
+
+use flashmem_core::{FlashMem, FlashMemConfig, InferenceEngine};
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::server::predicted_service_ms;
+use flashmem_serve::{
+    DeadlinePreemptivePolicy, EdfPolicy, LeastLaxityPolicy, MissCause, PriorityPolicy,
+    SchedulePolicy, ServeEngine, ServeRequest,
+};
+
+fn solo_latency_ms(model: &ModelSpec, device: &DeviceSpec, config: &FlashMemConfig) -> f64 {
+    FlashMem::new(device.clone())
+        .with_config(config.clone())
+        .run(model)
+        .expect("solo run")
+        .integrated_latency_ms
+}
+
+/// The rescue workload: `long` is high priority with a loose deadline,
+/// `short` is low priority with a budget that only fits if it runs first.
+fn rescue_requests(long_ms: f64, short_ms: f64) -> Vec<ServeRequest> {
+    let tight = short_ms + 0.25 * long_ms;
+    let loose = long_ms + short_ms + 0.3 * long_ms;
+    // Priority admits the long request first, so the short one completes no
+    // earlier than long + short — provably past its tight budget.
+    assert!(
+        long_ms + short_ms > tight,
+        "tight deadline must be unreachable behind the long request"
+    );
+    vec![
+        ServeRequest::new(ModelZoo::gptneo_small(), "background")
+            .with_priority(5)
+            .with_deadline_ms(loose),
+        ServeRequest::new(ModelZoo::vit(), "camera")
+            .with_priority(0)
+            .with_deadline_ms(tight),
+    ]
+}
+
+fn run(policy: Box<dyn SchedulePolicy>, requests: &[ServeRequest]) -> flashmem_serve::ServeReport {
+    ServeEngine::new(
+        vec![DeviceSpec::oneplus_12()],
+        FlashMemConfig::memory_priority(),
+    )
+    .with_policy(policy)
+    .run(requests)
+    .expect("run succeeds")
+}
+
+#[test]
+fn edf_rescues_the_deadline_priority_provably_misses() {
+    let device = DeviceSpec::oneplus_12();
+    let config = FlashMemConfig::memory_priority();
+    let long_ms = solo_latency_ms(&ModelZoo::gptneo_small(), &device, &config);
+    let short_ms = solo_latency_ms(&ModelZoo::vit(), &device, &config);
+    let requests = rescue_requests(long_ms, short_ms);
+
+    let priority = run(Box::new(PriorityPolicy::new()), &requests);
+    let edf = run(Box::new(EdfPolicy::new()), &requests);
+
+    // Priority: the high-priority long request wins admission, the tight
+    // deadline misses in the queue.
+    assert_eq!(priority.slo.tracked, 2);
+    assert_eq!(priority.slo.met, 1, "{priority}");
+    let missed = priority.outcomes.iter().find(|o| o.tenant == "camera");
+    assert_eq!(missed.unwrap().slo_met(), Some(false));
+    assert_eq!(missed.unwrap().miss_cause(), Some(MissCause::QueueWait));
+
+    // EDF: earliest deadline first, both met.
+    assert_eq!(edf.slo.tracked, 2);
+    assert_eq!(edf.slo.met, 2, "{edf}");
+    assert!(
+        edf.slo.attainment() > priority.slo.attainment(),
+        "EDF {} must strictly beat priority {}",
+        edf.slo.attainment(),
+        priority.slo.attainment()
+    );
+    // The rescue reorders admission, it does not preempt anything.
+    assert_eq!(edf.preemptions, 0);
+}
+
+#[test]
+fn least_laxity_rescues_the_same_workload_with_estimates() {
+    let device = DeviceSpec::oneplus_12();
+    let config = FlashMemConfig::memory_priority();
+    let long_ms = solo_latency_ms(&ModelZoo::gptneo_small(), &device, &config);
+    let short_ms = solo_latency_ms(&ModelZoo::vit(), &device, &config);
+    let requests = rescue_requests(long_ms, short_ms);
+
+    let priority = run(Box::new(PriorityPolicy::new()), &requests);
+    let llf = run(Box::new(LeastLaxityPolicy::new()), &requests);
+    assert_eq!(llf.slo.met, 2, "{llf}");
+    assert!(llf.slo.attainment() > priority.slo.attainment());
+
+    // Laxity accounting rides along: every deadline-carrying request
+    // reports its admission laxity, and under a laxity-driven policy the
+    // estimate is non-trivial, so laxity < time-to-deadline.
+    for outcome in &llf.outcomes {
+        let laxity = outcome.admission_laxity_ms.expect("deadline carried");
+        let budget = outcome.deadline_ms.expect("deadline carried");
+        assert!(
+            laxity < budget - outcome.queue_wait_ms + 1e-9,
+            "laxity {laxity} must discount predicted service from budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn predicted_service_matches_the_uncontended_run() {
+    let device = DeviceSpec::oneplus_12();
+    let config = FlashMemConfig::memory_priority();
+    for model in [ModelZoo::vit(), ModelZoo::gptneo_small()] {
+        let engine = FlashMem::new(device.clone()).with_config(config.clone());
+        let artifact = InferenceEngine::compile(&engine, &model, &device).expect("compiles");
+        let predicted = predicted_service_ms(&artifact, &model, &device, &config);
+        let solo = solo_latency_ms(&model, &device, &config);
+        assert!(
+            (predicted - solo).abs() < 1e-6 * solo.max(1.0),
+            "{}: predicted {predicted} vs solo {solo}",
+            model.abbr
+        );
+    }
+}
+
+#[test]
+fn deadline_preemption_suspends_only_negative_bound_arrivals() {
+    let device = DeviceSpec::oneplus_12();
+    let config = FlashMemConfig::memory_priority();
+    let long_ms = solo_latency_ms(&ModelZoo::gptneo_small(), &device, &config);
+    let short_ms = solo_latency_ms(&ModelZoo::vit(), &device, &config);
+
+    // A deadline-less blocker monopolizes the device; an urgent request
+    // arrives with a budget that fits its own service but not the wait.
+    let arrival = 30.0;
+    let deadline = short_ms + 0.5 * long_ms;
+    assert!(
+        deadline < long_ms - arrival + short_ms,
+        "deadline must be unreachable without preemption"
+    );
+    let requests = vec![
+        ServeRequest::new(ModelZoo::gptneo_small(), "background"),
+        ServeRequest::new(ModelZoo::vit(), "camera")
+            .with_arrival_ms(arrival)
+            .with_deadline_ms(deadline),
+    ];
+
+    // Without preemption the urgent request waits out the blocker: miss.
+    let non_preemptive = run(Box::new(LeastLaxityPolicy::new()), &requests);
+    assert_eq!(non_preemptive.slo.tracked, 1);
+    assert_eq!(non_preemptive.slo.met, 0, "{non_preemptive}");
+    assert_eq!(non_preemptive.slo.missed_queue_wait, 1);
+
+    // The deadline-triggered policy suspends the (infinitely slack,
+    // deadline-less) blocker because the arrival's laxity cannot survive
+    // waiting out its remaining service.
+    let preemptive = run(Box::new(DeadlinePreemptivePolicy::new()), &requests);
+    assert_eq!(preemptive.slo.met, 1, "{preemptive}");
+    assert!(preemptive.preemptions > 0, "{preemptive}");
+    let blocker = &preemptive.outcomes[0];
+    assert!(blocker.preemptions > 0);
+    assert!(blocker.suspended_ms > 0.0);
+    assert!(blocker.resume_penalty_ms > 0.0);
+
+    // With a comfortable budget instead, laxity never goes negative-bound
+    // and the blocker is left alone — urgency, not priority, is the trigger.
+    let relaxed = vec![
+        requests[0].clone(),
+        ServeRequest::new(ModelZoo::vit(), "camera")
+            .with_arrival_ms(arrival)
+            .with_deadline_ms(2.0 * (long_ms + short_ms)),
+    ];
+    let unbothered = run(Box::new(DeadlinePreemptivePolicy::new()), &relaxed);
+    assert_eq!(unbothered.preemptions, 0, "{unbothered}");
+    assert_eq!(unbothered.slo.met, 1);
+}

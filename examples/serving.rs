@@ -1,8 +1,10 @@
 //! Multi-tenant serving: bursty traffic from several apps lands on a small
-//! fleet of simulated devices; the preemptive scheduler time-shares each
-//! device's dual command queues, suspends long low-priority inferences when
-//! latency-critical work arrives, and reports SLO attainment against
-//! per-tenant deadlines. The plan cache skips repeated LC-OPG solves.
+//! fleet of simulated devices; the deadline-aware scheduler admits work by
+//! *laxity* (`deadline − now − estimated_remaining_service`), suspends a
+//! slack inference when an arrival's laxity would go negative waiting for
+//! it, and reports SLO attainment with every miss attributed to a cause
+//! (queueing, execution, preemption or failure). The plan cache skips
+//! repeated LC-OPG solves.
 //!
 //! ```bash
 //! cargo run --release --example serving
@@ -12,12 +14,13 @@ use flashmem::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two devices, shared by three tenants; the camera app is latency
-    // critical (priority 2, tight deadline), the indexer runs best-effort
-    // under a memory cap and a loose deadline.
+    // critical (tight deadline), the indexer runs best-effort under a
+    // memory cap and a loose deadline. Urgency comes from the deadlines —
+    // the deadline-preemptive policy ignores static priority entirely.
     let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()];
     let engine = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
         .with_policy(Box::new(
-            PreemptivePriorityPolicy::new().with_cost(PreemptionCost::reload()),
+            DeadlinePreemptivePolicy::new().with_cost(PreemptionCost::reload()),
         ))
         .with_tenant_cap("tenant-2", 1_536 * 1024 * 1024)
         .with_tenant_slo("tenant-0", 800.0)
@@ -39,29 +42,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = engine.run(&requests)?;
     println!("{report}\n");
     println!(
-        "SLO attainment: {:.0}% ({}/{} deadlines met, {} preemptions)\n",
+        "SLO attainment: {:.0}% ({}/{} deadlines met, {} preemptions, \
+         mean admission laxity {:.0} ms)\n",
         100.0 * report.slo.attainment(),
         report.slo.met,
         report.slo.tracked,
         report.preemptions,
+        report.mean_admission_laxity_ms(),
     );
 
     println!("per-request outcomes:");
     for o in &report.outcomes {
-        let slo = match o.slo_met() {
-            Some(true) => " [SLO met]",
-            Some(false) => " [SLO missed]",
-            None => "",
+        let slo = match o.miss_cause() {
+            None if o.deadline_ms.is_some() => " [SLO met]".to_string(),
+            None => String::new(),
+            Some(cause) => format!(" [SLO missed: {cause:?}]"),
         };
+        let laxity = o
+            .admission_laxity_ms
+            .map(|l| format!(", laxity {l:>6.0} ms"))
+            .unwrap_or_default();
         println!(
-            "  #{:<2} {:<8} prio {} on {:<12} wait {:>6.0} ms, latency {:>7.0} ms, \
+            "  #{:<2} {:<8} on {:<12} wait {:>6.0} ms, latency {:>7.0} ms{}, \
              preempted {}x{}{}",
             o.seq,
             o.model,
-            o.priority,
             o.device,
             o.queue_wait_ms,
             o.latency_ms,
+            laxity,
             o.preemptions,
             if o.cache_hit { " (plan cache hit)" } else { "" },
             slo,

@@ -21,8 +21,9 @@
 //! * [`baselines`] — simulated baseline frameworks (MNN, NCNN, TVM, LiteRT,
 //!   ExecuTorch, SmartMem) and naive overlap strategies.
 //! * [`serve`] — the multi-tenant serving layer: a dual-queue event loop,
-//!   FIFO/priority/affinity/preemptive scheduling over a device fleet,
-//!   per-tenant memory caps, SLO deadlines and the plan cache.
+//!   FIFO/priority/affinity/preemptive and deadline-aware (EDF,
+//!   least-laxity, deadline-triggered preemption) scheduling over a device
+//!   fleet, per-tenant memory caps, SLO deadlines and the plan cache.
 //!
 //! A crate-by-crate walkthrough of how these layers fit together lives in
 //! `docs/ARCHITECTURE.md` at the repository root.
@@ -70,7 +71,8 @@ pub mod prelude {
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};
     pub use flashmem_profiler::{CapacityProfiler, LoadCapacity, OperatorClass};
     pub use flashmem_serve::{
-        AffinityPolicy, ArrivalPattern, FifoPolicy, MultiModelRunner, PreemptionCost,
+        AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy,
+        LeastLaxityPolicy, MissCause, MultiModelRunner, PolicyContext, PreemptionCost,
         PreemptivePriorityPolicy, PriorityPolicy, ServeEngine, ServeRequest, SloSummary,
         WorkloadSpec,
     };
