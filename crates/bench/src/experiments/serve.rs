@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use flashmem_core::pool::{self, ThreadPool};
 use flashmem_core::{ArtifactCache, FlashMemConfig};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
@@ -106,8 +107,9 @@ fn patterns(quick: bool) -> Vec<ArrivalPattern> {
 }
 
 /// A named policy constructor (policies are consumed per cell, so each cell
-/// builds a fresh boxed instance).
-type PolicyFactory = Box<dyn Fn() -> Box<dyn SchedulePolicy>>;
+/// builds a fresh boxed instance — on whichever pool worker runs the cell,
+/// hence the `Send + Sync` bound).
+type PolicyFactory = Box<dyn Fn() -> Box<dyn SchedulePolicy> + Send + Sync>;
 
 fn policies() -> Vec<(&'static str, PolicyFactory)> {
     vec![
@@ -191,85 +193,99 @@ fn serving_models(quick: bool) -> Vec<ModelSpec> {
     }
 }
 
-/// Run the serving sweep.
+/// Run the serving sweep on the process-wide [`pool::global`] thread pool.
 pub fn run(quick: bool) -> ServeBench {
+    run_on(pool::global(), quick)
+}
+
+/// [`run`] on an explicit pool: each pattern × policy × fleet-size cell is
+/// one pool job (every cell owns a fresh [`ArtifactCache`] and its own
+/// seeded workload, so cells are fully independent), and the cells are
+/// reassembled in deterministic sweep order — pattern-major, then policy,
+/// then fleet size — so parallel output is byte-identical to `--threads 1`.
+pub fn run_on(pool: &ThreadPool, quick: bool) -> ServeBench {
     let models = serving_models(quick);
     let request_count = if quick { 8 } else { 32 };
-    let mut cells = Vec::new();
+    let policies = policies();
+    let mut specs: Vec<(ArrivalPattern, usize, usize)> = Vec::new();
     for pattern in patterns(quick) {
-        for (policy_name, make_policy) in policies() {
+        for policy_index in 0..policies.len() {
             for fleet_size in fleet_sizes(quick) {
-                let workload = WorkloadSpec {
-                    pattern,
-                    requests: request_count,
-                    tenants: 4,
-                    priority_levels: 3,
-                    seed: 0xF1A5_0000 + fleet_size as u64,
-                };
-                let requests = workload.generate(&models);
-                // A fresh cache per cell so the reported hit rate reflects
-                // this cell's traffic, not earlier sweep cells.
-                let cache = Arc::new(ArtifactCache::new());
-                let mut engine =
-                    ServeEngine::new(serving_fleet(fleet_size), FlashMemConfig::memory_priority())
-                        .with_policy(make_policy())
-                        .with_cache(Arc::clone(&cache));
-                for tenant in 0..workload.tenants {
-                    engine =
-                        engine.with_tenant_slo(format!("tenant-{tenant}"), tenant_slo_ms(tenant));
-                }
-                let report = engine.run(&requests).expect("serving sweep runs");
-                let fleet_len = report.devices.len() as f64;
-                cells.push(ServeCell {
-                    pattern: pattern.name().to_string(),
-                    policy: policy_name.to_string(),
-                    fleet: fleet_size,
-                    requests: report.outcomes.len(),
-                    completed: report.completed(),
-                    p50_ms: report.latency.p50_ms,
-                    p95_ms: report.latency.p95_ms,
-                    p99_ms: report.latency.p99_ms,
-                    mean_ms: report.latency.mean_ms,
-                    throughput_rps: report.throughput_rps,
-                    transfer_busy: report
-                        .devices
-                        .iter()
-                        .map(|d| d.transfer_busy_fraction)
-                        .sum::<f64>()
-                        / fleet_len,
-                    compute_busy: report
-                        .devices
-                        .iter()
-                        .map(|d| d.compute_busy_fraction)
-                        .sum::<f64>()
-                        / fleet_len,
-                    cache_hit_rate: report.cache.hit_rate(),
-                    slo_tracked: report.slo.tracked,
-                    slo_met: report.slo.met,
-                    slo_attainment: report.slo.attainment(),
-                    slo_missed_queue_wait: report.slo.missed_queue_wait,
-                    slo_missed_execution: report.slo.missed_execution,
-                    slo_missed_preemption: report.slo.missed_preemption,
-                    slo_missed_failed: report.slo.missed_failed,
-                    mean_admission_laxity_ms: report.mean_admission_laxity_ms(),
-                    preemptions: report.preemptions,
-                    per_priority: report
-                        .per_priority
-                        .iter()
-                        .map(|p| {
-                            (
-                                p.priority,
-                                p.completed,
-                                p.latency.p50_ms,
-                                p.latency.p95_ms,
-                                p.latency.p99_ms,
-                            )
-                        })
-                        .collect(),
-                });
+                specs.push((pattern, policy_index, fleet_size));
             }
         }
     }
+    let cells = pool.parallel_map(specs, |(pattern, policy_index, fleet_size)| {
+        let (policy_name, make_policy) = &policies[policy_index];
+        let workload = WorkloadSpec {
+            pattern,
+            requests: request_count,
+            tenants: 4,
+            priority_levels: 3,
+            seed: 0xF1A5_0000 + fleet_size as u64,
+        };
+        let requests = workload.generate(&models);
+        // A fresh cache per cell so the reported hit rate reflects this
+        // cell's traffic, not earlier sweep cells (it also makes the cells
+        // embarrassingly parallel: no shared state, no cross-cell warmth).
+        let cache = Arc::new(ArtifactCache::new());
+        let mut engine =
+            ServeEngine::new(serving_fleet(fleet_size), FlashMemConfig::memory_priority())
+                .with_policy(make_policy())
+                .with_cache(Arc::clone(&cache));
+        for tenant in 0..workload.tenants {
+            engine = engine.with_tenant_slo(format!("tenant-{tenant}"), tenant_slo_ms(tenant));
+        }
+        let report = engine.run(&requests).expect("serving sweep runs");
+        let fleet_len = report.devices.len() as f64;
+        ServeCell {
+            pattern: pattern.name().to_string(),
+            policy: policy_name.to_string(),
+            fleet: fleet_size,
+            requests: report.outcomes.len(),
+            completed: report.completed(),
+            p50_ms: report.latency.p50_ms,
+            p95_ms: report.latency.p95_ms,
+            p99_ms: report.latency.p99_ms,
+            mean_ms: report.latency.mean_ms,
+            throughput_rps: report.throughput_rps,
+            transfer_busy: report
+                .devices
+                .iter()
+                .map(|d| d.transfer_busy_fraction)
+                .sum::<f64>()
+                / fleet_len,
+            compute_busy: report
+                .devices
+                .iter()
+                .map(|d| d.compute_busy_fraction)
+                .sum::<f64>()
+                / fleet_len,
+            cache_hit_rate: report.cache.hit_rate(),
+            slo_tracked: report.slo.tracked,
+            slo_met: report.slo.met,
+            slo_attainment: report.slo.attainment(),
+            slo_missed_queue_wait: report.slo.missed_queue_wait,
+            slo_missed_execution: report.slo.missed_execution,
+            slo_missed_preemption: report.slo.missed_preemption,
+            slo_missed_failed: report.slo.missed_failed,
+            mean_admission_laxity_ms: report.mean_admission_laxity_ms(),
+            preemptions: report.preemptions,
+            per_priority: report
+                .per_priority
+                .iter()
+                .map(|p| {
+                    (
+                        p.priority,
+                        p.completed,
+                        p.latency.p50_ms,
+                        p.latency.p95_ms,
+                        p.latency.p99_ms,
+                    )
+                })
+                .collect(),
+        }
+    });
     ServeBench { cells }
 }
 
@@ -376,10 +392,24 @@ mod tests {
 
     /// The quick sweep computed once and shared: every test below asserts
     /// on the same deterministic cells, and the sweep itself (28 cells of
-    /// cold-cache compiles) is the expensive part.
+    /// cold-cache compiles) is the expensive part. Pinned to a 1-wide pool —
+    /// the exact serial code path — so these oracles define the reference
+    /// the parallel sweep is compared against.
     fn quick_bench() -> &'static ServeBench {
         static BENCH: std::sync::OnceLock<ServeBench> = std::sync::OnceLock::new();
-        BENCH.get_or_init(|| run(true))
+        BENCH.get_or_init(|| run_on(&ThreadPool::with_threads(1), true))
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let parallel = run_on(&ThreadPool::with_threads(4), true);
+        let serial = quick_bench();
+        assert_eq!(&parallel, serial);
+        assert_eq!(
+            parallel.to_json().pretty(),
+            serial.to_json().pretty(),
+            "parallel serve sweep diverged from the serial sweep"
+        );
     }
 
     #[test]

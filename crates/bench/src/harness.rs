@@ -12,6 +12,7 @@ use std::sync::OnceLock;
 use flashmem_baselines::{baseline_registry, flashmem_engine};
 use flashmem_core::cache::{run_cached, ArtifactCache, CacheStats};
 use flashmem_core::engine::{EngineRegistry, FrameworkKind, InferenceEngine};
+use flashmem_core::pool::{self, ThreadPool};
 use flashmem_core::ExecutionReport;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::ModelSpec;
@@ -160,7 +161,8 @@ fn run_cell(
     run_cached(plan_cache(), engine, model, device).ok()
 }
 
-/// Run every registered engine on every model on every device.
+/// Run every registered engine on every model on every device, fanning the
+/// cells out on the process-wide [`pool::global`] thread pool.
 ///
 /// This is the uniform sweep behind Tables 1/7/8/9, Figures 6/7/8/9/10 and
 /// the ablation sweeps: one loop, no per-framework branches. Cells are
@@ -172,21 +174,39 @@ pub fn run_matrix(
     models: &[ModelSpec],
     devices: &[DeviceSpec],
 ) -> BenchMatrix {
-    let mut cells = Vec::with_capacity(engines.len() * models.len() * devices.len());
+    run_matrix_on(pool::global(), engines, models, devices)
+}
+
+/// [`run_matrix`] on an explicit pool. Each (engine, model, device) cell is
+/// one pool job; results are reassembled in deterministic input order
+/// (device-major, then model, then engine registration order), so the
+/// returned matrix — and its JSON — is byte-identical to a `--threads 1`
+/// serial run. The engines race on the shared [`plan_cache`], whose per-key
+/// in-flight deduplication keeps the LC-OPG solve count identical to the
+/// serial sweep's.
+pub fn run_matrix_on(
+    pool: &ThreadPool,
+    engines: &EngineRegistry,
+    models: &[ModelSpec],
+    devices: &[DeviceSpec],
+) -> BenchMatrix {
+    let mut combos: Vec<(&dyn InferenceEngine, &ModelSpec, &DeviceSpec)> =
+        Vec::with_capacity(engines.len() * models.len() * devices.len());
     for device in devices {
         for model in models {
             for engine in engines.iter() {
-                cells.push(MatrixCell {
-                    engine: engine.name(),
-                    kind: engine.kind(),
-                    model: model.abbr.clone(),
-                    device: device.name.clone(),
-                    supported: engine.supports(model),
-                    report: run_cell(engine, model, device),
-                });
+                combos.push((engine, model, device));
             }
         }
     }
+    let cells = pool.parallel_map(combos, |(engine, model, device)| MatrixCell {
+        engine: engine.name(),
+        kind: engine.kind(),
+        model: model.abbr.clone(),
+        device: device.name.clone(),
+        supported: engine.supports(model),
+        report: run_cell(engine, model, device),
+    });
     BenchMatrix { cells }
 }
 
@@ -290,6 +310,36 @@ mod tests {
         // gap, not a runtime failure).
         assert!(json.contains("\"supported\": false"));
         assert!(!json.contains("\"failed\": true"));
+    }
+
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_serial() {
+        // The acceptance bar for the parallel sweep: the full comparison
+        // registry over several models and devices, once on a 1-wide pool
+        // (the exact serial code path) and once on a 4-wide pool, must
+        // produce byte-identical JSON.
+        let registry = comparison_registry();
+        let models = [
+            ModelZoo::gptneo_small(),
+            ModelZoo::resnet50(),
+            ModelZoo::vit(),
+        ];
+        let devices = [DeviceSpec::oneplus_12(), DeviceSpec::xiaomi_mi_6()];
+        let serial = run_matrix_on(&ThreadPool::with_threads(1), &registry, &models, &devices);
+        let parallel = run_matrix_on(&ThreadPool::with_threads(4), &registry, &models, &devices);
+        assert_eq!(
+            matrix_to_json(&serial).pretty(),
+            matrix_to_json(&parallel).pretty(),
+            "parallel run_matrix diverged from the serial sweep"
+        );
+        // Cell order is the deterministic input order, not completion order.
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                (&a.engine, &a.model, &a.device),
+                (&b.engine, &b.model, &b.device)
+            );
+            assert_eq!(a.report, b.report);
+        }
     }
 
     #[test]

@@ -25,15 +25,84 @@ pub mod table;
 pub mod timing;
 
 pub use harness::{
-    comparison_registry, matrix_to_json, plan_cache, plan_cache_stats, run_matrix, BenchMatrix,
-    MatrixCell,
+    comparison_registry, matrix_to_json, plan_cache, plan_cache_stats, run_matrix, run_matrix_on,
+    BenchMatrix, MatrixCell,
 };
 pub use json::{json_path_from_args, write_json, Json};
 
-/// Shared main body for the experiment binaries: parse `--quick`, run the
-/// experiment, print its text table, and honour `--json PATH` /
-/// `--json=PATH` by writing the experiment's machine-readable form. Keeps
-/// the per-table binaries to one line so flag handling cannot drift between
+use flashmem_core::pool::{self, ThreadPool};
+
+/// Parse a `--threads N` or `--threads=N` flag from a binary's argument
+/// list. `--threads 1` pins every sweep to the exact serial code path (for
+/// bisection); without the flag the pool width falls back to the
+/// `FLASHMEM_THREADS` environment variable, then to the machine's available
+/// parallelism.
+///
+/// A present-but-invalid value (`--threads 0`, `--threads=1x`, a missing
+/// argument) exits with an error rather than silently falling back to full
+/// machine width — a typo must never turn a "serial" bisection run into a
+/// parallel one.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    fn invalid(value: &str) -> ! {
+        eprintln!("error: --threads requires a positive integer, got `{value}`");
+        std::process::exit(2);
+    }
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            return Some(
+                value
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| invalid(value)),
+            );
+        }
+        if arg == "--threads" {
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| invalid("nothing"))
+                .as_str();
+            return Some(
+                value
+                    .trim()
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| invalid(value)),
+            );
+        }
+    }
+    None
+}
+
+/// Resolve the pool every sweep in this process fans out on: `--threads N`
+/// when present (pinned into [`pool::configure_global`] before any sweep
+/// touches the pool), else the [`pool::global`] default
+/// (`FLASHMEM_THREADS` / available parallelism).
+pub fn configure_pool_from_args(args: &[String]) -> &'static ThreadPool {
+    match threads_from_args(args) {
+        Some(threads) => pool::configure_global(threads),
+        None => pool::global(),
+    }
+}
+
+/// Append the wall-clock / pool-width telemetry fields every bench JSON
+/// emitter carries: `elapsed_ms` (how long the experiment took on the wall)
+/// and `threads` (the pool width that produced it). These are the only
+/// schedule-dependent fields in the output — CI's serial-vs-parallel diff
+/// strips exactly these two before requiring byte-identical trees.
+pub fn with_timing(json: Json, elapsed_ms: f64, threads: usize) -> Json {
+    json.field("elapsed_ms", elapsed_ms)
+        .field("threads", threads)
+}
+
+/// Shared main body for the experiment binaries: parse `--quick` and
+/// `--threads N`, run the experiment (its sweeps fan out on the global
+/// pool), print its text table plus a wall-clock line, and honour
+/// `--json PATH` / `--json=PATH` by writing the experiment's
+/// machine-readable form with `elapsed_ms`/`threads` appended. Keeps the
+/// per-table binaries to one line so flag handling cannot drift between
 /// them.
 pub fn run_bin_with_json<T: std::fmt::Display>(
     run: impl FnOnce(bool) -> T,
@@ -41,11 +110,20 @@ pub fn run_bin_with_json<T: std::fmt::Display>(
 ) {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let pool = configure_pool_from_args(&args);
+    let start = std::time::Instant::now();
     let result = run(quick);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     println!("{result}");
+    println!(
+        "\n({elapsed_ms:.0} ms wall clock on {} pool thread{})",
+        pool.threads(),
+        if pool.threads() == 1 { "" } else { "s" }
+    );
     if let Some(path) = json_path_from_args(&args) {
-        write_json(&path, &to_json(&result)).expect("write bench JSON");
-        println!("\nwrote {}", path.display());
+        let doc = with_timing(to_json(&result), elapsed_ms, pool.threads());
+        write_json(&path, &doc).expect("write bench JSON");
+        println!("wrote {}", path.display());
     }
 }
 

@@ -12,9 +12,20 @@
 //! Compilation is deterministic, so a cached artifact is byte-identical to a
 //! cold compile; the cache changes *when* planning work happens, never what
 //! executes.
+//!
+//! The cache is built for concurrent use by the
+//! [`pool`](crate::pool)-parallel sweeps: entries live in [`SHARD_COUNT`]
+//! independently locked shards (threads compiling *different* keys contend
+//! only when their keys collide on a shard), and each shard tracks **per-key
+//! in-flight compiles** — when N threads race on one uncompiled key, exactly
+//! one runs the LC-OPG solve while the others block on a condvar and then
+//! read the finished artifact. That keeps the hit/miss counters exact and
+//! schedule-independent: for any interleaving, a key's first successful
+//! compile is the one miss and every other lookup is a hit, the same totals
+//! a serial run produces.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use flashmem_gpu_sim::error::SimResult;
 use flashmem_gpu_sim::DeviceSpec;
@@ -140,11 +151,80 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// Number of independently locked shards. A power of two so shard selection
+/// is a mask over the (well-mixed) FNV key; 16 keeps lock contention
+/// negligible for any realistic pool width while costing nothing when the
+/// cache is used serially.
+pub const SHARD_COUNT: usize = 16;
+
+const POISONED: &str = "artifact cache poisoned";
+
+/// Rendezvous for threads waiting on another thread's in-flight compile of
+/// the same key.
 #[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<u64, CompiledArtifact>,
+struct InFlightCompile {
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+impl InFlightCompile {
+    fn finish(&self) {
+        *self.done.lock().expect(POISONED) = true;
+        self.finished.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect(POISONED);
+        while !*done {
+            done = self.finished.wait(done).expect(POISONED);
+        }
+    }
+}
+
+/// One shard entry: a finished artifact, or a marker that some thread is
+/// compiling this key right now.
+// The size skew (a full artifact vs one `Arc`) is fine: slots live in the
+// shard map, not on the stack, and `InFlight` exists only for the duration
+// of one compile.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Slot {
+    Ready(CompiledArtifact),
+    InFlight(Arc<InFlightCompile>),
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Slot>,
     hits: u64,
     misses: u64,
+}
+
+/// Removes a key's in-flight marker (and wakes its waiters) if the owning
+/// compile unwinds, so a panicking engine cannot strand waiters forever.
+struct FlightGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: u64,
+    flight: Arc<InFlightCompile>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut shard = self.shard.lock().expect(POISONED);
+        // Only remove *our* marker: `clear()` may have dropped it already
+        // and another thread may have started a fresh compile since.
+        if let Some(Slot::InFlight(current)) = shard.map.get(&self.key) {
+            if Arc::ptr_eq(current, &self.flight) {
+                shard.map.remove(&self.key);
+            }
+        }
+        drop(shard);
+        self.flight.finish();
+    }
 }
 
 /// A thread-safe artifact cache keyed by engine × model × device fingerprint.
@@ -154,15 +234,33 @@ struct CacheInner {
 /// workspace builds) with [`InferenceEngine::cache_salt`], a fingerprint of
 /// the engine's configuration, so two engines that happen to share a display
 /// name but differ in configuration can never alias.
-#[derive(Debug, Default)]
+///
+/// The cache is `Sync` by lock sharding (see the [module docs](self)):
+/// concurrent compiles of the same key collapse onto one LC-OPG solve, so a
+/// pool-parallel sweep does exactly the set of solves its serial twin does.
+#[derive(Debug)]
 pub struct ArtifactCache {
-    inner: Mutex<CacheInner>,
+    shards: Box<[Mutex<Shard>]>,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+        }
+    }
 }
 
 impl ArtifactCache {
     /// An empty cache.
     pub fn new() -> Self {
         ArtifactCache::default()
+    }
+
+    fn shard_for(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (SHARD_COUNT - 1)]
     }
 
     /// The cache key for an (engine, model, device) combination.
@@ -179,10 +277,15 @@ impl ArtifactCache {
     /// Compile through the cache: returns the artifact plus `true` when it
     /// was served from the cache, `false` on a cold compile.
     ///
+    /// When another thread is already compiling the same key, this blocks on
+    /// its in-flight marker and then returns the finished artifact as a hit
+    /// — never a second LC-OPG solve for the same key.
+    ///
     /// # Errors
     ///
     /// Propagates [`InferenceEngine::compile`] errors; failures are not
-    /// cached.
+    /// cached (a thread waiting on a compile that fails retries the lookup
+    /// and surfaces its own error).
     pub fn compile(
         &self,
         engine: &dyn InferenceEngine,
@@ -190,40 +293,69 @@ impl ArtifactCache {
         device: &DeviceSpec,
     ) -> SimResult<(CompiledArtifact, bool)> {
         let key = Self::key_for(engine, model, device);
+        let shard = self.shard_for(key);
+        let flight = loop {
+            let waiter = {
+                let mut shard = shard.lock().expect(POISONED);
+                match shard.map.get(&key) {
+                    Some(Slot::Ready(artifact)) => {
+                        let artifact = artifact.clone();
+                        shard.hits += 1;
+                        return Ok((artifact, true));
+                    }
+                    Some(Slot::InFlight(flight)) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(InFlightCompile::default());
+                        shard.map.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                        break flight;
+                    }
+                }
+            };
+            // Another thread owns this key's compile: park until it finishes,
+            // then re-probe. On success the slot is `Ready` (counted as a
+            // hit, exactly as a serial second lookup would be); on failure
+            // the slot is gone and this thread takes the compile over.
+            waiter.wait();
+        };
+        // This thread owns the compile for `key`. Solve outside the shard
+        // lock: LC-OPG is the expensive part and other threads must be able
+        // to hit unrelated keys meanwhile.
+        let mut guard = FlightGuard {
+            shard,
+            key,
+            flight,
+            armed: true,
+        };
+        let artifact = engine.compile(model, device)?; // guard cleans up on Err/panic
         {
-            let mut inner = self.inner.lock().expect("artifact cache poisoned");
-            if let Some(artifact) = inner.map.get(&key) {
-                let artifact = artifact.clone();
-                inner.hits += 1;
-                return Ok((artifact, true));
-            }
+            let mut shard = shard.lock().expect(POISONED);
+            shard.misses += 1;
+            shard.map.insert(key, Slot::Ready(artifact.clone()));
+            guard.armed = false;
         }
-        // Compile outside the lock: LC-OPG solves are the expensive part and
-        // other threads should be able to hit on unrelated keys meanwhile.
-        let artifact = engine.compile(model, device)?;
-        let mut inner = self.inner.lock().expect("artifact cache poisoned");
-        inner.misses += 1;
-        inner.map.entry(key).or_insert_with(|| artifact.clone());
+        guard.flight.finish();
         Ok((artifact, false))
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, summed over the shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("artifact cache poisoned");
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            entries: inner.map.len(),
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect(POISONED);
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.entries += shard
+                .map
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready(_)))
+                .count();
         }
+        stats
     }
 
-    /// Number of cached artifacts.
+    /// Number of cached artifacts (in-flight compiles are not counted).
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("artifact cache poisoned")
-            .map
-            .len()
+        self.stats().entries
     }
 
     /// True when nothing is cached.
@@ -231,12 +363,17 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// Drop every artifact and reset the counters.
+    /// Drop every finished artifact and reset the counters. In-flight
+    /// markers are left in place so racing compiles complete cleanly.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("artifact cache poisoned");
-        inner.map.clear();
-        inner.hits = 0;
-        inner.misses = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect(POISONED);
+            shard
+                .map
+                .retain(|_, slot| matches!(slot, Slot::InFlight(_)));
+            shard.hits = 0;
+            shard.misses = 0;
+        }
     }
 }
 

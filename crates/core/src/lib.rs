@@ -25,7 +25,12 @@
 //!   compile/execute interface for the benchmark harness.
 //! * [`cache`] — the keyed [`ArtifactCache`] fronting
 //!   [`InferenceEngine::compile`] so sweeps and servers skip redundant
-//!   LC-OPG solves.
+//!   LC-OPG solves; sharded locks plus per-key in-flight compile
+//!   deduplication make it safe (and profitable) to share across threads.
+//! * [`pool`] — a std-only work-stealing [`ThreadPool`] with a scoped-join
+//!   API; every embarrassingly parallel sweep above the simulator (the bench
+//!   matrix, the serving sweep, the fuzz harness) fans out through it with
+//!   deterministic, input-ordered results.
 //!
 //! Multi-model FIFO execution, which lived here as `multi_model` through
 //! PR 1, moved to the `flashmem-serve` crate where the general multi-tenant
@@ -60,6 +65,7 @@ pub mod lc_opg;
 pub mod metrics;
 pub mod opg;
 pub mod plan;
+pub mod pool;
 pub mod runtime;
 
 pub use cache::{run_cached, ArtifactCache, CacheStats, CachedEngine};
@@ -74,4 +80,5 @@ pub use lc_opg::{LcOpgReport, LcOpgSolver, PlannerMode};
 pub use metrics::{geo_mean, ExecutionReport};
 pub use opg::{build_weight_window_model, CandidateSlot, WeightWindowModel, WindowDecision};
 pub use plan::{ChunkAssignment, OverlapPlan, PlanError, WeightSchedule};
+pub use pool::ThreadPool;
 pub use runtime::{CompiledModel, FlashMem};

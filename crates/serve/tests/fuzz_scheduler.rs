@@ -21,17 +21,25 @@
 //!   preemptive policies ever preempt.
 //! * **Determinism** — the same seed reproduces a byte-identical
 //!   `ServeReport` (full `Debug` form of every outcome float, trace sample
-//!   and counter; only the process-wide plan-cache tallies, shared across
-//!   the whole harness for speed, are excluded).
+//!   and counter; only cache-*warmth* telemetry — the process-wide
+//!   plan-cache tallies and each outcome's `cache_hit` flag, which record
+//!   who compiled first across the whole harness, not scheduler behaviour —
+//!   is excluded), and running the seed × policy scenarios through the
+//!   work-stealing pool produces reports byte-identical to the serial loop.
 //!
 //! The seed set is pinned so CI failures replay exactly. All runs share one
-//! pre-warmed process-wide [`ArtifactCache`]: LC-OPG solves are the
-//! expensive part and re-solving identical plans per run would tell the
-//! fuzzer nothing new about the *scheduler*.
+//! process-wide [`ArtifactCache`]: LC-OPG solves are the expensive part and
+//! re-solving identical plans per run would tell the fuzzer nothing new
+//! about the *scheduler*. There is no warm-up pass — when parallel runs race
+//! on an uncompiled key, the cache's per-key in-flight deduplication makes
+//! exactly one of them solve while the rest block and reuse the artifact.
+//! The scenario fan-out runs on [`pool::global`], so `FLASHMEM_THREADS=1`
+//! pins the harness to the exact serial code path for bisection.
 
 use std::sync::{Arc, OnceLock};
 
-use flashmem_core::{ArtifactCache, FlashMem, FlashMemConfig};
+use flashmem_core::pool::{self, ThreadPool};
+use flashmem_core::{ArtifactCache, FlashMemConfig};
 use flashmem_gpu_sim::rng::SplitMix64;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
@@ -55,27 +63,13 @@ const SEEDS: [u64; 8] = [
 
 const MIB: u64 = 1024 * 1024;
 
-/// The process-wide plan cache, pre-warmed with every (model × device)
-/// combination the harness uses so that every run — in particular both runs
-/// of a determinism pair — observes identical all-hit cache behaviour on
-/// its outcomes.
+/// The process-wide plan cache. No warm-up pass: first-touch compiles —
+/// including parallel races on the same key — collapse onto single LC-OPG
+/// solves through the cache's in-flight deduplication, which is exactly
+/// what the deleted serial warm-up loop existed to guarantee.
 fn shared_cache() -> Arc<ArtifactCache> {
     static CACHE: OnceLock<Arc<ArtifactCache>> = OnceLock::new();
-    CACHE
-        .get_or_init(|| {
-            let cache = Arc::new(ArtifactCache::new());
-            let config = FlashMemConfig::memory_priority();
-            for device in [DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()] {
-                let engine = FlashMem::new(device.clone()).with_config(config.clone());
-                for model in [ModelZoo::gptneo_small(), ModelZoo::vit()] {
-                    cache
-                        .compile(&engine, &model, &device)
-                        .expect("warm-up compile succeeds");
-                }
-            }
-            cache
-        })
-        .clone()
+    CACHE.get_or_init(|| Arc::new(ArtifactCache::new())).clone()
 }
 
 /// Every policy under test, rebuilt fresh per run, with whether it runs the
@@ -338,30 +332,107 @@ fn check_invariants(report: &ServeReport, case: &FuzzCase, policy: &str, exclusi
     assert!(case.tenants >= 1);
 }
 
+/// Every (pinned seed × policy) scenario of the harness, in the fixed
+/// submission order the serial loop used.
+fn scenarios() -> Vec<(u64, usize)> {
+    let policy_count = policies().len();
+    SEEDS
+        .iter()
+        .flat_map(|&seed| (0..policy_count).map(move |policy| (seed, policy)))
+        .collect()
+}
+
+/// Run one (seed, policy-index) scenario — rebuilt from scratch, so it can
+/// run on any pool worker.
+fn run_scenario((seed, policy_index): (u64, usize)) -> ServeReport {
+    let case = random_case(seed);
+    let (_, _, policy) = policies().remove(policy_index);
+    run_case(&case, policy)
+}
+
 #[test]
 fn every_policy_upholds_invariants_on_every_pinned_seed() {
-    for &seed in &SEEDS {
+    // The 56 scenarios fan out on the process-wide pool (FLASHMEM_THREADS=1
+    // pins the serial path); the invariant checks run on the collected
+    // reports in deterministic scenario order so failures replay exactly.
+    let scenarios = scenarios();
+    let reports = pool::global().parallel_map(scenarios.clone(), run_scenario);
+    for (&(seed, policy_index), report) in scenarios.iter().zip(&reports) {
         let case = random_case(seed);
-        for (name, exclusive, policy) in policies() {
-            let report = run_case(&case, policy);
-            check_invariants(&report, &case, name, exclusive);
-        }
+        let (name, exclusive, _) = policies().remove(policy_index);
+        check_invariants(report, &case, name, exclusive);
     }
 }
 
-/// The determinism-relevant view of a report: everything except the
-/// process-wide plan-cache counters (which accumulate across the harness).
+/// The determinism-relevant view of a report: everything except
+/// cache-warmth telemetry — the process-wide plan-cache counters and each
+/// outcome's `cache_hit` flag — which records who happened to compile a key
+/// first across the harness's process history, not scheduler behaviour.
 fn comparable(report: &ServeReport) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
-        report.outcomes,
+    use std::fmt::Write as _;
+    let mut view = String::new();
+    for o in &report.outcomes {
+        // Exhaustive destructure on purpose — no `..` rest pattern — so a
+        // field added to `RequestOutcome` later fails to compile here and
+        // forces an explicit include/exclude decision for the determinism
+        // oracle instead of being silently dropped from it.
+        let flashmem_serve::RequestOutcome {
+            seq,
+            model,
+            tenant,
+            priority,
+            device,
+            device_index,
+            arrival_ms,
+            start_ms,
+            completion_ms,
+            queue_wait_ms,
+            latency_ms,
+            deadline_ms,
+            admission_laxity_ms,
+            resident_estimate_bytes,
+            preemptions,
+            suspended_ms,
+            resume_penalty_ms,
+            cache_hit: _, // process-wide cache warmth, not scheduler behaviour
+            peak_memory_mb,
+            error,
+            report,
+        } = o;
+        let _ = write!(
+            view,
+            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{error:?}|{report:?};",
+        );
+    }
+    let _ = write!(
+        view,
+        "#{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         report.devices,
         report.latency,
         report.per_priority,
         report.slo,
         report.preemptions,
         report.throughput_rps
-    )
+    );
+    view
+}
+
+#[test]
+fn parallel_harness_reports_are_byte_identical_to_serial() {
+    // The tentpole's acceptance bar: the whole seed × policy matrix through
+    // a 4-wide pool must reproduce the 1-wide (exact serial path) reports
+    // byte for byte.
+    let scenarios = scenarios();
+    let serial = ThreadPool::with_threads(1).parallel_map(scenarios.clone(), run_scenario);
+    let parallel = ThreadPool::with_threads(4).parallel_map(scenarios.clone(), run_scenario);
+    for (((seed, policy_index), a), b) in scenarios.iter().zip(&serial).zip(&parallel) {
+        let name = policies()[*policy_index].0;
+        assert_eq!(
+            comparable(a),
+            comparable(b),
+            "seed {seed:#x} under `{name}` diverged between serial and parallel harnesses"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Compare two bench-JSON trees (e.g. a `--threads 1` serial run vs a
+# pool-parallel run of `bin/all`) and fail unless they are byte-identical
+# after stripping the only two schedule-dependent fields every emitter
+# carries: `elapsed_ms` (wall clock) and `threads` (pool width).
+#
+# Usage: scripts/diff-bench-json.sh SERIAL_DIR PARALLEL_DIR
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 SERIAL_DIR PARALLEL_DIR" >&2
+    exit 2
+fi
+
+a="$1"
+b="$2"
+fail=0
+count=0
+
+strip_timing() {
+    grep -v -e '"elapsed_ms":' -e '"threads":' "$1"
+}
+
+for fa in "$a"/*.json; do
+    name=$(basename "$fa")
+    fb="$b/$name"
+    if [ ! -f "$fb" ]; then
+        echo "missing from $b: $name"
+        fail=1
+        continue
+    fi
+    if ! diff <(strip_timing "$fa") <(strip_timing "$fb") >/dev/null; then
+        echo "JSON mismatch (beyond elapsed_ms/threads): $name"
+        diff <(strip_timing "$fa") <(strip_timing "$fb") | head -20 || true
+        fail=1
+    fi
+    count=$((count + 1))
+done
+
+# The parallel tree must not contain files the serial tree lacks either.
+for fb in "$b"/*.json; do
+    name=$(basename "$fb")
+    if [ ! -f "$a/$name" ]; then
+        echo "missing from $a: $name"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "diff-bench-json: $count JSON documents byte-identical (modulo elapsed_ms/threads)"
+fi
+exit "$fail"

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use flashmem_core::{
         AdaptiveFusion, ArtifactCache, CachedEngine, CompiledArtifact, EngineRegistry,
         ExecutionReport, FlashMem, FlashMemConfig, FlashMemVariant, FrameworkKind, InferenceEngine,
-        LcOpgSolver, OverlapPlan,
+        LcOpgSolver, OverlapPlan, ThreadPool,
     };
     pub use flashmem_gpu_sim::{DeviceSpec, GpuSimulator, MemoryTracker, SimConfig};
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};
