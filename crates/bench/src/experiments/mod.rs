@@ -16,6 +16,7 @@
 //! | [`table9`] | Power and energy consumption | Table 9 |
 //! | [`fig10`] | Portability across devices | Figure 10 |
 //! | [`serve`] | Multi-tenant serving sweep (beyond the paper) | — |
+//! | [`fleet_scale`] | Fleet-size ramp on the parallel serve loop (beyond the paper) | — |
 
 pub mod ablations;
 pub mod fig10;
@@ -25,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_scale;
 pub mod serve;
 pub mod table1;
 pub mod table4;

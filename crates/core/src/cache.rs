@@ -274,6 +274,17 @@ impl ArtifactCache {
             .finish()
     }
 
+    /// Probe whether `key` (from [`Self::key_for`]) already holds a finished
+    /// artifact, without counting a hit and without blocking on an in-flight
+    /// compile. This is the "was the plan warm?" snapshot the serving layer
+    /// takes in its sequential prologue before fanning a fleet out, so
+    /// per-request `cache_hit` telemetry stays schedule-independent instead
+    /// of recording which worker happened to win an intra-run compile race.
+    pub fn is_warm(&self, key: u64) -> bool {
+        let shard = self.shard_for(key).lock().expect(POISONED);
+        matches!(shard.map.get(&key), Some(Slot::Ready(_)))
+    }
+
     /// Compile through the cache: returns the artifact plus `true` when it
     /// was served from the cache, `false` on a cold compile.
     ///
@@ -479,6 +490,22 @@ mod tests {
         assert_eq!(a, b);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn is_warm_probes_without_counting_a_hit() {
+        let cache = ArtifactCache::new();
+        let model = ModelZoo::gptneo_small();
+        let device = DeviceSpec::oneplus_12();
+        let engine = engine();
+        let key = ArtifactCache::key_for(&engine, &model, &device);
+        assert!(!cache.is_warm(key));
+        cache.compile(&engine, &model, &device).unwrap();
+        assert!(cache.is_warm(key));
+        // Probing is telemetry-neutral: the compile above is still the only
+        // counted event.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
     }
 
     #[test]

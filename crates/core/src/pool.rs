@@ -27,6 +27,10 @@
 //!   submission-index slot, so the output order is the input order no matter
 //!   how the jobs interleave. Combined with the deterministic simulator this
 //!   is what keeps parallel bench JSON byte-identical to serial runs.
+//!   [`ThreadPool::try_parallel_map`] extends the same guarantee to fallible
+//!   jobs (the serve fleet's per-device timelines): every job completes, then
+//!   the first failure *by submission index* is the one propagated, and a
+//!   panicking job is caught and re-raised instead of hanging the scope.
 //! * **Serial bisection path** — a pool of width 1 (`--threads 1`,
 //!   `FLASHMEM_THREADS=1`) does not spawn a single thread: jobs run inline on
 //!   the caller thread in submission order, the exact code path the serial
@@ -280,6 +284,40 @@ impl ThreadPool {
             .collect()
     }
 
+    /// Map a *fallible* `f` over `items` on the pool, returning all results
+    /// in input order or the first failure **by submission index**.
+    ///
+    /// Every job runs to completion before failures are examined (the jobs
+    /// are independent; there is no cancellation), so which error surfaces is
+    /// a function of the inputs alone, never of how the jobs interleaved —
+    /// the property that keeps a parallel serve fleet's error behaviour
+    /// byte-identical to `--threads 1`.
+    ///
+    /// Panic-safe: a job that panics is caught on its worker (it cannot hang
+    /// the scope or strand parked siblings) and re-raised on the caller
+    /// thread. Panics and `Err`s share one deterministic ordering: the
+    /// earliest failing submission index wins, whichever kind it is.
+    pub fn try_parallel_map<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(T) -> Result<R, E> + Sync,
+    {
+        let attempts = self.parallel_map(items, |item| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+        });
+        let mut results = Vec::with_capacity(attempts.len());
+        for attempt in attempts {
+            match attempt {
+                Ok(Ok(value)) => results.push(value),
+                Ok(Err(error)) => return Err(error),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Ok(results)
+    }
+
     /// Run a batch of heterogeneous jobs, returning results in submission
     /// order. Width 1 (or a nested call) runs them inline in order.
     pub fn run_jobs<'env, R: Send>(
@@ -440,6 +478,55 @@ mod tests {
             }
         });
         assert_eq!(done.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn try_parallel_map_collects_results_in_order_on_success() {
+        let pool = ThreadPool::with_threads(4);
+        let out: Result<Vec<usize>, String> =
+            pool.try_parallel_map((0..16).collect::<Vec<_>>(), |i| Ok(i * 3));
+        assert_eq!(out.unwrap(), (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_parallel_map_propagates_the_first_error_by_submission_index() {
+        let pool = ThreadPool::with_threads(4);
+        // Index 9 fails *fast*, index 2 fails *slow*: under any schedule the
+        // index-9 error is available first, but index 2 must still win.
+        let out: Result<Vec<usize>, String> =
+            pool.try_parallel_map((0..16).collect::<Vec<_>>(), |i| {
+                if i == 2 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Err(format!("job {i} failed"))
+                } else if i == 9 {
+                    Err(format!("job {i} failed"))
+                } else {
+                    Ok(i)
+                }
+            });
+        assert_eq!(out.unwrap_err(), "job 2 failed");
+    }
+
+    #[test]
+    fn try_parallel_map_reraises_a_panicking_job_instead_of_hanging() {
+        let pool = ThreadPool::with_threads(4);
+        let completed = AtomicUsize::new(0);
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.try_parallel_map::<_, usize, String, _>((0..8).collect::<Vec<_>>(), |i| {
+                if i == 3 {
+                    panic!("job {i} exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                Ok(i)
+            })
+        }));
+        let payload = attempt.expect_err("panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(message, "job 3 exploded");
+        // Every sibling job still ran to completion: nothing was stranded.
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
     }
 
     #[test]

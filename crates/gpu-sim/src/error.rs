@@ -52,6 +52,15 @@ pub enum SimError {
         /// Human readable description of the invalid parameter.
         message: String,
     },
+    /// A worker thread panicked while advancing a device timeline — e.g. a
+    /// scheduling policy implementation panicked inside the serve fleet's
+    /// parallel fan-out. The panic is caught on the worker and surfaced as
+    /// this error so a buggy policy fails the run instead of hanging it.
+    WorkerPanic {
+        /// Rendering of the panic payload (the `&str`/`String` panic message
+        /// when there was one).
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +95,9 @@ impl fmt::Display for SimError {
             SimError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
             }
+            SimError::WorkerPanic { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
         }
     }
 }
@@ -114,6 +126,14 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn worker_panic_display_carries_the_payload() {
+        let err = SimError::WorkerPanic {
+            message: "policy exploded".to_string(),
+        };
+        assert_eq!(err.to_string(), "worker thread panicked: policy exploded");
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! advancing whichever request can start its next command earliest on the
 //! shared [`QueueClocks`](flashmem_gpu_sim::engine::QueueClocks).
 //!
+//! Device timelines are independent after placement, so one
+//! [`ServeEngine::run`] steps its whole fleet **in parallel** on the
+//! process-wide work-stealing pool (`flashmem_core::pool`): placement is a
+//! sequential prologue, per-device stepping fans out as pool jobs sharing
+//! one plan cache, and the merged report is re-assembled in deterministic
+//! order — byte-identical to the serial loop, which
+//! [`ServeEngine::run_on`] with a width-1 pool still provides for
+//! bisection. This is what makes 100–1000-device fleet scenarios affordable
+//! in one run (see the `fleet_scale` bench).
+//!
 //! * [`request`] — [`ServeRequest`], the unit of admission (model, tenant,
 //!   priority, arrival time, optional SLO deadline).
 //! * [`policy`] — the [`SchedulePolicy`] trait plus the FIFO, priority,

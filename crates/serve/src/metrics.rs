@@ -76,7 +76,14 @@ pub struct RequestOutcome {
     /// re-packing, unified-memory reload, fixed per-resume overhead), in
     /// milliseconds.
     pub resume_penalty_ms: f64,
-    /// True when the compilation artifact came from the plan cache.
+    /// True when this request's compiled plan was already in the shared
+    /// plan cache when the serve run began. The warmth snapshot is taken in
+    /// the run's sequential prologue, so the flag is identical at every pool
+    /// width: it reports warmth carried in from earlier runs on the same
+    /// cache, never which device happened to win an intra-run compile race.
+    /// In-run sharing still shows up in the [`ServeReport::cache`] hit/miss
+    /// counters, which the in-flight compile dedup keeps
+    /// schedule-independent.
     pub cache_hit: bool,
     /// Peak device memory footprint (MB) observed while the request was
     /// resident. Under concurrent policies this is the *device* footprint

@@ -13,6 +13,37 @@
 //! loads therefore fill transfer-queue gaps left by another inference's
 //! kernels — per-layer interleaving, not back-to-back replay.
 //!
+//! ## How the fleet advances
+//!
+//! Device timelines share nothing but the plan cache, so
+//! [`ServeEngine::run`] fans them out on the process-wide work-stealing
+//! [`ThreadPool`] in three strictly ordered
+//! stages:
+//!
+//! 1. **Placement prologue (sequential).** [`SchedulePolicy::place`] assigns
+//!    every request to a device on the caller thread, in submission order —
+//!    placement may depend on global request order, so it never races.
+//!    Each device's assignment becomes one `DeviceJob` (private) with its runtime
+//!    ([`FlashMem`]) and simulator ([`GpuSimulator`]) constructed once here,
+//!    not once per request.
+//! 2. **Parallel device stepping.** Each `DeviceJob` runs `run_device` as
+//!    one pool job. Workers share the engine's [`ArtifactCache`], whose
+//!    in-flight compile dedup guarantees N devices serving one tenant config
+//!    solve LC-OPG exactly once with schedule-independent hit/miss counters.
+//!    A job that panics (a buggy policy) is caught on its worker and
+//!    surfaced as [`SimError::WorkerPanic`]; errors propagate by device
+//!    index, so failure behaviour matches `--threads 1` exactly.
+//! 3. **Ordered merge (the commit point).** Device reports land in
+//!    fleet-index slots and per-request outcomes are re-sorted by submission
+//!    `seq`, so the merged [`ServeReport`] is byte-identical to the serial
+//!    loop's no matter how the workers interleaved.
+//!
+//! `run` uses [`pool::global`] (width from `--threads N` /
+//! `FLASHMEM_THREADS`); [`ServeEngine::run_on`] takes an explicit pool for
+//! tests and `--threads 1` bisection. A nested call — a serve run already
+//! inside a pool worker, e.g. one sweep cell of the bench — steps its fleet
+//! inline on that worker, by the pool's no-nested-fan-out rule.
+//!
 //! ## Preemption
 //!
 //! Under a preemptive policy (one whose
@@ -47,12 +78,14 @@
 //! stepping rule keeps near time order; tiny reorderings across concurrent
 //! streams are an accepted modelling artifact.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use flashmem_core::cache::ArtifactCache;
 use flashmem_core::engine::CompiledArtifact;
 use flashmem_core::executor::RUNTIME_OVERHEAD_BYTES;
+use flashmem_core::pool::{self, ThreadPool};
 use flashmem_core::{ExecutionReport, FlashMem, FlashMemConfig, KernelRewriter, StreamingExecutor};
 use flashmem_gpu_sim::engine::{
     CommandStream, GpuSimulator, PreemptionCost, QueueClocks, QueueKind, SimConfig, StreamStepper,
@@ -306,6 +339,41 @@ struct Suspended {
     suspension: Suspension,
 }
 
+/// One device timeline's unit of parallel work: everything `run_device`
+/// needs, assembled by the sequential placement prologue so the hot loop on
+/// the worker never constructs per-device state. The runtime and simulator
+/// are built once per device here and reused across all of the device's
+/// requests (and every command boundary of the preemption phase).
+struct DeviceJob<'a> {
+    /// Index of the device in the fleet (also the report's slot).
+    index: usize,
+    device: &'a DeviceSpec,
+    /// The FlashMem runtime the device's compiles go through.
+    engine: FlashMem,
+    /// The cost model the device's command streams are stepped against.
+    sim: GpuSimulator,
+    /// `(seq, request)` pairs placed on this device, in submission order.
+    assigned: Vec<(usize, &'a ServeRequest)>,
+    /// Plan-cache keys (of this device's assigned models) that were already
+    /// compiled when the run began. Snapshotted in the sequential prologue so
+    /// each outcome's `cache_hit` flag is identical at every pool width —
+    /// the racy alternative, reporting whether `ArtifactCache::compile`
+    /// happened to find the key warm mid-run, would record which worker won
+    /// the compile race rather than anything about the workload.
+    warm: HashSet<u64>,
+}
+
+/// Render a caught panic payload for [`SimError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The multi-tenant serving engine over a fleet of simulated devices.
 pub struct ServeEngine {
     fleet: Vec<DeviceSpec>,
@@ -317,14 +385,12 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// A FIFO engine over `fleet` (an empty fleet falls back to the default
-    /// flagship device) running FlashMem under `config`.
+    /// A FIFO engine over `fleet` running FlashMem under `config`.
+    ///
+    /// An empty fleet is accepted here but rejected by [`run`](Self::run):
+    /// silently substituting a default device would hide a configuration bug
+    /// (and historically let `place(..).min(fleet_len - 1)` underflow).
     pub fn new(fleet: Vec<DeviceSpec>, config: FlashMemConfig) -> Self {
-        let fleet = if fleet.is_empty() {
-            vec![DeviceSpec::default()]
-        } else {
-            fleet
-        };
         ServeEngine {
             fleet,
             config,
@@ -388,15 +454,37 @@ impl ServeEngine {
     /// percentiles (overall and per priority), SLO attainment and preemption
     /// counts.
     ///
+    /// Independent device timelines advance **concurrently** on the
+    /// process-wide [`pool::global`] thread pool (see the
+    /// [module docs](self) for the placement → parallel stepping → ordered
+    /// merge structure); the report is byte-identical to a serial run.
+    ///
     /// Per-request failures (out-of-memory, tenant caps) are recorded in the
     /// outcomes, not propagated.
     ///
     /// # Errors
     ///
-    /// Returns an error only for malformed command streams — an internal
-    /// invariant violation, not a modelled outcome.
+    /// Returns an error for an empty fleet, for malformed command streams
+    /// (an internal invariant violation, not a modelled outcome), and for a
+    /// panic inside a device worker ([`SimError::WorkerPanic`]).
     pub fn run(&self, requests: &[ServeRequest]) -> SimResult<ServeReport> {
+        self.run_on(pool::global(), requests)
+    }
+
+    /// [`run`](Self::run) on an explicit pool. `ThreadPool::with_threads(1)`
+    /// steps the fleet inline on the caller thread in fleet order — the
+    /// exact serial loop, kept as the byte-identity oracle and the
+    /// `--threads 1` bisection path.
+    pub fn run_on(&self, pool: &ThreadPool, requests: &[ServeRequest]) -> SimResult<ServeReport> {
         let fleet_len = self.fleet.len();
+        if fleet_len == 0 {
+            return Err(SimError::InvalidParameter {
+                message: "cannot serve on an empty fleet: ServeEngine needs at least one device"
+                    .to_string(),
+            });
+        }
+
+        // ---- placement: the sequential prologue ----
         let mut per_device: Vec<Vec<(usize, &ServeRequest)>> = vec![Vec::new(); fleet_len];
         for (seq, request) in requests.iter().enumerate() {
             let device = self
@@ -405,12 +493,42 @@ impl ServeEngine {
                 .min(fleet_len - 1);
             per_device[device].push((seq, request));
         }
+        let jobs: Vec<DeviceJob<'_>> = self
+            .fleet
+            .iter()
+            .enumerate()
+            .zip(per_device)
+            .map(|((index, device), assigned)| {
+                let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
+                let warm = assigned
+                    .iter()
+                    .map(|(_, request)| ArtifactCache::key_for(&engine, &request.model, device))
+                    .filter(|&key| self.cache.is_warm(key))
+                    .collect();
+                DeviceJob {
+                    index,
+                    device,
+                    engine,
+                    sim: GpuSimulator::new(device.clone(), SimConfig::default()),
+                    assigned,
+                    warm,
+                }
+            })
+            .collect();
 
+        // ---- parallel device stepping ----
+        let device_results = pool.try_parallel_map(jobs, |job| {
+            catch_unwind(AssertUnwindSafe(|| self.run_device(job))).unwrap_or_else(|payload| {
+                Err(SimError::WorkerPanic {
+                    message: panic_message(payload),
+                })
+            })
+        })?;
+
+        // ---- ordered merge: the commit point ----
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
         let mut devices = Vec::with_capacity(fleet_len);
-        for (index, device) in self.fleet.iter().enumerate() {
-            let assigned = std::mem::take(&mut per_device[index]);
-            let (mut device_outcomes, report) = self.run_device(index, device, assigned)?;
+        for (mut device_outcomes, report) in device_results {
             outcomes.append(&mut device_outcomes);
             devices.push(report);
         }
@@ -447,16 +565,20 @@ impl ServeEngine {
         })
     }
 
-    /// Run one device's timeline to completion.
+    /// Run one device's timeline to completion. Called once per
+    /// [`DeviceJob`], usually from a pool worker: everything it touches is
+    /// either owned by the job, local to this call, or a thread-safe shared
+    /// structure (the plan cache).
     #[allow(clippy::too_many_lines)]
-    fn run_device(
-        &self,
-        device_index: usize,
-        device: &DeviceSpec,
-        assigned: Vec<(usize, &ServeRequest)>,
-    ) -> SimResult<(Vec<RequestOutcome>, DeviceReport)> {
-        let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
-        let sim = GpuSimulator::new(device.clone(), SimConfig::default());
+    fn run_device(&self, job: DeviceJob<'_>) -> SimResult<(Vec<RequestOutcome>, DeviceReport)> {
+        let DeviceJob {
+            index: device_index,
+            device,
+            engine,
+            sim,
+            assigned,
+            warm,
+        } = job;
         let mut tracker = MemoryTracker::for_device(device);
         let slots = self.policy.max_in_flight().max(1);
         let exclusive = slots == 1 && self.policy.preemption().is_none();
@@ -678,16 +800,20 @@ impl ServeEngine {
                         .expect("candidate is pending");
                     let (seq, request) = pending[position];
 
-                    let (artifact, cache_hit) =
-                        match self.cache.compile(&engine, &request.model, device) {
-                            Ok(compiled) => compiled,
-                            Err(error) => {
-                                pending.remove(position);
-                                let deadline = self.effective_deadline(request);
-                                fail(&mut outcomes, seq, request, deadline, now, error);
-                                continue 'admit;
-                            }
-                        };
+                    let artifact = match self.cache.compile(&engine, &request.model, device) {
+                        Ok((artifact, _)) => artifact,
+                        Err(error) => {
+                            pending.remove(position);
+                            let deadline = self.effective_deadline(request);
+                            fail(&mut outcomes, seq, request, deadline, now, error);
+                            continue 'admit;
+                        }
+                    };
+                    // Report warmth-at-run-start (the prologue snapshot),
+                    // not `compile`'s racy mid-run flag: at pool width > 1
+                    // that flag records which device won the compile race.
+                    let cache_hit =
+                        warm.contains(&ArtifactCache::key_for(&engine, &request.model, device));
                     let estimate = estimate_resident_bytes(&artifact, &request.model);
                     if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
                         let used = tenant_bytes.get(&request.tenant).copied().unwrap_or(0);
@@ -1199,12 +1325,30 @@ mod tests {
     }
 
     #[test]
-    fn empty_fleet_falls_back_to_default_device() {
+    fn empty_fleet_is_rejected_instead_of_underflowing_placement() {
+        // Regression: placement used to compute `place(..).min(fleet_len - 1)`
+        // which underflows at fleet_len == 0 (hidden by a silent
+        // default-device fallback in `new`). An empty fleet is now a proper
+        // error — even with zero requests, and before any placement runs.
         let engine = ServeEngine::new(Vec::new(), FlashMemConfig::memory_priority());
-        assert_eq!(engine.fleet().len(), 1);
-        let report = engine.run(&[]).unwrap();
-        assert!(report.outcomes.is_empty());
-        assert_eq!(report.makespan_ms(), 0.0);
+        assert!(engine.fleet().is_empty());
+        for requests in [Vec::new(), requests(2)] {
+            match engine.run(&requests) {
+                Err(SimError::InvalidParameter { message }) => {
+                    assert!(message.contains("empty fleet"), "{message}");
+                }
+                other => panic!("expected an empty-fleet error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_shareable_across_pool_workers() {
+        // The fleet fan-out hands `&self` to pool workers: the engine (and
+        // everything a policy factory produces) must stay `Send + Sync`.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeEngine>();
+        assert_send_sync::<Box<dyn SchedulePolicy>>();
     }
 
     #[test]

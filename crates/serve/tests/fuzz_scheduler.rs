@@ -23,7 +23,8 @@
 //!   `ServeReport` (full `Debug` form of every outcome float, trace sample
 //!   and counter; only cache-*warmth* telemetry — the process-wide
 //!   plan-cache tallies and each outcome's `cache_hit` flag, which record
-//!   who compiled first across the whole harness, not scheduler behaviour —
+//!   which scenarios happened to run (and so warm keys) first across the
+//!   whole harness, not scheduler behaviour —
 //!   is excluded), and running the seed × policy scenarios through the
 //!   work-stealing pool produces reports byte-identical to the serial loop.
 //!
@@ -366,8 +367,9 @@ fn every_policy_upholds_invariants_on_every_pinned_seed() {
 
 /// The determinism-relevant view of a report: everything except
 /// cache-warmth telemetry — the process-wide plan-cache counters and each
-/// outcome's `cache_hit` flag — which records who happened to compile a key
-/// first across the harness's process history, not scheduler behaviour.
+/// outcome's `cache_hit` flag — which records whether earlier scenarios in
+/// the harness's process history had already warmed a key when this run
+/// began, not scheduler behaviour.
 fn comparable(report: &ServeReport) -> String {
     use std::fmt::Write as _;
     let mut view = String::new();

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Compare two bench-JSON trees (e.g. a `--threads 1` serial run vs a
-# pool-parallel run of `bin/all`) and fail unless they are byte-identical
-# after stripping the only two schedule-dependent fields every emitter
-# carries: `elapsed_ms` (wall clock) and `threads` (pool width).
+# pool-parallel run of `bin/all` or `bin/fleet_scale`) and fail unless they
+# are byte-identical after stripping the schedule-dependent wall-clock
+# telemetry fields: `elapsed_ms` / `threads` (every emitter) plus the
+# fleet_scale bench's `serial_ms` / `parallel_ms` / `speedup` /
+# `per_device_step_ms` timing cells.
 #
 # Usage: scripts/diff-bench-json.sh SERIAL_DIR PARALLEL_DIR
 set -euo pipefail
@@ -18,7 +20,11 @@ fail=0
 count=0
 
 strip_timing() {
-    grep -v -e '"elapsed_ms":' -e '"threads":' "$1"
+    grep -v \
+        -e '"elapsed_ms":' -e '"threads":' \
+        -e '"serial_ms":' -e '"parallel_ms":' \
+        -e '"speedup":' -e '"per_device_step_ms":' \
+        "$1"
 }
 
 for fa in "$a"/*.json; do
