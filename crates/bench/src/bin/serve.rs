@@ -5,12 +5,19 @@
 //! counts, mean admission laxity, preemption counts, queue busy fractions
 //! and plan-cache hit rates.
 //!
-//! Usage: `cargo run --release -p flashmem-bench --bin serve [-- --quick] [--json PATH]`
+//! Usage: `cargo run --release -p flashmem-bench --bin serve [-- --quick] [--json PATH] [--trace-out PATH]`
 //! The `--quick` flag runs the small smoke sweep (CI's serve-smoke step);
-//! `--json PATH` additionally writes the per-cell metrics as JSON.
+//! `--json PATH` additionally writes the per-cell metrics (including each
+//! request's phase breakdown) as JSON; `--trace-out PATH` re-runs the
+//! showcase cell with event tracing enabled and writes a Chrome trace
+//! (open in Perfetto or `chrome://tracing`).
 
 use flashmem_bench::experiments::serve;
 
 fn main() {
-    flashmem_bench::run_bin_with_json(serve::run, serve::ServeBench::to_json);
+    flashmem_bench::run_bin_with_json_and_trace(
+        serve::run,
+        serve::ServeBench::to_json,
+        serve::traced_showcase,
+    );
 }

@@ -22,7 +22,9 @@ use std::time::Instant;
 use flashmem_core::pool::{self, ThreadPool};
 use flashmem_core::{ArtifactCache, FlashMemConfig};
 use flashmem_graph::{ModelSpec, ModelZoo};
-use flashmem_serve::{ArrivalPattern, ServeEngine, ServeReport, WorkloadSpec};
+use flashmem_serve::{
+    ArrivalPattern, FleetTrace, ServeEngine, ServeReport, TraceConfig, WorkloadSpec,
+};
 
 use crate::experiments::serve::serving_fleet;
 use crate::json::Json;
@@ -119,6 +121,24 @@ fn timed_run(
 /// Run the ramp with parallel cells on the process-wide [`pool::global`].
 pub fn run(quick: bool) -> FleetScale {
     run_on(pool::global(), quick)
+}
+
+/// The smallest ramp cell re-run with event tracing enabled — the
+/// [`FleetTrace`] behind the fleet-scale binary's `--trace-out` flag. The
+/// flash crowd places two requests on every device (round-robin), so each
+/// of the 8 device processes records events; simulated-time stamps keep
+/// the export byte-identical at every pool width.
+pub fn traced_showcase(quick: bool) -> FleetTrace {
+    let models = models(quick);
+    let fleet = fleet_sizes(quick)[0];
+    let requests = flash_crowd(fleet, &models);
+    let engine = ServeEngine::new(serving_fleet(fleet), FlashMemConfig::memory_priority())
+        .with_cache(Arc::new(ArtifactCache::new()))
+        .with_tenant_slo("tenant-0", 1_500.0)
+        .with_tenant_slo("tenant-1", 4_000.0)
+        .with_trace(TraceConfig::enabled());
+    let report = engine.run(&requests).expect("traced fleet-scale run");
+    report.trace.expect("tracing was enabled")
 }
 
 /// [`run`] with an explicit pool for the parallel runs. The ramp itself is
@@ -251,6 +271,19 @@ mod tests {
         }
         // The ramp ascends.
         assert!(bench.cells[0].fleet < bench.cells[1].fleet);
+    }
+
+    #[test]
+    fn traced_showcase_covers_the_whole_fleet() {
+        let trace = traced_showcase(true);
+        assert_eq!(trace.processes.len(), 8);
+        for process in &trace.processes {
+            assert!(
+                !process.events.is_empty(),
+                "{} recorded nothing",
+                process.name
+            );
+        }
     }
 
     #[test]

@@ -17,9 +17,9 @@ use flashmem_core::{ArtifactCache, FlashMemConfig};
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 use flashmem_serve::{
-    AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy,
-    LeastLaxityPolicy, PreemptivePriorityPolicy, PriorityPolicy, SchedulePolicy, ServeEngine,
-    WorkloadSpec,
+    AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy, FleetTrace,
+    LeastLaxityPolicy, PhaseBreakdown, PreemptivePriorityPolicy, PriorityPolicy, SchedulePolicy,
+    ServeEngine, TraceConfig, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -77,6 +77,26 @@ pub struct ServeCell {
     /// Per-priority latency percentiles: `(priority, completed, p50, p95,
     /// p99)` ascending by priority.
     pub per_priority: Vec<(u8, usize, f64, f64, f64)>,
+    /// Per-request flight-recorder rows: where each request's end-to-end
+    /// latency went, in completion order.
+    pub outcomes: Vec<OutcomeRow>,
+}
+
+/// One request's phase-attributed outcome inside a [`ServeCell`]: the
+/// [`PhaseBreakdown`] phases sum to `latency_ms` exactly (stall is the
+/// residual), so the JSON rows reconcile against the cell's percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeRow {
+    /// Global request sequence number.
+    pub seq: usize,
+    /// Model abbreviation.
+    pub model: String,
+    /// Whether the request completed successfully.
+    pub completed: bool,
+    /// End-to-end latency (ms, simulated).
+    pub latency_ms: f64,
+    /// Where the latency went.
+    pub phases: PhaseBreakdown,
 }
 
 /// The serving benchmark result.
@@ -284,9 +304,50 @@ pub fn run_on(pool: &ThreadPool, quick: bool) -> ServeBench {
                     )
                 })
                 .collect(),
+            outcomes: report
+                .outcomes
+                .iter()
+                .map(|o| OutcomeRow {
+                    seq: o.seq,
+                    model: o.model.clone(),
+                    completed: o.succeeded(),
+                    latency_ms: o.latency_ms,
+                    phases: o.phases,
+                })
+                .collect(),
         }
     });
     ServeBench { cells }
+}
+
+/// One representative sweep cell — bursty arrivals, the priority policy, a
+/// two-device fleet — re-run with event tracing enabled: the
+/// [`FleetTrace`] behind the serve binary's `--trace-out` flag. Round-robin
+/// placement over the fleet guarantees every device records events. The
+/// trace is stamped with simulated time only, so the export is
+/// byte-identical at every pool width.
+pub fn traced_showcase(quick: bool) -> FleetTrace {
+    let fleet_size = 2;
+    let workload = WorkloadSpec {
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 6,
+            gap_ms: 1_200.0,
+        },
+        requests: if quick { 8 } else { 32 },
+        tenants: 4,
+        priority_levels: 3,
+        seed: 0xF1A5_0000 + fleet_size as u64,
+    };
+    let requests = workload.generate(&serving_models(quick));
+    let mut engine = ServeEngine::new(serving_fleet(fleet_size), FlashMemConfig::memory_priority())
+        .with_policy(Box::new(PriorityPolicy::with_max_in_flight(2)))
+        .with_cache(Arc::new(ArtifactCache::new()))
+        .with_trace(TraceConfig::enabled());
+    for tenant in 0..workload.tenants {
+        engine = engine.with_tenant_slo(format!("tenant-{tenant}"), tenant_slo_ms(tenant));
+    }
+    let report = engine.run(&requests).expect("traced serve showcase runs");
+    report.trace.expect("tracing was enabled")
 }
 
 impl ServeBench {
@@ -306,6 +367,23 @@ impl ServeBench {
                             .field("p50_ms", *p50)
                             .field("p95_ms", *p95)
                             .field("p99_ms", *p99)
+                    })
+                    .collect();
+                let outcomes: Vec<Json> = c
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::obj()
+                            .field("seq", o.seq)
+                            .field("model", o.model.as_str())
+                            .field("completed", o.completed)
+                            .field("latency_ms", o.latency_ms)
+                            .field("queue_ms", o.phases.queue_ms)
+                            .field("compile_ms", o.phases.compile_ms)
+                            .field("transfer_ms", o.phases.transfer_ms)
+                            .field("compute_ms", o.phases.compute_ms)
+                            .field("suspended_ms", o.phases.suspended_ms)
+                            .field("stall_ms", o.phases.stall_ms)
                     })
                     .collect();
                 Json::obj()
@@ -332,6 +410,7 @@ impl ServeBench {
                     .field("mean_admission_laxity_ms", c.mean_admission_laxity_ms)
                     .field("preemptions", c.preemptions)
                     .field("per_priority", Json::Arr(per_priority))
+                    .field("outcomes", Json::Arr(outcomes))
             })
             .collect();
         Json::obj()
@@ -534,5 +613,61 @@ mod tests {
         assert!(json.contains("\"slo_missed_preemption\""));
         assert!(json.contains("\"slo_missed_failed\""));
         assert!(json.contains("\"mean_admission_laxity_ms\""));
+        // Per-request flight-recorder rows with the phase breakdown.
+        assert!(json.contains("\"outcomes\""));
+        assert!(json.contains("\"queue_ms\""));
+        assert!(json.contains("\"compute_ms\""));
+        assert!(json.contains("\"suspended_ms\""));
+        assert!(json.contains("\"stall_ms\""));
+    }
+
+    #[test]
+    fn every_outcome_phase_breakdown_sums_to_its_latency() {
+        let bench = quick_bench();
+        for cell in &bench.cells {
+            assert_eq!(cell.outcomes.len(), cell.requests, "{cell:?}");
+            for o in &cell.outcomes {
+                assert!(
+                    (o.phases.total_ms() - o.latency_ms).abs() < 1e-6,
+                    "phases {:?} do not sum to latency {} ({}/{}/fleet {})",
+                    o.phases,
+                    o.latency_ms,
+                    cell.pattern,
+                    cell.policy,
+                    cell.fleet
+                );
+                assert!(o.phases.queue_ms >= 0.0, "{o:?}");
+                assert!(o.phases.compute_ms >= 0.0, "{o:?}");
+                assert!(o.phases.transfer_ms >= 0.0, "{o:?}");
+                assert!(o.phases.suspended_ms >= 0.0, "{o:?}");
+            }
+            // The busy phases are real: completed requests spend time on
+            // the compute queue.
+            assert!(
+                cell.outcomes
+                    .iter()
+                    .filter(|o| o.completed)
+                    .all(|o| o.phases.compute_ms > 0.0),
+                "{cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_showcase_records_events_on_every_device() {
+        let trace = traced_showcase(true);
+        assert_eq!(trace.processes.len(), 2);
+        for process in &trace.processes {
+            assert!(
+                !process.events.is_empty(),
+                "{} recorded nothing",
+                process.name
+            );
+        }
+        assert_eq!(trace.dropped_events(), 0);
+        let json = flashmem_serve::chrome_trace(&trace);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"process_name\""));
     }
 }

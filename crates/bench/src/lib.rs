@@ -127,6 +127,77 @@ pub fn run_bin_with_json<T: std::fmt::Display>(
     }
 }
 
+/// Parse a `--trace-out PATH` or `--trace-out=PATH` flag from a binary's
+/// argument list: where to write the Chrome trace-event JSON of the
+/// experiment's traced showcase run (open the file in Perfetto or
+/// `chrome://tracing`). Absent flag means no trace is recorded at all —
+/// tracing stays disabled and the showcase run never happens.
+pub fn trace_out_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.into());
+        }
+        if arg == "--trace-out" {
+            return Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --trace-out requires a path");
+                        std::process::exit(2);
+                    })
+                    .into(),
+            );
+        }
+    }
+    None
+}
+
+/// [`run_bin_with_json`] for experiments that can also export a
+/// deterministic fleet trace: when `--trace-out PATH` is present, `traced`
+/// re-runs the experiment's showcase cell with recording enabled and the
+/// merged [`FleetTrace`](flashmem_serve::FleetTrace) is written to `PATH`
+/// as Chrome trace-event JSON. The trace is a pure function of the
+/// workload, so the file is byte-identical at every `--threads` width —
+/// CI's trace-smoke step relies on that.
+pub fn run_bin_with_json_and_trace<T: std::fmt::Display>(
+    run: impl FnOnce(bool) -> T,
+    to_json: impl FnOnce(&T) -> Json,
+    traced: impl FnOnce(bool) -> flashmem_serve::FleetTrace,
+) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pool = configure_pool_from_args(&args);
+    let start = std::time::Instant::now();
+    let result = run(quick);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("{result}");
+    println!(
+        "\n({elapsed_ms:.0} ms wall clock on {} pool thread{})",
+        pool.threads(),
+        if pool.threads() == 1 { "" } else { "s" }
+    );
+    if let Some(path) = json_path_from_args(&args) {
+        let doc = with_timing(to_json(&result), elapsed_ms, pool.threads());
+        write_json(&path, &doc).expect("write bench JSON");
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = trace_out_from_args(&args) {
+        let trace = traced(quick);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create trace output directory");
+            }
+        }
+        std::fs::write(&path, flashmem_serve::chrome_trace(&trace)).expect("write trace JSON");
+        println!(
+            "wrote {} ({} events across {} devices, {} dropped)",
+            path.display(),
+            trace.total_events(),
+            trace.processes.len(),
+            trace.dropped_events()
+        );
+    }
+}
+
 use flashmem_graph::{ModelSpec, ModelZoo};
 
 /// The models used by a sweep.

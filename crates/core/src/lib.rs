@@ -31,6 +31,10 @@
 //!   API; every embarrassingly parallel sweep above the simulator (the bench
 //!   matrix, the serving sweep, the fuzz harness) fans out through it with
 //!   deterministic, input-ordered results.
+//! * [`telemetry`] — the deterministic sim-clock event tracer (re-exported
+//!   `flashmem-trace` crate): per-device ring-buffered recorders, the merged
+//!   [`telemetry::FleetTrace`], Chrome trace-event export and per-request
+//!   [`telemetry::PhaseBreakdown`] latency attribution.
 //!
 //! Multi-model FIFO execution, which lived here as `multi_model` through
 //! PR 1, moved to the `flashmem-serve` crate where the general multi-tenant
@@ -67,6 +71,9 @@ pub mod opg;
 pub mod plan;
 pub mod pool;
 pub mod runtime;
+
+/// Deterministic cross-layer event tracing (the `flashmem-trace` crate).
+pub use flashmem_trace as telemetry;
 
 pub use cache::{run_cached, ArtifactCache, CacheStats, CachedEngine};
 pub use config::FlashMemConfig;

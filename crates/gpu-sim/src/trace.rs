@@ -22,6 +22,7 @@ pub struct MemorySample {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MemoryTrace {
     samples: Vec<MemorySample>,
+    clamped: u64,
 }
 
 impl MemoryTrace {
@@ -34,13 +35,30 @@ impl MemoryTrace {
     ///
     /// Out-of-order timestamps are clamped to the latest recorded time so the
     /// trace stays monotone (the simulator's event clock never goes backwards,
-    /// but callers composing traces may replay slightly stale events).
+    /// but callers composing traces may replay slightly stale events — tiny
+    /// reorderings across concurrent streams are an accepted modelling
+    /// artifact). Clamps are no longer silent: each one increments the
+    /// [`clamped`](Self::clamped) counter. Non-finite timestamps are a caller
+    /// bug and trip a debug assertion.
     pub fn record(&mut self, time_ms: f64, bytes: u64) {
+        debug_assert!(
+            time_ms.is_finite(),
+            "memory trace timestamps must be finite, got {time_ms}"
+        );
         let t = match self.samples.last() {
-            Some(last) if time_ms < last.time_ms => last.time_ms,
+            Some(last) if time_ms < last.time_ms => {
+                self.clamped += 1;
+                last.time_ms
+            }
             _ => time_ms,
         };
         self.samples.push(MemorySample { time_ms: t, bytes });
+    }
+
+    /// Number of samples whose timestamps arrived out of order and were
+    /// clamped forward to keep the trace monotone.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Number of samples recorded.
@@ -318,6 +336,39 @@ mod tests {
         t.record(10.0, 1);
         t.record(5.0, 2);
         assert_eq!(t.samples()[1].time_ms, 10.0);
+    }
+
+    #[test]
+    fn clamped_counter_tracks_out_of_order_samples() {
+        let mut t = MemoryTrace::new();
+        assert_eq!(t.clamped(), 0);
+        t.record(10.0, 1);
+        t.record(5.0, 2); // clamped to 10
+        t.record(10.0, 3); // equal timestamps are in order, not clamped
+        t.record(8.0, 4); // clamped to 10
+        t.record(12.0, 5);
+        assert_eq!(t.clamped(), 2);
+        // Every surviving timestamp is monotone.
+        assert!(t.samples().windows(2).all(|w| w[0].time_ms <= w[1].time_ms));
+    }
+
+    #[test]
+    fn peak_is_maximum_over_all_samples() {
+        let mut t = MemoryTrace::new();
+        for (time, bytes) in [(0.0, 10), (1.0, 500), (2.0, 120), (3.0, 499)] {
+            t.record(time, bytes);
+        }
+        assert_eq!(t.peak_bytes(), 500);
+    }
+
+    #[test]
+    fn time_weighted_average_with_uneven_intervals() {
+        let mut t = MemoryTrace::new();
+        t.record(0.0, 100); // holds for 10 ms
+        t.record(10.0, 400); // holds for 30 ms
+        t.record(40.0, 0);
+        // (100·10 + 400·30) / 40 = 325.
+        assert!((t.average_bytes() - 325.0).abs() < 1e-9);
     }
 
     #[test]

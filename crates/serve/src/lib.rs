@@ -69,6 +69,18 @@
 //! attributes each deadline miss to a [`metrics::MissCause`] (queueing,
 //! execution, preemption or failure).
 //!
+//! ## Tracing
+//!
+//! [`ServeEngine::with_trace`](server::ServeEngine::with_trace) threads the
+//! deterministic cross-layer event recorder (`flashmem_core::telemetry`)
+//! through every device job: request lifecycles (queue wait → admit → run →
+//! preempt/resume → complete or fail), per-command queue spans and cache
+//! hit/miss instants. Each device fills a private ring buffer inside its
+//! pool job and the buffers merge at the same ordered commit point as the
+//! outcomes, so the exported Chrome trace ([`chrome_trace`]) is
+//! byte-identical at every pool width. Recording is off by default and
+//! costs one branch per event when disabled.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -103,6 +115,9 @@ pub mod request;
 pub mod server;
 pub mod workload;
 
+pub use flashmem_core::telemetry::{
+    chrome_trace, FleetTrace, PhaseBreakdown, TraceConfig, TraceEvent, TraceKind, TraceLane,
+};
 pub use flashmem_gpu_sim::engine::PreemptionCost;
 pub use metrics::{
     DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome, ServeReport,

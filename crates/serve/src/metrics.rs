@@ -20,6 +20,7 @@
 //!   preemption or outright failure).
 
 use flashmem_core::cache::CacheStats;
+use flashmem_core::telemetry::{FleetTrace, PhaseBreakdown};
 use flashmem_core::ExecutionReport;
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::SimError;
@@ -90,6 +91,10 @@ pub struct RequestOutcome {
     /// during the request's window, which is the quantity capacity planning
     /// cares about.
     pub peak_memory_mb: f64,
+    /// Where the end-to-end latency went: queue wait, compile, exposed
+    /// transfer, compute, suspension, and a residual stall term. The phases
+    /// sum to [`latency_ms`](Self::latency_ms) by construction.
+    pub phases: PhaseBreakdown,
     /// The failure, if the request did not complete (out-of-memory, tenant
     /// cap smaller than the model's working set, ...).
     pub error: Option<SimError>,
@@ -355,6 +360,12 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Plan-cache counters at the end of the run.
     pub cache: CacheStats,
+    /// The merged per-device event trace, when the engine ran with tracing
+    /// enabled ([`ServeEngine::with_trace`](crate::ServeEngine::with_trace)).
+    /// `None` on untraced runs; a traced report with this field stripped is
+    /// byte-identical to an untraced one (recording never perturbs the
+    /// simulation).
+    pub trace: Option<FleetTrace>,
 }
 
 impl ServeReport {
@@ -513,6 +524,7 @@ mod tests {
             resume_penalty_ms: 0.0,
             cache_hit: false,
             peak_memory_mb: 0.0,
+            phases: PhaseBreakdown::default(),
             error: None,
             report: None,
         }

@@ -86,6 +86,9 @@ use flashmem_core::cache::ArtifactCache;
 use flashmem_core::engine::CompiledArtifact;
 use flashmem_core::executor::RUNTIME_OVERHEAD_BYTES;
 use flashmem_core::pool::{self, ThreadPool};
+use flashmem_core::telemetry::{
+    FleetTrace, PhaseBreakdown, TraceConfig, TraceKind, TraceLane, TraceRecorder,
+};
 use flashmem_core::{ExecutionReport, FlashMem, FlashMemConfig, KernelRewriter, StreamingExecutor};
 use flashmem_gpu_sim::engine::{
     CommandStream, GpuSimulator, PreemptionCost, QueueClocks, QueueKind, SimConfig, StreamStepper,
@@ -270,6 +273,16 @@ struct FlightMeta {
     preemptions: usize,
     suspended_ms: f64,
     penalty_ms: f64,
+    /// Global time at which the current running segment began (admission or
+    /// last resume, after any reload penalty) — the open edge of the event
+    /// trace's `Running` span.
+    run_start_ms: f64,
+    /// This request's own transfer-queue command intervals, in stream-local
+    /// (epoch-relative) time. Per-queue commands never overlap, so phase
+    /// attribution can union them directly.
+    transfer_intervals: Vec<(f64, f64)>,
+    /// This request's own compute-queue command intervals, stream-local.
+    compute_intervals: Vec<(f64, f64)>,
 }
 
 impl FlightMeta {
@@ -299,6 +312,20 @@ impl FlightMeta {
         error: Option<SimError>,
         report: Option<ExecutionReport>,
     ) -> RequestOutcome {
+        let queue_wait_ms = (self.start_ms - self.arrival_ms).max(0.0);
+        let latency_ms = (completion_ms - self.arrival_ms).max(0.0);
+        // Compile time is 0.0 on the simulated clock (LC-OPG solves are
+        // charged to host wall time, not device time); suspension includes
+        // the re-residency penalties; the residual stall term makes the
+        // phases sum to the latency exactly.
+        let phases = PhaseBreakdown::attribute(
+            latency_ms,
+            queue_wait_ms,
+            0.0,
+            self.suspended_ms + self.penalty_ms,
+            &self.transfer_intervals,
+            &self.compute_intervals,
+        );
         RequestOutcome {
             seq: self.seq,
             model: self.abbr,
@@ -309,8 +336,8 @@ impl FlightMeta {
             arrival_ms: self.arrival_ms,
             start_ms: self.start_ms,
             completion_ms,
-            queue_wait_ms: (self.start_ms - self.arrival_ms).max(0.0),
-            latency_ms: (completion_ms - self.arrival_ms).max(0.0),
+            queue_wait_ms,
+            latency_ms,
             deadline_ms: self.deadline_ms,
             admission_laxity_ms: self.admission_laxity_ms,
             resident_estimate_bytes: self.estimate_bytes,
@@ -319,6 +346,7 @@ impl FlightMeta {
             resume_penalty_ms: self.penalty_ms,
             cache_hit: self.cache_hit,
             peak_memory_mb,
+            phases,
             error,
             report,
         }
@@ -382,6 +410,7 @@ pub struct ServeEngine {
     cache: Arc<ArtifactCache>,
     tenant_caps: HashMap<String, u64>,
     tenant_slos: HashMap<String, f64>,
+    trace: TraceConfig,
 }
 
 impl ServeEngine {
@@ -398,7 +427,19 @@ impl ServeEngine {
             cache: Arc::new(ArtifactCache::new()),
             tenant_caps: HashMap::new(),
             tenant_slos: HashMap::new(),
+            trace: TraceConfig::disabled(),
         }
+    }
+
+    /// Configure event tracing (builder style). Off by default; when
+    /// enabled, each device fills a ring-buffered [`TraceRecorder`] inside
+    /// its `run_device` job and the ordered merge seals them into
+    /// [`ServeReport::trace`]. Recording never perturbs the simulation: a
+    /// traced report minus its `trace` field is byte-identical to an
+    /// untraced run.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Replace the scheduling policy (builder style).
@@ -528,11 +569,31 @@ impl ServeEngine {
         // ---- ordered merge: the commit point ----
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
         let mut devices = Vec::with_capacity(fleet_len);
-        for (mut device_outcomes, report) in device_results {
+        let mut recorders = Vec::with_capacity(fleet_len);
+        for (mut device_outcomes, report, recorder) in device_results {
             outcomes.append(&mut device_outcomes);
             devices.push(report);
+            recorders.push(recorder);
         }
         outcomes.sort_by_key(|o| o.seq);
+        // Trace buffers merge in fleet order — the same deterministic commit
+        // discipline as the outcome sort, so the trace is byte-identical at
+        // every pool width.
+        let trace = if self.trace.enabled {
+            Some(FleetTrace {
+                processes: self
+                    .fleet
+                    .iter()
+                    .zip(recorders)
+                    .enumerate()
+                    .map(|(index, (device, recorder))| {
+                        recorder.into_process_trace(&format!("{} #{index}", device.name))
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
 
         let latencies: Vec<f64> = outcomes
             .iter()
@@ -562,15 +623,21 @@ impl ServeEngine {
             preemptions,
             throughput_rps,
             cache: self.cache.stats(),
+            trace,
         })
     }
 
     /// Run one device's timeline to completion. Called once per
     /// [`DeviceJob`], usually from a pool worker: everything it touches is
     /// either owned by the job, local to this call, or a thread-safe shared
-    /// structure (the plan cache).
+    /// structure (the plan cache). The returned [`TraceRecorder`] is this
+    /// device's private event buffer, filled single-threaded here and merged
+    /// (deterministically, in fleet order) at the run's commit point.
     #[allow(clippy::too_many_lines)]
-    fn run_device(&self, job: DeviceJob<'_>) -> SimResult<(Vec<RequestOutcome>, DeviceReport)> {
+    fn run_device(
+        &self,
+        job: DeviceJob<'_>,
+    ) -> SimResult<(Vec<RequestOutcome>, DeviceReport, TraceRecorder)> {
         let DeviceJob {
             index: device_index,
             device,
@@ -579,6 +646,7 @@ impl ServeEngine {
             assigned,
             warm,
         } = job;
+        let mut trace = TraceRecorder::new(self.trace);
         let mut tracker = MemoryTracker::for_device(device);
         let slots = self.policy.max_in_flight().max(1);
         let exclusive = slots == 1 && self.policy.preemption().is_none();
@@ -653,11 +721,13 @@ impl ServeEngine {
         let mut estimate_memo: HashMap<usize, u64> = HashMap::new();
 
         let fail = |outcomes: &mut Vec<RequestOutcome>,
+                    trace: &mut TraceRecorder,
                     seq: usize,
                     request: &ServeRequest,
                     deadline_ms: Option<f64>,
                     now: f64,
                     error: SimError| {
+            let wait_ms = (now - request.arrival_ms).max(0.0);
             outcomes.push(RequestOutcome {
                 seq,
                 model: request.model.abbr.clone(),
@@ -668,8 +738,8 @@ impl ServeEngine {
                 arrival_ms: request.arrival_ms,
                 start_ms: now,
                 completion_ms: now,
-                queue_wait_ms: (now - request.arrival_ms).max(0.0),
-                latency_ms: (now - request.arrival_ms).max(0.0),
+                queue_wait_ms: wait_ms,
+                latency_ms: wait_ms,
                 deadline_ms,
                 admission_laxity_ms: None,
                 resident_estimate_bytes: 0,
@@ -678,9 +748,11 @@ impl ServeEngine {
                 resume_penalty_ms: 0.0,
                 cache_hit: false,
                 peak_memory_mb: 0.0,
+                phases: PhaseBreakdown::attribute(wait_ms, wait_ms, 0.0, 0.0, &[], &[]),
                 error: Some(error),
                 report: None,
             });
+            trace_failure(trace, outcomes.last().expect("just pushed"), None);
         };
 
         loop {
@@ -700,6 +772,7 @@ impl ServeEngine {
                     &estimates,
                     &mut in_flight,
                     &mut suspended,
+                    &mut trace,
                 )?;
             }
 
@@ -752,6 +825,15 @@ impl ServeEngine {
                                 makespan = makespan.max(now);
                                 decrement(&mut tenant_bytes, &s.meta.tenant, s.meta.estimate_bytes);
                                 let mut meta = s.meta;
+                                if trace.enabled() {
+                                    trace.span(
+                                        TraceKind::Suspended,
+                                        TraceLane::Request(meta.seq),
+                                        &format!("suspended {}", meta.abbr),
+                                        s.suspended_at_ms,
+                                        now,
+                                    );
+                                }
                                 meta.suspended_ms += (now - s.suspended_at_ms).max(0.0);
                                 outcomes.push(meta.into_outcome(
                                     &device.name,
@@ -767,6 +849,11 @@ impl ServeEngine {
                                     }),
                                     None,
                                 ));
+                                trace_failure(
+                                    &mut trace,
+                                    outcomes.last().expect("just pushed"),
+                                    None,
+                                );
                                 continue 'admit;
                             }
                             // Defer until in-flight work frees memory.
@@ -779,16 +866,29 @@ impl ServeEngine {
                             .preemption()
                             .unwrap_or_else(PreemptionCost::free);
                         let resume_local = (now - epoch).max(0.0);
-                        let (stepper, penalty) = s.suspension.resume_into(
+                        if trace.enabled() {
+                            trace.span(
+                                TraceKind::Suspended,
+                                TraceLane::Request(s.meta.seq),
+                                &format!("suspended {}", s.meta.abbr),
+                                s.suspended_at_ms,
+                                now,
+                            );
+                        }
+                        let (stepper, penalty) = s.suspension.resume_into_traced(
                             &sim,
                             &mut tracker,
                             resume_local,
                             epoch,
                             &cost,
+                            &mut trace,
+                            TraceLane::Request(s.meta.seq),
+                            &s.meta.abbr,
                         )?;
                         let mut meta = s.meta;
                         meta.suspended_ms += (now - s.suspended_at_ms).max(0.0);
                         meta.penalty_ms += penalty;
+                        meta.run_start_ms = epoch + resume_local + penalty;
                         in_flight.push(InFlight { meta, stepper });
                         continue 'admit;
                     }
@@ -800,20 +900,36 @@ impl ServeEngine {
                         .expect("candidate is pending");
                     let (seq, request) = pending[position];
 
-                    let artifact = match self.cache.compile(&engine, &request.model, device) {
-                        Ok((artifact, _)) => artifact,
-                        Err(error) => {
-                            pending.remove(position);
-                            let deadline = self.effective_deadline(request);
-                            fail(&mut outcomes, seq, request, deadline, now, error);
-                            continue 'admit;
-                        }
-                    };
                     // Report warmth-at-run-start (the prologue snapshot),
                     // not `compile`'s racy mid-run flag: at pool width > 1
                     // that flag records which device won the compile race.
                     let cache_hit =
                         warm.contains(&ArtifactCache::key_for(&engine, &request.model, device));
+                    let artifact = match self.cache.compile_traced(
+                        &engine,
+                        &request.model,
+                        device,
+                        now,
+                        cache_hit,
+                        TraceLane::Host,
+                        &mut trace,
+                    ) {
+                        Ok((artifact, _)) => artifact,
+                        Err(error) => {
+                            pending.remove(position);
+                            let deadline = self.effective_deadline(request);
+                            fail(
+                                &mut outcomes,
+                                &mut trace,
+                                seq,
+                                request,
+                                deadline,
+                                now,
+                                error,
+                            );
+                            continue 'admit;
+                        }
+                    };
                     let estimate = estimate_resident_bytes(&artifact, &request.model);
                     if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
                         let used = tenant_bytes.get(&request.tenant).copied().unwrap_or(0);
@@ -824,6 +940,7 @@ impl ServeEngine {
                                 let deadline = self.effective_deadline(request);
                                 fail(
                                     &mut outcomes,
+                                    &mut trace,
                                     seq,
                                     request,
                                     deadline,
@@ -859,6 +976,23 @@ impl ServeEngine {
                         .copied()
                         .flatten()
                         .map(|deadline| deadline - start_ms - predicted_ms);
+                    if trace.enabled() {
+                        let lane = TraceLane::Request(seq);
+                        trace.span(
+                            TraceKind::QueueWait,
+                            lane,
+                            &format!("queue {}", request.model.abbr),
+                            request.arrival_ms,
+                            start_ms,
+                        );
+                        let label = match admission_laxity_ms {
+                            Some(laxity) => {
+                                format!("admit {} laxity {laxity:.3} ms", request.model.abbr)
+                            }
+                            None => format!("admit {}", request.model.abbr),
+                        };
+                        trace.instant(TraceKind::Admit, lane, &label, start_ms);
+                    }
                     in_flight.push(InFlight {
                         meta: FlightMeta {
                             seq,
@@ -879,6 +1013,9 @@ impl ServeEngine {
                             preemptions: 0,
                             suspended_ms: 0.0,
                             penalty_ms: 0.0,
+                            run_start_ms: start_ms,
+                            transfer_intervals: Vec::new(),
+                            compute_intervals: Vec::new(),
                         },
                         stepper,
                     });
@@ -915,15 +1052,33 @@ impl ServeEngine {
                 }
             }
             let base = if exclusive { 0.0 } else { epoch };
-            match in_flight[chosen]
-                .stepper
-                .step(&sim, &mut clocks, &mut tracker, base)
-            {
-                Ok(Some(event)) => match event.queue {
-                    QueueKind::Transfer => transfer_busy += event.duration_ms(),
-                    QueueKind::Compute => compute_busy += event.duration_ms(),
-                    QueueKind::Host => {}
-                },
+            let step_result = in_flight[chosen].stepper.step_traced(
+                &sim,
+                &mut clocks,
+                &mut tracker,
+                base,
+                epoch,
+                &mut trace,
+            );
+            match step_result {
+                Ok(Some(event)) => {
+                    let meta = &mut in_flight[chosen].meta;
+                    match event.queue {
+                        QueueKind::Transfer => {
+                            transfer_busy += event.duration_ms();
+                            if event.end_ms > event.start_ms {
+                                meta.transfer_intervals.push((event.start_ms, event.end_ms));
+                            }
+                        }
+                        QueueKind::Compute => {
+                            compute_busy += event.duration_ms();
+                            if event.end_ms > event.start_ms {
+                                meta.compute_intervals.push((event.start_ms, event.end_ms));
+                            }
+                        }
+                        QueueKind::Host => {}
+                    }
+                }
                 Ok(None) => {}
                 Err(error) => {
                     // The request failed mid-run (modelled OOM): release what
@@ -946,6 +1101,7 @@ impl ServeEngine {
                     );
                     let completion = if exclusive { epoch } else { now_global };
                     makespan = makespan.max(completion);
+                    let run_start = flight.meta.run_start_ms;
                     outcomes.push(flight.meta.into_outcome(
                         &device.name,
                         device_index,
@@ -954,6 +1110,11 @@ impl ServeEngine {
                         Some(error),
                         None,
                     ));
+                    trace_failure(
+                        &mut trace,
+                        outcomes.last().expect("just pushed"),
+                        Some(run_start),
+                    );
                     continue;
                 }
             }
@@ -988,6 +1149,7 @@ impl ServeEngine {
                 );
                 makespan = makespan.max(completion);
                 let peak_memory_mb = report.peak_memory_mb;
+                let run_start = flight.meta.run_start_ms;
                 outcomes.push(flight.meta.into_outcome(
                     &device.name,
                     device_index,
@@ -996,6 +1158,7 @@ impl ServeEngine {
                     None,
                     Some(report),
                 ));
+                trace_completion(&mut trace, outcomes.last().expect("just pushed"), run_start);
             } else {
                 let mut flight = flight;
                 let total_local = flight.stepper.makespan_ms();
@@ -1013,6 +1176,7 @@ impl ServeEngine {
                     flight.meta.estimate_bytes,
                 );
                 makespan = makespan.max(completion);
+                let run_start = flight.meta.run_start_ms;
                 outcomes.push(flight.meta.into_outcome(
                     &device.name,
                     device_index,
@@ -1021,10 +1185,11 @@ impl ServeEngine {
                     None,
                     None,
                 ));
+                trace_completion(&mut trace, outcomes.last().expect("just pushed"), run_start);
             }
         }
 
-        let trace = if exclusive {
+        let mem_trace = if exclusive {
             stitched
         } else {
             tracker.trace().clone()
@@ -1047,10 +1212,10 @@ impl ServeEngine {
             } else {
                 0.0
             },
-            peak_memory_mb: trace.peak_bytes() as f64 / MIB,
-            memory_trace: trace,
+            peak_memory_mb: mem_trace.peak_bytes() as f64 / MIB,
+            memory_trace: mem_trace,
         };
-        Ok((outcomes, report))
+        Ok((outcomes, report, trace))
     }
 
     /// Preemption phase of the device loop: while every slot is busy and an
@@ -1081,6 +1246,7 @@ impl ServeEngine {
         estimates: &HashMap<usize, f64>,
         in_flight: &mut Vec<InFlight>,
         suspended: &mut Vec<Suspended>,
+        trace: &mut TraceRecorder,
     ) -> SimResult<()> {
         while in_flight.len() >= slots && !in_flight.is_empty() {
             let now = epoch
@@ -1188,9 +1354,24 @@ impl ServeEngine {
             let local_now = (now - epoch).max(flight.stepper.makespan_ms());
             let mut meta = flight.meta;
             meta.preemptions += 1;
-            let suspension = flight
-                .stepper
-                .suspend_evicting(clocks, tracker, local_now, epoch)?;
+            if trace.enabled() {
+                trace.span(
+                    TraceKind::Running,
+                    TraceLane::Request(meta.seq),
+                    &format!("run {}", meta.abbr),
+                    meta.run_start_ms,
+                    epoch + local_now,
+                );
+            }
+            let suspension = flight.stepper.suspend_evicting_traced(
+                clocks,
+                tracker,
+                local_now,
+                epoch,
+                trace,
+                TraceLane::Request(meta.seq),
+                &meta.abbr,
+            )?;
             suspended.push(Suspended {
                 meta,
                 suspended_at_ms: epoch + local_now,
@@ -1205,6 +1386,62 @@ fn decrement(tenant_bytes: &mut HashMap<String, u64>, tenant: &str, bytes: u64) 
     if let Some(used) = tenant_bytes.get_mut(tenant) {
         *used = used.saturating_sub(bytes);
     }
+}
+
+/// Close a completed request's lifecycle on its trace lane: the final
+/// `Running` span, a completion instant, and — when the deadline was missed
+/// — an [`TraceKind::SloMiss`] instant tagged with the miss cause.
+fn trace_completion(trace: &mut TraceRecorder, outcome: &RequestOutcome, run_start_ms: f64) {
+    if !trace.enabled() {
+        return;
+    }
+    let lane = TraceLane::Request(outcome.seq);
+    trace.span(
+        TraceKind::Running,
+        lane,
+        &format!("run {}", outcome.model),
+        run_start_ms,
+        outcome.completion_ms,
+    );
+    trace.instant(
+        TraceKind::Complete,
+        lane,
+        &format!("complete {}", outcome.model),
+        outcome.completion_ms,
+    );
+    if let Some(cause) = outcome.miss_cause() {
+        trace.instant(
+            TraceKind::SloMiss,
+            lane,
+            &format!("slo miss {} ({cause:?})", outcome.model),
+            outcome.completion_ms,
+        );
+    }
+}
+
+/// Close a failed request's lifecycle on its trace lane; `run_start_ms` is
+/// `Some` when the request had started executing (mid-run failure) so the
+/// partial `Running` span is closed too.
+fn trace_failure(trace: &mut TraceRecorder, outcome: &RequestOutcome, run_start_ms: Option<f64>) {
+    if !trace.enabled() {
+        return;
+    }
+    let lane = TraceLane::Request(outcome.seq);
+    if let Some(run_start) = run_start_ms {
+        trace.span(
+            TraceKind::Running,
+            lane,
+            &format!("run {}", outcome.model),
+            run_start,
+            outcome.completion_ms,
+        );
+    }
+    trace.instant(
+        TraceKind::Fail,
+        lane,
+        &format!("fail {}", outcome.model),
+        outcome.completion_ms,
+    );
 }
 
 impl std::fmt::Debug for ServeEngine {

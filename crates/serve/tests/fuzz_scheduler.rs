@@ -398,12 +398,13 @@ fn comparable(report: &ServeReport) -> String {
             resume_penalty_ms,
             cache_hit: _, // process-wide cache warmth, not scheduler behaviour
             peak_memory_mb,
+            phases,
             error,
             report,
         } = o;
         let _ = write!(
             view,
-            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{error:?}|{report:?};",
+            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{error:?}|{report:?};",
         );
     }
     let _ = write!(

@@ -1,0 +1,179 @@
+//! Cross-layer trace determinism.
+//!
+//! The tracing design promises two things the rest of the repo's
+//! determinism discipline depends on:
+//!
+//! 1. **Width-independence** — each device fills its own recorder inside
+//!    its pool job and the buffers merge at the same ordered commit point
+//!    as the outcomes, so the exported Chrome trace of a `--threads 4` run
+//!    is *byte-identical* to the width-1 (exact serial path) run.
+//! 2. **Zero perturbation** — enabling tracing must not change the
+//!    schedule: a traced report with its trace stripped is byte-identical
+//!    to the untraced report.
+
+use std::sync::Arc;
+
+use flashmem_core::pool::ThreadPool;
+use flashmem_core::{ArtifactCache, FlashMemConfig};
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::ModelZoo;
+use flashmem_serve::{
+    chrome_trace, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy, SchedulePolicy,
+    ServeEngine, ServeReport, ServeRequest, TraceConfig, TraceKind, WorkloadSpec,
+};
+
+fn workload() -> Vec<ServeRequest> {
+    WorkloadSpec {
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 6,
+            gap_ms: 900.0,
+        },
+        requests: 12,
+        tenants: 3,
+        priority_levels: 3,
+        seed: 0xD7_2ACE,
+    }
+    .generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()])
+}
+
+/// A fresh engine per run: the plan cache's warmth is process-history
+/// dependent, so sharing one cache across runs would make the *first* run
+/// see different cache hit/miss events than the second.
+fn engine(policy: Box<dyn SchedulePolicy>, trace: TraceConfig) -> ServeEngine {
+    ServeEngine::new(
+        vec![DeviceSpec::oneplus_12(), DeviceSpec::pixel_8()],
+        FlashMemConfig::memory_priority(),
+    )
+    .with_policy(policy)
+    .with_cache(Arc::new(ArtifactCache::new()))
+    .with_tenant_slo("tenant-0", 900.0)
+    .with_tenant_slo("tenant-1", 2_500.0)
+    .with_tenant_slo("tenant-2", 6_000.0)
+    .with_trace(trace)
+}
+
+type PolicyFactory = Box<dyn Fn() -> Box<dyn SchedulePolicy>>;
+
+fn traced_run(make_policy: &dyn Fn() -> Box<dyn SchedulePolicy>, threads: usize) -> ServeReport {
+    let pool = ThreadPool::with_threads(threads);
+    engine(make_policy(), TraceConfig::enabled())
+        .run_on(&pool, &workload())
+        .expect("traced run succeeds")
+}
+
+#[test]
+fn exported_trace_is_byte_identical_across_pool_widths() {
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        ("fifo", Box::new(|| Box::new(FifoPolicy) as _)),
+        (
+            "edf",
+            Box::new(|| Box::new(EdfPolicy::with_max_in_flight(2)) as _),
+        ),
+        (
+            "deadline_preemptive",
+            Box::new(|| Box::new(DeadlinePreemptivePolicy::new()) as _),
+        ),
+    ];
+    for (name, make_policy) in &policies {
+        let serial = traced_run(make_policy, 1);
+        let parallel = traced_run(make_policy, 4);
+        let serial_trace = serial.trace.as_ref().expect("tracing was enabled");
+        let parallel_trace = parallel.trace.as_ref().expect("tracing was enabled");
+        assert!(
+            serial_trace.total_events() > 0,
+            "{name}: traced run recorded nothing"
+        );
+        assert_eq!(
+            chrome_trace(serial_trace),
+            chrome_trace(parallel_trace),
+            "{name}: exported trace diverged between pool widths"
+        );
+        // The reports agree too — same placement, same schedule.
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "{name}: traced reports diverged between pool widths"
+        );
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_report() {
+    let untraced = engine(Box::new(FifoPolicy), TraceConfig::disabled())
+        .run(&workload())
+        .expect("untraced run succeeds");
+    let mut traced = engine(Box::new(FifoPolicy), TraceConfig::enabled())
+        .run(&workload())
+        .expect("traced run succeeds");
+    assert!(untraced.trace.is_none());
+    assert!(traced.trace.is_some());
+    // Strip the recording itself; everything else must be byte-identical.
+    traced.trace = None;
+    assert_eq!(format!("{untraced:?}"), format!("{traced:?}"));
+}
+
+#[test]
+fn request_lifecycles_cover_arrival_to_completion() {
+    let report = traced_run(&|| Box::new(DeadlinePreemptivePolicy::new()) as _, 4);
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    // Preemptive single-slot traffic under bursts exercises the whole
+    // event vocabulary: queue waits, admissions, command spans, runs and
+    // completions at minimum.
+    let kinds: std::collections::HashSet<TraceKind> = trace
+        .processes
+        .iter()
+        .flat_map(|p| p.events.iter().map(|e| e.kind))
+        .collect();
+    for kind in [
+        TraceKind::QueueWait,
+        TraceKind::Admit,
+        TraceKind::Command,
+        TraceKind::Running,
+        TraceKind::Complete,
+    ] {
+        assert!(kinds.contains(&kind), "no {kind:?} event recorded");
+    }
+    // Cache activity is traced per admission: 12 requests, each either a
+    // hit or a miss.
+    let cache_events = trace
+        .processes
+        .iter()
+        .flat_map(|p| p.events.iter())
+        .filter(|e| matches!(e.kind, TraceKind::CacheHit | TraceKind::CacheMiss))
+        .count();
+    assert_eq!(cache_events, report.outcomes.len());
+    // Every completed request's phase breakdown reconciles exactly.
+    for outcome in &report.outcomes {
+        assert!(
+            (outcome.phases.total_ms() - outcome.latency_ms).abs() < 1e-6,
+            "{:?} does not sum to {}",
+            outcome.phases,
+            outcome.latency_ms
+        );
+    }
+}
+
+#[test]
+fn ring_buffer_cap_bounds_the_trace_and_counts_drops() {
+    let report = engine(
+        Box::new(FifoPolicy),
+        TraceConfig::enabled().with_events_per_device(4),
+    )
+    .run(&workload())
+    .expect("capped traced run succeeds");
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    assert!(trace.processes.iter().all(|p| p.events.len() <= 4));
+    assert!(
+        trace.dropped_events() > 0,
+        "a 4-event ring must drop under this workload"
+    );
+    // Dropping trace events must not change the schedule either.
+    let uncapped = engine(Box::new(FifoPolicy), TraceConfig::enabled())
+        .run(&workload())
+        .expect("uncapped traced run succeeds");
+    let strip = |mut r: ServeReport| {
+        r.trace = None;
+        format!("{r:?}")
+    };
+    assert_eq!(strip(report), strip(uncapped));
+}

@@ -1,0 +1,256 @@
+//! Chrome trace-event JSON export for a merged [`FleetTrace`].
+//!
+//! The output is the classic `chrome://tracing` / Perfetto "JSON object
+//! format": a `traceEvents` array of metadata (`ph:"M"`), duration begin/
+//! end pairs (`ph:"B"`/`"E"`), and instant (`ph:"i"`) records, plus an
+//! `otherData` header carrying the fleet-wide `dropped_events` counter.
+//! Devices map to trace *processes* (`pid` = device index) and lanes —
+//! hardware queues, host work, individual requests — map to *threads*.
+//!
+//! Emission is fully deterministic: records are sorted by timestamp with
+//! `E` before `B` before `i` at ties (so back-to-back spans on one lane
+//! close before the next opens), then by device index and recorder
+//! sequence number. Rendering uses only `f64` `Display`, which is
+//! deterministic in Rust.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{FleetTrace, TraceEvent, TraceLane};
+
+/// Sortable intermediate record: one line of the `traceEvents` array.
+struct Record {
+    ts_us: f64,
+    /// 0 = end, 1 = begin, 2 = instant — the tie order at equal `ts_us`.
+    class: u8,
+    /// Secondary tie key, larger first: for `E` the span's start (inner
+    /// spans close first), for `B` the span's end (outer spans open
+    /// first). Unused (0) for instants.
+    nest_key: f64,
+    pid: usize,
+    seq: u64,
+    body: String,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_fragment(event: &TraceEvent) -> String {
+    if event.bytes > 0 {
+        format!(",\"args\":{{\"bytes\":{}}}", event.bytes)
+    } else {
+        String::new()
+    }
+}
+
+fn event_records(pid: usize, event: &TraceEvent, out: &mut Vec<Record>) {
+    let ts = event.start_ms * 1000.0;
+    let cat = event.kind.category();
+    let name = escape(&event.name);
+    let tid = event.lane.tid();
+    let args = args_fragment(event);
+    if event.dur_ms > 0.0 {
+        let end = (event.start_ms + event.dur_ms) * 1000.0;
+        out.push(Record {
+            ts_us: ts,
+            class: 1,
+            nest_key: end,
+            pid,
+            seq: event.seq,
+            body: format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}{args}}}"
+            ),
+        });
+        out.push(Record {
+            ts_us: end,
+            class: 0,
+            nest_key: ts,
+            pid,
+            seq: event.seq,
+            body: format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{end},\"pid\":{pid},\"tid\":{tid}}}"
+            ),
+        });
+    } else {
+        out.push(Record {
+            ts_us: ts,
+            class: 2,
+            nest_key: 0.0,
+            pid,
+            seq: event.seq,
+            body: format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\"pid\":{pid},\"tid\":{tid}{args}}}"
+            ),
+        });
+    }
+}
+
+/// Render a merged fleet trace as a Chrome trace-event JSON string.
+///
+/// The header's `otherData` carries the total event and
+/// `dropped_events` counts; each device's `process_name` metadata
+/// additionally carries that device's own dropped count in `args`.
+pub fn chrome_trace(trace: &FleetTrace) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    // Metadata first, in fleet order: process names, then each lane
+    // observed on that device (sorted by tid) as a thread name.
+    for (pid, process) in trace.processes.iter().enumerate() {
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\",\"dropped_events\":{}}}}}",
+            escape(&process.name),
+            process.dropped
+        ));
+        let mut lanes: BTreeMap<u64, TraceLane> = BTreeMap::new();
+        for event in &process.events {
+            lanes.entry(event.lane.tid()).or_insert(event.lane);
+        }
+        for (tid, lane) in lanes {
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(&lane.label())
+            ));
+        }
+    }
+
+    // Then the events, globally ordered.
+    let mut records: Vec<Record> = Vec::with_capacity(trace.total_events() * 2);
+    for (pid, process) in trace.processes.iter().enumerate() {
+        for event in &process.events {
+            event_records(pid, event, &mut records);
+        }
+    }
+    records.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then_with(|| a.class.cmp(&b.class))
+            .then_with(|| b.nest_key.total_cmp(&a.nest_key))
+            .then_with(|| a.pid.cmp(&b.pid))
+            .then_with(|| a.seq.cmp(&b.seq))
+    });
+    lines.extend(records.into_iter().map(|r| r.body));
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"displayTimeUnit\": \"ms\",\n");
+    out.push_str("  \"otherData\": {\n");
+    out.push_str("    \"generator\": \"flashmem-trace\",\n");
+    let _ = writeln!(out, "    \"processes\": \"{}\",", trace.processes.len());
+    let _ = writeln!(out, "    \"events\": \"{}\",", trace.total_events());
+    let _ = writeln!(
+        out,
+        "    \"dropped_events\": \"{}\"",
+        trace.dropped_events()
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"traceEvents\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        let _ = writeln!(out, "    {line}{comma}");
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceConfig, TraceKind, TraceRecorder};
+
+    fn sample_fleet() -> FleetTrace {
+        let mut a = TraceRecorder::new(TraceConfig::enabled());
+        a.span_bytes(
+            TraceKind::Command,
+            TraceLane::TransferQueue,
+            "load w0",
+            0.0,
+            4.0,
+            1024,
+        );
+        a.span(
+            TraceKind::Command,
+            TraceLane::ComputeQueue,
+            "gemm",
+            4.0,
+            9.0,
+        );
+        a.instant(TraceKind::Complete, TraceLane::Request(0), "done", 9.0);
+        let mut b = TraceRecorder::new(TraceConfig::enabled());
+        b.span(TraceKind::Running, TraceLane::Request(1), "run", 1.0, 3.0);
+        FleetTrace {
+            processes: vec![a.into_process_trace("dev0"), b.into_process_trace("dev1")],
+        }
+    }
+
+    #[test]
+    fn export_is_balanced_and_carries_metadata() {
+        let json = chrome_trace(&sample_fleet());
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert_eq!(json.matches("process_name").count(), 2);
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"dropped_events\": \"0\""));
+        assert!(json.contains("\"args\":{\"bytes\":1024}"));
+        assert!(json.contains("\"name\":\"transfer queue\""));
+        assert!(json.contains("\"name\":\"req 1\""));
+        // ts is microseconds: the 4ms span boundary lands at 4000.
+        assert!(json.contains("\"ts\":4000"));
+    }
+
+    #[test]
+    fn back_to_back_spans_close_before_opening() {
+        let json = chrome_trace(&sample_fleet());
+        // The transfer span ends at ts=4000 and the compute span begins
+        // at ts=4000; the E record must come first.
+        let end = json.find("\"ph\":\"E\",\"ts\":4000").expect("end record");
+        let begin = json.find("\"ph\":\"B\",\"ts\":4000").expect("begin record");
+        assert!(end < begin, "E must sort before B at equal ts");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let fleet = sample_fleet();
+        assert_eq!(chrome_trace(&fleet), chrome_trace(&fleet));
+    }
+
+    #[test]
+    fn dropped_counter_reaches_the_header() {
+        let mut rec = TraceRecorder::new(TraceConfig::enabled().with_events_per_device(1));
+        rec.instant(TraceKind::Admit, TraceLane::Request(0), "a", 0.0);
+        rec.instant(TraceKind::Admit, TraceLane::Request(1), "b", 1.0);
+        let fleet = FleetTrace {
+            processes: vec![rec.into_process_trace("dev")],
+        };
+        let json = chrome_trace(&fleet);
+        assert!(json.contains("\"dropped_events\": \"1\""));
+        assert!(json.contains("\"dropped_events\":1"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut rec = TraceRecorder::new(TraceConfig::enabled());
+        rec.instant(TraceKind::Fail, TraceLane::Host, "a\"b\\c\nd", 0.0);
+        let fleet = FleetTrace {
+            processes: vec![rec.into_process_trace("dev")],
+        };
+        let json = chrome_trace(&fleet);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

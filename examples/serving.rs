@@ -76,5 +76,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             slo,
         );
     }
+
+    // Flight-recorder view: every outcome carries a PhaseBreakdown whose
+    // phases sum to its end-to-end latency exactly. Show where the slowest
+    // request's time went.
+    if let Some(slowest) = report
+        .outcomes
+        .iter()
+        .max_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms))
+    {
+        let p = &slowest.phases;
+        println!(
+            "\nslowest request: #{} {} — {:.0} ms end to end",
+            slowest.seq, slowest.model, slowest.latency_ms
+        );
+        println!("  queue wait {:>7.1} ms", p.queue_ms);
+        println!("  compile    {:>7.1} ms", p.compile_ms);
+        println!(
+            "  transfer   {:>7.1} ms  (exposed; overlap is credited to compute)",
+            p.transfer_ms
+        );
+        println!("  compute    {:>7.1} ms", p.compute_ms);
+        println!(
+            "  suspended  {:>7.1} ms  (incl. resume penalties)",
+            p.suspended_ms
+        );
+        println!(
+            "  stall      {:>7.1} ms  (queue-clock gaps between commands)",
+            p.stall_ms
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Validate a Chrome trace-event JSON file exported by the bench binaries'
+# `--trace-out` flag (crates/trace's chrome_trace writer):
+#
+#   1. the file parses as JSON and uses the trace-event object format
+#      (a `traceEvents` array plus the generator's `otherData` header);
+#   2. every duration span is begin/end balanced per (pid, tid) lane —
+#      B and E events pair up like brackets, never crossing lanes;
+#   3. every device "process" named by process_name metadata records at
+#      least one actual event (a fleet device that traces nothing means
+#      a wiring regression in the serve engine).
+#
+# Usage: scripts/check-trace.sh TRACE_JSON
+set -euo pipefail
+
+if [ "$#" -ne 1 ]; then
+    echo "usage: $0 TRACE_JSON" >&2
+    exit 2
+fi
+
+python3 - "$1" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+if not isinstance(doc, dict) or "traceEvents" not in doc:
+    sys.exit(f"{path}: not a Chrome trace-event object (no traceEvents)")
+events = doc["traceEvents"]
+other = doc.get("otherData", {})
+
+processes = {}   # pid -> process name (from metadata)
+counted = {}     # pid -> non-metadata event count
+stacks = {}      # (pid, tid) -> open-B depth
+
+for e in events:
+    ph, pid, tid = e.get("ph"), e.get("pid"), e.get("tid")
+    if ph == "M":
+        if e.get("name") == "process_name":
+            processes[pid] = e.get("args", {}).get("name", f"pid {pid}")
+        continue
+    if ph in ("B", "i"):
+        # One recorded event per span-begin or instant (E only closes).
+        counted[pid] = counted.get(pid, 0) + 1
+    if ph == "B":
+        stacks[(pid, tid)] = stacks.get((pid, tid), 0) + 1
+    elif ph == "E":
+        depth = stacks.get((pid, tid), 0) - 1
+        if depth < 0:
+            sys.exit(f"{path}: E without matching B on pid {pid} tid {tid}")
+        stacks[(pid, tid)] = depth
+    elif ph != "i":
+        sys.exit(f"{path}: unexpected phase {ph!r}")
+    if "ts" not in e or e["ts"] < 0:
+        sys.exit(f"{path}: event without a non-negative ts: {e}")
+
+open_lanes = [lane for lane, depth in stacks.items() if depth != 0]
+if open_lanes:
+    sys.exit(f"{path}: unbalanced B/E spans on lanes {open_lanes}")
+
+if not processes:
+    sys.exit(f"{path}: no process_name metadata — no devices traced")
+silent = [name for pid, name in sorted(processes.items()) if counted.get(pid, 0) == 0]
+if silent:
+    sys.exit(f"{path}: devices recorded no events: {silent}")
+
+total = sum(counted.values())
+declared = other.get("events")
+if declared is not None and int(declared) != total:
+    sys.exit(f"{path}: header declares {declared} events, found {total}")
+
+dropped = other.get("dropped_events", "0")
+print(
+    f"check-trace: {path} OK — {total} events across "
+    f"{len(processes)} devices, {dropped} dropped, all spans balanced"
+)
+PY

@@ -6,6 +6,11 @@
 # fleet_scale bench's `serial_ms` / `parallel_ms` / `speedup` /
 # `per_device_step_ms` timing cells.
 #
+# Exported Chrome traces (`--trace-out` files placed in the compared
+# directories, e.g. `fleet_scale.trace.json`) carry no wall-clock fields at
+# all, so they flow through the strip untouched and must be byte-identical
+# outright — the trace determinism oracle rides the same diff.
+#
 # Usage: scripts/diff-bench-json.sh SERIAL_DIR PARALLEL_DIR
 set -euo pipefail
 

@@ -8,6 +8,9 @@
 //! It re-exports the public API of every workspace crate so that examples,
 //! integration tests and downstream users can depend on a single crate:
 //!
+//! * [`trace`] — deterministic, sim-clock-stamped cross-layer event tracing
+//!   with Chrome trace-event export and per-request phase attribution
+//!   (also reachable as `flashmem::core::telemetry`).
 //! * [`gpu_sim`] — mobile GPU memory-hierarchy simulator (devices, memory
 //!   pools, command queues, kernels, energy model).
 //! * [`graph`] — DNN computational graphs, operator taxonomy, the model zoo
@@ -55,6 +58,7 @@ pub use flashmem_graph as graph;
 pub use flashmem_profiler as profiler;
 pub use flashmem_serve as serve;
 pub use flashmem_solver as solver;
+pub use flashmem_trace as trace;
 
 /// Convenience prelude re-exporting the types used by nearly every program
 /// built on FlashMem.
@@ -77,4 +81,5 @@ pub mod prelude {
         WorkloadSpec,
     };
     pub use flashmem_solver::{CpModel, CpSolver, SolveStatus};
+    pub use flashmem_trace::{chrome_trace, FleetTrace, PhaseBreakdown, TraceConfig};
 }
