@@ -1,0 +1,23 @@
+//! The overload-survival benchmark: serve the four adversarial scenarios
+//! (flash crowd, diurnal ramp, hot tenant, fleet ramp) unprotected and with
+//! the full overload kit (bounded queues + admission control + steal), and
+//! report shed counts by cause, steals, queue high-water and the SLO
+//! attainment of the admitted requests under both regimes.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin overload [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+//! `--quick` runs the 3-device fleet (CI's overload smoke step);
+//! `--threads 1` pins the protected runs' parallel leg to the serial path,
+//! which is what the CI determinism diff compares against. `--trace-out
+//! PATH` re-runs the flash-crowd cell with event tracing enabled — the
+//! exported Chrome trace includes the `Reject`/`Steal` instants and is
+//! byte-identical at every `--threads` width.
+
+use flashmem_bench::experiments::overload;
+
+fn main() {
+    flashmem_bench::run_bin_with_json_and_trace(
+        overload::run,
+        overload::OverloadBench::to_json,
+        overload::traced_showcase,
+    );
+}

@@ -17,6 +17,7 @@
 //! | [`fig10`] | Portability across devices | Figure 10 |
 //! | [`serve`] | Multi-tenant serving sweep (beyond the paper) | — |
 //! | [`fleet_scale`] | Fleet-size ramp on the parallel serve loop (beyond the paper) | — |
+//! | [`overload`] | Overload survival: admission control, bounded queues, steal (beyond the paper) | — |
 
 pub mod ablations;
 pub mod fig10;
@@ -27,6 +28,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_scale;
+pub mod overload;
 pub mod serve;
 pub mod table1;
 pub mod table4;

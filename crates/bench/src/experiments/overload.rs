@@ -1,0 +1,353 @@
+//! Overload-survival benchmark — beyond the paper: what fleet-wide
+//! admission control, bounded per-device queues and the re-placement
+//! (steal) phase buy under the four adversarial [`OverloadScenario`]s.
+//!
+//! Each cell runs one scenario twice over the same request list: an
+//! **unbounded baseline** (every request accepted, queues grow without
+//! limit) and a **protected** run with the full overload kit armed —
+//! bounded queues, deadline admission control, steal, and (for the
+//! hot-tenant scenario) a fleet-wide tenant cap. The cell records how much
+//! traffic was shed and why, how much queued work the steal phase moved,
+//! the per-device queue high-water, and the SLO attainment of the
+//! *admitted* requests under both regimes — the headline number shedding
+//! exists to protect. The protected run executes twice more: pinned to a
+//! width-1 pool and on the process-wide pool, and the cell records whether
+//! the two reports were byte-identical (they must be: every overload
+//! decision commits in the run's sequential prologue or per-device loop).
+//!
+//! Like `fleet_scale`, this experiment is intentionally **not** part of
+//! `bin/all` — the serial-vs-parallel self-check would be tautological
+//! inside a pool worker. Run it standalone:
+//!
+//! `cargo run --release -p flashmem-bench --bin overload [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flashmem_core::pool::{self, ThreadPool};
+use flashmem_core::{ArtifactCache, FlashMemConfig};
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::{
+    FleetTrace, OverloadControl, OverloadScenario, ServeEngine, ServeReport, TraceConfig,
+};
+
+use crate::experiments::serve::serving_fleet;
+use crate::json::Json;
+use crate::table::TextTable;
+
+const MIB: u64 = 1024 * 1024;
+const SEED: u64 = 0x0DD_F1EE;
+
+/// One scenario cell: the same request list served unprotected and with
+/// the full overload kit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadCell {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests the protected run accepted into the serving pipeline.
+    pub accepted: usize,
+    /// Requests the protected run shed (`accepted + rejected == submitted`
+    /// always — nothing is silently lost).
+    pub rejected: usize,
+    /// Rejections from fleet-wide admission control.
+    pub rejected_deadline_unmeetable: usize,
+    /// Rejections from a full bounded queue at arrival.
+    pub rejected_queue_full: usize,
+    /// Queued requests the steal phase re-placed onto an earlier device.
+    pub stolen: usize,
+    /// Largest per-device queue high-water of the protected run (never
+    /// exceeds the configured bound).
+    pub queue_depth_high_water: usize,
+    /// SLO attainment of the unbounded baseline (all requests admitted).
+    pub baseline_attainment: f64,
+    /// SLO attainment of the protected run's admitted requests.
+    pub protected_attainment: f64,
+    /// Baseline p99 latency (ms, simulated).
+    pub baseline_p99_ms: f64,
+    /// Protected-run p99 latency over the admitted requests.
+    pub protected_p99_ms: f64,
+    /// True when the protected parallel report was byte-identical to the
+    /// width-1 serial one (always expected; recorded so CI can grep).
+    pub identical: bool,
+    /// Wall-clock of the protected width-1 run, in ms.
+    pub serial_ms: f64,
+    /// Wall-clock of the protected pool-parallel run, in ms.
+    pub parallel_ms: f64,
+}
+
+/// The overload sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadBench {
+    /// Pool width the parallel runs used.
+    pub threads: usize,
+    /// Devices in the fleet.
+    pub fleet: usize,
+    /// The per-device queue bound the protected runs enforce.
+    pub queue_bound: usize,
+    /// One cell per adversarial scenario.
+    pub cells: Vec<OverloadCell>,
+}
+
+fn fleet_size(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        8
+    }
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+    } else {
+        vec![
+            ModelZoo::gptneo_small(),
+            ModelZoo::vit(),
+            ModelZoo::resnet50(),
+        ]
+    }
+}
+
+const QUEUE_BOUND: usize = 2;
+
+/// A fresh engine (and fresh plan cache, so serial and parallel runs see
+/// identical cache telemetry) with the overload kit armed or disabled.
+fn engine(fleet: usize, scenario: OverloadScenario, protected: bool) -> ServeEngine {
+    let mut engine = ServeEngine::new(serving_fleet(fleet), FlashMemConfig::memory_priority())
+        .with_cache(Arc::new(ArtifactCache::new()));
+    if protected {
+        engine = engine.with_overload_control(
+            OverloadControl::disabled()
+                .with_queue_bound(QUEUE_BOUND)
+                .with_admission_control()
+                .with_steal(),
+        );
+        if scenario == OverloadScenario::HotTenant {
+            engine = engine.with_fleet_tenant_cap(OverloadScenario::HOT_TENANT, 2_400 * MIB, 2);
+        }
+    }
+    engine
+}
+
+fn timed_run(
+    pool: &ThreadPool,
+    fleet: usize,
+    scenario: OverloadScenario,
+    protected: bool,
+    requests: &[flashmem_serve::ServeRequest],
+) -> (ServeReport, f64) {
+    let start = Instant::now();
+    let report = engine(fleet, scenario, protected)
+        .run_on(pool, requests)
+        .expect("overload bench run");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run the sweep with parallel cells on the process-wide [`pool::global`].
+pub fn run(quick: bool) -> OverloadBench {
+    run_on(pool::global(), quick)
+}
+
+/// The flash-crowd cell re-run with event tracing enabled — the
+/// [`FleetTrace`] behind the overload binary's `--trace-out` flag,
+/// including the `Reject` and `Steal` instants overload control emits.
+pub fn traced_showcase(quick: bool) -> FleetTrace {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let requests = OverloadScenario::FlashCrowd.generate(&models, fleet, SEED);
+    let report = engine(fleet, OverloadScenario::FlashCrowd, true)
+        .with_trace(TraceConfig::enabled())
+        .run(&requests)
+        .expect("traced overload run");
+    report.trace.expect("tracing was enabled")
+}
+
+/// [`run`] with an explicit pool for the parallel runs. The sweep itself is
+/// sequential on purpose — each cell's serial-vs-parallel self-check is the
+/// thing being recorded.
+pub fn run_on(pool: &ThreadPool, quick: bool) -> OverloadBench {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let serial_pool = ThreadPool::with_threads(1);
+    let cells = OverloadScenario::all()
+        .into_iter()
+        .map(|scenario| {
+            let requests = scenario.generate(&models, fleet, SEED);
+            let (baseline, _) = timed_run(pool, fleet, scenario, false, &requests);
+            let (serial, serial_ms) = timed_run(&serial_pool, fleet, scenario, true, &requests);
+            let (parallel, parallel_ms) = timed_run(pool, fleet, scenario, true, &requests);
+            let identical = format!("{serial:?}") == format!("{parallel:?}");
+            let shed = serial.shed_by_cause();
+            OverloadCell {
+                scenario: scenario.name(),
+                submitted: requests.len(),
+                accepted: serial.accepted(),
+                rejected: serial.rejected(),
+                rejected_deadline_unmeetable: shed.deadline_unmeetable,
+                rejected_queue_full: shed.queue_full,
+                stolen: serial.stolen(),
+                queue_depth_high_water: serial
+                    .devices
+                    .iter()
+                    .map(|d| d.queue_depth_high_water)
+                    .max()
+                    .unwrap_or(0),
+                baseline_attainment: baseline.slo.attainment(),
+                protected_attainment: serial.slo.attainment(),
+                baseline_p99_ms: baseline.latency.p99_ms,
+                protected_p99_ms: serial.latency.p99_ms,
+                identical,
+                serial_ms,
+                parallel_ms,
+            }
+        })
+        .collect();
+    OverloadBench {
+        threads: pool.threads(),
+        fleet,
+        queue_bound: QUEUE_BOUND,
+        cells,
+    }
+}
+
+impl OverloadBench {
+    /// Machine-readable per-cell metrics. `serial_ms` / `parallel_ms` are
+    /// wall-clock telemetry; `scripts/diff-bench-json.sh` strips them
+    /// (alongside `elapsed_ms`/`threads`) before demanding byte-identity.
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("scenario", c.scenario)
+                    .field("submitted", c.submitted)
+                    .field("accepted", c.accepted)
+                    .field("rejected", c.rejected)
+                    .field(
+                        "rejected_deadline_unmeetable",
+                        c.rejected_deadline_unmeetable,
+                    )
+                    .field("rejected_queue_full", c.rejected_queue_full)
+                    .field("stolen", c.stolen)
+                    .field("queue_depth_high_water", c.queue_depth_high_water)
+                    .field("baseline_attainment", c.baseline_attainment)
+                    .field("protected_attainment", c.protected_attainment)
+                    .field("baseline_p99_ms", c.baseline_p99_ms)
+                    .field("protected_p99_ms", c.protected_p99_ms)
+                    .field("identical_to_serial", c.identical)
+                    .field("serial_ms", c.serial_ms)
+                    .field("parallel_ms", c.parallel_ms)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "overload")
+            .field("fleet", self.fleet)
+            .field("queue_bound", self.queue_bound)
+            .field("cells", Json::Arr(cells))
+    }
+}
+
+impl std::fmt::Display for OverloadBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Overload survival on a {}-device fleet, queue bound {} ({} pool thread{})",
+            self.fleet,
+            self.queue_bound,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )?;
+        let mut t = TextTable::new(&[
+            "Scenario",
+            "Submitted",
+            "Accepted",
+            "Rejected",
+            "dl/qf",
+            "Stolen",
+            "Queue HW",
+            "Base SLO",
+            "Prot SLO",
+            "Base p99",
+            "Prot p99",
+            "Identical",
+        ]);
+        for c in &self.cells {
+            t.row(&[
+                c.scenario.to_string(),
+                format!("{}", c.submitted),
+                format!("{}", c.accepted),
+                format!("{}", c.rejected),
+                format!(
+                    "{}/{}",
+                    c.rejected_deadline_unmeetable, c.rejected_queue_full
+                ),
+                format!("{}", c.stolen),
+                format!("{}", c.queue_depth_high_water),
+                format!("{:.0}%", 100.0 * c.baseline_attainment),
+                format!("{:.0}%", 100.0 * c.protected_attainment),
+                format!("{:.0}", c.baseline_p99_ms),
+                format!("{:.0}", c.protected_p99_ms),
+                format!("{}", c.identical),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_sheds_nothing_silently_and_matches_serial() {
+        let bench = run_on(&ThreadPool::with_threads(4), true);
+        assert_eq!(bench.cells.len(), 4);
+        let mut any_rejected = false;
+        for cell in &bench.cells {
+            assert_eq!(
+                cell.accepted + cell.rejected,
+                cell.submitted,
+                "{cell:?}: requests silently lost"
+            );
+            assert_eq!(
+                cell.rejected,
+                cell.rejected_deadline_unmeetable + cell.rejected_queue_full,
+                "{cell:?}: a rejection without a cause"
+            );
+            assert!(cell.identical, "protected run diverged: {cell:?}");
+            assert!(cell.queue_depth_high_water <= QUEUE_BOUND, "{cell:?}");
+            any_rejected |= cell.rejected > 0;
+        }
+        assert!(
+            any_rejected,
+            "the adversarial scenarios should pressure at least one rejection"
+        );
+        // The JSON view of the same sweep (checked here rather than in a
+        // second test so the quick sweep only runs once under `cargo test`).
+        let json = bench.to_json().pretty();
+        assert!(json.contains("\"experiment\": \"overload\""));
+        assert!(json.contains("\"scenario\": \"flash-crowd\""));
+        assert!(json.contains("\"rejected\""));
+        assert!(json.contains("\"stolen\""));
+        assert!(json.contains("\"queue_depth_high_water\""));
+        assert!(json.contains("\"baseline_attainment\""));
+        assert!(json.contains("\"protected_attainment\""));
+        assert!(json.contains("\"identical_to_serial\": true"));
+    }
+
+    #[test]
+    fn traced_showcase_records_the_whole_fleet() {
+        let trace = traced_showcase(true);
+        assert_eq!(trace.processes.len(), fleet_size(true));
+        for process in &trace.processes {
+            assert!(
+                !process.events.is_empty(),
+                "{} recorded nothing",
+                process.name
+            );
+        }
+    }
+}

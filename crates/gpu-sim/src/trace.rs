@@ -142,8 +142,12 @@ impl MemoryTrace {
     }
 
     /// Append another trace, shifting its timestamps by `offset_ms`. Used to
-    /// stitch per-model traces into one multi-model timeline.
+    /// stitch per-model traces into one multi-model timeline. The source
+    /// trace's clamp count carries over: a sample that was clamped while
+    /// `other` was recorded stays an out-of-order event after stitching, on
+    /// top of any clamping the stitch itself performs at the seam.
     pub fn append_shifted(&mut self, other: &MemoryTrace, offset_ms: f64) {
+        self.clamped += other.clamped;
         for s in &other.samples {
             self.record(s.time_ms + offset_ms, s.bytes);
         }
@@ -350,6 +354,35 @@ mod tests {
         assert_eq!(t.clamped(), 2);
         // Every surviving timestamp is monotone.
         assert!(t.samples().windows(2).all(|w| w[0].time_ms <= w[1].time_ms));
+    }
+
+    #[test]
+    fn append_shifted_propagates_the_source_clamp_count() {
+        let mut src = MemoryTrace::new();
+        src.record(10.0, 1);
+        src.record(5.0, 2); // clamped inside the source trace
+        assert_eq!(src.clamped(), 1);
+
+        let mut dst = MemoryTrace::new();
+        dst.record(0.0, 7);
+        dst.record(100.0, 0);
+        dst.append_shifted(&src, 50.0);
+        // One clamp inherited from the source, plus two at the seam: both
+        // shifted samples (50+10 and 50+10) land before dst's last
+        // timestamp of 100 and are clamped forward by record().
+        assert_eq!(dst.clamped(), 3);
+        assert!(dst
+            .samples()
+            .windows(2)
+            .all(|w| w[0].time_ms <= w[1].time_ms));
+
+        // A clean stitch inherits nothing and clamps nothing.
+        let mut clean = MemoryTrace::new();
+        clean.record(0.0, 3);
+        let mut tail = MemoryTrace::new();
+        tail.record(0.0, 4);
+        clean.append_shifted(&tail, 10.0);
+        assert_eq!(clean.clamped(), 0);
     }
 
     #[test]

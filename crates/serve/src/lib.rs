@@ -35,8 +35,9 @@
 //! * [`metrics`] — per-request outcomes, per-device utilization, latency
 //!   percentiles (overall and per priority), SLO attainment and preemption
 //!   accounting.
-//! * [`workload`] — deterministic seeded request generators (steady, Poisson
-//!   and bursty arrivals).
+//! * [`workload`] — deterministic seeded request generators (steady, Poisson,
+//!   bursty, flash-crowd and diurnal arrivals) plus the adversarial
+//!   [`OverloadScenario`] suite.
 //! * [`multi_model`] — the FIFO [`MultiModelRunner`] of Figure 6, now a thin
 //!   delegation to the scheduler's exclusive (single-slot) mode; its traces
 //!   reproduce the legacy `flashmem-core` implementation byte for byte.
@@ -68,6 +69,23 @@
 //! receives a [`PolicyContext`] with the simulated clock, and the report
 //! attributes each deadline miss to a [`metrics::MissCause`] (queueing,
 //! execution, preemption or failure).
+//!
+//! ## Overload survival
+//!
+//! [`ServeEngine::with_overload_control`](server::ServeEngine::with_overload_control)
+//! arms three opt-in defenses for fleets pushed past saturation, all decided
+//! in the run's sequential prologue or per-device loop so reports stay
+//! byte-identical at every pool width: **admission control** early-rejects
+//! requests whose deadline is provably unmeetable (negative laxity even on
+//! the best shard they may run on), **bounded queues** shed arrivals past a
+//! per-device depth limit at their arrival instant, and the **steal phase**
+//! re-places queued (never in-flight) requests from backed-up shards onto
+//! devices that can start them strictly earlier. Shed requests are never
+//! silently dropped: each outcome carries a typed [`RejectCause`] and the
+//! report tallies them in [`ShedBreakdown`].
+//! [`ServeEngine::with_fleet_tenant_cap`](server::ServeEngine::with_fleet_tenant_cap)
+//! extends per-device tenant caps fleet-wide by confining a tenant to a
+//! hashed shard set with per-shard sub-caps.
 //!
 //! ## Tracing
 //!
@@ -121,14 +139,14 @@ pub use flashmem_core::telemetry::{
 pub use flashmem_gpu_sim::engine::PreemptionCost;
 pub use metrics::{
     DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome, ServeReport,
-    SloSummary,
+    ShedBreakdown, SloSummary,
 };
 pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
 pub use policy::{
     AffinityPolicy, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy, InFlightEntry,
-    LeastLaxityPolicy, PendingEntry, PolicyContext, PreemptivePriorityPolicy, PriorityPolicy,
-    SchedulePolicy,
+    LeastLaxityPolicy, OverloadControl, PendingEntry, PolicyContext, PreemptivePriorityPolicy,
+    PriorityPolicy, SchedulePolicy,
 };
-pub use request::ServeRequest;
+pub use request::{RejectCause, ServeRequest};
 pub use server::ServeEngine;
-pub use workload::{ArrivalPattern, WorkloadSpec};
+pub use workload::{ArrivalPattern, OverloadScenario, WorkloadSpec};

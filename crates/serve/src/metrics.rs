@@ -25,6 +25,8 @@ use flashmem_core::ExecutionReport;
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::SimError;
 
+use crate::request::RejectCause;
+
 /// What happened to one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
@@ -95,6 +97,18 @@ pub struct RequestOutcome {
     /// transfer, compute, suspension, and a residual stall term. The phases
     /// sum to [`latency_ms`](Self::latency_ms) by construction.
     pub phases: PhaseBreakdown,
+    /// Why overload control shed this request, when it was never admitted
+    /// at all: a provably unmeetable deadline at admission control or a
+    /// full bounded queue at arrival. Rejected requests carry no error —
+    /// rejection is the scheduler declining work, not work failing — and
+    /// are excluded from SLO accounting (they were never accepted into the
+    /// serving pipeline).
+    pub rejected: Option<RejectCause>,
+    /// The home device index the steal planner re-placed this request
+    /// *from*, when a backed-up shard's queued work was moved to an idle
+    /// one; [`device_index`](Self::device_index) is where it actually ran.
+    /// `None` for requests that ran where the policy first placed them.
+    pub stolen_from: Option<usize>,
     /// The failure, if the request did not complete (out-of-memory, tenant
     /// cap smaller than the model's working set, ...).
     pub error: Option<SimError>,
@@ -106,13 +120,23 @@ pub struct RequestOutcome {
 impl RequestOutcome {
     /// True when the request completed.
     pub fn succeeded(&self) -> bool {
-        self.error.is_none()
+        self.error.is_none() && self.rejected.is_none()
     }
 
-    /// SLO verdict: `None` when the request carries no deadline, otherwise
-    /// whether it completed within its latency budget (a failed request with
-    /// a deadline counts as missed).
+    /// True when overload control shed this request instead of admitting it.
+    pub fn was_rejected(&self) -> bool {
+        self.rejected.is_some()
+    }
+
+    /// SLO verdict: `None` when the request carries no deadline or was
+    /// rejected by overload control (it was never accepted, so it is not
+    /// SLO-tracked — the whole point of shedding is protecting the admitted
+    /// requests' attainment), otherwise whether it completed within its
+    /// latency budget (a failed request with a deadline counts as missed).
     pub fn slo_met(&self) -> Option<bool> {
+        if self.was_rejected() {
+            return None;
+        }
         self.deadline_ms
             .map(|deadline| self.succeeded() && self.latency_ms <= deadline + 1e-9)
     }
@@ -188,6 +212,13 @@ pub struct DeviceReport {
     pub compute_busy_fraction: f64,
     /// Peak memory footprint of the device over the whole run, in MB.
     pub peak_memory_mb: f64,
+    /// High-water mark of the device's admission queue: the largest number
+    /// of arrived-but-unadmitted requests simultaneously waiting on this
+    /// device at any point of the run. Under a bounded queue
+    /// ([`OverloadControl::with_queue_bound`](crate::OverloadControl::with_queue_bound))
+    /// this never exceeds the bound — the invariant the overload test suite
+    /// pins.
+    pub queue_depth_high_water: usize,
     /// The device's memory trace over the whole serving run (the multi-model
     /// Figure 6 curve generalised to many tenants).
     pub memory_trace: MemoryTrace,
@@ -338,6 +369,38 @@ impl SloSummary {
     }
 }
 
+/// How many requests overload control shed, broken down by
+/// [`RejectCause`]. The two counters sum to
+/// [`ServeReport::rejected`] exactly — every rejection carries a cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedBreakdown {
+    /// Rejections from fleet-wide admission control: the deadline was
+    /// provably unmeetable even on the fleet's best device.
+    pub deadline_unmeetable: usize,
+    /// Rejections from a full bounded per-device queue at arrival.
+    pub queue_full: usize,
+}
+
+impl ShedBreakdown {
+    /// Tally rejections by cause across a run's outcomes.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Self {
+        let mut shed = ShedBreakdown::default();
+        for outcome in outcomes {
+            match outcome.rejected {
+                Some(RejectCause::DeadlineUnmeetable) => shed.deadline_unmeetable += 1,
+                Some(RejectCause::QueueFull) => shed.queue_full += 1,
+                None => {}
+            }
+        }
+        shed
+    }
+
+    /// Total requests shed across all causes.
+    pub fn total(&self) -> usize {
+        self.deadline_unmeetable + self.queue_full
+    }
+}
+
 /// The full result of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -374,9 +437,38 @@ impl ServeReport {
         self.outcomes.iter().filter(|o| o.succeeded()).count()
     }
 
-    /// Number of requests that failed.
+    /// Number of accepted requests that failed during admission or
+    /// execution (out-of-memory, unrecoverable resume, worker panic, ...).
+    /// Rejections are not failures — see [`ServeReport::rejected`].
     pub fn failed(&self) -> usize {
-        self.outcomes.len() - self.completed()
+        self.outcomes.iter().filter(|o| o.error.is_some()).count()
+    }
+
+    /// Number of requests shed by overload control (admission reject or
+    /// queue-full). `accepted() + rejected()` partitions the submitted
+    /// requests exactly: nothing is ever silently lost.
+    pub fn rejected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.was_rejected()).count()
+    }
+
+    /// Number of requests accepted into the serving pipeline (they either
+    /// completed or failed with an error — never vanished).
+    pub fn accepted(&self) -> usize {
+        self.outcomes.len() - self.rejected()
+    }
+
+    /// Number of requests the steal planner re-placed from their backed-up
+    /// home shard onto another device.
+    pub fn stolen(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.stolen_from.is_some())
+            .count()
+    }
+
+    /// Rejections broken down by cause; sums to [`ServeReport::rejected`].
+    pub fn shed_by_cause(&self) -> ShedBreakdown {
+        ShedBreakdown::from_outcomes(&self.outcomes)
     }
 
     /// Wall-clock end of the whole run (max across devices).
@@ -415,6 +507,17 @@ impl std::fmt::Display for ServeReport {
             self.makespan_ms(),
             self.throughput_rps
         )?;
+        let shed = self.shed_by_cause();
+        if shed.total() > 0 || self.stolen() > 0 {
+            writeln!(
+                f,
+                "overload: {} rejected ({} deadline-unmeetable, {} queue-full), {} stolen",
+                shed.total(),
+                shed.deadline_unmeetable,
+                shed.queue_full,
+                self.stolen()
+            )?;
+        }
         writeln!(
             f,
             "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ms (mean {:.0}, max {:.0})",
@@ -525,6 +628,8 @@ mod tests {
             cache_hit: false,
             peak_memory_mb: 0.0,
             phases: PhaseBreakdown::default(),
+            rejected: None,
+            stolen_from: None,
             error: None,
             report: None,
         }
@@ -611,6 +716,42 @@ mod tests {
                 + slo.missed_preemption
                 + slo.missed_failed,
             slo.missed()
+        );
+    }
+
+    #[test]
+    fn rejected_requests_are_excluded_from_slo_accounting() {
+        let mut shed = outcome(0, 0.0, Some(200.0));
+        shed.rejected = Some(RejectCause::DeadlineUnmeetable);
+        assert!(!shed.succeeded());
+        assert!(shed.was_rejected());
+        // A deadline-carrying reject is *not* SLO-tracked: it was never
+        // accepted into the pipeline.
+        assert_eq!(shed.slo_met(), None);
+        assert_eq!(shed.miss_cause(), None);
+        let slo = SloSummary::from_outcomes(&[shed, outcome(0, 100.0, Some(200.0))]);
+        assert_eq!(slo.tracked, 1);
+        assert_eq!(slo.met, 1);
+    }
+
+    #[test]
+    fn shed_breakdown_sums_to_the_rejected_tally() {
+        let ok = outcome(0, 100.0, None);
+        let mut unmeetable = outcome(0, 0.0, Some(1.0));
+        unmeetable.rejected = Some(RejectCause::DeadlineUnmeetable);
+        let mut full_a = outcome(0, 0.0, None);
+        full_a.rejected = Some(RejectCause::QueueFull);
+        let mut full_b = outcome(0, 0.0, None);
+        full_b.rejected = Some(RejectCause::QueueFull);
+        let outcomes = vec![ok, unmeetable, full_a, full_b];
+        let shed = ShedBreakdown::from_outcomes(&outcomes);
+        assert_eq!(shed.deadline_unmeetable, 1);
+        assert_eq!(shed.queue_full, 2);
+        assert_eq!(shed.total(), 3);
+        assert_eq!(RejectCause::QueueFull.label(), "queue-full");
+        assert_eq!(
+            RejectCause::DeadlineUnmeetable.to_string(),
+            "deadline-unmeetable"
         );
     }
 

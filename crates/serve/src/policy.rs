@@ -101,6 +101,80 @@ impl InFlightEntry {
     }
 }
 
+/// Fleet-wide overload behavior, layered *on top of* whatever
+/// [`SchedulePolicy`] is active. Everything here is opt-in and off by
+/// default, so an engine without overload control is bit-identical to the
+/// pre-overload engine.
+///
+/// Three independent knobs:
+///
+/// * **Admission control** early-rejects a request whose deadline is
+///   provably unmeetable: even the *uncontended* predicted service time on
+///   the fleet's best device exceeds its latency budget, i.e. its laxity is
+///   negative on every shard before any queueing. Such work can only waste
+///   queue space and device time — shedding it at arrival with a typed
+///   [`RejectCause::DeadlineUnmeetable`](crate::RejectCause) is strictly
+///   better than serving it late.
+/// * **Bounded queues** cap the number of arrived-but-unadmitted requests
+///   per device; an arrival past the bound is shed with
+///   [`RejectCause::QueueFull`](crate::RejectCause) instead of growing the
+///   queue (and every queued request's latency) without limit.
+/// * **Stealing** re-places *queued* (never in-flight) requests from
+///   backed-up shards onto devices that would start them strictly earlier.
+///   Steal decisions are made sequentially in submission order at the
+///   run's commit point, so the result is byte-identical at any pool width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadControl {
+    /// Maximum arrived-but-unadmitted requests per device; `None` leaves
+    /// queues unbounded (the legacy behavior).
+    pub queue_bound: Option<usize>,
+    /// When true, reject deadline-carrying requests whose laxity is
+    /// provably negative on every device of the fleet.
+    pub admission_control: bool,
+    /// When true, re-place queued requests from backed-up shards onto
+    /// devices that would start them strictly earlier.
+    pub steal: bool,
+}
+
+impl OverloadControl {
+    /// Everything off — the legacy unbounded-queue behavior.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Bound every device's admission queue to `bound` waiting requests
+    /// (clamped to at least 1; builder style).
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound.max(1));
+        self
+    }
+
+    /// Enable fleet-wide deadline admission control (builder style).
+    pub fn with_admission_control(mut self) -> Self {
+        self.admission_control = true;
+        self
+    }
+
+    /// Enable the queued-request steal phase (builder style).
+    pub fn with_steal(mut self) -> Self {
+        self.steal = true;
+        self
+    }
+
+    /// True when any knob is on — the engine skips the whole overload
+    /// pipeline otherwise.
+    pub fn any_enabled(&self) -> bool {
+        self.queue_bound.is_some() || self.admission_control || self.steal
+    }
+
+    /// True when the run prologue needs per-(model, device) service-time
+    /// predictions: both admission control (the laxity bound) and the
+    /// steal planner (completion estimates) consume them.
+    pub fn uses_estimates(&self) -> bool {
+        self.admission_control || self.steal
+    }
+}
+
 /// A scheduling policy for the [`ServeEngine`](crate::ServeEngine).
 pub trait SchedulePolicy: Send + Sync {
     /// Display name used in reports.
@@ -701,6 +775,27 @@ mod tests {
     }
 
     const CTX: PolicyContext = PolicyContext { now_ms: 0.0 };
+
+    #[test]
+    fn overload_control_defaults_off_and_builders_compose() {
+        let off = OverloadControl::disabled();
+        assert!(!off.any_enabled());
+        assert!(!off.uses_estimates());
+        assert_eq!(off, OverloadControl::default());
+
+        let bounded = OverloadControl::disabled().with_queue_bound(0);
+        assert_eq!(bounded.queue_bound, Some(1)); // clamped
+        assert!(bounded.any_enabled());
+        assert!(!bounded.uses_estimates()); // a bound alone needs no estimates
+
+        let full = OverloadControl::disabled()
+            .with_queue_bound(4)
+            .with_admission_control()
+            .with_steal();
+        assert!(full.any_enabled());
+        assert!(full.uses_estimates());
+        assert_eq!(full.queue_bound, Some(4));
+    }
 
     #[test]
     fn fifo_picks_earliest_arrival_then_sequence() {

@@ -9,6 +9,39 @@
 
 use flashmem_graph::ModelSpec;
 
+/// Why overload control shed a request instead of queueing it forever.
+///
+/// Every rejected request carries exactly one cause in its
+/// [`RequestOutcome`](crate::RequestOutcome); nothing is ever silently
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectCause {
+    /// Admission control proved the deadline unmeetable before queueing:
+    /// even the uncontended predicted service time on the *best* device of
+    /// the fleet exceeds the request's latency budget, so its laxity is
+    /// negative on every shard it could possibly run on.
+    DeadlineUnmeetable,
+    /// The placed device's bounded queue was full at the request's arrival
+    /// instant, so it was shed instead of growing the queue without bound.
+    QueueFull,
+}
+
+impl RejectCause {
+    /// Short stable label used in trace events and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::DeadlineUnmeetable => "deadline-unmeetable",
+            RejectCause::QueueFull => "queue-full",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One inference request submitted to a [`ServeEngine`](crate::ServeEngine).
 #[derive(Debug, Clone)]
 pub struct ServeRequest {

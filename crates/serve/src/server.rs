@@ -82,7 +82,7 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use flashmem_core::cache::ArtifactCache;
+use flashmem_core::cache::{ArtifactCache, Fnv1a};
 use flashmem_core::engine::CompiledArtifact;
 use flashmem_core::executor::RUNTIME_OVERHEAD_BYTES;
 use flashmem_core::pool::{self, ThreadPool};
@@ -104,8 +104,10 @@ use flashmem_profiler::LoweringOptions;
 use crate::metrics::{
     DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
 };
-use crate::policy::{FifoPolicy, InFlightEntry, PendingEntry, PolicyContext, SchedulePolicy};
-use crate::request::ServeRequest;
+use crate::policy::{
+    FifoPolicy, InFlightEntry, OverloadControl, PendingEntry, PolicyContext, SchedulePolicy,
+};
+use crate::request::{RejectCause, ServeRequest};
 
 const MIB: f64 = 1024.0 * 1024.0;
 
@@ -219,16 +221,22 @@ fn plan_resident_bytes(weights: &[flashmem_core::WeightSchedule]) -> u64 {
 /// suspended request arrived before it was first admitted, by construction).
 /// Both the admission phase and the preemption phase rank exactly this list,
 /// so a preemption can only fire for a candidate admission would pick.
+///
+/// `gate`, when present, restricts pending candidates to requests that have
+/// already passed the bounded-queue shed check (`Some` only when a queue
+/// bound is configured): an arrival the loop has not yet observed might be
+/// about to be shed, and must not trigger a preemption first.
 fn arrived_candidates(
     pending: &[(usize, &ServeRequest)],
     suspended: &[Suspended],
     now: f64,
     deadlines: &HashMap<usize, Option<f64>>,
     estimates: &HashMap<usize, f64>,
+    gate: Option<&HashSet<usize>>,
 ) -> Vec<PendingEntry> {
     let mut candidates: Vec<PendingEntry> = pending
         .iter()
-        .filter(|(_, r)| r.arrival_ms <= now)
+        .filter(|(seq, r)| r.arrival_ms <= now && gate.is_none_or(|g| g.contains(seq)))
         .map(|(seq, r)| PendingEntry {
             seq: *seq,
             priority: r.priority,
@@ -268,6 +276,8 @@ struct FlightMeta {
     total_commands: usize,
     /// Laxity at admission: absolute deadline − start − predicted service.
     admission_laxity_ms: Option<f64>,
+    /// Home device index when the steal planner re-placed this request.
+    stolen_from: Option<usize>,
     trace_start: usize,
     order: usize,
     preemptions: usize,
@@ -347,6 +357,8 @@ impl FlightMeta {
             cache_hit: self.cache_hit,
             peak_memory_mb,
             phases,
+            rejected: None,
+            stolen_from: self.stolen_from,
             error,
             report,
         }
@@ -382,6 +394,13 @@ struct DeviceJob<'a> {
     sim: GpuSimulator,
     /// `(seq, request)` pairs placed on this device, in submission order.
     assigned: Vec<(usize, &'a ServeRequest)>,
+    /// Requests admission control rejected in the sequential prologue, with
+    /// their (provably negative) best-case laxity. Their outcomes and trace
+    /// instants are emitted by this device so the ordered merge stays the
+    /// only commit point.
+    prerejected: Vec<(usize, &'a ServeRequest, f64)>,
+    /// For requests the steal planner re-placed here: `seq → home device`.
+    stolen: HashMap<usize, usize>,
     /// Plan-cache keys (of this device's assigned models) that were already
     /// compiled when the run began. Snapshotted in the sequential prologue so
     /// each outcome's `cache_hit` flag is identical at every pool width —
@@ -402,6 +421,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// A fleet-wide tenant cap: `bytes` of estimated resident memory across the
+/// whole fleet, enforced without cross-device shared state by confining the
+/// tenant to `shards` devices that each apply a `bytes / shards` sub-cap.
+#[derive(Debug, Clone, Copy)]
+struct FleetTenantCap {
+    bytes: u64,
+    shards: usize,
+}
+
 /// The multi-tenant serving engine over a fleet of simulated devices.
 pub struct ServeEngine {
     fleet: Vec<DeviceSpec>,
@@ -409,7 +437,9 @@ pub struct ServeEngine {
     policy: Box<dyn SchedulePolicy>,
     cache: Arc<ArtifactCache>,
     tenant_caps: HashMap<String, u64>,
+    fleet_tenant_caps: HashMap<String, FleetTenantCap>,
     tenant_slos: HashMap<String, f64>,
+    overload: OverloadControl,
     trace: TraceConfig,
 }
 
@@ -426,7 +456,9 @@ impl ServeEngine {
             policy: Box::new(FifoPolicy),
             cache: Arc::new(ArtifactCache::new()),
             tenant_caps: HashMap::new(),
+            fleet_tenant_caps: HashMap::new(),
             tenant_slos: HashMap::new(),
+            overload: OverloadControl::disabled(),
             trace: TraceConfig::disabled(),
         }
     }
@@ -463,6 +495,42 @@ impl ServeEngine {
         self
     }
 
+    /// Configure overload survival (builder style): bounded per-device
+    /// queues, deadline admission control and the steal phase that re-places
+    /// queued requests from backed-up shards onto idle ones. Everything is
+    /// off by default ([`OverloadControl::disabled`]), in which case the
+    /// engine's behaviour is bit-identical to one without overload control.
+    pub fn with_overload_control(mut self, overload: OverloadControl) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Cap `tenant`'s estimated resident bytes across the **whole fleet**.
+    /// The tenant is confined to `shards` devices (a stable hash of the
+    /// tenant name picks which; clamped to the fleet size) and each shard
+    /// enforces a `bytes / shards` sub-cap with the same real-state
+    /// accounting as [`with_tenant_cap`](Self::with_tenant_cap) — so the
+    /// tenant's summed resident reservations never exceed `bytes` at any
+    /// instant, by construction, without any cross-device shared state
+    /// (which is what keeps parallel device stepping deterministic). The
+    /// steal planner respects the confinement: a fleet-capped tenant's
+    /// requests are only ever re-placed within its shard set.
+    pub fn with_fleet_tenant_cap(
+        mut self,
+        tenant: impl Into<String>,
+        bytes: u64,
+        shards: usize,
+    ) -> Self {
+        self.fleet_tenant_caps.insert(
+            tenant.into(),
+            FleetTenantCap {
+                bytes,
+                shards: shards.max(1),
+            },
+        );
+        self
+    }
+
     /// Give every request of `tenant` a default SLO deadline: a relative
     /// latency budget in milliseconds, used when the request does not carry
     /// its own [`deadline_ms`](ServeRequest::deadline_ms). Deadline-carrying
@@ -488,6 +556,139 @@ impl ServeEngine {
         request
             .deadline_ms
             .or_else(|| self.tenant_slos.get(&request.tenant).copied())
+    }
+
+    /// The device indices a fleet-capped tenant may run on: `shards`
+    /// consecutive fleet slots starting at a stable hash of the tenant name.
+    /// `None` for tenants without a fleet cap (any device).
+    fn shard_set(&self, tenant: &str, fleet_len: usize) -> Option<Vec<usize>> {
+        self.fleet_tenant_caps.get(tenant).map(|cap| {
+            let k = cap.shards.clamp(1, fleet_len);
+            let start = (Fnv1a::new().write_str(tenant).finish() % fleet_len as u64) as usize;
+            (0..k).map(|i| (start + i) % fleet_len).collect()
+        })
+    }
+
+    /// The per-device resident-byte cap admission charges `tenant` against:
+    /// the tighter of the per-device cap and the fleet cap's per-shard
+    /// slice.
+    fn effective_tenant_cap(&self, tenant: &str) -> Option<u64> {
+        let per_device = self.tenant_caps.get(tenant).copied();
+        let fleet_len = self.fleet.len().max(1);
+        let per_shard = self.fleet_tenant_caps.get(tenant).map(|cap| {
+            let k = cap.shards.clamp(1, fleet_len) as u64;
+            cap.bytes / k
+        });
+        match (per_device, per_shard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The outcome row of a request overload control shed: zero latency and
+    /// queue wait (it never occupied the device), no error — the typed
+    /// [`RejectCause`] is the whole story, and the metrics layer excludes
+    /// rejected requests from SLO accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn rejected_outcome(
+        &self,
+        seq: usize,
+        request: &ServeRequest,
+        device: &DeviceSpec,
+        device_index: usize,
+        cause: RejectCause,
+        admission_laxity_ms: Option<f64>,
+        stolen_from: Option<usize>,
+    ) -> RequestOutcome {
+        RequestOutcome {
+            seq,
+            model: request.model.abbr.clone(),
+            tenant: request.tenant.clone(),
+            priority: request.priority,
+            device: device.name.clone(),
+            device_index,
+            arrival_ms: request.arrival_ms,
+            start_ms: request.arrival_ms,
+            completion_ms: request.arrival_ms,
+            queue_wait_ms: 0.0,
+            latency_ms: 0.0,
+            deadline_ms: self.effective_deadline(request),
+            admission_laxity_ms,
+            resident_estimate_bytes: 0,
+            preemptions: 0,
+            suspended_ms: 0.0,
+            resume_penalty_ms: 0.0,
+            cache_hit: false,
+            peak_memory_mb: 0.0,
+            phases: PhaseBreakdown::attribute(0.0, 0.0, 0.0, 0.0, &[], &[]),
+            rejected: Some(cause),
+            stolen_from,
+            error: None,
+            report: None,
+        }
+    }
+
+    /// Observe every arrival up to `now` (pending is sorted by arrival, so
+    /// this walks a prefix), shedding past the queue bound and tracking the
+    /// queue-depth high-water mark. Runs at each scheduling boundary of the
+    /// device loop; depth can only shrink at those same boundaries
+    /// (admissions), so processing the arrivals of a busy interval in
+    /// arrival order here reproduces the depth evolution exactly. A shed
+    /// request is rejected *at its own arrival instant* with
+    /// [`RejectCause::QueueFull`].
+    #[allow(clippy::too_many_arguments)]
+    fn observe_arrivals(
+        &self,
+        now: f64,
+        device: &DeviceSpec,
+        device_index: usize,
+        stolen: &HashMap<usize, usize>,
+        pending: &mut Vec<(usize, &ServeRequest)>,
+        enqueued: &mut HashSet<usize>,
+        queued: &mut usize,
+        high_water: &mut usize,
+        outcomes: &mut Vec<RequestOutcome>,
+        trace: &mut TraceRecorder,
+    ) {
+        let bound = self.overload.queue_bound;
+        let mut i = 0;
+        while i < pending.len() {
+            let (seq, request) = pending[i];
+            if request.arrival_ms > now {
+                break;
+            }
+            if enqueued.contains(&seq) {
+                i += 1;
+                continue;
+            }
+            if let Some(bound) = bound {
+                if *queued >= bound {
+                    pending.remove(i);
+                    outcomes.push(self.rejected_outcome(
+                        seq,
+                        request,
+                        device,
+                        device_index,
+                        RejectCause::QueueFull,
+                        None,
+                        stolen.get(&seq).copied(),
+                    ));
+                    if trace.enabled() {
+                        trace.instant(
+                            TraceKind::Reject,
+                            TraceLane::Request(seq),
+                            &format!("reject {} (queue-full)", request.model.abbr),
+                            request.arrival_ms,
+                        );
+                    }
+                    continue;
+                }
+            }
+            enqueued.insert(seq);
+            *queued += 1;
+            *high_water = (*high_water).max(*queued);
+            i += 1;
+        }
     }
 
     /// Serve `requests` (any order; arrival times need not be sorted) and
@@ -526,32 +727,184 @@ impl ServeEngine {
         }
 
         // ---- placement: the sequential prologue ----
-        let mut per_device: Vec<Vec<(usize, &ServeRequest)>> = vec![Vec::new(); fleet_len];
+        let mut placement: Vec<usize> = Vec::with_capacity(requests.len());
         for (seq, request) in requests.iter().enumerate() {
-            let device = self
+            let placed = self
                 .policy
                 .place(request, seq, fleet_len)
                 .min(fleet_len - 1);
-            per_device[device].push((seq, request));
+            // A fleet-capped tenant is confined to its shard set, so the
+            // per-shard sub-caps bound its fleet-wide footprint by
+            // construction (see `with_fleet_tenant_cap`).
+            let device = match self.shard_set(&request.tenant, fleet_len) {
+                Some(allowed) => allowed[placed % allowed.len()],
+                None => placed,
+            };
+            placement.push(device);
         }
-        let jobs: Vec<DeviceJob<'_>> = self
+        let engines: Vec<FlashMem> = self
             .fleet
             .iter()
-            .enumerate()
-            .zip(per_device)
-            .map(|((index, device), assigned)| {
-                let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
-                let warm = assigned
+            .map(|device| FlashMem::new(device.clone()).with_config(self.config.clone()))
+            .collect();
+        // Warmth is snapshotted *before* the overload prologue compiles
+        // anything, so `cache_hit` keeps meaning "warm when the run began"
+        // even when admission control / steal planning populate the cache.
+        let warm_snapshot: Option<Vec<HashSet<u64>>> = if self.overload.uses_estimates() {
+            Some(
+                engines
                     .iter()
-                    .map(|(_, request)| ArtifactCache::key_for(&engine, &request.model, device))
-                    .filter(|&key| self.cache.is_warm(key))
+                    .zip(&self.fleet)
+                    .map(|(engine, device)| {
+                        requests
+                            .iter()
+                            .map(|request| ArtifactCache::key_for(engine, &request.model, device))
+                            .filter(|&key| self.cache.is_warm(key))
+                            .collect()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        // ---- overload pipeline (sequential): admission control + steal ----
+        // Both stages run on the caller thread in submission order — the
+        // same commit-point discipline as placement, which is what keeps
+        // every shed/steal decision byte-identical at any pool width.
+        // Service-time predictions are memoized per (model, device) and
+        // compile through the shared cache, sequentially, so the cache
+        // hit/miss counters stay schedule-independent too.
+        let mut rejected: HashSet<usize> = HashSet::new();
+        let mut prerejected: Vec<Vec<(usize, &ServeRequest, f64)>> = vec![Vec::new(); fleet_len];
+        let mut stolen_from: HashMap<usize, usize> = HashMap::new();
+        if self.overload.uses_estimates() {
+            let mut memo: HashMap<(String, usize), f64> = HashMap::new();
+            let mut predict = |model: &ModelSpec, d: usize| -> f64 {
+                *memo.entry((model.abbr.clone(), d)).or_insert_with(|| {
+                    match self.cache.compile(&engines[d], model, &self.fleet[d]) {
+                        Ok((artifact, _)) => {
+                            predicted_service_ms(&artifact, model, &self.fleet[d], &self.config)
+                        }
+                        // Compilation failures surface at admission.
+                        Err(_) => 0.0,
+                    }
+                })
+            };
+
+            if self.overload.admission_control {
+                for (seq, request) in requests.iter().enumerate() {
+                    let Some(budget) = self.effective_deadline(request) else {
+                        continue;
+                    };
+                    let allowed = self
+                        .shard_set(&request.tenant, fleet_len)
+                        .unwrap_or_else(|| (0..fleet_len).collect());
+                    let best = allowed
+                        .iter()
+                        .map(|&d| predict(&request.model, d))
+                        .fold(f64::INFINITY, f64::min);
+                    // Provably unmeetable: the *uncontended* service time on
+                    // the best device this request may run on already
+                    // exceeds its latency budget, so its laxity is negative
+                    // on every shard before any queueing.
+                    if best.is_finite() && best > budget + 1e-9 {
+                        rejected.insert(seq);
+                        prerejected[placement[seq]].push((seq, request, budget - best));
+                    }
+                }
+            }
+
+            if self.overload.steal {
+                // Discrete-event plan over the accepted requests in arrival
+                // order: each device is `max_in_flight` slots that free up
+                // after the predicted service time. A request that would
+                // queue at its home shard is re-placed onto the device that
+                // starts it strictly earliest (ties to the lowest fleet
+                // index); in-flight work is never moved — by the time a
+                // later arrival is planned, everything planned before it is
+                // already committed.
+                let slots = self.policy.max_in_flight().max(1);
+                let mut free: Vec<Vec<f64>> = vec![vec![0.0_f64; slots]; fleet_len];
+                let start_at = |free: &[Vec<f64>], d: usize, arrival: f64| -> f64 {
+                    arrival.max(free[d].iter().copied().fold(f64::INFINITY, f64::min))
+                };
+                let mut order: Vec<usize> = (0..requests.len())
+                    .filter(|seq| !rejected.contains(seq))
                     .collect();
+                order.sort_by(|&a, &b| {
+                    requests[a]
+                        .arrival_ms
+                        .partial_cmp(&requests[b].arrival_ms)
+                        .expect("arrival times are finite")
+                        .then(a.cmp(&b))
+                });
+                for seq in order {
+                    let request = &requests[seq];
+                    let home = placement[seq];
+                    let mut dest = home;
+                    if start_at(&free, home, request.arrival_ms) > request.arrival_ms + 1e-9 {
+                        // The request would queue at home — it is stealable.
+                        let allowed = self
+                            .shard_set(&request.tenant, fleet_len)
+                            .unwrap_or_else(|| (0..fleet_len).collect());
+                        for d in allowed {
+                            if start_at(&free, d, request.arrival_ms) + 1e-9
+                                < start_at(&free, dest, request.arrival_ms)
+                            {
+                                dest = d;
+                            }
+                        }
+                    }
+                    if dest != home {
+                        stolen_from.insert(seq, home);
+                        placement[seq] = dest;
+                    }
+                    let start = start_at(&free, dest, request.arrival_ms);
+                    let service = predict(&request.model, dest);
+                    let mut slot = 0;
+                    for (i, &value) in free[dest].iter().enumerate() {
+                        if value < free[dest][slot] {
+                            slot = i;
+                        }
+                    }
+                    free[dest][slot] = start + service;
+                }
+            }
+        }
+
+        let mut per_device: Vec<Vec<(usize, &ServeRequest)>> = vec![Vec::new(); fleet_len];
+        for (seq, request) in requests.iter().enumerate() {
+            if !rejected.contains(&seq) {
+                per_device[placement[seq]].push((seq, request));
+            }
+        }
+        let jobs: Vec<DeviceJob<'_>> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let device = &self.fleet[index];
+                let assigned = std::mem::take(&mut per_device[index]);
+                let stolen: HashMap<usize, usize> = assigned
+                    .iter()
+                    .filter_map(|(seq, _)| stolen_from.get(seq).map(|&home| (*seq, home)))
+                    .collect();
+                let warm = match &warm_snapshot {
+                    Some(sets) => sets[index].clone(),
+                    None => assigned
+                        .iter()
+                        .map(|(_, request)| ArtifactCache::key_for(&engine, &request.model, device))
+                        .filter(|&key| self.cache.is_warm(key))
+                        .collect(),
+                };
                 DeviceJob {
                     index,
                     device,
                     engine,
                     sim: GpuSimulator::new(device.clone(), SimConfig::default()),
                     assigned,
+                    prerejected: std::mem::take(&mut prerejected[index]),
+                    stolen,
                     warm,
                 }
             })
@@ -644,6 +997,8 @@ impl ServeEngine {
             engine,
             sim,
             assigned,
+            prerejected,
+            stolen,
             warm,
         } = job;
         let mut trace = TraceRecorder::new(self.trace);
@@ -651,7 +1006,7 @@ impl ServeEngine {
         let slots = self.policy.max_in_flight().max(1);
         let exclusive = slots == 1 && self.policy.preemption().is_none();
 
-        let total_assigned = assigned.len();
+        let total_assigned = assigned.len() + prerejected.len();
         let mut pending = assigned;
         pending.sort_by(|a, b| {
             a.1.arrival_ms
@@ -719,6 +1074,48 @@ impl ServeEngine {
         // Resident-byte estimates computed by the preemption phase's
         // feasibility checks, memoized per request seq.
         let mut estimate_memo: HashMap<usize, u64> = HashMap::new();
+        // Bounded-queue bookkeeping: which pending requests the loop has
+        // observed arriving (and not shed), the live queue depth (arrived
+        // but not yet admitted), and its high-water mark.
+        let mut enqueued: HashSet<usize> = HashSet::new();
+        let mut queued = 0_usize;
+        let mut queue_high_water = 0_usize;
+
+        // Admission-control rejects were decided in the run prologue; their
+        // outcomes and trace instants are emitted here so each lands on its
+        // placed device's private buffers and flows through the ordered
+        // merge like everything else.
+        for (seq, request, laxity) in &prerejected {
+            outcomes.push(self.rejected_outcome(
+                *seq,
+                request,
+                device,
+                device_index,
+                RejectCause::DeadlineUnmeetable,
+                Some(*laxity),
+                None,
+            ));
+            if trace.enabled() {
+                trace.instant(
+                    TraceKind::Reject,
+                    TraceLane::Request(*seq),
+                    &format!("reject {} (deadline-unmeetable)", request.model.abbr),
+                    request.arrival_ms,
+                );
+            }
+        }
+        if trace.enabled() {
+            for (seq, request) in &pending {
+                if let Some(home) = stolen.get(seq) {
+                    trace.instant(
+                        TraceKind::Steal,
+                        TraceLane::Request(*seq),
+                        &format!("steal {} from device #{home}", request.model.abbr),
+                        request.arrival_ms,
+                    );
+                }
+            }
+        }
 
         let fail = |outcomes: &mut Vec<RequestOutcome>,
                     trace: &mut TraceRecorder,
@@ -749,15 +1146,42 @@ impl ServeEngine {
                 cache_hit: false,
                 peak_memory_mb: 0.0,
                 phases: PhaseBreakdown::attribute(wait_ms, wait_ms, 0.0, 0.0, &[], &[]),
+                rejected: None,
+                stolen_from: stolen.get(&seq).copied(),
                 error: Some(error),
                 report: None,
             });
             trace_failure(trace, outcomes.last().expect("just pushed"), None);
         };
 
+        let bounded = self.overload.queue_bound.is_some();
         loop {
             // ---------------- preemption ----------------
             if self.policy.preemption().is_some() {
+                if bounded && !in_flight.is_empty() {
+                    // Observe (and shed past the bound) every arrival the
+                    // preemption phase is about to see, so a request that is
+                    // about to be shed can never trigger a preemption first.
+                    let now = epoch
+                        + in_flight
+                            .iter()
+                            .filter_map(|f| f.stepper.peek_start_ms(&clocks))
+                            .fold(f64::INFINITY, f64::min);
+                    if now.is_finite() {
+                        self.observe_arrivals(
+                            now,
+                            device,
+                            device_index,
+                            &stolen,
+                            &mut pending,
+                            &mut enqueued,
+                            &mut queued,
+                            &mut queue_high_water,
+                            &mut outcomes,
+                            &mut trace,
+                        );
+                    }
+                }
                 self.preempt_outranked(
                     &engine,
                     device,
@@ -770,6 +1194,7 @@ impl ServeEngine {
                     &mut estimate_memo,
                     &deadlines,
                     &estimates,
+                    bounded.then_some(&enqueued),
                     &mut in_flight,
                     &mut suspended,
                     &mut trace,
@@ -804,8 +1229,20 @@ impl ServeEngine {
                             .filter_map(|f| f.stepper.peek_start_ms(&clocks))
                             .fold(f64::INFINITY, f64::min)
                 };
+                self.observe_arrivals(
+                    now,
+                    device,
+                    device_index,
+                    &stolen,
+                    &mut pending,
+                    &mut enqueued,
+                    &mut queued,
+                    &mut queue_high_water,
+                    &mut outcomes,
+                    &mut trace,
+                );
                 let mut candidates =
-                    arrived_candidates(&pending, &suspended, now, &deadlines, &estimates);
+                    arrived_candidates(&pending, &suspended, now, &deadlines, &estimates, None);
                 let ctx = PolicyContext::at(now);
                 while !candidates.is_empty() {
                     let choice = self
@@ -917,6 +1354,9 @@ impl ServeEngine {
                         Ok((artifact, _)) => artifact,
                         Err(error) => {
                             pending.remove(position);
+                            if enqueued.remove(&seq) {
+                                queued -= 1;
+                            }
                             let deadline = self.effective_deadline(request);
                             fail(
                                 &mut outcomes,
@@ -931,12 +1371,15 @@ impl ServeEngine {
                         }
                     };
                     let estimate = estimate_resident_bytes(&artifact, &request.model);
-                    if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
+                    if let Some(cap) = self.effective_tenant_cap(&request.tenant) {
                         let used = tenant_bytes.get(&request.tenant).copied().unwrap_or(0);
                         if used.saturating_add(estimate) > cap {
                             if used == 0 {
                                 // The cap cannot fit this model at all.
                                 pending.remove(position);
+                                if enqueued.remove(&seq) {
+                                    queued -= 1;
+                                }
                                 let deadline = self.effective_deadline(request);
                                 fail(
                                     &mut outcomes,
@@ -961,6 +1404,9 @@ impl ServeEngine {
                     }
 
                     pending.remove(position);
+                    if enqueued.remove(&seq) {
+                        queued -= 1;
+                    }
                     let stream = lower_artifact(&artifact, &request.model, device, &self.config);
                     let total_commands = stream.len();
                     let floor = (request.arrival_ms - epoch).max(0.0);
@@ -1008,6 +1454,7 @@ impl ServeEngine {
                             predicted_ms,
                             total_commands,
                             admission_laxity_ms,
+                            stolen_from: stolen.get(&seq).copied(),
                             trace_start: tracker.trace().len(),
                             order: admit_order,
                             preemptions: 0,
@@ -1213,6 +1660,7 @@ impl ServeEngine {
                 0.0
             },
             peak_memory_mb: mem_trace.peak_bytes() as f64 / MIB,
+            queue_depth_high_water: queue_high_water,
             memory_trace: mem_trace,
         };
         Ok((outcomes, report, trace))
@@ -1244,6 +1692,7 @@ impl ServeEngine {
         estimate_memo: &mut HashMap<usize, u64>,
         deadlines: &HashMap<usize, Option<f64>>,
         estimates: &HashMap<usize, f64>,
+        gate: Option<&HashSet<usize>>,
         in_flight: &mut Vec<InFlight>,
         suspended: &mut Vec<Suspended>,
         trace: &mut TraceRecorder,
@@ -1273,7 +1722,8 @@ impl ServeEngine {
             let (victim_unified, victim_texture) =
                 in_flight[victim_idx].stepper.resident_split(tracker);
 
-            let mut candidates = arrived_candidates(pending, suspended, now, deadlines, estimates);
+            let mut candidates =
+                arrived_candidates(pending, suspended, now, deadlines, estimates, gate);
 
             let mut trigger = false;
             while !candidates.is_empty() {
@@ -1312,7 +1762,7 @@ impl ServeEngine {
                         .find(|(seq, _)| *seq == cand.seq)
                         .map(|(_, r)| *r)
                         .expect("candidate is pending");
-                    if let Some(&cap) = self.tenant_caps.get(&request.tenant) {
+                    if let Some(cap) = self.effective_tenant_cap(&request.tenant) {
                         // Memoized per request: this phase runs at every
                         // command boundary, and repeated cache probes would
                         // inflate the plan-cache hit counters.
@@ -1453,7 +1903,9 @@ impl std::fmt::Debug for ServeEngine {
             )
             .field("policy", &self.policy.name())
             .field("tenant_caps", &self.tenant_caps)
+            .field("fleet_tenant_caps", &self.fleet_tenant_caps)
             .field("tenant_slos", &self.tenant_slos)
+            .field("overload", &self.overload)
             .finish()
     }
 }

@@ -32,6 +32,30 @@ pub enum ArrivalPattern {
         /// Gap between bursts.
         gap_ms: f64,
     },
+    /// Steady background traffic with one flash crowd: the `crowd_size`
+    /// requests starting at index `crowd_index` all land at the same
+    /// instant, then the steady cadence resumes from that instant — the
+    /// overload-survival worst case (a push notification, a viral link).
+    FlashCrowd {
+        /// Gap between consecutive background arrivals.
+        base_interval_ms: f64,
+        /// Index of the first request in the crowd.
+        crowd_index: usize,
+        /// Number of simultaneous crowd arrivals (at least 1).
+        crowd_size: usize,
+    },
+    /// Sinusoidal arrival-rate sweep: consecutive gaps ramp between
+    /// `off_peak_interval_ms` (trough traffic) and `peak_interval_ms` (peak
+    /// traffic) with period `period_ms` — a diurnal load curve whose peak
+    /// can be provisioned past fleet capacity while the trough idles it.
+    Diurnal {
+        /// Gap between arrivals at the trough of the cycle.
+        off_peak_interval_ms: f64,
+        /// Gap between arrivals at the peak of the cycle.
+        peak_interval_ms: f64,
+        /// Length of one full trough → peak → trough cycle.
+        period_ms: f64,
+    },
 }
 
 impl ArrivalPattern {
@@ -41,6 +65,8 @@ impl ArrivalPattern {
             ArrivalPattern::Steady { .. } => "steady",
             ArrivalPattern::Poisson { .. } => "poisson",
             ArrivalPattern::Bursty { .. } => "bursty",
+            ArrivalPattern::FlashCrowd { .. } => "flash-crowd",
+            ArrivalPattern::Diurnal { .. } => "diurnal",
         }
     }
 
@@ -67,6 +93,37 @@ impl ArrivalPattern {
             ArrivalPattern::Bursty { burst_size, gap_ms } => {
                 let burst = (*burst_size).max(1);
                 (index / burst) as f64 * gap_ms.max(0.0)
+            }
+            ArrivalPattern::FlashCrowd {
+                base_interval_ms,
+                crowd_index,
+                crowd_size,
+            } => {
+                if index == 0 {
+                    0.0
+                } else if index > *crowd_index && index < crowd_index + (*crowd_size).max(1) {
+                    // Later crowd members pile onto the first one's instant.
+                    previous_ms
+                } else {
+                    previous_ms + base_interval_ms.max(0.0)
+                }
+            }
+            ArrivalPattern::Diurnal {
+                off_peak_interval_ms,
+                peak_interval_ms,
+                period_ms,
+            } => {
+                if index == 0 {
+                    0.0
+                } else {
+                    let period = period_ms.max(1e-9);
+                    let phase = (previous_ms / period) * std::f64::consts::TAU;
+                    // 0 at the trough of the cycle, 1 at its peak.
+                    let ramp = 0.5 * (1.0 - phase.cos());
+                    let off_peak = off_peak_interval_ms.max(0.0);
+                    let gap = off_peak + (peak_interval_ms.max(0.0) - off_peak) * ramp;
+                    previous_ms + gap.max(0.0)
+                }
             }
         }
     }
@@ -119,6 +176,123 @@ impl WorkloadSpec {
     }
 }
 
+/// The adversarial overload scenarios behind the overload-survival tests and
+/// the `overload` bench: deterministic request lists engineered to push a
+/// fleet past saturation in four distinct ways. Every scenario scales its
+/// request count with the fleet so the pressure per device stays adversarial
+/// at any sweep size, and every request carries a deadline — most a
+/// serveable budget, and every eighth one so tight that admission control
+/// can prove it unmeetable before queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadScenario {
+    /// Steady background traffic, then `2 × fleet` requests land at one
+    /// instant. Bounded queues shed the tail of the crowd instead of
+    /// admitting requests that would wait out their whole deadline.
+    FlashCrowd,
+    /// Sinusoidal arrival rate: the trough is easily absorbed, the peak is
+    /// provisioned past fleet capacity.
+    DiurnalRamp,
+    /// One hot tenant submits three of every four requests in bursts —
+    /// the fleet-wide tenant-cap stressor.
+    HotTenant,
+    /// Per-request cadence shrinks as the fleet grows, so total traffic
+    /// ramps with fleet size while per-device load stays saturating.
+    FleetRamp,
+}
+
+impl OverloadScenario {
+    /// All four scenarios, in sweep order.
+    pub fn all() -> [OverloadScenario; 4] {
+        [
+            OverloadScenario::FlashCrowd,
+            OverloadScenario::DiurnalRamp,
+            OverloadScenario::HotTenant,
+            OverloadScenario::FleetRamp,
+        ]
+    }
+
+    /// Short name used in tables and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverloadScenario::FlashCrowd => "flash-crowd",
+            OverloadScenario::DiurnalRamp => "diurnal-ramp",
+            OverloadScenario::HotTenant => "hot-tenant",
+            OverloadScenario::FleetRamp => "fleet-ramp",
+        }
+    }
+
+    /// The tenant name the hot-tenant scenario concentrates traffic on.
+    pub const HOT_TENANT: &'static str = "tenant-hot";
+
+    /// Generate the scenario's request list, scaled to `fleet_size` devices.
+    /// Same seed, same workload — the generator is a pure function of its
+    /// inputs, like everything else in this module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn generate(self, models: &[ModelSpec], fleet_size: usize, seed: u64) -> Vec<ServeRequest> {
+        let fleet = fleet_size.max(1);
+        let spec = match self {
+            OverloadScenario::FlashCrowd => WorkloadSpec {
+                pattern: ArrivalPattern::FlashCrowd {
+                    base_interval_ms: 400.0,
+                    crowd_index: 2 * fleet,
+                    crowd_size: 2 * fleet,
+                },
+                requests: 6 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+            OverloadScenario::DiurnalRamp => WorkloadSpec {
+                pattern: ArrivalPattern::Diurnal {
+                    off_peak_interval_ms: 800.0,
+                    peak_interval_ms: 25.0,
+                    period_ms: 20_000.0,
+                },
+                requests: 6 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+            OverloadScenario::HotTenant => WorkloadSpec {
+                pattern: ArrivalPattern::Bursty {
+                    burst_size: fleet.max(2),
+                    gap_ms: 500.0,
+                },
+                requests: 6 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+            OverloadScenario::FleetRamp => WorkloadSpec {
+                pattern: ArrivalPattern::Steady {
+                    interval_ms: 200.0 / fleet as f64,
+                },
+                requests: 8 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+        };
+        let mut requests = spec.generate(models);
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0DD_BA11);
+        for (index, request) in requests.iter_mut().enumerate() {
+            if self == OverloadScenario::HotTenant && index % 4 != 3 {
+                request.tenant = Self::HOT_TENANT.to_string();
+            }
+            request.deadline_ms = Some(if index % 8 == 7 {
+                // Provably unmeetable: no model in the zoo replays in 1 ms.
+                1.0
+            } else {
+                2_500.0 + rng.gen_f64() * 2_500.0
+            });
+        }
+        requests
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +321,16 @@ mod tests {
             ArrivalPattern::Bursty {
                 burst_size: 4,
                 gap_ms: 1000.0,
+            },
+            ArrivalPattern::FlashCrowd {
+                base_interval_ms: 100.0,
+                crowd_index: 4,
+                crowd_size: 5,
+            },
+            ArrivalPattern::Diurnal {
+                off_peak_interval_ms: 200.0,
+                peak_interval_ms: 10.0,
+                period_ms: 1_000.0,
             },
         ]
     }
@@ -267,6 +451,97 @@ mod tests {
         for pair in reqs.windows(2) {
             assert!(pair[1].arrival_ms >= pair[0].arrival_ms);
         }
+    }
+
+    #[test]
+    fn flash_crowd_piles_onto_one_instant_then_resumes_the_cadence() {
+        let reqs = spec(ArrivalPattern::FlashCrowd {
+            base_interval_ms: 100.0,
+            crowd_index: 4,
+            crowd_size: 5,
+        })
+        .generate(&models());
+        // Background cadence before the crowd.
+        assert_eq!(reqs[1].arrival_ms, 100.0);
+        assert_eq!(reqs[3].arrival_ms, 300.0);
+        // The whole crowd shares the first member's instant…
+        for member in &reqs[4..9] {
+            assert_eq!(member.arrival_ms, 400.0);
+        }
+        // …and the cadence resumes from it.
+        assert_eq!(reqs[9].arrival_ms, 500.0);
+    }
+
+    #[test]
+    fn diurnal_gaps_ramp_between_off_peak_and_peak() {
+        let reqs = WorkloadSpec {
+            pattern: ArrivalPattern::Diurnal {
+                off_peak_interval_ms: 200.0,
+                peak_interval_ms: 10.0,
+                period_ms: 1_000.0,
+            },
+            requests: 64,
+            tenants: 2,
+            priority_levels: 2,
+            seed: 9,
+        }
+        .generate(&models());
+        let gaps: Vec<f64> = reqs
+            .windows(2)
+            .map(|w| w[1].arrival_ms - w[0].arrival_ms)
+            .collect();
+        let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = gaps.iter().copied().fold(0.0_f64, f64::max);
+        // Every gap stays inside the configured envelope, and the cycle
+        // actually visits both ends of it.
+        assert!(
+            min >= 10.0 - 1e-9 && max <= 200.0 + 1e-9,
+            "gaps in [{min}, {max}]"
+        );
+        assert!(min < 30.0, "peak rate never reached: min gap {min}");
+        assert!(max > 150.0, "trough rate never reached: max gap {max}");
+    }
+
+    #[test]
+    fn overload_scenarios_are_deterministic_and_deadline_carrying() {
+        for scenario in OverloadScenario::all() {
+            let a = scenario.generate(&models(), 4, 11);
+            let b = scenario.generate(&models(), 4, 11);
+            assert!(!a.is_empty(), "{scenario:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.arrival_ms, y.arrival_ms, "{scenario:?}");
+                assert_eq!(x.tenant, y.tenant, "{scenario:?}");
+                assert_eq!(x.deadline_ms, y.deadline_ms, "{scenario:?}");
+            }
+            // Every request carries a deadline; some are provably
+            // unmeetable (the admission-control stressor).
+            assert!(a.iter().all(|r| r.deadline_ms.is_some()), "{scenario:?}");
+            assert!(
+                a.iter().any(|r| r.deadline_ms == Some(1.0)),
+                "{scenario:?} lacks unmeetable deadlines"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_tenant_scenario_concentrates_traffic() {
+        let reqs = OverloadScenario::HotTenant.generate(&models(), 4, 3);
+        let hot = reqs
+            .iter()
+            .filter(|r| r.tenant == OverloadScenario::HOT_TENANT)
+            .count();
+        assert_eq!(hot, reqs.len() * 3 / 4, "3 of every 4 requests are hot");
+    }
+
+    #[test]
+    fn fleet_ramp_scales_request_count_with_fleet_size() {
+        let small = OverloadScenario::FleetRamp.generate(&models(), 2, 5);
+        let large = OverloadScenario::FleetRamp.generate(&models(), 8, 5);
+        assert_eq!(small.len() * 4, large.len());
+        // Larger fleets see a proportionally tighter cadence: same total
+        // span, more arrivals.
+        let span = |reqs: &[ServeRequest]| reqs.last().unwrap().arrival_ms;
+        assert!((span(&small) - span(&large)).abs() / span(&small) < 0.1);
     }
 
     #[test]

@@ -20,8 +20,9 @@ use flashmem_core::pool::ThreadPool;
 use flashmem_core::FlashMemConfig;
 use flashmem_gpu_sim::{DeviceSpec, SimError};
 use flashmem_serve::{
-    ArrivalPattern, EdfPolicy, FifoPolicy, PendingEntry, PolicyContext, PreemptivePriorityPolicy,
-    PriorityPolicy, SchedulePolicy, ServeEngine, ServeRequest, WorkloadSpec,
+    ArrivalPattern, EdfPolicy, FifoPolicy, OverloadControl, PendingEntry, PolicyContext,
+    PreemptivePriorityPolicy, PriorityPolicy, SchedulePolicy, ServeEngine, ServeRequest,
+    WorkloadSpec,
 };
 
 /// A fleet of `size` devices cycling the evaluated presets, like the bench's
@@ -140,6 +141,65 @@ fn cache_hit_reports_warmth_at_run_start_not_a_compile_race() {
         warm.outcomes.iter().all(|o| o.cache_hit),
         "every plan was compiled (and so warm) before the second run began"
     );
+}
+
+/// A policy that funnels every request onto device 0, leaving the rest of
+/// the fleet idle — the pile-up the steal phase exists to drain.
+struct HotspotPolicy;
+
+impl SchedulePolicy for HotspotPolicy {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn place(&self, _request: &ServeRequest, _seq: usize, _fleet_len: usize) -> usize {
+        0
+    }
+
+    fn pick(&self, candidates: &[PendingEntry], _ctx: &PolicyContext) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.arrival_ms
+                    .partial_cmp(&b.arrival_ms)
+                    .expect("arrivals are finite")
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)
+            .expect("pick called with candidates")
+    }
+}
+
+/// The steal phase moves queued work off a backed-up device — and because
+/// the plan is committed in the sequential prologue, the resulting report
+/// (which requests moved, where, and every downstream timestamp) is
+/// byte-identical between the serial loop and a 4-thread pool.
+#[test]
+fn steal_phase_is_byte_identical_across_pool_widths() {
+    let requests = workload(32, 0xF1EE_7005);
+    let steal_engine = || {
+        ServeEngine::new(fleet(4), FlashMemConfig::memory_priority())
+            .with_policy(Box::new(HotspotPolicy))
+            .with_overload_control(OverloadControl::disabled().with_steal())
+    };
+    let serial = steal_engine()
+        .run_on(&ThreadPool::with_threads(1), &requests)
+        .expect("serial steal run succeeds");
+    let parallel = steal_engine()
+        .run_on(&ThreadPool::with_threads(4), &requests)
+        .expect("parallel steal run succeeds");
+    // Every request was placed on device 0, so any work elsewhere was
+    // stolen there by the prologue's re-placement plan.
+    assert!(
+        parallel.stolen() > 0,
+        "a single-device pile-up must trigger the steal phase"
+    );
+    assert!(
+        parallel.devices[1..].iter().any(|d| d.requests > 0),
+        "stolen work lands on the idle devices"
+    );
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
 }
 
 /// A policy that places fine but panics the first time a device tries to

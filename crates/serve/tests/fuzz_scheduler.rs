@@ -15,7 +15,15 @@
 //!   completions monotone in admission order.
 //! * **Per-tenant memory caps hold** — at no instant does the sum of
 //!   resident-byte reservations of one tenant's overlapping requests on one
-//!   device exceed the configured cap.
+//!   device exceed the configured cap, and when a *fleet-wide* cap is
+//!   configured the same holds for the tenant's reservations summed across
+//!   every device of the fleet.
+//! * **Overload control is an exact partition** — with randomized
+//!   [`OverloadControl`] knobs (bounded queues, admission control, steal),
+//!   `accepted + rejected == submitted`, every rejection carries a typed
+//!   [`RejectCause`], queue-depth high-water marks respect the bound, and
+//!   requests are only stolen when stealing is armed (and never onto their
+//!   own home device).
 //! * **Accounting closes** — the SLO summary equals a recount from the
 //!   outcomes and every miss is attributed to exactly one cause; only
 //!   preemptive policies ever preempt.
@@ -46,8 +54,8 @@ use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 use flashmem_serve::{
     AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy,
-    LeastLaxityPolicy, MissCause, PreemptivePriorityPolicy, PriorityPolicy, SchedulePolicy,
-    ServeEngine, ServeReport, ServeRequest, SloSummary, WorkloadSpec,
+    LeastLaxityPolicy, MissCause, OverloadControl, PreemptivePriorityPolicy, PriorityPolicy,
+    RejectCause, SchedulePolicy, ServeEngine, ServeReport, ServeRequest, SloSummary, WorkloadSpec,
 };
 
 /// Pinned seeds — CI runs exactly these, so a failure names its repro.
@@ -111,6 +119,11 @@ struct FuzzCase {
     slos: Vec<Option<f64>>,
     /// Memory cap on `tenant-0`, when the dice say so.
     cap_bytes: Option<u64>,
+    /// Fleet-wide cap on `tenant-0` as `(bytes, shards)`, when the dice say
+    /// so.
+    fleet_cap: Option<(u64, usize)>,
+    /// Randomized overload knobs (bounded queues, admission control, steal).
+    overload: OverloadControl,
 }
 
 /// Draw a random-but-reproducible serving scenario from `seed`.
@@ -138,22 +151,41 @@ fn random_case(seed: u64) -> FuzzCase {
     };
     let models: Vec<ModelSpec> = vec![ModelZoo::gptneo_small(), ModelZoo::vit()];
     let mut requests = spec.generate(&models);
-    // Sprinkle request-level deadlines on top of the tenant defaults.
+    // Sprinkle request-level deadlines on top of the tenant defaults —
+    // including the occasional provably-unmeetable 1 ms budget so admission
+    // control has something to prove.
     for request in &mut requests {
         if rng.gen_range_inclusive(0, 3) == 0 {
             request.deadline_ms = Some(300.0 + rng.gen_f64() * 4_000.0);
+        }
+        if rng.gen_range_inclusive(0, 7) == 0 {
+            request.deadline_ms = Some(1.0);
         }
     }
     let slos = (0..tenants)
         .map(|_| (rng.gen_range_inclusive(0, 2) != 0).then(|| 400.0 + rng.gen_f64() * 3_600.0))
         .collect();
     let cap_bytes = (rng.gen_range_inclusive(0, 1) == 0).then_some(1_600 * MIB);
+    let fleet_cap = (rng.gen_range_inclusive(0, 2) == 0)
+        .then(|| (2_400 * MIB, rng.gen_range_inclusive(1, 2) as usize));
+    let mut overload = OverloadControl::disabled();
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        overload = overload.with_queue_bound(rng.gen_range_inclusive(1, 3) as usize);
+    }
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        overload = overload.with_admission_control();
+    }
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        overload = overload.with_steal();
+    }
     FuzzCase {
         requests,
         fleet: rng.gen_range_inclusive(1, 2) as usize,
         tenants,
         slos,
         cap_bytes,
+        fleet_cap,
+        overload,
     }
 }
 
@@ -178,6 +210,10 @@ fn run_case(case: &FuzzCase, policy: Box<dyn SchedulePolicy>) -> ServeReport {
     if let Some(cap) = case.cap_bytes {
         engine = engine.with_tenant_cap("tenant-0", cap);
     }
+    if let Some((bytes, shards)) = case.fleet_cap {
+        engine = engine.with_fleet_tenant_cap("tenant-0", bytes, shards);
+    }
+    engine = engine.with_overload_control(case.overload);
     engine.run(&case.requests).expect("fuzz run succeeds")
 }
 
@@ -226,13 +262,108 @@ fn check_invariants(report: &ServeReport, case: &FuzzCase, policy: &str, exclusi
             label("latency accounting")
         );
         assert!(
-            o.completion_ms <= makespan + EPS,
+            // A rejected request never executes: its completion is pinned to
+            // its arrival, which may fall after all real work finished.
+            o.rejected.is_some() || o.completion_ms <= makespan + EPS,
             "{}",
             label("completion past makespan")
         );
         assert!(o.suspended_ms >= 0.0 && o.resume_penalty_ms >= 0.0);
         if o.succeeded() {
             assert!(o.device_index < report.devices.len());
+        }
+    }
+
+    // Overload control is an exact partition: every submitted request is
+    // either accepted or rejected-with-a-cause, never silently dropped.
+    assert_eq!(
+        report.accepted() + report.rejected(),
+        case.requests.len(),
+        "{}",
+        label("accepted + rejected must equal submitted")
+    );
+    let shed = report.shed_by_cause();
+    assert_eq!(
+        shed.total(),
+        report.rejected(),
+        "{}",
+        label("shed breakdown recount")
+    );
+    for o in &report.outcomes {
+        if let Some(cause) = o.rejected {
+            assert!(o.error.is_none(), "{}", label("rejected with an error"));
+            assert_eq!(o.latency_ms, 0.0, "{}", label("rejected with latency"));
+            assert_eq!(o.slo_met(), None, "{}", label("rejected in SLO tally"));
+            if cause == RejectCause::DeadlineUnmeetable {
+                assert!(
+                    o.admission_laxity_ms.unwrap_or(0.0) < 0.0,
+                    "{}",
+                    label("deadline reject without provably negative laxity")
+                );
+                assert!(
+                    case.overload.admission_control,
+                    "{}",
+                    label("deadline reject with admission control off")
+                );
+            } else {
+                assert!(
+                    case.overload.queue_bound.is_some(),
+                    "{}",
+                    label("queue-full reject without a bound")
+                );
+            }
+        }
+        if let Some(home) = o.stolen_from {
+            assert!(case.overload.steal, "{}", label("stolen with steal off"));
+            assert_ne!(
+                home,
+                o.device_index,
+                "{}",
+                label("stolen onto its own home device")
+            );
+        }
+    }
+    if !case.overload.steal {
+        assert_eq!(
+            report.stolen(),
+            0,
+            "{}",
+            label("steal tally with steal off")
+        );
+    }
+    if let Some(bound) = case.overload.queue_bound {
+        for device in &report.devices {
+            assert!(
+                device.queue_depth_high_water <= bound,
+                "{}",
+                label(&format!(
+                    "queue depth {} exceeded bound {bound}",
+                    device.queue_depth_high_water
+                ))
+            );
+        }
+    }
+
+    // Fleet-wide tenant cap: the tenant's overlapping reservations summed
+    // across *every* device stay within the fleet cap.
+    if let Some((cap, _)) = case.fleet_cap {
+        let windows: Vec<(f64, f64, u64)> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.succeeded() && o.tenant == "tenant-0")
+            .map(|o| (o.start_ms, o.completion_ms, o.resident_estimate_bytes))
+            .collect();
+        for &(start, _, _) in &windows {
+            let resident: u64 = windows
+                .iter()
+                .filter(|(s, c, _)| *s <= start + EPS && start < *c - EPS)
+                .map(|(_, _, bytes)| bytes)
+                .sum();
+            assert!(
+                resident <= cap,
+                "{}",
+                label(&format!("fleet tenant cap exceeded: {resident} > {cap}"))
+            );
         }
     }
 
@@ -399,12 +530,14 @@ fn comparable(report: &ServeReport) -> String {
             cache_hit: _, // process-wide cache warmth, not scheduler behaviour
             peak_memory_mb,
             phases,
+            rejected,
+            stolen_from,
             error,
             report,
         } = o;
         let _ = write!(
             view,
-            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{error:?}|{report:?};",
+            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{rejected:?}|{stolen_from:?}|{error:?}|{report:?};",
         );
     }
     let _ = write!(
@@ -473,5 +606,7 @@ fn workload_cases_are_themselves_deterministic() {
         assert_eq!(a.fleet, b.fleet);
         assert_eq!(a.slos, b.slos);
         assert_eq!(a.cap_bytes, b.cap_bytes);
+        assert_eq!(a.fleet_cap, b.fleet_cap);
+        assert_eq!(a.overload, b.overload);
     }
 }

@@ -1,0 +1,391 @@
+//! Adversarial overload scenarios for the fleet survival machinery:
+//! admission control, bounded per-device queues and the re-placement
+//! (steal) phase.
+//!
+//! Each test pins one survival invariant from the overload design:
+//!
+//! 1. **Exact partition** — every submitted request appears in the report
+//!    exactly once, as accepted or rejected; nothing is ever silently
+//!    dropped, under any scenario or knob combination.
+//! 2. **Provably-correct rejection** — the solo-rerun oracle: every
+//!    `DeadlineUnmeetable` reject, re-run alone on an idle copy of each
+//!    fleet device, still misses its deadline. Admission control never
+//!    sheds a request the fleet could have served.
+//! 3. **Bounded queues hold their bound** — both the engine's own
+//!    high-water counter and an independent reconstruction of queue depth
+//!    from the outcome windows stay at or under the configured bound.
+//! 4. **Steal is conservative** — a stolen request completes exactly once,
+//!    starts no earlier than it arrived, and runs on a device other than
+//!    its backed-up home.
+//! 5. **Shedding pays for itself** — under a flash crowd, the SLO
+//!    attainment of the *admitted* requests with bounded queues and
+//!    admission control strictly exceeds the unbounded baseline's.
+
+use flashmem_core::FlashMemConfig;
+use flashmem_gpu_sim::DeviceSpec;
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::{
+    FifoPolicy, OverloadControl, OverloadScenario, PendingEntry, PolicyContext, RejectCause,
+    SchedulePolicy, ServeEngine, ServeRequest,
+};
+
+const MIB: u64 = 1024 * 1024;
+
+/// A fleet of `size` devices cycling the evaluated presets.
+fn fleet(size: usize) -> Vec<DeviceSpec> {
+    let presets = [
+        DeviceSpec::oneplus_12(),
+        DeviceSpec::galaxy_tab_s9(),
+        DeviceSpec::radeon_780m_laptop(),
+        DeviceSpec::pixel_8(),
+    ];
+    (0..size)
+        .map(|i| presets[i % presets.len()].clone())
+        .collect()
+}
+
+fn models() -> Vec<ModelSpec> {
+    vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+}
+
+fn engine(devices: usize) -> ServeEngine {
+    ServeEngine::new(fleet(devices), FlashMemConfig::memory_priority())
+        .with_policy(Box::new(FifoPolicy))
+}
+
+/// A policy that funnels every request onto device 0 — the worst-case home
+/// shard the steal phase exists to drain.
+struct Device0Policy;
+
+impl SchedulePolicy for Device0Policy {
+    fn name(&self) -> &'static str {
+        "device-0"
+    }
+
+    fn place(&self, _request: &ServeRequest, _seq: usize, _fleet_len: usize) -> usize {
+        0
+    }
+
+    fn pick(&self, candidates: &[PendingEntry], _ctx: &PolicyContext) -> usize {
+        // FIFO among the arrived candidates: earliest arrival, seq as the
+        // tiebreak, same as the stock FIFO policy.
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.arrival_ms
+                    .partial_cmp(&b.arrival_ms)
+                    .expect("arrivals are finite")
+                    .then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)
+            .expect("pick called with candidates")
+    }
+}
+
+/// Invariant 1: under every adversarial scenario, with every defense armed,
+/// `accepted + rejected` partitions the submitted requests exactly — seqs
+/// come back as a permutation, every rejection carries a cause, and the
+/// shed breakdown re-counts the rejected tally.
+#[test]
+fn every_scenario_partitions_submissions_into_accepted_plus_rejected() {
+    let models = models();
+    let mut any_rejected = false;
+    for scenario in OverloadScenario::all() {
+        let mut engine = engine(3).with_overload_control(
+            OverloadControl::disabled()
+                .with_queue_bound(2)
+                .with_admission_control()
+                .with_steal(),
+        );
+        if scenario == OverloadScenario::HotTenant {
+            engine = engine.with_fleet_tenant_cap(OverloadScenario::HOT_TENANT, 2_400 * MIB, 2);
+        }
+        let requests = scenario.generate(&models, 3, 0x0DD_0001);
+        let report = engine.run(&requests).expect("overload scenario runs");
+
+        assert_eq!(
+            report.outcomes.len(),
+            requests.len(),
+            "{}: one outcome per submitted request",
+            scenario.name()
+        );
+        let mut seqs: Vec<usize> = report.outcomes.iter().map(|o| o.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(
+            seqs,
+            (0..requests.len()).collect::<Vec<_>>(),
+            "{}: outcome seqs are a permutation of the submissions",
+            scenario.name()
+        );
+        assert_eq!(
+            report.accepted() + report.rejected(),
+            requests.len(),
+            "{}: accepted + rejected partitions the workload",
+            scenario.name()
+        );
+        let shed = report.shed_by_cause();
+        assert_eq!(
+            shed.total(),
+            report.rejected(),
+            "{}: every rejection carries exactly one cause",
+            scenario.name()
+        );
+        any_rejected |= report.rejected() > 0;
+
+        let makespan = report.makespan_ms();
+        for o in &report.outcomes {
+            if let Some(cause) = o.rejected {
+                // A reject is the scheduler declining work, not work
+                // failing: zero latency, no error, no SLO verdict.
+                assert!(o.error.is_none(), "{}: reject carries no error", o.seq);
+                assert_eq!(o.latency_ms, 0.0);
+                assert_eq!(o.start_ms, o.arrival_ms);
+                assert_eq!(o.completion_ms, o.arrival_ms);
+                assert_eq!(o.slo_met(), None);
+                if cause == RejectCause::DeadlineUnmeetable {
+                    assert!(
+                        o.admission_laxity_ms.unwrap_or(0.0) < 0.0,
+                        "{}: admission rejects record the negative laxity",
+                        o.seq
+                    );
+                }
+            } else {
+                // Accepted work lives inside its device's timeline;
+                // rejected completions sit at the arrival instant and may
+                // legitimately fall past the makespan.
+                assert!(
+                    o.completion_ms <= makespan + 1e-6,
+                    "{}: accepted completion within the makespan",
+                    o.seq
+                );
+            }
+        }
+        for d in &report.devices {
+            assert!(
+                d.queue_depth_high_water <= 2,
+                "{}: {} high-water {} exceeds the bound",
+                scenario.name(),
+                d.device,
+                d.queue_depth_high_water
+            );
+        }
+    }
+    assert!(
+        any_rejected,
+        "the adversarial scenarios should pressure at least one rejection"
+    );
+}
+
+/// Invariant 2: the solo-rerun oracle. Every deadline-unmeetable rejection,
+/// replayed alone (no contention, no queueing) on a fresh copy of each
+/// fleet device, still misses its deadline — so admission control only ever
+/// sheds requests the fleet provably could not have served.
+#[test]
+fn deadline_rejections_survive_the_solo_rerun_oracle() {
+    let models = models();
+    let requests = OverloadScenario::FlashCrowd.generate(&models, 2, 0x0DD_0002);
+    let report = engine(2)
+        .with_overload_control(OverloadControl::disabled().with_admission_control())
+        .run(&requests)
+        .expect("flash crowd runs");
+
+    let rejected: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.rejected == Some(RejectCause::DeadlineUnmeetable))
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "the flash-crowd scenario plants provably unmeetable deadlines"
+    );
+    assert_eq!(
+        report.shed_by_cause().queue_full,
+        0,
+        "no queue bound is set, so admission control is the only shedder"
+    );
+
+    let fleet = fleet(2);
+    for o in &rejected {
+        let request = requests[o.seq].clone().with_arrival_ms(0.0);
+        for (d, spec) in fleet.iter().enumerate() {
+            let solo = ServeEngine::new(vec![spec.clone()], FlashMemConfig::memory_priority())
+                .with_policy(Box::new(FifoPolicy))
+                .run(std::slice::from_ref(&request))
+                .expect("solo rerun runs");
+            assert_eq!(solo.outcomes.len(), 1);
+            assert_eq!(
+                solo.outcomes[0].slo_met(),
+                Some(false),
+                "seq {} was rejected as unmeetable but met its deadline solo on device {d}",
+                o.seq
+            );
+        }
+    }
+}
+
+/// Invariant 3: the queue bound holds — by the engine's own high-water
+/// counter *and* by an independent reconstruction from the outcome
+/// windows. A request occupies its device's queue over `[arrival, start)`,
+/// so at any accepted request's arrival instant the number of same-device
+/// outcomes whose window spans that instant is the queue depth the engine
+/// saw (the strict `start > t` excludes requests admitted at that very
+/// boundary, which the engine admits only after arrival processing).
+#[test]
+fn queue_depth_never_exceeds_the_bound() {
+    let models = models();
+    let bound = 1;
+    let requests = OverloadScenario::FlashCrowd.generate(&models, 2, 0x0DD_0003);
+    let report = engine(2)
+        .with_overload_control(OverloadControl::disabled().with_queue_bound(bound))
+        .run(&requests)
+        .expect("bounded flash crowd runs");
+
+    assert!(
+        report.shed_by_cause().queue_full > 0,
+        "a flash crowd against a bound of {bound} must shed"
+    );
+    let mut exercised = false;
+    for d in &report.devices {
+        assert!(
+            d.queue_depth_high_water <= bound,
+            "{}: high-water {} exceeds the bound {bound}",
+            d.device,
+            d.queue_depth_high_water
+        );
+        exercised |= d.queue_depth_high_water == bound;
+    }
+    assert!(exercised, "the crowd should fill at least one queue");
+
+    let accepted: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.rejected.is_none())
+        .collect();
+    for r in &accepted {
+        let depth = accepted
+            .iter()
+            .filter(|o| {
+                o.device_index == r.device_index
+                    && o.arrival_ms <= r.arrival_ms
+                    && o.start_ms > r.arrival_ms
+            })
+            .count();
+        assert!(
+            depth <= bound,
+            "reconstructed queue depth {depth} on device {} at t={} exceeds the bound {bound}",
+            r.device_index,
+            r.arrival_ms
+        );
+    }
+}
+
+/// Invariant 4: a stolen request completes exactly once, starts no earlier
+/// than it arrived, and runs somewhere other than its backed-up home. With
+/// every request funnelled onto device 0, the steal phase is the only
+/// reason devices 1 and 2 see work at all.
+#[test]
+fn stolen_requests_complete_exactly_once_with_start_after_arrival() {
+    let models = models();
+    let requests = OverloadScenario::FleetRamp.generate(&models, 3, 0x0DD_0004);
+    let report = ServeEngine::new(fleet(3), FlashMemConfig::memory_priority())
+        .with_policy(Box::new(Device0Policy))
+        .with_overload_control(OverloadControl::disabled().with_steal())
+        .run(&requests)
+        .expect("steal scenario runs");
+
+    assert_eq!(report.outcomes.len(), requests.len());
+    assert!(
+        report.stolen() > 0,
+        "a single-device pile-up must trigger the steal phase"
+    );
+    assert_eq!(report.rejected(), 0, "steal alone never sheds");
+    let mut seqs: Vec<usize> = report.outcomes.iter().map(|o| o.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(
+        seqs.len(),
+        requests.len(),
+        "every request completes exactly once, stolen or not"
+    );
+    for o in &report.outcomes {
+        if let Some(home) = o.stolen_from {
+            assert_eq!(home, 0, "device 0 is the only placement home");
+            assert_ne!(
+                o.device_index, home,
+                "seq {}: a steal moves work to a different device",
+                o.seq
+            );
+            assert!(
+                o.device_index < report.devices.len(),
+                "seq {}: stolen to a real fleet device",
+                o.seq
+            );
+            assert!(
+                o.start_ms >= o.arrival_ms - 1e-9,
+                "seq {}: stolen work cannot start before it arrives",
+                o.seq
+            );
+            assert!(o.succeeded(), "seq {}: stolen work completes", o.seq);
+        }
+    }
+    let moved: usize = report.devices[1..].iter().map(|d| d.requests).sum();
+    assert_eq!(
+        moved,
+        report.stolen(),
+        "requests on devices 1.. are exactly the stolen ones"
+    );
+}
+
+/// Invariant 5 (the headline acceptance criterion): under a flash crowd,
+/// bounded queues plus admission control strictly improve the SLO
+/// attainment of the *admitted* requests over the unbounded baseline —
+/// shedding the hopeless tail protects everyone the fleet actually serves.
+#[test]
+fn flash_crowd_bounded_attainment_strictly_beats_the_unbounded_baseline() {
+    let models = models();
+    let requests = OverloadScenario::FlashCrowd.generate(&models, 2, 0x0DD_0005);
+
+    let baseline = engine(2).run(&requests).expect("unbounded baseline runs");
+    let protected = engine(2)
+        .with_overload_control(
+            OverloadControl::disabled()
+                .with_queue_bound(1)
+                .with_admission_control(),
+        )
+        .run(&requests)
+        .expect("protected run succeeds");
+
+    assert_eq!(baseline.rejected(), 0, "the baseline accepts everything");
+    assert!(protected.rejected() > 0, "the protected run sheds");
+    assert_eq!(
+        protected.accepted() + protected.rejected(),
+        requests.len(),
+        "zero requests silently lost under shedding"
+    );
+    assert!(
+        baseline.slo.attainment() < 1.0,
+        "the crowd must overwhelm the unbounded baseline for shedding to matter"
+    );
+    assert!(
+        protected.slo.attainment() > baseline.slo.attainment(),
+        "admitted-request attainment: protected {:.3} must strictly beat baseline {:.3}",
+        protected.slo.attainment(),
+        baseline.slo.attainment()
+    );
+}
+
+/// `OverloadControl::disabled()` (the default) is the legacy engine, bit
+/// for bit: arming the struct without any knob must not perturb a single
+/// outcome.
+#[test]
+fn disabled_overload_control_is_byte_identical_to_the_legacy_engine() {
+    let models = models();
+    let requests = OverloadScenario::DiurnalRamp.generate(&models, 2, 0x0DD_0006);
+    let legacy = engine(2).run(&requests).expect("legacy run succeeds");
+    let armed = engine(2)
+        .with_overload_control(OverloadControl::disabled())
+        .run(&requests)
+        .expect("disabled-overload run succeeds");
+    assert_eq!(format!("{legacy:?}"), format!("{armed:?}"));
+}

@@ -110,6 +110,12 @@ pub enum TraceKind {
     SloMiss,
     /// Request failed admission or execution (serve).
     Fail,
+    /// Request shed by overload control (admission reject or queue-full),
+    /// tagged with the typed cause (serve).
+    Reject,
+    /// Queued request re-placed from a backed-up shard onto this device by
+    /// the steal planner (serve).
+    Steal,
 }
 
 impl TraceKind {
@@ -126,7 +132,9 @@ impl TraceKind {
             | TraceKind::Resume
             | TraceKind::Complete
             | TraceKind::SloMiss
-            | TraceKind::Fail => "serve",
+            | TraceKind::Fail
+            | TraceKind::Reject
+            | TraceKind::Steal => "serve",
         }
     }
 }
