@@ -1,0 +1,22 @@
+//! The continuous-batching decode benchmark: serve the same seeded
+//! generative workload at batch widths 1 (one-shot baseline) through 8 and
+//! report decode tokens/s, TTFT p50/p95/p99 and ITL p50/p95/p99 per cell.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin decode [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+//! `--quick` runs the 2-device fleet at widths 1 and 4 (CI's decode smoke
+//! step); `--threads 1` pins the parallel legs to the serial path, which is
+//! what the CI determinism diff compares against. `--trace-out PATH`
+//! re-runs the widest cell with event tracing enabled — the exported Chrome
+//! trace includes the `Prefill`/`DecodeStep` spans and
+//! `BatchJoin`/`BatchLeave` instants and is byte-identical at every
+//! `--threads` width.
+
+use flashmem_bench::experiments::decode;
+
+fn main() {
+    flashmem_bench::run_bin_with_json_and_trace(
+        decode::run,
+        decode::DecodeBench::to_json,
+        decode::traced_showcase,
+    );
+}

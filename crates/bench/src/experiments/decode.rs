@@ -1,0 +1,374 @@
+//! Continuous-batching decode benchmark — beyond the paper: what joining
+//! generative requests into a shared decode batch buys over serving them
+//! one-shot, on the same fleet and workload.
+//!
+//! Each cell serves one seeded [`DecodeWorkloadSpec`] (autoregressive
+//! requests with prompt/output token counts) through the
+//! [`DecodeEngine`] at one batch width: `b=1` is the one-shot baseline
+//! (every request prefills and decodes alone), wider cells let requests
+//! join and leave at step boundaries under the KV token budget. Because a
+//! decode step's cost is dominated by streaming the weights — which a batch
+//! reads once for all members — decode tokens/s should climb with the batch
+//! width while per-request ITL degrades only mildly; TTFT of waiting
+//! requests is governed by the join heuristic. The cell records exactly
+//! that trade: tokens/s, TTFT p50/p95/p99 and ITL p50/p95/p99.
+//!
+//! Every cell runs twice — pinned to a width-1 pool and on the process-wide
+//! pool — and records whether the two `ServeReport`s were byte-identical,
+//! which they must be: batch composition is decided by the deterministic
+//! join rule at step boundaries, never by pool scheduling.
+//!
+//! Like `fleet_scale` and `overload`, this experiment is intentionally
+//! **not** part of `bin/all` — the serial-vs-parallel self-check would be
+//! tautological inside a pool worker. Run it standalone:
+//!
+//! `cargo run --release -p flashmem-bench --bin decode [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flashmem_core::pool::{self, ThreadPool};
+use flashmem_core::{ArtifactCache, FlashMemConfig};
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::{
+    ArrivalPattern, BatchConfig, DecodeEngine, DecodeWorkloadSpec, FleetTrace, ServeReport,
+    ServeRequest, TraceConfig,
+};
+
+use crate::experiments::serve::serving_fleet;
+use crate::fmt_ms;
+use crate::json::Json;
+use crate::table::TextTable;
+
+const SEED: u64 = 0xDEC0_DE5D;
+
+/// One batch-width cell of the sweep: the same generative workload served
+/// at one `max_batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeCell {
+    /// Serving mode: `one-shot` for `b=1`, `continuous(b=N)` otherwise.
+    pub mode: String,
+    /// The batch width this cell ran at.
+    pub max_batch: usize,
+    /// Generative requests submitted (all must complete).
+    pub requests: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Simulated fleet makespan (ms).
+    pub makespan_ms: f64,
+    /// Total decode tokens emitted by completed requests.
+    pub decode_tokens: usize,
+    /// Decode tokens per simulated second — the headline batching win.
+    pub tokens_per_s: f64,
+    /// Time-to-first-token percentiles (ms, simulated); `None` (JSON
+    /// `null`) when nothing completed.
+    pub ttft_p50_ms: Option<f64>,
+    /// TTFT p95.
+    pub ttft_p95_ms: Option<f64>,
+    /// TTFT p99.
+    pub ttft_p99_ms: Option<f64>,
+    /// Inter-token-latency percentiles over every decode-step gap (ms).
+    pub itl_p50_ms: Option<f64>,
+    /// ITL p95.
+    pub itl_p95_ms: Option<f64>,
+    /// ITL p99.
+    pub itl_p99_ms: Option<f64>,
+    /// True when the pool-parallel report was byte-identical to the
+    /// width-1 serial one (always expected; recorded so CI can grep).
+    pub identical: bool,
+    /// Wall-clock of the width-1 (serial) run, in ms.
+    pub serial_ms: f64,
+    /// Wall-clock of the pool-parallel run, in ms.
+    pub parallel_ms: f64,
+}
+
+/// The decode sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeBench {
+    /// Pool width the parallel runs used.
+    pub threads: usize,
+    /// Devices in the fleet.
+    pub fleet: usize,
+    /// The per-device KV token budget every cell enforced.
+    pub token_budget: u64,
+    /// One cell per batch width, ascending; the first is the one-shot
+    /// baseline.
+    pub cells: Vec<DecodeCell>,
+}
+
+fn fleet_size(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        4
+    }
+}
+
+fn batch_widths(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::gptneo_small()]
+    } else {
+        vec![ModelZoo::gptneo_small(), ModelZoo::whisper_medium()]
+    }
+}
+
+/// The generative workload: a burst of prompts far faster than one-shot
+/// serving drains, so wider batches have a queue to amortize over.
+fn workload(quick: bool, models: &[ModelSpec]) -> Vec<ServeRequest> {
+    DecodeWorkloadSpec {
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 4,
+            gap_ms: 200.0,
+        },
+        requests: if quick { 8 } else { 24 },
+        tenants: 2,
+        prompt_tokens: (8, 48),
+        output_tokens: (8, 32),
+        seed: SEED,
+    }
+    .generate(models)
+}
+
+fn batch_config(max_batch: usize) -> BatchConfig {
+    BatchConfig {
+        max_batch,
+        ..BatchConfig::default()
+    }
+}
+
+/// One timed run on `pool` with a fresh engine and plan cache (fresh so the
+/// serial and parallel legs see identical cache telemetry).
+fn timed_run(
+    pool: &ThreadPool,
+    fleet: usize,
+    max_batch: usize,
+    requests: &[ServeRequest],
+) -> (ServeReport, f64) {
+    let engine = DecodeEngine::new(serving_fleet(fleet), FlashMemConfig::memory_priority())
+        .with_cache(Arc::new(ArtifactCache::new()))
+        .with_batching(batch_config(max_batch));
+    let start = Instant::now();
+    let report = engine.run_on(pool, requests).expect("decode bench run");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run the sweep with parallel cells on the process-wide [`pool::global`].
+pub fn run(quick: bool) -> DecodeBench {
+    run_on(pool::global(), quick)
+}
+
+/// The widest continuous cell re-run with event tracing enabled — the
+/// [`FleetTrace`] behind the decode binary's `--trace-out` flag, including
+/// the `Prefill` / `DecodeStep` spans and `BatchJoin` / `BatchLeave`
+/// instants of the batch lifecycle.
+pub fn traced_showcase(quick: bool) -> FleetTrace {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let requests = workload(quick, &models);
+    let max_batch = *batch_widths(quick).last().expect("widths are non-empty");
+    let report = DecodeEngine::new(serving_fleet(fleet), FlashMemConfig::memory_priority())
+        .with_cache(Arc::new(ArtifactCache::new()))
+        .with_batching(batch_config(max_batch))
+        .with_trace(TraceConfig::enabled())
+        .run(&requests)
+        .expect("traced decode run");
+    report.trace.expect("tracing was enabled")
+}
+
+/// [`run`] with an explicit pool for the parallel legs. The sweep itself is
+/// sequential on purpose — each cell's serial-vs-parallel self-check is the
+/// thing being recorded.
+pub fn run_on(pool: &ThreadPool, quick: bool) -> DecodeBench {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let requests = workload(quick, &models);
+    let serial_pool = ThreadPool::with_threads(1);
+    let cells = batch_widths(quick)
+        .into_iter()
+        .map(|max_batch| {
+            let (serial, serial_ms) = timed_run(&serial_pool, fleet, max_batch, &requests);
+            let (parallel, parallel_ms) = timed_run(pool, fleet, max_batch, &requests);
+            let identical = format!("{serial:?}") == format!("{parallel:?}");
+            DecodeCell {
+                mode: if max_batch == 1 {
+                    "one-shot".to_string()
+                } else {
+                    format!("continuous(b={max_batch})")
+                },
+                max_batch,
+                requests: requests.len(),
+                completed: serial.completed(),
+                makespan_ms: serial.makespan_ms(),
+                decode_tokens: serial.decode_tokens,
+                tokens_per_s: serial.tokens_per_s,
+                ttft_p50_ms: serial.ttft.as_ref().map(|s| s.p50_ms),
+                ttft_p95_ms: serial.ttft.as_ref().map(|s| s.p95_ms),
+                ttft_p99_ms: serial.ttft.as_ref().map(|s| s.p99_ms),
+                itl_p50_ms: serial.itl.as_ref().map(|s| s.p50_ms),
+                itl_p95_ms: serial.itl.as_ref().map(|s| s.p95_ms),
+                itl_p99_ms: serial.itl.as_ref().map(|s| s.p99_ms),
+                identical,
+                serial_ms,
+                parallel_ms,
+            }
+        })
+        .collect();
+    DecodeBench {
+        threads: pool.threads(),
+        fleet,
+        token_budget: BatchConfig::default().token_budget,
+        cells,
+    }
+}
+
+impl DecodeBench {
+    /// Machine-readable per-cell metrics. `serial_ms` / `parallel_ms` are
+    /// wall-clock telemetry; `scripts/diff-bench-json.sh` strips them
+    /// (alongside `elapsed_ms`/`threads`) before demanding byte-identity.
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("mode", c.mode.clone())
+                    .field("max_batch", c.max_batch)
+                    .field("requests", c.requests)
+                    .field("completed", c.completed)
+                    .field("makespan_ms", c.makespan_ms)
+                    .field("decode_tokens", c.decode_tokens)
+                    .field("tokens_per_s", c.tokens_per_s)
+                    .field("ttft_p50_ms", c.ttft_p50_ms)
+                    .field("ttft_p95_ms", c.ttft_p95_ms)
+                    .field("ttft_p99_ms", c.ttft_p99_ms)
+                    .field("itl_p50_ms", c.itl_p50_ms)
+                    .field("itl_p95_ms", c.itl_p95_ms)
+                    .field("itl_p99_ms", c.itl_p99_ms)
+                    .field("identical_to_serial", c.identical)
+                    .field("serial_ms", c.serial_ms)
+                    .field("parallel_ms", c.parallel_ms)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "decode")
+            .field("fleet", self.fleet)
+            .field("token_budget", self.token_budget)
+            .field("cells", Json::Arr(cells))
+    }
+}
+
+impl std::fmt::Display for DecodeBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Continuous-batching decode sweep on a {}-device fleet, {}-token KV budget ({} pool thread{})",
+            self.fleet,
+            self.token_budget,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )?;
+        let mut t = TextTable::new(&[
+            "Mode",
+            "Done",
+            "Makespan",
+            "Tokens",
+            "Tok/s",
+            "TTFT p50",
+            "TTFT p99",
+            "ITL p50",
+            "ITL p99",
+            "Identical",
+        ]);
+        for c in &self.cells {
+            t.row(&[
+                c.mode.clone(),
+                format!("{}/{}", c.completed, c.requests),
+                format!("{:.0}", c.makespan_ms),
+                format!("{}", c.decode_tokens),
+                format!("{:.1}", c.tokens_per_s),
+                fmt_ms(c.ttft_p50_ms),
+                fmt_ms(c.ttft_p99_ms),
+                fmt_ms(c.itl_p50_ms),
+                fmt_ms(c.itl_p99_ms),
+                format!("{}", c.identical),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_batching_beats_one_shot_and_matches_serial() {
+        let bench = run_on(&ThreadPool::with_threads(4), true);
+        assert_eq!(bench.cells.len(), 2);
+        let one_shot = &bench.cells[0];
+        let continuous = &bench.cells[1];
+        assert_eq!(one_shot.max_batch, 1);
+        for cell in &bench.cells {
+            assert_eq!(cell.completed, cell.requests, "{cell:?}");
+            assert!(cell.identical, "parallel decode diverged: {cell:?}");
+            assert!(cell.ttft_p50_ms.is_some() && cell.itl_p99_ms.is_some());
+        }
+        // Same workload, same token count — batching only changes *when*.
+        assert_eq!(one_shot.decode_tokens, continuous.decode_tokens);
+        assert!(
+            continuous.tokens_per_s > one_shot.tokens_per_s,
+            "batched decode must out-throughput one-shot: {:.1} vs {:.1} tok/s",
+            continuous.tokens_per_s,
+            one_shot.tokens_per_s
+        );
+        // The JSON view (checked here so the quick sweep runs once).
+        let json = bench.to_json().pretty();
+        assert!(json.contains("\"experiment\": \"decode\""));
+        assert!(json.contains("\"mode\": \"one-shot\""));
+        assert!(json.contains("\"mode\": \"continuous(b=4)\""));
+        assert!(json.contains("\"tokens_per_s\""));
+        assert!(json.contains("\"ttft_p50_ms\""));
+        assert!(json.contains("\"ttft_p99_ms\""));
+        assert!(json.contains("\"itl_p50_ms\""));
+        assert!(json.contains("\"itl_p99_ms\""));
+        assert!(json.contains("\"identical_to_serial\": true"));
+    }
+
+    #[test]
+    fn traced_showcase_records_the_batch_lifecycle() {
+        use flashmem_serve::TraceKind;
+
+        let trace = traced_showcase(true);
+        assert_eq!(trace.processes.len(), fleet_size(true));
+        let mut kinds: Vec<TraceKind> = Vec::new();
+        for process in &trace.processes {
+            assert!(
+                !process.events.is_empty(),
+                "{} recorded nothing",
+                process.name
+            );
+            for event in &process.events {
+                kinds.push(event.kind);
+            }
+        }
+        for expected in [
+            TraceKind::Prefill,
+            TraceKind::DecodeStep,
+            TraceKind::BatchJoin,
+            TraceKind::BatchLeave,
+        ] {
+            assert!(
+                kinds.contains(&expected),
+                "trace is missing {expected:?} events"
+            );
+        }
+    }
+}

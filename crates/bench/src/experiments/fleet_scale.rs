@@ -27,6 +27,7 @@ use flashmem_serve::{
 };
 
 use crate::experiments::serve::serving_fleet;
+use crate::fmt_ms;
 use crate::json::Json;
 use crate::table::TextTable;
 
@@ -41,10 +42,12 @@ pub struct FleetScaleCell {
     pub completed: usize,
     /// Simulated fleet makespan (ms).
     pub makespan_ms: f64,
-    /// Median end-to-end latency (ms, simulated).
-    pub p50_ms: f64,
-    /// 99th-percentile latency (ms, simulated).
-    pub p99_ms: f64,
+    /// Median end-to-end latency (ms, simulated); `None` (JSON `null`) when
+    /// no request completed.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency (ms, simulated); `None` when no request
+    /// completed.
+    pub p99_ms: Option<f64>,
     /// Completed requests per simulated second.
     pub throughput_rps: f64,
     /// True when the parallel report was byte-identical to the serial one
@@ -160,8 +163,8 @@ pub fn run_on(pool: &ThreadPool, quick: bool) -> FleetScale {
                 requests: requests.len(),
                 completed: serial.completed(),
                 makespan_ms: serial.makespan_ms(),
-                p50_ms: serial.latency.p50_ms,
-                p99_ms: serial.latency.p99_ms,
+                p50_ms: serial.latency.map(|l| l.p50_ms),
+                p99_ms: serial.latency.map(|l| l.p99_ms),
                 throughput_rps: serial.throughput_rps,
                 identical,
                 serial_ms,
@@ -238,8 +241,8 @@ impl std::fmt::Display for FleetScale {
                 format!("{}", c.fleet),
                 format!("{}/{}", c.completed, c.requests),
                 format!("{:.0}", c.makespan_ms),
-                format!("{:.0}", c.p50_ms),
-                format!("{:.0}", c.p99_ms),
+                fmt_ms(c.p50_ms),
+                fmt_ms(c.p99_ms),
                 format!("{:.2}", c.throughput_rps),
                 format!("{:.0}", c.serial_ms),
                 format!("{:.0}", c.parallel_ms),

@@ -32,6 +32,7 @@ use flashmem_serve::{
 };
 
 use crate::experiments::serve::serving_fleet;
+use crate::fmt_ms;
 use crate::json::Json;
 use crate::table::TextTable;
 
@@ -64,10 +65,12 @@ pub struct OverloadCell {
     pub baseline_attainment: f64,
     /// SLO attainment of the protected run's admitted requests.
     pub protected_attainment: f64,
-    /// Baseline p99 latency (ms, simulated).
-    pub baseline_p99_ms: f64,
-    /// Protected-run p99 latency over the admitted requests.
-    pub protected_p99_ms: f64,
+    /// Baseline p99 latency (ms, simulated); `None` (JSON `null`) when no
+    /// request completed.
+    pub baseline_p99_ms: Option<f64>,
+    /// Protected-run p99 latency over the admitted requests; `None` when
+    /// none completed.
+    pub protected_p99_ms: Option<f64>,
     /// True when the protected parallel report was byte-identical to the
     /// width-1 serial one (always expected; recorded so CI can grep).
     pub identical: bool,
@@ -196,8 +199,8 @@ pub fn run_on(pool: &ThreadPool, quick: bool) -> OverloadBench {
                     .unwrap_or(0),
                 baseline_attainment: baseline.slo.attainment(),
                 protected_attainment: serial.slo.attainment(),
-                baseline_p99_ms: baseline.latency.p99_ms,
-                protected_p99_ms: serial.latency.p99_ms,
+                baseline_p99_ms: baseline.latency.map(|l| l.p99_ms),
+                protected_p99_ms: serial.latency.map(|l| l.p99_ms),
                 identical,
                 serial_ms,
                 parallel_ms,
@@ -288,8 +291,8 @@ impl std::fmt::Display for OverloadBench {
                 format!("{}", c.queue_depth_high_water),
                 format!("{:.0}%", 100.0 * c.baseline_attainment),
                 format!("{:.0}%", 100.0 * c.protected_attainment),
-                format!("{:.0}", c.baseline_p99_ms),
-                format!("{:.0}", c.protected_p99_ms),
+                fmt_ms(c.baseline_p99_ms),
+                fmt_ms(c.protected_p99_ms),
                 format!("{}", c.identical),
             ]);
         }

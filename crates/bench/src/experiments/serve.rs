@@ -22,6 +22,7 @@ use flashmem_serve::{
     ServeEngine, TraceConfig, WorkloadSpec,
 };
 
+use crate::fmt_ms;
 use crate::json::Json;
 use crate::table::TextTable;
 
@@ -38,14 +39,16 @@ pub struct ServeCell {
     pub requests: usize,
     /// Requests completed.
     pub completed: usize,
-    /// Median end-to-end latency (ms).
-    pub p50_ms: f64,
-    /// 95th-percentile latency (ms).
-    pub p95_ms: f64,
-    /// 99th-percentile latency (ms).
-    pub p99_ms: f64,
-    /// Mean latency (ms).
-    pub mean_ms: f64,
+    /// Median end-to-end latency (ms); `None` when the cell completed
+    /// nothing (an empty sample has no percentiles — serialized as JSON
+    /// null, never a fake 0.0).
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile latency (ms), `None` when nothing completed.
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile latency (ms), `None` when nothing completed.
+    pub p99_ms: Option<f64>,
+    /// Mean latency (ms), `None` when nothing completed.
+    pub mean_ms: Option<f64>,
     /// Completed requests per simulated second.
     pub throughput_rps: f64,
     /// Transfer-queue busy fraction, averaged over the fleet.
@@ -264,10 +267,10 @@ pub fn run_on(pool: &ThreadPool, quick: bool) -> ServeBench {
             fleet: fleet_size,
             requests: report.outcomes.len(),
             completed: report.completed(),
-            p50_ms: report.latency.p50_ms,
-            p95_ms: report.latency.p95_ms,
-            p99_ms: report.latency.p99_ms,
-            mean_ms: report.latency.mean_ms,
+            p50_ms: report.latency.map(|l| l.p50_ms),
+            p95_ms: report.latency.map(|l| l.p95_ms),
+            p99_ms: report.latency.map(|l| l.p99_ms),
+            mean_ms: report.latency.map(|l| l.mean_ms),
             throughput_rps: report.throughput_rps,
             transfer_busy: report
                 .devices
@@ -448,10 +451,10 @@ impl std::fmt::Display for ServeBench {
                 c.policy.clone(),
                 format!("{}", c.fleet),
                 format!("{}/{}", c.completed, c.requests),
-                format!("{:.0}", c.p50_ms),
-                format!("{:.0}", c.p95_ms),
-                format!("{:.0}", c.p99_ms),
-                format!("{:.0}", c.mean_ms),
+                fmt_ms(c.p50_ms),
+                fmt_ms(c.p95_ms),
+                fmt_ms(c.p99_ms),
+                fmt_ms(c.mean_ms),
                 format!("{:.2}", c.throughput_rps),
                 format!("{:.0}%", 100.0 * c.transfer_busy),
                 format!("{:.0}%", 100.0 * c.compute_busy),
@@ -498,8 +501,8 @@ mod tests {
         assert_eq!(bench.cells.len(), 28);
         for cell in &bench.cells {
             assert_eq!(cell.completed, cell.requests, "{cell:?}");
-            assert!(cell.p50_ms <= cell.p95_ms);
-            assert!(cell.p95_ms <= cell.p99_ms);
+            assert!(cell.p50_ms.unwrap() <= cell.p95_ms.unwrap());
+            assert!(cell.p95_ms.unwrap() <= cell.p99_ms.unwrap());
             assert!(cell.throughput_rps > 0.0);
             // Few distinct models, many requests: the plan cache must hit.
             assert!(cell.cache_hit_rate > 0.0, "{cell:?}");
@@ -582,7 +585,7 @@ mod tests {
                 .cells
                 .iter()
                 .find(|c| c.pattern == "bursty" && c.policy == policy && c.fleet == fleet)
-                .map(|c| c.p99_ms)
+                .and_then(|c| c.p99_ms)
                 .expect("cell present")
         };
         // Doubling the fleet under bursty traffic must not make the tail

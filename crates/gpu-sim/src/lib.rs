@@ -52,6 +52,7 @@
 
 pub mod bandwidth;
 pub mod cache;
+pub mod decode;
 pub mod device;
 pub mod energy;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod texture;
 pub mod trace;
 
 pub use bandwidth::MemoryTier;
+pub use decode::{DecodeSession, DecodeStepPlan, KvCache, StepCost};
 pub use device::DeviceSpec;
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::{ExecutionOutcome, GpuSimulator, PreemptionCost, SimConfig, Suspension};

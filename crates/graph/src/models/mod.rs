@@ -74,6 +74,24 @@ pub struct PaperStats {
     pub layers: u64,
 }
 
+/// Prefill/decode-step split for an autoregressive (generative) model.
+///
+/// The owning [`ModelSpec`]'s graph is the *prefill* pass over the full
+/// prompt (or, for Whisper, the audio encoder plus the prompt-length decoder
+/// pass). `step` is the single-token decode graph replayed once per generated
+/// token, so per-invocation peak memory is charged per step instead of for
+/// one dense fixed-length pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeSpec {
+    /// Single-token decode-step graph, compiled once and replayed per token.
+    pub step: ModelSpec,
+    /// KV-cache bytes appended per context token (K+V across all decoder
+    /// layers, fp16).
+    pub kv_bytes_per_token: u64,
+    /// Maximum context length (prompt plus generated tokens).
+    pub max_context: u64,
+}
+
 /// A generated evaluation model: metadata plus the lowered graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelSpec {
@@ -86,6 +104,7 @@ pub struct ModelSpec {
     /// Table 6 reference statistics.
     pub paper: PaperStats,
     graph: Graph,
+    decode: Option<Box<DecodeSpec>>,
 }
 
 impl ModelSpec {
@@ -102,7 +121,19 @@ impl ModelSpec {
             task,
             paper,
             graph,
+            decode: None,
         }
+    }
+
+    pub(crate) fn with_decode(mut self, decode: DecodeSpec) -> Self {
+        self.decode = Some(Box::new(decode));
+        self
+    }
+
+    /// Prefill/decode-step split, present for autoregressive models
+    /// (GPT-Neo family, Whisper). `None` for one-shot models.
+    pub fn decode(&self) -> Option<&DecodeSpec> {
+        self.decode.as_deref()
     }
 
     /// The lowered operator graph.
@@ -330,6 +361,19 @@ mod tests {
         assert!(p(ModelZoo::sd_unet()) > p(ModelZoo::whisper_medium()));
         assert!(p(ModelZoo::whisper_medium()) > p(ModelZoo::gptneo_small()));
         assert!(p(ModelZoo::resnet50()) < p(ModelZoo::vit()));
+    }
+
+    #[test]
+    fn decode_specs_only_on_autoregressive_models() {
+        let with_decode: Vec<String> = ModelZoo::all_evaluated()
+            .into_iter()
+            .filter(|m| m.decode().is_some())
+            .map(|m| m.abbr.clone())
+            .collect();
+        assert_eq!(
+            with_decode,
+            vec!["GPTN-S", "GPTN-1.3B", "GPTN-2.7B", "Whisp-M"]
+        );
     }
 
     #[test]

@@ -120,12 +120,26 @@
 //! let requests = workload.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
 //! let report = engine.run(&requests).unwrap();
 //! assert_eq!(report.outcomes.len(), 6);
-//! assert!(report.latency.p99_ms >= report.latency.p50_ms);
+//! let latency = report.latency.expect("some requests completed");
+//! assert!(latency.p99_ms >= latency.p50_ms);
 //! ```
+//!
+//! ## Continuous batching
+//!
+//! Generative requests (a [`ServeRequest`] with
+//! [`with_decode_tokens`](ServeRequest::with_decode_tokens)) are served by
+//! the [`DecodeEngine`]: one full-graph **prefill** pass per request, then a
+//! step loop in which every in-flight request generates one token per
+//! **decode step** while its KV cache grows in the device's memory tracker.
+//! Requests join and leave the batch only at step boundaries under a
+//! [`BatchConfig`] token budget, with a waiting/served join heuristic so
+//! prefills don't starve in-flight decodes. The report gains token-level
+//! TTFT and ITL percentiles next to the existing SLO metrics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod decode;
 pub mod metrics;
 pub mod multi_model;
 pub mod policy;
@@ -133,13 +147,14 @@ pub mod request;
 pub mod server;
 pub mod workload;
 
+pub use decode::{BatchConfig, DecodeEngine};
 pub use flashmem_core::telemetry::{
     chrome_trace, FleetTrace, PhaseBreakdown, TraceConfig, TraceEvent, TraceKind, TraceLane,
 };
 pub use flashmem_gpu_sim::engine::PreemptionCost;
 pub use metrics::{
-    DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome, ServeReport,
-    ShedBreakdown, SloSummary,
+    DecodeOutcome, DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome,
+    ServeReport, ShedBreakdown, SloSummary, TokenMetrics,
 };
 pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
 pub use policy::{
@@ -147,6 +162,6 @@ pub use policy::{
     LeastLaxityPolicy, OverloadControl, PendingEntry, PolicyContext, PreemptivePriorityPolicy,
     PriorityPolicy, SchedulePolicy,
 };
-pub use request::{RejectCause, ServeRequest};
+pub use request::{DecodeParams, RejectCause, ServeRequest};
 pub use server::ServeEngine;
-pub use workload::{ArrivalPattern, OverloadScenario, WorkloadSpec};
+pub use workload::{ArrivalPattern, DecodeWorkloadSpec, OverloadScenario, WorkloadSpec};

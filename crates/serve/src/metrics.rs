@@ -27,6 +27,28 @@ use flashmem_gpu_sim::SimError;
 
 use crate::request::RejectCause;
 
+/// Token-level result of a generative request served through the decode
+/// path (prefill pass + per-token decode steps). `None` on one-shot
+/// requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// Prompt tokens processed by the prefill pass.
+    pub prompt_tokens: u32,
+    /// Tokens emitted (prefill's first token plus one per decode step).
+    pub output_tokens: u32,
+    /// Time-to-first-token: prefill completion minus arrival, in ms.
+    pub ttft_ms: f64,
+    /// Inter-token latencies: the gap before each token after the first,
+    /// in ms (`output_tokens - 1` entries).
+    pub itl_ms: Vec<f64>,
+    /// Peak KV-cache residency of this request, in bytes. Grows
+    /// monotonically from join to leave, so the peak equals the final
+    /// resident size: `(prompt + output - 1) × kv_bytes_per_token`.
+    pub kv_peak_bytes: u64,
+    /// Largest batch this request shared a decode step with.
+    pub max_batch: usize,
+}
+
 /// What happened to one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
@@ -115,6 +137,9 @@ pub struct RequestOutcome {
     /// The full execution report, available under exclusive (single-slot)
     /// policies where a request owns the whole device while it runs.
     pub report: Option<ExecutionReport>,
+    /// Token-level decode result for generative requests served through the
+    /// continuous-batching path; `None` for one-shot requests.
+    pub decode: Option<DecodeOutcome>,
 }
 
 impl RequestOutcome {
@@ -225,14 +250,16 @@ pub struct DeviceReport {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice. `q` in `[0, 1]`.
-/// Returns 0.0 for an empty slice.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Returns `None` for an empty slice — an empty sample set has no
+/// percentiles, and reporting 0.0 made an all-rejected overload run look
+/// like infinitely fast service.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let q = q.clamp(0.0, 1.0);
     let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// Latency distribution summary over the completed requests.
@@ -251,20 +278,23 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarise a set of latencies (order irrelevant).
-    pub fn from_latencies(latencies: &[f64]) -> Self {
+    /// Summarise a set of latencies (order irrelevant). `None` for an empty
+    /// set: a run that completed nothing has no latency distribution, and
+    /// the old all-zero summary was indistinguishable from infinitely fast
+    /// service in bench JSON.
+    pub fn from_latencies(latencies: &[f64]) -> Option<Self> {
         if latencies.is_empty() {
-            return LatencySummary::default();
+            return None;
         }
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        LatencySummary {
-            p50_ms: percentile(&sorted, 0.50),
-            p95_ms: percentile(&sorted, 0.95),
-            p99_ms: percentile(&sorted, 0.99),
+        Some(LatencySummary {
+            p50_ms: percentile(&sorted, 0.50).expect("non-empty"),
+            p95_ms: percentile(&sorted, 0.95).expect("non-empty"),
+            p99_ms: percentile(&sorted, 0.99).expect("non-empty"),
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max_ms: *sorted.last().expect("non-empty"),
-        }
+            max_ms: sorted.last().copied().expect("non-empty"),
+        })
     }
 }
 
@@ -303,10 +333,56 @@ impl PriorityLatency {
                 PriorityLatency {
                     priority,
                     completed: latencies.len(),
-                    latency: LatencySummary::from_latencies(&latencies),
+                    latency: LatencySummary::from_latencies(&latencies)
+                        .expect("levels are built from completed requests"),
                 }
             })
             .collect()
+    }
+}
+
+/// Token-level aggregates over a run's decode outcomes: TTFT/ITL
+/// percentiles and token throughput. Computed once by each engine's report
+/// assembly so one-shot and continuous-batching runs summarise identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TokenMetrics {
+    /// Time-to-first-token percentiles, `None` without completed decode
+    /// requests.
+    pub ttft: Option<LatencySummary>,
+    /// Inter-token-latency percentiles over all decode-step gaps, `None`
+    /// without any.
+    pub itl: Option<LatencySummary>,
+    /// Total tokens emitted by completed decode requests.
+    pub decode_tokens: usize,
+    /// Emitted tokens per second of `makespan_ms`.
+    pub tokens_per_s: f64,
+}
+
+impl TokenMetrics {
+    /// Aggregate the decode outcomes of completed requests.
+    pub fn from_outcomes(outcomes: &[RequestOutcome], makespan_ms: f64) -> Self {
+        let decodes: Vec<&DecodeOutcome> = outcomes
+            .iter()
+            .filter(|o| o.succeeded())
+            .filter_map(|o| o.decode.as_ref())
+            .collect();
+        let ttfts: Vec<f64> = decodes.iter().map(|d| d.ttft_ms).collect();
+        let itls: Vec<f64> = decodes
+            .iter()
+            .flat_map(|d| d.itl_ms.iter().copied())
+            .collect();
+        let decode_tokens: usize = decodes.iter().map(|d| d.output_tokens as usize).sum();
+        let tokens_per_s = if makespan_ms > 0.0 {
+            decode_tokens as f64 * 1_000.0 / makespan_ms
+        } else {
+            0.0
+        };
+        TokenMetrics {
+            ttft: LatencySummary::from_latencies(&ttfts),
+            itl: LatencySummary::from_latencies(&itls),
+            decode_tokens,
+            tokens_per_s,
+        }
     }
 }
 
@@ -410,10 +486,22 @@ pub struct ServeReport {
     pub outcomes: Vec<RequestOutcome>,
     /// Per-device utilization, in fleet order.
     pub devices: Vec<DeviceReport>,
-    /// Latency percentiles over completed requests.
-    pub latency: LatencySummary,
+    /// Latency percentiles over completed requests; `None` when nothing
+    /// completed (an all-shed overload run has no latency distribution).
+    pub latency: Option<LatencySummary>,
     /// Latency percentiles broken down per priority level.
     pub per_priority: Vec<PriorityLatency>,
+    /// Time-to-first-token percentiles over completed generative requests;
+    /// `None` when the run served no decode requests (or completed none).
+    pub ttft: Option<LatencySummary>,
+    /// Inter-token-latency percentiles over every decode-step gap of every
+    /// completed generative request; `None` without decode traffic.
+    pub itl: Option<LatencySummary>,
+    /// Total tokens emitted by completed generative requests.
+    pub decode_tokens: usize,
+    /// Emitted tokens per second of simulated makespan (0.0 without decode
+    /// traffic).
+    pub tokens_per_s: f64,
     /// SLO attainment over the deadline-carrying requests.
     pub slo: SloSummary,
     /// Total preemptions across all requests (0 under non-preemptive
@@ -518,15 +606,28 @@ impl std::fmt::Display for ServeReport {
                 self.stolen()
             )?;
         }
-        writeln!(
-            f,
-            "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ms (mean {:.0}, max {:.0})",
-            self.latency.p50_ms,
-            self.latency.p95_ms,
-            self.latency.p99_ms,
-            self.latency.mean_ms,
-            self.latency.max_ms
-        )?;
+        match &self.latency {
+            Some(latency) => writeln!(
+                f,
+                "latency p50/p95/p99: {:.0}/{:.0}/{:.0} ms (mean {:.0}, max {:.0})",
+                latency.p50_ms, latency.p95_ms, latency.p99_ms, latency.mean_ms, latency.max_ms
+            )?,
+            None => writeln!(f, "latency: no completed requests")?,
+        }
+        if let (Some(ttft), Some(itl)) = (&self.ttft, &self.itl) {
+            writeln!(
+                f,
+                "decode: {} tokens ({:.1} tok/s), TTFT p50/p95/p99 {:.0}/{:.0}/{:.0} ms, ITL p50/p95/p99 {:.1}/{:.1}/{:.1} ms",
+                self.decode_tokens,
+                self.tokens_per_s,
+                ttft.p50_ms,
+                ttft.p95_ms,
+                ttft.p99_ms,
+                itl.p50_ms,
+                itl.p95_ms,
+                itl.p99_ms
+            )?;
+        }
         for p in &self.per_priority {
             writeln!(
                 f,
@@ -580,18 +681,18 @@ mod tests {
     #[test]
     fn nearest_rank_percentiles() {
         let v: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&v, 0.50), 50.0);
-        assert_eq!(percentile(&v, 0.95), 95.0);
-        assert_eq!(percentile(&v, 0.99), 99.0);
-        assert_eq!(percentile(&v, 1.0), 100.0);
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&v, 0.50), Some(50.0));
+        assert_eq!(percentile(&v, 0.95), Some(95.0));
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 0.5), None);
     }
 
     #[test]
     fn summary_orders_quantiles() {
         let lat = [120.0, 10.0, 45.0, 300.0, 60.0];
-        let s = LatencySummary::from_latencies(&lat);
+        let s = LatencySummary::from_latencies(&lat).unwrap();
         assert!(s.p50_ms <= s.p95_ms);
         assert!(s.p95_ms <= s.p99_ms);
         assert_eq!(s.max_ms, 300.0);
@@ -599,11 +700,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_summary_is_zero() {
-        assert_eq!(
-            LatencySummary::from_latencies(&[]),
-            LatencySummary::default()
-        );
+    fn empty_summary_is_explicitly_absent() {
+        // Regression: an empty sample set used to summarise as all-zero
+        // percentiles, making a 100%-shed overload run look like
+        // infinitely fast service. It must be `None` instead.
+        assert_eq!(LatencySummary::from_latencies(&[]), None);
     }
 
     fn outcome(priority: u8, latency_ms: f64, deadline_ms: Option<f64>) -> RequestOutcome {
@@ -632,7 +733,46 @@ mod tests {
             stolen_from: None,
             error: None,
             report: None,
+            decode: None,
         }
+    }
+
+    #[test]
+    fn token_metrics_aggregate_completed_decodes_only() {
+        let mut gen_ok = outcome(0, 100.0, None);
+        gen_ok.decode = Some(DecodeOutcome {
+            prompt_tokens: 8,
+            output_tokens: 3,
+            ttft_ms: 40.0,
+            itl_ms: vec![10.0, 20.0],
+            kv_peak_bytes: 10 * 4096,
+            max_batch: 2,
+        });
+        let mut gen_failed = outcome(0, 100.0, None);
+        gen_failed.decode = Some(DecodeOutcome {
+            prompt_tokens: 8,
+            output_tokens: 9,
+            ttft_ms: 1.0,
+            itl_ms: vec![1.0],
+            kv_peak_bytes: 0,
+            max_batch: 1,
+        });
+        gen_failed.error = Some(SimError::InvalidParameter {
+            message: "x".into(),
+        });
+        let one_shot = outcome(0, 50.0, None);
+
+        let m = TokenMetrics::from_outcomes(&[gen_ok, gen_failed, one_shot], 1_000.0);
+        assert_eq!(m.decode_tokens, 3);
+        assert_eq!(m.tokens_per_s, 3.0);
+        assert_eq!(m.ttft.unwrap().max_ms, 40.0);
+        assert_eq!(m.itl.unwrap().max_ms, 20.0);
+
+        let empty = TokenMetrics::from_outcomes(&[outcome(0, 50.0, None)], 1_000.0);
+        assert_eq!(empty.ttft, None);
+        assert_eq!(empty.itl, None);
+        assert_eq!(empty.decode_tokens, 0);
+        assert_eq!(empty.tokens_per_s, 0.0);
     }
 
     #[test]

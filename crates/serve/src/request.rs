@@ -42,6 +42,27 @@ impl std::fmt::Display for RejectCause {
     }
 }
 
+/// Token counts of a generative request served through the decode path:
+/// how long the prompt is (the prefill pass) and how many tokens to
+/// generate (one per decode step after the prefill's first token).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeParams {
+    /// Prompt tokens processed by the prefill pass (clamped to at least 1).
+    pub prompt_tokens: u32,
+    /// Tokens to generate (clamped to at least 1 — the prefill pass itself
+    /// emits the first token).
+    pub output_tokens: u32,
+}
+
+impl DecodeParams {
+    /// Total context tokens this request will hold at its peak:
+    /// the prompt plus every generated token except the last (which is
+    /// emitted but never fed back).
+    pub fn max_context_tokens(self) -> u64 {
+        self.prompt_tokens as u64 + self.output_tokens as u64 - 1
+    }
+}
+
 /// One inference request submitted to a [`ServeEngine`](crate::ServeEngine).
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
@@ -64,6 +85,12 @@ pub struct ServeRequest {
     /// [`ServeEngine::with_tenant_slo`](crate::ServeEngine::with_tenant_slo)),
     /// and if neither is set the request is excluded from SLO accounting.
     pub deadline_ms: Option<f64>,
+    /// Prompt/output token counts for generative requests served by the
+    /// continuous-batching decode engine
+    /// ([`DecodeEngine`](crate::DecodeEngine)). `None` for one-shot
+    /// requests; the model must carry a
+    /// [`DecodeSpec`](flashmem_graph::models::DecodeSpec) when this is set.
+    pub decode: Option<DecodeParams>,
 }
 
 impl ServeRequest {
@@ -76,7 +103,18 @@ impl ServeRequest {
             priority: 0,
             arrival_ms: 0.0,
             deadline_ms: None,
+            decode: None,
         }
+    }
+
+    /// Mark this as a generative request with the given prompt/output token
+    /// counts (builder style; both clamped to at least 1).
+    pub fn with_decode_tokens(mut self, prompt_tokens: u32, output_tokens: u32) -> Self {
+        self.decode = Some(DecodeParams {
+            prompt_tokens: prompt_tokens.max(1),
+            output_tokens: output_tokens.max(1),
+        });
+        self
     }
 
     /// Set the priority (builder style).
@@ -131,6 +169,20 @@ mod tests {
         assert_eq!(r.deadline_ms, Some(0.0));
         let r = r.with_deadline_ms(500.0);
         assert_eq!(r.deadline_ms, Some(500.0));
+    }
+
+    #[test]
+    fn decode_tokens_clamp_and_context_math() {
+        let r = ServeRequest::new(ModelZoo::gptneo_small(), "a").with_decode_tokens(0, 0);
+        let d = r.decode.unwrap();
+        assert_eq!(d.prompt_tokens, 1);
+        assert_eq!(d.output_tokens, 1);
+        assert_eq!(d.max_context_tokens(), 1);
+        let d = DecodeParams {
+            prompt_tokens: 16,
+            output_tokens: 8,
+        };
+        assert_eq!(d.max_context_tokens(), 23);
     }
 
     #[test]

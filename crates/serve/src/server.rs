@@ -103,6 +103,7 @@ use flashmem_profiler::LoweringOptions;
 
 use crate::metrics::{
     DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
+    TokenMetrics,
 };
 use crate::policy::{
     FifoPolicy, InFlightEntry, OverloadControl, PendingEntry, PolicyContext, SchedulePolicy,
@@ -361,6 +362,7 @@ impl FlightMeta {
             stolen_from: self.stolen_from,
             error,
             report,
+            decode: None,
         }
     }
 }
@@ -625,6 +627,7 @@ impl ServeEngine {
             stolen_from,
             error: None,
             report: None,
+            decode: None,
         }
     }
 
@@ -966,6 +969,7 @@ impl ServeEngine {
         } else {
             0.0
         };
+        let tokens = TokenMetrics::from_outcomes(&outcomes, makespan);
         Ok(ServeReport {
             policy: self.policy.name().to_string(),
             outcomes,
@@ -975,6 +979,10 @@ impl ServeEngine {
             slo,
             preemptions,
             throughput_rps,
+            ttft: tokens.ttft,
+            itl: tokens.itl,
+            decode_tokens: tokens.decode_tokens,
+            tokens_per_s: tokens.tokens_per_s,
             cache: self.cache.stats(),
             trace,
         })
@@ -1150,6 +1158,7 @@ impl ServeEngine {
                 stolen_from: stolen.get(&seq).copied(),
                 error: Some(error),
                 report: None,
+                decode: None,
             });
             trace_failure(trace, outcomes.last().expect("just pushed"), None);
         };

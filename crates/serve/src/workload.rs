@@ -170,10 +170,88 @@ impl WorkloadSpec {
                 priority,
                 arrival_ms: arrival,
                 deadline_ms: None,
+                decode: None,
             });
         }
         requests
     }
+}
+
+/// A reproducible *generative* workload: every request carries prompt and
+/// output token counts drawn uniformly from the configured ranges, so it is
+/// served through the continuous-batching decode path
+/// ([`DecodeEngine`](crate::DecodeEngine)) rather than as a one-shot pass.
+///
+/// Kept separate from [`WorkloadSpec`] because decode workloads have their
+/// own knobs (token ranges) and their own model constraint (every model must
+/// carry a [`DecodeSpec`](flashmem_graph::models::DecodeSpec)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeWorkloadSpec {
+    /// Arrival-time pattern.
+    pub pattern: ArrivalPattern,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct tenants (`tenant-0` … `tenant-{n-1}`).
+    pub tenants: usize,
+    /// Inclusive range prompt token counts are drawn from (clamped ≥ 1).
+    pub prompt_tokens: (u32, u32),
+    /// Inclusive range output token counts are drawn from (clamped ≥ 1).
+    pub output_tokens: (u32, u32),
+    /// PRNG seed — same seed, same workload.
+    pub seed: u64,
+}
+
+impl DecodeWorkloadSpec {
+    /// Generate the request list. Models are drawn uniformly from `models`;
+    /// each request carries decode token counts drawn from the configured
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or any model lacks a decode spec — a
+    /// decode workload over a non-autoregressive model is a programming
+    /// error, not a runtime condition.
+    pub fn generate(&self, models: &[ModelSpec]) -> Vec<ServeRequest> {
+        assert!(
+            !models.is_empty(),
+            "decode workload needs at least one model"
+        );
+        for model in models {
+            assert!(
+                model.decode().is_some(),
+                "model {} has no decode spec; decode workloads need autoregressive models",
+                model.abbr
+            );
+        }
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
+        let tenants = self.tenants.max(1);
+        let (prompt_lo, prompt_hi) = range_clamped(self.prompt_tokens);
+        let (output_lo, output_hi) = range_clamped(self.output_tokens);
+        let mut arrival = 0.0;
+        let mut requests = Vec::with_capacity(self.requests);
+        for index in 0..self.requests {
+            arrival = self.pattern.next_arrival(arrival, index, &mut rng);
+            let model =
+                models[rng.gen_range_inclusive(0, models.len() as u64 - 1) as usize].clone();
+            let tenant = format!("tenant-{}", rng.gen_range_inclusive(0, tenants as u64 - 1));
+            let prompt = rng.gen_range_inclusive(u64::from(prompt_lo), u64::from(prompt_hi)) as u32;
+            let output = rng.gen_range_inclusive(u64::from(output_lo), u64::from(output_hi)) as u32;
+            requests.push(
+                ServeRequest::new(model, tenant)
+                    .with_arrival_ms(arrival)
+                    .with_decode_tokens(prompt, output),
+            );
+        }
+        requests
+    }
+}
+
+/// Clamp an inclusive `(lo, hi)` token range to at least 1 and re-order it
+/// if inverted, so every spec produces a valid draw range.
+fn range_clamped((lo, hi): (u32, u32)) -> (u32, u32) {
+    let lo = lo.max(1);
+    let hi = hi.max(lo);
+    (lo, hi)
 }
 
 /// The adversarial overload scenarios behind the overload-survival tests and
@@ -542,6 +620,70 @@ mod tests {
         // span, more arrivals.
         let span = |reqs: &[ServeRequest]| reqs.last().unwrap().arrival_ms;
         assert!((span(&small) - span(&large)).abs() / span(&small) < 0.1);
+    }
+
+    #[test]
+    fn decode_workload_is_deterministic_and_in_range() {
+        let spec = DecodeWorkloadSpec {
+            pattern: ArrivalPattern::Steady { interval_ms: 40.0 },
+            requests: 16,
+            tenants: 3,
+            prompt_tokens: (4, 32),
+            output_tokens: (2, 16),
+            seed: 0x00DE_C0DE,
+        };
+        let models = vec![ModelZoo::gptneo_small(), ModelZoo::whisper_medium()];
+        let a = spec.generate(&models);
+        let b = spec.generate(&models);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+            assert_eq!(x.decode, y.decode);
+            assert_eq!(x.model.abbr, y.model.abbr);
+            let d = x
+                .decode
+                .expect("decode workload requests carry token counts");
+            assert!((4..=32).contains(&d.prompt_tokens));
+            assert!((2..=16).contains(&d.output_tokens));
+        }
+        let other = DecodeWorkloadSpec {
+            seed: 0x00DE_C1DE,
+            ..spec
+        }
+        .generate(&models);
+        assert!(a.iter().zip(&other).any(|(x, y)| x.decode != y.decode));
+    }
+
+    #[test]
+    fn decode_workload_clamps_inverted_and_zero_ranges() {
+        let spec = DecodeWorkloadSpec {
+            pattern: ArrivalPattern::Steady { interval_ms: 1.0 },
+            requests: 8,
+            tenants: 1,
+            prompt_tokens: (9, 3),
+            output_tokens: (0, 0),
+            seed: 1,
+        };
+        let reqs = spec.generate(&[ModelZoo::gptneo_small()]);
+        for r in &reqs {
+            let d = r.decode.unwrap();
+            assert!((3..=9).contains(&d.prompt_tokens));
+            assert_eq!(d.output_tokens, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no decode spec")]
+    fn decode_workload_rejects_non_autoregressive_models() {
+        DecodeWorkloadSpec {
+            pattern: ArrivalPattern::Steady { interval_ms: 1.0 },
+            requests: 1,
+            tenants: 1,
+            prompt_tokens: (4, 8),
+            output_tokens: (2, 4),
+            seed: 1,
+        }
+        .generate(&[ModelZoo::vit()]);
     }
 
     #[test]

@@ -53,9 +53,10 @@ use flashmem_gpu_sim::rng::SplitMix64;
 use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 use flashmem_serve::{
-    AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy,
-    LeastLaxityPolicy, MissCause, OverloadControl, PreemptivePriorityPolicy, PriorityPolicy,
-    RejectCause, SchedulePolicy, ServeEngine, ServeReport, ServeRequest, SloSummary, WorkloadSpec,
+    AffinityPolicy, ArrivalPattern, BatchConfig, DeadlinePreemptivePolicy, DecodeEngine,
+    DecodeWorkloadSpec, EdfPolicy, FifoPolicy, LeastLaxityPolicy, MissCause, OverloadControl,
+    PreemptivePriorityPolicy, PriorityPolicy, RejectCause, SchedulePolicy, ServeEngine,
+    ServeReport, ServeRequest, SloSummary, WorkloadSpec,
 };
 
 /// Pinned seeds — CI runs exactly these, so a failure names its repro.
@@ -534,21 +535,25 @@ fn comparable(report: &ServeReport) -> String {
             stolen_from,
             error,
             report,
+            decode,
         } = o;
         let _ = write!(
             view,
-            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{rejected:?}|{stolen_from:?}|{error:?}|{report:?};",
+            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{rejected:?}|{stolen_from:?}|{error:?}|{report:?}|{decode:?};",
         );
     }
     let _ = write!(
         view,
-        "#{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "#{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         report.devices,
         report.latency,
         report.per_priority,
         report.slo,
         report.preemptions,
-        report.throughput_rps
+        report.throughput_rps,
+        report.ttft,
+        report.itl,
+        (report.decode_tokens, report.tokens_per_s),
     );
     view
 }
@@ -608,5 +613,277 @@ fn workload_cases_are_themselves_deterministic() {
         assert_eq!(a.cap_bytes, b.cap_bytes);
         assert_eq!(a.fleet_cap, b.fleet_cap);
         assert_eq!(a.overload, b.overload);
+    }
+}
+
+// === Continuous-batching decode fuzz ====================================
+//
+// The same seeded-property discipline pointed at the `DecodeEngine`:
+// randomized token-count ranges and batching knobs, with the decode-path
+// invariants checked on every run — no token lost or duplicated across
+// join/leave, batch membership changes only at step boundaries (overlapping
+// requests of one model on one device share their step-end instants), the
+// KV-cache reservation math closes per request, and reports stay
+// byte-identical across pool widths.
+
+/// A randomized-but-reproducible decode scenario.
+struct DecodeFuzzCase {
+    requests: Vec<ServeRequest>,
+    fleet: usize,
+    batch: BatchConfig,
+}
+
+/// Draw a decode scenario from `seed`: 4–10 generative requests over two
+/// autoregressive families (so steps group into per-model sub-batches),
+/// prompts of 4–64 tokens, outputs of 2–32 tokens, and randomized
+/// continuous-batching knobs.
+fn random_decode_case(seed: u64) -> DecodeFuzzCase {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xDEC0_DE00);
+    let pattern = if rng.gen_range_inclusive(0, 1) == 0 {
+        ArrivalPattern::Steady {
+            interval_ms: 20.0 + rng.gen_f64() * 120.0,
+        }
+    } else {
+        ArrivalPattern::Bursty {
+            burst_size: rng.gen_range_inclusive(2, 4) as usize,
+            gap_ms: 200.0 + rng.gen_f64() * 600.0,
+        }
+    };
+    let spec = DecodeWorkloadSpec {
+        pattern,
+        requests: rng.gen_range_inclusive(4, 10) as usize,
+        tenants: rng.gen_range_inclusive(1, 3) as usize,
+        prompt_tokens: (4, 64),
+        output_tokens: (2, 32),
+        seed: rng.next_u64(),
+    };
+    let models = vec![ModelZoo::gptneo_small(), ModelZoo::whisper_medium()];
+    let requests = spec.generate(&models);
+    // The budget range deliberately straddles the workload's per-request
+    // max context (<= 95 tokens): tight draws gate joins hard, loose draws
+    // let the batch fill to `max_batch`. No draw makes a single request
+    // infeasible, so every request must complete.
+    let batch = BatchConfig {
+        max_batch: rng.gen_range_inclusive(2, 8) as usize,
+        token_budget: rng.gen_range_inclusive(128, 512),
+        waiting_served_ratio: 0.8 + rng.gen_f64(),
+    };
+    DecodeFuzzCase {
+        requests,
+        fleet: rng.gen_range_inclusive(1, 2) as usize,
+        batch,
+    }
+}
+
+fn run_decode_case(case: &DecodeFuzzCase, pool: &ThreadPool) -> ServeReport {
+    let fleet: Vec<DeviceSpec> = (0..case.fleet)
+        .map(|i| {
+            if i % 2 == 0 {
+                DeviceSpec::oneplus_12()
+            } else {
+                DeviceSpec::pixel_8()
+            }
+        })
+        .collect();
+    DecodeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_batching(case.batch)
+        .run_on(pool, &case.requests)
+        .expect("decode fuzz run succeeds")
+}
+
+/// Absolute token-emission instants of a completed decode outcome: the
+/// first token at prefill completion (`arrival + ttft`), every later one an
+/// ITL gap after its predecessor.
+fn token_times(o: &flashmem_serve::RequestOutcome) -> Vec<f64> {
+    let d = o.decode.as_ref().expect("completed decode outcome");
+    let mut t = o.arrival_ms + d.ttft_ms;
+    let mut times = vec![t];
+    for gap in &d.itl_ms {
+        t += gap;
+        times.push(t);
+    }
+    times
+}
+
+fn check_decode_invariants(report: &ServeReport, case: &DecodeFuzzCase, seed: u64) {
+    let label = |extra: &str| format!("decode seed {seed:#x}: {extra}");
+
+    // No token lost or duplicated: one outcome per request (seqs a
+    // permutation), every request completes (no draw is infeasible), and
+    // each emits exactly the token count it asked for.
+    assert_eq!(
+        report.outcomes.len(),
+        case.requests.len(),
+        "{}",
+        label("count")
+    );
+    let mut seqs: Vec<usize> = report.outcomes.iter().map(|o| o.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..case.requests.len()).collect::<Vec<_>>(),
+        "{}",
+        label("seq permutation")
+    );
+    let mut total_tokens = 0usize;
+    for o in &report.outcomes {
+        assert!(
+            o.succeeded(),
+            "{}",
+            label(&format!("request {} failed: {:?}", o.seq, o.error))
+        );
+        let want = case.requests[o.seq].decode.expect("generative request");
+        let d = o.decode.as_ref().expect("completed decode carries tokens");
+        assert_eq!(
+            d.prompt_tokens,
+            want.prompt_tokens,
+            "{}",
+            label("prompt count")
+        );
+        assert_eq!(
+            d.output_tokens,
+            want.output_tokens,
+            "{}",
+            label("token count")
+        );
+        assert_eq!(
+            d.itl_ms.len(),
+            want.output_tokens as usize - 1,
+            "{}",
+            label("one ITL gap per token after the first")
+        );
+        assert!(
+            d.ttft_ms >= 0.0 && d.itl_ms.iter().all(|&gap| gap > 0.0),
+            "{}",
+            label("token instants strictly increase")
+        );
+        assert!(
+            d.max_batch >= 1 && d.max_batch <= case.batch.max_batch,
+            "{}",
+            label("observed batch within the configured cap")
+        );
+        // KV reservation math closes: peak bytes are exactly the maximum
+        // context (prompt + output − 1, the monotone high-water of the
+        // per-token grows) times the model's per-token stride.
+        let stride = case.requests[o.seq]
+            .model
+            .decode()
+            .expect("autoregressive model")
+            .kv_bytes_per_token;
+        assert_eq!(
+            d.kv_peak_bytes,
+            want.max_context_tokens() * stride,
+            "{}",
+            label("KV peak = max context × stride")
+        );
+        total_tokens += d.output_tokens as usize;
+    }
+    assert_eq!(
+        report.decode_tokens,
+        total_tokens,
+        "{}",
+        label("report token tally")
+    );
+    assert!(
+        report.ttft.is_some() && report.itl.is_some(),
+        "{}",
+        label("token summaries")
+    );
+
+    // KV token budget holds at every emission instant. A request's budget
+    // reservation covers [join, leave] ⊇ [first token, last token], so
+    // summing max contexts over outcomes whose token window covers `t`
+    // never overcounts.
+    for probe in &report.outcomes {
+        let t = probe.arrival_ms + probe.decode.as_ref().unwrap().ttft_ms;
+        for device in 0..case.fleet {
+            let committed: u64 = report
+                .outcomes
+                .iter()
+                .filter(|o| o.device_index == device)
+                .filter(|o| {
+                    let times = token_times(o);
+                    times[0] <= t + EPS && t <= *times.last().unwrap() + EPS
+                })
+                .map(|o| case.requests[o.seq].decode.unwrap().max_context_tokens())
+                .sum();
+            assert!(
+                committed <= case.batch.token_budget,
+                "{}",
+                label(&format!(
+                    "device {device} holds {committed} context tokens at t={t}, budget {}",
+                    case.batch.token_budget
+                ))
+            );
+        }
+    }
+
+    // Batch membership changes only at step boundaries: two requests of the
+    // same model decoding concurrently on one device share every step of
+    // their overlap, so their decode-step instants (every token after the
+    // first) must coincide inside the common window.
+    for a in &report.outcomes {
+        for b in &report.outcomes {
+            if a.seq >= b.seq || a.device_index != b.device_index || a.model != b.model {
+                continue;
+            }
+            let (ta, tb) = (token_times(a), token_times(b));
+            if ta.len() < 2 || tb.len() < 2 {
+                continue;
+            }
+            let lo = ta[1].max(tb[1]);
+            let hi = ta.last().unwrap().min(*tb.last().unwrap());
+            let steps = |times: &[f64]| -> Vec<f64> {
+                times[1..]
+                    .iter()
+                    .copied()
+                    .filter(|&t| t >= lo - EPS && t <= hi + EPS)
+                    .collect()
+            };
+            let (sa, sb) = (steps(&ta), steps(&tb));
+            assert_eq!(
+                sa.len(),
+                sb.len(),
+                "{}",
+                label(&format!(
+                    "requests {} and {} overlap but step counts differ",
+                    a.seq, b.seq
+                ))
+            );
+            for (x, y) in sa.iter().zip(&sb) {
+                assert!(
+                    (x - y).abs() < 1e-6,
+                    "{}",
+                    label(&format!(
+                        "requests {} and {} drift mid-batch: {x} vs {y}",
+                        a.seq, b.seq
+                    ))
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_engine_upholds_token_invariants_on_every_pinned_seed() {
+    for &seed in &SEEDS {
+        let case = random_decode_case(seed);
+        let report = run_decode_case(&case, &ThreadPool::with_threads(1));
+        check_decode_invariants(&report, &case, seed);
+    }
+}
+
+#[test]
+fn decode_reports_are_byte_identical_across_pool_widths() {
+    for &seed in &SEEDS {
+        let case = random_decode_case(seed);
+        let serial = run_decode_case(&case, &ThreadPool::with_threads(1));
+        let wide = run_decode_case(&case, &ThreadPool::with_threads(4));
+        assert_eq!(
+            comparable(&serial),
+            comparable(&wide),
+            "decode seed {seed:#x} diverged between pool widths 1 and 4"
+        );
     }
 }

@@ -389,3 +389,40 @@ fn disabled_overload_control_is_byte_identical_to_the_legacy_engine() {
         .expect("disabled-overload run succeeds");
     assert_eq!(format!("{legacy:?}"), format!("{armed:?}"));
 }
+
+/// Regression (empty-percentile bug): a run that sheds 100% of its traffic
+/// has no latency distribution, and the report must say so explicitly —
+/// `latency: None` — instead of the old `LatencySummary` whose p50/p95/p99
+/// all read 0.0 ms, which dashboards rendered as an impossibly perfect
+/// fleet. The token-level summaries stay absent for the same reason.
+#[test]
+fn a_fully_shed_run_reports_no_latency_summary_at_all() {
+    let engine =
+        engine(2).with_overload_control(OverloadControl::disabled().with_admission_control());
+    // Sub-millisecond latency budgets no device in the fleet can meet, so
+    // admission control provably sheds every single request.
+    let requests: Vec<ServeRequest> = (0..6)
+        .map(|i| {
+            ServeRequest::new(ModelZoo::gptneo_small(), format!("tenant-{}", i % 2))
+                .with_arrival_ms(i as f64 * 10.0)
+                .with_deadline_ms(0.01)
+        })
+        .collect();
+    let report = engine.run(&requests).expect("full-shed run succeeds");
+
+    assert_eq!(report.rejected(), requests.len(), "everything is shed");
+    assert_eq!(report.completed(), 0);
+    assert!(
+        report.latency.is_none(),
+        "zero completions must surface as an absent summary, not 0.0-ms percentiles: {:?}",
+        report.latency
+    );
+    assert!(report.ttft.is_none(), "no decode traffic, no TTFT summary");
+    assert!(report.itl.is_none(), "no decode traffic, no ITL summary");
+    assert_eq!(report.decode_tokens, 0);
+    assert_eq!(report.tokens_per_s, 0.0);
+    assert!(
+        report.per_priority.is_empty(),
+        "no priority level completed anything"
+    );
+}

@@ -116,6 +116,15 @@ pub enum TraceKind {
     /// Queued request re-placed from a backed-up shard onto this device by
     /// the steal planner (serve).
     Steal,
+    /// Full-graph prefill pass for a generative request (serve).
+    Prefill,
+    /// One batched decode step emitting one token per in-flight request
+    /// (serve).
+    DecodeStep,
+    /// A request joining the continuous batch at a step boundary (serve).
+    BatchJoin,
+    /// A request leaving the continuous batch at a step boundary (serve).
+    BatchLeave,
 }
 
 impl TraceKind {
@@ -134,7 +143,11 @@ impl TraceKind {
             | TraceKind::SloMiss
             | TraceKind::Fail
             | TraceKind::Reject
-            | TraceKind::Steal => "serve",
+            | TraceKind::Steal
+            | TraceKind::Prefill
+            | TraceKind::DecodeStep
+            | TraceKind::BatchJoin
+            | TraceKind::BatchLeave => "serve",
         }
     }
 }
