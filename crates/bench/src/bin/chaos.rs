@@ -1,0 +1,24 @@
+//! The chaos benchmark: serve the four fault scenarios (device loss
+//! mid-run, flaky device, correlated fault burst, fault under flash crowd)
+//! against the same seeded fault plan unprotected and with the recovery kit
+//! (retry budgets + failover + quarantine/probe circuit breaker), and
+//! report goodput, SLO attainment, retry amplification and the planner's
+//! retry/failover/quarantine/probe tallies under both regimes.
+//!
+//! Usage: `cargo run --release -p flashmem-bench --bin chaos [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+//! `--quick` runs the 3-device fleet (CI's chaos smoke step);
+//! `--threads 1` pins the protected runs' parallel leg to the serial path,
+//! which is what the CI determinism diff compares against. `--trace-out
+//! PATH` re-runs the device-loss cell with event tracing enabled — the
+//! exported Chrome trace includes the `Fault`/`Retry`/`Failover` instants
+//! and is byte-identical at every `--threads` width.
+
+use flashmem_bench::experiments::chaos;
+
+fn main() {
+    flashmem_bench::run_bin_with_json_and_trace(
+        chaos::run,
+        chaos::ChaosBench::to_json,
+        chaos::traced_showcase,
+    );
+}

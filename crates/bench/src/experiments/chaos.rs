@@ -1,0 +1,390 @@
+//! Chaos benchmark — beyond the paper: what deterministic fault injection
+//! and the recovery kit (retry, failover, quarantine) buy under the four
+//! [`ChaosScenario`]s.
+//!
+//! Each cell replays one scenario's request list against the *same* seeded
+//! [`FaultPlan`](flashmem_serve::FaultPlan) twice: an **unprotected** run
+//! where every injected fault becomes a typed per-request failure, and a
+//! **protected** run with
+//! [`RecoveryControl`] armed — per-request retry budgets with
+//! simulated-time backoff, failover re-placement onto surviving devices,
+//! and a quarantine circuit breaker with probe-based reinstatement. Fault
+//! firing is keyed by `(device, seq, command, attempt)`, so both arms see
+//! the same faults and the delta is attributable to recovery alone. The
+//! cell records **goodput** (completed requests per simulated second),
+//! **SLO attainment**, and **retry amplification** (total attempts per
+//! submitted request), plus the planner's retry/failover/quarantine/probe
+//! tallies. The protected run executes twice more — pinned to a width-1
+//! pool and on the process-wide pool — and the cell records whether the
+//! two reports were byte-identical (they must be: every recovery decision
+//! is planned sequentially at round boundaries).
+//!
+//! Like `overload`, this experiment is intentionally **not** part of
+//! `bin/all` — the serial-vs-parallel self-check would be tautological
+//! inside a pool worker. Run it standalone:
+//!
+//! `cargo run --release -p flashmem-bench --bin chaos [-- --quick] [--threads N] [--json PATH] [--trace-out PATH]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flashmem_core::pool::{self, ThreadPool};
+use flashmem_core::{ArtifactCache, FlashMemConfig};
+use flashmem_graph::{ModelSpec, ModelZoo};
+use flashmem_serve::{
+    ChaosScenario, FleetTrace, RecoveryControl, ServeEngine, ServeReport, TraceConfig,
+};
+
+use crate::experiments::serve::serving_fleet;
+use crate::json::Json;
+use crate::table::TextTable;
+
+const SEED: u64 = 0xC4A0_5EED;
+
+/// One scenario cell: the same request list and fault plan, served
+/// unprotected and with the recovery kit armed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests the unprotected run completed.
+    pub unprotected_completed: usize,
+    /// Requests the unprotected run lost to injected faults (typed
+    /// failures).
+    pub unprotected_failed: usize,
+    /// Requests the protected run completed.
+    pub protected_completed: usize,
+    /// Requests the protected run still failed after exhausting its
+    /// recovery budget.
+    pub protected_failed: usize,
+    /// Unprotected goodput: completions per simulated second.
+    pub unprotected_goodput_rps: f64,
+    /// Protected goodput: completions per simulated second.
+    pub protected_goodput_rps: f64,
+    /// SLO attainment of the unprotected run.
+    pub unprotected_attainment: f64,
+    /// SLO attainment of the protected run.
+    pub protected_attainment: f64,
+    /// Retry amplification of the protected run: total attempts (first
+    /// tries + retries + failover hops) per submitted request; 1.0 means
+    /// no recovery work was needed.
+    pub retry_amplification: f64,
+    /// Same-device retry re-dispatches the protected planner issued.
+    pub retries: usize,
+    /// Failover re-placements the protected planner issued.
+    pub failovers: usize,
+    /// Quarantine events (threshold trips, failed probes, device losses).
+    pub quarantines: usize,
+    /// Probe placements sent to quarantined devices.
+    pub probes: usize,
+    /// True when the protected parallel report was byte-identical to the
+    /// width-1 serial one (always expected; recorded so CI can grep).
+    pub identical: bool,
+    /// Wall-clock of the protected width-1 run, in ms.
+    pub serial_ms: f64,
+    /// Wall-clock of the protected pool-parallel run, in ms.
+    pub parallel_ms: f64,
+}
+
+/// The chaos sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosBench {
+    /// Pool width the parallel runs used.
+    pub threads: usize,
+    /// Devices in the fleet.
+    pub fleet: usize,
+    /// The per-request retry budget the protected runs allow.
+    pub retry_budget: u32,
+    /// One cell per fault scenario.
+    pub cells: Vec<ChaosCell>,
+}
+
+fn fleet_size(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        8
+    }
+}
+
+fn models(quick: bool) -> Vec<ModelSpec> {
+    if quick {
+        vec![ModelZoo::gptneo_small(), ModelZoo::vit()]
+    } else {
+        vec![
+            ModelZoo::gptneo_small(),
+            ModelZoo::vit(),
+            ModelZoo::resnet50(),
+        ]
+    }
+}
+
+const RETRY_BUDGET: u32 = 2;
+
+/// The recovery kit the protected runs arm: bounded retries with backoff,
+/// failover, and a probe-based circuit breaker.
+fn recovery() -> RecoveryControl {
+    RecoveryControl::disabled()
+        .with_retry_budget(RETRY_BUDGET)
+        .with_backoff_ms(25.0)
+        .with_failover()
+        .with_quarantine(3, 500.0)
+}
+
+/// A fresh engine (and fresh plan cache, so serial and parallel runs see
+/// identical cache telemetry) with the scenario's fault plan injected and
+/// the recovery kit armed or disabled.
+fn engine(fleet: usize, scenario: ChaosScenario, protected: bool) -> ServeEngine {
+    let mut engine = ServeEngine::new(serving_fleet(fleet), FlashMemConfig::memory_priority())
+        .with_cache(Arc::new(ArtifactCache::new()))
+        .with_fault_plan(scenario.fault_plan(fleet, SEED));
+    if protected {
+        engine = engine.with_recovery_control(recovery());
+    }
+    engine
+}
+
+fn timed_run(
+    pool: &ThreadPool,
+    fleet: usize,
+    scenario: ChaosScenario,
+    protected: bool,
+    requests: &[flashmem_serve::ServeRequest],
+) -> (ServeReport, f64) {
+    let start = Instant::now();
+    let report = engine(fleet, scenario, protected)
+        .run_on(pool, requests)
+        .expect("chaos bench run");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Completions per simulated second.
+fn goodput_rps(report: &ServeReport) -> f64 {
+    let makespan = report.makespan_ms();
+    if makespan <= 0.0 {
+        0.0
+    } else {
+        report.completed() as f64 / (makespan / 1e3)
+    }
+}
+
+/// Run the sweep with parallel cells on the process-wide [`pool::global`].
+pub fn run(quick: bool) -> ChaosBench {
+    run_on(pool::global(), quick)
+}
+
+/// The device-loss cell re-run with event tracing enabled — the
+/// [`FleetTrace`] behind the chaos binary's `--trace-out` flag, including
+/// the `Fault`/`Retry`/`Failover` instants the recovery pipeline emits.
+pub fn traced_showcase(quick: bool) -> FleetTrace {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let requests = ChaosScenario::DeviceLoss.generate(&models, fleet, SEED);
+    let report = engine(fleet, ChaosScenario::DeviceLoss, true)
+        .with_trace(TraceConfig::enabled())
+        .run(&requests)
+        .expect("traced chaos run");
+    report.trace.expect("tracing was enabled")
+}
+
+/// [`run`] with an explicit pool for the parallel runs. The sweep itself is
+/// sequential on purpose — each cell's serial-vs-parallel self-check is the
+/// thing being recorded.
+pub fn run_on(pool: &ThreadPool, quick: bool) -> ChaosBench {
+    let fleet = fleet_size(quick);
+    let models = models(quick);
+    let serial_pool = ThreadPool::with_threads(1);
+    let cells = ChaosScenario::all()
+        .into_iter()
+        .map(|scenario| {
+            let requests = scenario.generate(&models, fleet, SEED);
+            let (unprotected, _) = timed_run(pool, fleet, scenario, false, &requests);
+            let (serial, serial_ms) = timed_run(&serial_pool, fleet, scenario, true, &requests);
+            let (parallel, parallel_ms) = timed_run(pool, fleet, scenario, true, &requests);
+            let identical = format!("{serial:?}") == format!("{parallel:?}");
+            let recovery = serial.recovery;
+            let attempts = requests.len() + recovery.retries + recovery.failovers;
+            ChaosCell {
+                scenario: scenario.name(),
+                submitted: requests.len(),
+                unprotected_completed: unprotected.completed(),
+                unprotected_failed: unprotected.failed(),
+                protected_completed: serial.completed(),
+                protected_failed: serial.failed(),
+                unprotected_goodput_rps: goodput_rps(&unprotected),
+                protected_goodput_rps: goodput_rps(&serial),
+                unprotected_attainment: unprotected.slo.attainment(),
+                protected_attainment: serial.slo.attainment(),
+                retry_amplification: attempts as f64 / requests.len() as f64,
+                retries: recovery.retries,
+                failovers: recovery.failovers,
+                quarantines: recovery.quarantines,
+                probes: recovery.probes,
+                identical,
+                serial_ms,
+                parallel_ms,
+            }
+        })
+        .collect();
+    ChaosBench {
+        threads: pool.threads(),
+        fleet,
+        retry_budget: RETRY_BUDGET,
+        cells,
+    }
+}
+
+impl ChaosBench {
+    /// Machine-readable per-cell metrics. `serial_ms` / `parallel_ms` are
+    /// wall-clock telemetry; `scripts/diff-bench-json.sh` strips them
+    /// (alongside `elapsed_ms`/`threads`) before demanding byte-identity.
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("scenario", c.scenario)
+                    .field("submitted", c.submitted)
+                    .field("unprotected_completed", c.unprotected_completed)
+                    .field("unprotected_failed", c.unprotected_failed)
+                    .field("protected_completed", c.protected_completed)
+                    .field("protected_failed", c.protected_failed)
+                    .field("unprotected_goodput_rps", c.unprotected_goodput_rps)
+                    .field("protected_goodput_rps", c.protected_goodput_rps)
+                    .field("unprotected_attainment", c.unprotected_attainment)
+                    .field("protected_attainment", c.protected_attainment)
+                    .field("retry_amplification", c.retry_amplification)
+                    .field("retries", c.retries)
+                    .field("failovers", c.failovers)
+                    .field("quarantines", c.quarantines)
+                    .field("probes", c.probes)
+                    .field("identical_to_serial", c.identical)
+                    .field("serial_ms", c.serial_ms)
+                    .field("parallel_ms", c.parallel_ms)
+            })
+            .collect();
+        Json::obj()
+            .field("experiment", "chaos")
+            .field("fleet", self.fleet)
+            .field("retry_budget", self.retry_budget as usize)
+            .field("cells", Json::Arr(cells))
+    }
+}
+
+impl std::fmt::Display for ChaosBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Chaos recovery on a {}-device fleet, retry budget {} ({} pool thread{})",
+            self.fleet,
+            self.retry_budget,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )?;
+        let mut t = TextTable::new(&[
+            "Scenario",
+            "Submitted",
+            "Unprot done/fail",
+            "Prot done/fail",
+            "Unprot gput",
+            "Prot gput",
+            "Unprot SLO",
+            "Prot SLO",
+            "Amp",
+            "R/F/Q/P",
+            "Identical",
+        ]);
+        for c in &self.cells {
+            t.row(&[
+                c.scenario.to_string(),
+                format!("{}", c.submitted),
+                format!("{}/{}", c.unprotected_completed, c.unprotected_failed),
+                format!("{}/{}", c.protected_completed, c.protected_failed),
+                format!("{:.2}/s", c.unprotected_goodput_rps),
+                format!("{:.2}/s", c.protected_goodput_rps),
+                format!("{:.0}%", 100.0 * c.unprotected_attainment),
+                format!("{:.0}%", 100.0 * c.protected_attainment),
+                format!("{:.2}x", c.retry_amplification),
+                format!(
+                    "{}/{}/{}/{}",
+                    c.retries, c.failovers, c.quarantines, c.probes
+                ),
+                format!("{}", c.identical),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_recovers_more_than_unprotected_and_matches_serial() {
+        let bench = run_on(&ThreadPool::with_threads(4), true);
+        assert_eq!(bench.cells.len(), 4);
+        let mut any_failed_unprotected = false;
+        for cell in &bench.cells {
+            assert_eq!(
+                cell.protected_completed + cell.protected_failed,
+                cell.submitted,
+                "{cell:?}: protected run lost requests"
+            );
+            assert_eq!(
+                cell.unprotected_completed + cell.unprotected_failed,
+                cell.submitted,
+                "{cell:?}: unprotected run lost requests"
+            );
+            assert!(cell.identical, "protected run diverged: {cell:?}");
+            assert!(
+                cell.protected_completed >= cell.unprotected_completed,
+                "{cell:?}: recovery completed fewer requests than no recovery"
+            );
+            assert!(
+                cell.retry_amplification >= 1.0,
+                "{cell:?}: amplification below 1"
+            );
+            any_failed_unprotected |= cell.unprotected_failed > 0;
+        }
+        assert!(
+            any_failed_unprotected,
+            "the fault scenarios should kill at least one unprotected request"
+        );
+        // Protected attainment must strictly beat unprotected on the
+        // device-loss scenarios (the acceptance bar of the recovery kit).
+        let loss = &bench.cells[0];
+        assert!(
+            loss.protected_attainment > loss.unprotected_attainment,
+            "device-loss: protection did not improve attainment: {loss:?}"
+        );
+        // The JSON view of the same sweep (checked here rather than in a
+        // second test so the quick sweep only runs once under `cargo test`).
+        let json = bench.to_json().pretty();
+        assert!(json.contains("\"experiment\": \"chaos\""));
+        assert!(json.contains("\"scenario\": \"device-loss\""));
+        assert!(json.contains("\"retries\""));
+        assert!(json.contains("\"failovers\""));
+        assert!(json.contains("\"quarantines\""));
+        assert!(json.contains("\"probes\""));
+        assert!(json.contains("\"retry_amplification\""));
+        assert!(json.contains("\"identical_to_serial\": true"));
+    }
+
+    #[test]
+    fn traced_showcase_records_the_whole_fleet() {
+        let trace = traced_showcase(true);
+        assert_eq!(trace.processes.len(), fleet_size(true));
+        assert!(
+            trace
+                .processes
+                .iter()
+                .flat_map(|p| &p.events)
+                .any(|e| e.name.starts_with("fault ")),
+            "the device-loss showcase records no fault instants"
+        );
+    }
+}

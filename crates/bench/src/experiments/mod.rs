@@ -18,9 +18,11 @@
 //! | [`serve`] | Multi-tenant serving sweep (beyond the paper) | — |
 //! | [`fleet_scale`] | Fleet-size ramp on the parallel serve loop (beyond the paper) | — |
 //! | [`overload`] | Overload survival: admission control, bounded queues, steal (beyond the paper) | — |
+//! | [`chaos`] | Fault injection & recovery: retry, failover, quarantine (beyond the paper) | — |
 //! | [`decode`] | Continuous-batching decode vs one-shot serving (beyond the paper) | — |
 
 pub mod ablations;
+pub mod chaos;
 pub mod decode;
 pub mod fig10;
 pub mod fig2;

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fault::FaultKind;
+
 /// Result alias used throughout the simulator.
 pub type SimResult<T> = Result<T, SimError>;
 
@@ -61,6 +63,18 @@ pub enum SimError {
         /// when there was one).
         message: String,
     },
+    /// An **injected** fault from a seeded [`FaultPlan`](crate::fault::FaultPlan)
+    /// fired: a simulated device loss, transient kernel fault or spurious
+    /// OOM spike. Unlike [`WorkerPanic`](Self::WorkerPanic) this is expected
+    /// chaos, not a bug — harness layers route it through their normal
+    /// per-request outcome path (and, when recovery is armed, their
+    /// retry/failover machinery) instead of failing the whole run.
+    Fault {
+        /// The kind of injected fault.
+        kind: FaultKind,
+        /// Simulated instant the fault fired at, in milliseconds.
+        at_ms: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -98,6 +112,9 @@ impl fmt::Display for SimError {
             SimError::WorkerPanic { message } => {
                 write!(f, "worker thread panicked: {message}")
             }
+            SimError::Fault { kind, at_ms } => {
+                write!(f, "injected fault: {kind} at {at_ms:.0} ms")
+            }
         }
     }
 }
@@ -134,6 +151,15 @@ mod tests {
             message: "policy exploded".to_string(),
         };
         assert_eq!(err.to_string(), "worker thread panicked: policy exploded");
+    }
+
+    #[test]
+    fn injected_fault_display_names_the_kind_and_instant() {
+        let err = SimError::Fault {
+            kind: FaultKind::OomSpike,
+            at_ms: 1_234.8,
+        };
+        assert_eq!(err.to_string(), "injected fault: oom-spike at 1235 ms");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod device;
 pub mod energy;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod rng;
@@ -69,6 +70,7 @@ pub use device::DeviceSpec;
 pub use energy::{EnergyReport, PowerModel};
 pub use engine::{ExecutionOutcome, GpuSimulator, PreemptionCost, SimConfig, Suspension};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultKind, FaultPlan};
 pub use kernel::{KernelCategory, KernelDesc, LaunchDims};
 pub use memory::{MemoryPool, MemoryTracker};
 pub use rng::SplitMix64;

@@ -72,11 +72,13 @@ use flashmem_gpu_sim::memory::MemoryTracker;
 use flashmem_gpu_sim::{DecodeSession, DecodeStepPlan, DeviceSpec, SimError, StepCost};
 
 use crate::metrics::{
-    DecodeOutcome, DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport,
-    SloSummary, TokenMetrics,
+    DecodeOutcome, DeviceReport, LatencySummary, PriorityLatency, RecoveryTallies, RequestOutcome,
+    ServeReport, SloSummary, TokenMetrics,
 };
-use crate::request::ServeRequest;
+use crate::policy::RecoveryControl;
+use crate::request::{FailureCause, ServeRequest};
 use crate::server::lower_artifact;
+use flashmem_gpu_sim::{FaultKind, FaultPlan};
 
 const MIB: f64 = 1024.0 * 1024.0;
 
@@ -154,6 +156,15 @@ struct ActiveDecode {
     compute_intervals: Vec<(f64, f64)>,
     /// Step failure, if one of this request's steps could not complete.
     error: Option<SimError>,
+    /// Tokens emitted by *earlier* attempts (a re-prefilled request resumes
+    /// from this position; 0 on a first attempt).
+    resumed_tokens: u32,
+    /// Retry redispatches this request consumed before this attempt.
+    retries: u32,
+    /// Device-loss failover hops this request consumed before this attempt.
+    hops: u32,
+    /// Whether an earlier attempt ran (and died) on a different device.
+    failed_over: bool,
 }
 
 impl ActiveDecode {
@@ -178,9 +189,12 @@ impl ActiveDecode {
         );
         let times = self.session.token_times_ms();
         let decode = if self.error.is_none() {
+            // A re-prefilled attempt's session holds `original prompt +
+            // resumed` context and emits only the remaining tokens; the
+            // outcome reports the submission's cumulative view.
             Some(DecodeOutcome {
-                prompt_tokens: self.session.prompt_tokens(),
-                output_tokens: self.session.emitted_tokens(),
+                prompt_tokens: self.session.prompt_tokens() - self.resumed_tokens,
+                output_tokens: self.resumed_tokens + self.session.emitted_tokens(),
                 ttft_ms: times.first().map_or(0.0, |t| t - self.arrival_ms),
                 itl_ms: times.windows(2).map(|w| w[1] - w[0]).collect(),
                 kv_peak_bytes: self.session.max_context_tokens()
@@ -214,6 +228,9 @@ impl ActiveDecode {
             phases,
             rejected: None,
             stolen_from: None,
+            failure: self.error.as_ref().map(FailureCause::from_error),
+            retries: self.retries,
+            failed_over: self.failed_over,
             error: self.error,
             report: None,
             decode,
@@ -233,6 +250,107 @@ struct DecodeJob<'a> {
     /// Plan-cache keys warm when the run began (prologue snapshot, so
     /// `cache_hit` is identical at every pool width).
     warm: HashSet<u64>,
+}
+
+/// Attempt state a re-dispatched decode request carries between rounds.
+#[derive(Debug, Clone)]
+struct DecodeCarry {
+    /// The submission's true arrival (the per-round request clone's
+    /// `arrival_ms` is the re-dispatch ready floor, not the arrival).
+    original_arrival_ms: f64,
+    /// Tokens emitted by earlier attempts: the re-prefill resume position.
+    resumed_tokens: u32,
+    /// Same-fault retry redispatches consumed.
+    retries: u32,
+    /// Device-loss failover hops consumed.
+    hops: u32,
+    /// Whether any earlier attempt ran on a different device.
+    failed_over: bool,
+}
+
+impl DecodeCarry {
+    fn fresh(request: &ServeRequest) -> Self {
+        DecodeCarry {
+            original_arrival_ms: request.arrival_ms,
+            resumed_tokens: 0,
+            retries: 0,
+            hops: 0,
+            failed_over: false,
+        }
+    }
+}
+
+/// Per-round chaos state handed to `run_device` alongside its job.
+struct DecodeChaosJob {
+    carry: HashMap<usize, DecodeCarry>,
+}
+
+impl DecodeChaosJob {
+    /// Stamp a freshly admitted entry with its carried attempt state.
+    fn apply(&self, seq: usize, entry: &mut ActiveDecode) {
+        if let Some(carry) = self.carry.get(&seq) {
+            entry.arrival_ms = carry.original_arrival_ms;
+            entry.resumed_tokens = carry.resumed_tokens;
+            entry.retries = carry.retries;
+            entry.hops = carry.hops;
+            entry.failed_over = carry.failed_over;
+        }
+    }
+}
+
+/// A request attempt an injected fault killed, surfaced to the sequential
+/// re-dispatch planner. Carries the fully built typed-failed outcome so the
+/// planner can commit it unchanged when no recovery budget remains.
+struct DecodeOrphan {
+    outcome: RequestOutcome,
+    /// Cumulative tokens emitted across all attempts (the resume position).
+    emitted: u32,
+    retries: u32,
+    hops: u32,
+    kind: FaultKind,
+}
+
+/// Everything one device's round produces.
+struct DecodeRun {
+    outcomes: Vec<RequestOutcome>,
+    report: DeviceReport,
+    trace: TraceRecorder,
+    orphans: Vec<DecodeOrphan>,
+    /// The device was lost (injected device-loss) during this round.
+    lost: bool,
+}
+
+/// Route a finished (or fault-killed) entry: injected faults become orphans
+/// for the planner; everything else commits its outcome row here.
+#[allow(clippy::too_many_arguments)]
+fn push_entry(
+    entry: ActiveDecode,
+    outcomes: &mut Vec<RequestOutcome>,
+    orphans: &mut Vec<DecodeOrphan>,
+    chaos: bool,
+    device: &DeviceSpec,
+    device_index: usize,
+    completion_ms: f64,
+    peak_memory_mb: f64,
+) {
+    let fault = match &entry.error {
+        Some(SimError::Fault { kind, .. }) => Some(*kind),
+        _ => None,
+    };
+    let emitted = entry.resumed_tokens + entry.session.emitted_tokens();
+    let retries = entry.retries;
+    let hops = entry.hops;
+    let outcome = entry.into_outcome(&device.name, device_index, completion_ms, peak_memory_mb);
+    match fault {
+        Some(kind) if chaos => orphans.push(DecodeOrphan {
+            outcome,
+            emitted,
+            retries,
+            hops,
+            kind,
+        }),
+        _ => outcomes.push(outcome),
+    }
 }
 
 /// Render a caught panic payload for [`SimError::WorkerPanic`].
@@ -259,6 +377,8 @@ pub struct DecodeEngine {
     batch: BatchConfig,
     cache: Arc<ArtifactCache>,
     trace: TraceConfig,
+    fault_plan: FaultPlan,
+    recovery: RecoveryControl,
 }
 
 impl DecodeEngine {
@@ -271,7 +391,31 @@ impl DecodeEngine {
             batch: BatchConfig::default(),
             cache: Arc::new(ArtifactCache::new()),
             trace: TraceConfig::disabled(),
+            fault_plan: FaultPlan::default(),
+            recovery: RecoveryControl::disabled(),
         }
+    }
+
+    /// Arm a deterministic [`FaultPlan`] (builder style). Empty by default;
+    /// with an empty plan and recovery disabled the engine takes the exact
+    /// legacy single-round path, byte for byte.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Configure failure recovery (builder style). The decode path supports
+    /// retry budgets, simulated-time backoff and device-loss failover; a
+    /// redispatched request **re-prefills from its token position** (tokens
+    /// already streamed to the client are not re-generated: the retry's
+    /// prompt absorbs them, preserving the `prompt + output − 1` context
+    /// invariant). Quarantine/probe knobs are ignored here — the decode
+    /// placement has no policy hook to confine, so the circuit breaker lives
+    /// only in [`ServeEngine`](crate::ServeEngine). A retried request's
+    /// [`DecodeOutcome`] reports the *final* attempt's token telemetry.
+    pub fn with_recovery_control(mut self, recovery: RecoveryControl) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Replace the batching knobs (builder style). Values are clamped to
@@ -395,6 +539,10 @@ impl DecodeEngine {
             per_device[i % fleet_len].push((seq, &requests[seq]));
         }
 
+        if !self.fault_plan.is_empty() || self.recovery.any_enabled() {
+            return self.run_chaos(pool, requests, per_device);
+        }
+
         let jobs: Vec<DecodeJob<'_>> = self
             .fleet
             .iter()
@@ -420,23 +568,257 @@ impl DecodeEngine {
 
         // ---- parallel device stepping ----
         let device_results = pool.try_parallel_map(jobs, |job| {
-            catch_unwind(AssertUnwindSafe(|| self.run_device(job))).unwrap_or_else(|payload| {
-                Err(SimError::WorkerPanic {
-                    message: panic_message(payload),
-                })
-            })
+            catch_unwind(AssertUnwindSafe(|| self.run_device(job, None))).unwrap_or_else(
+                |payload| {
+                    Err(SimError::WorkerPanic {
+                        message: panic_message(payload),
+                    })
+                },
+            )
         })?;
 
         // ---- ordered merge: the commit point ----
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
         let mut devices = Vec::with_capacity(fleet_len);
         let mut recorders = Vec::with_capacity(fleet_len);
-        for (mut device_outcomes, report, recorder) in device_results {
+        for run in device_results {
+            let DecodeRun {
+                outcomes: mut device_outcomes,
+                report,
+                trace,
+                ..
+            } = run;
             outcomes.append(&mut device_outcomes);
             devices.push(report);
-            recorders.push(recorder);
+            recorders.push(trace);
         }
         outcomes.sort_by_key(|o| o.seq);
+        Ok(self.assemble_report(outcomes, devices, recorders, RecoveryTallies::default()))
+    }
+
+    /// The multi-round chaos driver: round 0 is the normal placement; every
+    /// later round re-dispatches the previous round's fault orphans (retry
+    /// with backoff on the same device, or failover onto a surviving one,
+    /// re-prefilling from the orphan's token position). All re-dispatch
+    /// decisions are taken here, sequentially, between rounds — the same
+    /// commit-point discipline as placement — so the report stays
+    /// byte-identical at every pool width.
+    fn run_chaos(
+        &self,
+        pool: &ThreadPool,
+        requests: &[ServeRequest],
+        per_device: Vec<Vec<(usize, &ServeRequest)>>,
+    ) -> SimResult<ServeReport> {
+        let fleet_len = self.fleet.len();
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut devices: Vec<Option<DeviceReport>> = vec![None; fleet_len];
+        let mut masters: Vec<TraceRecorder> = (0..fleet_len)
+            .map(|_| TraceRecorder::new(self.trace))
+            .collect();
+        let mut tallies = RecoveryTallies::default();
+        let mut alive: Vec<bool> = vec![true; fleet_len];
+        let mut cum_makespan: Vec<f64> = vec![0.0; fleet_len];
+
+        // Owned per-round work units (re-dispatched attempts carry adjusted
+        // decode params and an arrival floor).
+        let mut work: Vec<Vec<(usize, ServeRequest, DecodeCarry)>> = per_device
+            .into_iter()
+            .map(|assigned| {
+                assigned
+                    .into_iter()
+                    .map(|(seq, request)| (seq, request.clone(), DecodeCarry::fresh(request)))
+                    .collect()
+            })
+            .collect();
+        let mut first_round = true;
+
+        while first_round || work.iter().any(|w| !w.is_empty()) {
+            // Round 0 runs every device (so the fleet report covers idle
+            // devices exactly like the legacy path); later rounds only the
+            // devices with re-dispatched work.
+            let included: Vec<usize> = (0..fleet_len)
+                .filter(|&d| first_round || !work[d].is_empty())
+                .collect();
+            let round_work = std::mem::replace(&mut work, vec![Vec::new(); fleet_len]);
+            let jobs: Vec<(DecodeJob<'_>, DecodeChaosJob)> = included
+                .iter()
+                .map(|&index| {
+                    let device = &self.fleet[index];
+                    let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
+                    let assigned: Vec<(usize, &ServeRequest)> = round_work[index]
+                        .iter()
+                        .map(|(seq, request, _)| (*seq, request))
+                        .collect();
+                    let warm: HashSet<u64> = assigned
+                        .iter()
+                        .map(|(_, request)| ArtifactCache::key_for(&engine, &request.model, device))
+                        .filter(|&key| self.cache.is_warm(key))
+                        .collect();
+                    let carry: HashMap<usize, DecodeCarry> = round_work[index]
+                        .iter()
+                        .map(|(seq, _, carry)| (*seq, carry.clone()))
+                        .collect();
+                    (
+                        DecodeJob {
+                            index,
+                            device,
+                            engine,
+                            sim: GpuSimulator::new(device.clone(), SimConfig::default()),
+                            assigned,
+                            warm,
+                        },
+                        DecodeChaosJob { carry },
+                    )
+                })
+                .collect();
+
+            let device_results = pool.try_parallel_map(jobs, |(job, chaos)| {
+                catch_unwind(AssertUnwindSafe(|| self.run_device(job, Some(&chaos))))
+                    .unwrap_or_else(|payload| {
+                        Err(SimError::WorkerPanic {
+                            message: panic_message(payload),
+                        })
+                    })
+            })?;
+
+            // ---- ordered merge + sequential re-dispatch planning ----
+            let mut orphans: Vec<DecodeOrphan> = Vec::new();
+            for (&index, run) in included.iter().zip(device_results) {
+                let DecodeRun {
+                    outcomes: mut device_outcomes,
+                    report,
+                    trace,
+                    orphans: mut device_orphans,
+                    lost,
+                } = run;
+                outcomes.append(&mut device_outcomes);
+                cum_makespan[index] = cum_makespan[index].max(report.makespan_ms);
+                match &mut devices[index] {
+                    Some(existing) => existing.absorb_round(report),
+                    slot => *slot = Some(report),
+                }
+                masters[index].absorb(trace);
+                if lost {
+                    // A lost device is permanently out of rotation; when
+                    // recovery is armed, count it as a quarantine decision
+                    // like the serve engine does.
+                    if alive[index] && self.recovery.any_enabled() {
+                        tallies.quarantines += 1;
+                    }
+                    alive[index] = false;
+                }
+                orphans.append(&mut device_orphans);
+            }
+            orphans.sort_by_key(|o| o.outcome.seq);
+
+            for orphan in orphans {
+                let seq = orphan.outcome.seq;
+                let from = orphan.outcome.device_index;
+                let failed_at = orphan.outcome.completion_ms;
+                let can_retry = orphan.kind != FaultKind::DeviceLoss
+                    && orphan.retries < self.recovery.retry_budget;
+                let healthiest =
+                    (0..fleet_len)
+                        .filter(|&d| alive[d] && d != from)
+                        .min_by(|&a, &b| {
+                            cum_makespan[a]
+                                .partial_cmp(&cum_makespan[b])
+                                .expect("makespans are finite")
+                                .then(a.cmp(&b))
+                        });
+                let (dest, carry) = if can_retry {
+                    // Same-device retry (unless the device died under it).
+                    let dest = if alive[from] { Some(from) } else { healthiest };
+                    (
+                        dest,
+                        DecodeCarry {
+                            original_arrival_ms: orphan.outcome.arrival_ms,
+                            resumed_tokens: orphan.emitted,
+                            retries: orphan.retries + 1,
+                            hops: orphan.hops,
+                            failed_over: orphan.outcome.failed_over
+                                || dest.is_some_and(|d| d != from),
+                        },
+                    )
+                } else if self.recovery.failover && orphan.hops < fleet_len as u32 {
+                    (
+                        healthiest,
+                        DecodeCarry {
+                            original_arrival_ms: orphan.outcome.arrival_ms,
+                            resumed_tokens: orphan.emitted,
+                            retries: orphan.retries,
+                            hops: orphan.hops + 1,
+                            failed_over: true,
+                        },
+                    )
+                } else {
+                    (None, DecodeCarry::fresh(&requests[seq]))
+                };
+                let Some(dest) = dest else {
+                    // No budget left or no surviving device: the typed-failed
+                    // outcome the device already built is final.
+                    outcomes.push(orphan.outcome);
+                    continue;
+                };
+                let attempts = carry.retries + carry.hops;
+                let ready = (failed_at + self.recovery.backoff_ms * f64::from(attempts))
+                    .max(cum_makespan[dest]);
+                let mut request = requests[seq].clone();
+                let params = request.decode.expect("validated in the prologue");
+                request.decode = Some(crate::request::DecodeParams {
+                    prompt_tokens: params.prompt_tokens + carry.resumed_tokens,
+                    output_tokens: params.output_tokens - carry.resumed_tokens,
+                });
+                request.arrival_ms = ready;
+                if masters[dest].enabled() {
+                    let (kind, verb) = if can_retry {
+                        (TraceKind::Retry, "retry")
+                    } else {
+                        (TraceKind::Failover, "failover")
+                    };
+                    masters[dest].instant(
+                        kind,
+                        TraceLane::Request(seq),
+                        &format!(
+                            "{verb} {} attempt {} from device #{from}",
+                            request.model.abbr,
+                            attempts + 1
+                        ),
+                        ready,
+                    );
+                }
+                if can_retry {
+                    tallies.retries += 1;
+                } else {
+                    tallies.failovers += 1;
+                }
+                work[dest].push((seq, request, carry));
+            }
+            first_round = false;
+        }
+
+        outcomes.sort_by_key(|o| o.seq);
+        let devices: Vec<DeviceReport> = devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, report)| {
+                report.unwrap_or_else(|| DeviceReport::empty(&self.fleet[index].name))
+            })
+            .collect();
+        let report = self.assemble_report(outcomes, devices, masters, tallies);
+        report.assert_disposition();
+        Ok(report)
+    }
+
+    /// Assemble the final [`ServeReport`] from merged outcomes, per-device
+    /// reports and trace recorders — shared by the legacy and chaos paths.
+    fn assemble_report(
+        &self,
+        outcomes: Vec<RequestOutcome>,
+        devices: Vec<DeviceReport>,
+        recorders: Vec<TraceRecorder>,
+        recovery: RecoveryTallies,
+    ) -> ServeReport {
         let trace = if self.trace.enabled {
             Some(FleetTrace {
                 processes: self
@@ -471,7 +853,7 @@ impl DecodeEngine {
         let latency = LatencySummary::from_latencies(&latencies);
         let per_priority = PriorityLatency::from_outcomes(&outcomes);
         let slo = SloSummary::from_outcomes(&outcomes);
-        Ok(ServeReport {
+        ServeReport {
             policy: if self.batch.max_batch == 1 {
                 "decode-one-shot".to_string()
             } else {
@@ -489,18 +871,20 @@ impl DecodeEngine {
             decode_tokens: tokens.decode_tokens,
             tokens_per_s: tokens.tokens_per_s,
             cache: self.cache.stats(),
+            recovery,
             trace,
-        })
+        }
     }
 
     /// Run one device's step loop to completion. Single-threaded per device;
-    /// a pure function of the assigned request list, so the result is
-    /// identical at every pool width.
+    /// a pure function of the assigned request list (plus the per-round
+    /// chaos state), so the result is identical at every pool width.
     #[allow(clippy::too_many_lines)]
     fn run_device(
         &self,
         job: DecodeJob<'_>,
-    ) -> SimResult<(Vec<RequestOutcome>, DeviceReport, TraceRecorder)> {
+        chaos: Option<&DecodeChaosJob>,
+    ) -> SimResult<DecodeRun> {
         let DecodeJob {
             index: device_index,
             device,
@@ -526,6 +910,13 @@ impl DecodeEngine {
 
         let mut active: Vec<ActiveDecode> = Vec::new();
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut orphans: Vec<DecodeOrphan> = Vec::new();
+        let lost_at = if chaos.is_some() {
+            self.fault_plan.device_loss_ms(device_index)
+        } else {
+            None
+        };
+        let mut lost = false;
         let mut widx = 0usize;
         let mut now = 0.0_f64;
         let mut transfer_busy = 0.0_f64;
@@ -537,6 +928,67 @@ impl DecodeEngine {
             if active.is_empty() {
                 if let Some(&(_, next)) = waiting.get(widx) {
                     now = now.max(next.arrival_ms);
+                }
+            }
+
+            // ---- injected device loss: drain at this step boundary ----
+            // Work whose commands started before the loss instant drains
+            // normally (a dispatched kernel cannot be aborted); everything
+            // still resident or queued here dies with the device's memory.
+            if let Some(lost_at_ms) = lost_at {
+                if now + 1e-9 >= lost_at_ms {
+                    lost = true;
+                    if trace.enabled() {
+                        trace.instant(
+                            TraceKind::Fault,
+                            TraceLane::Host,
+                            &format!("fault device-loss {}", device.name),
+                            now,
+                        );
+                    }
+                    for mut entry in active.drain(..) {
+                        entry.error = Some(SimError::Fault {
+                            kind: FaultKind::DeviceLoss,
+                            at_ms: now,
+                        });
+                        let _ = entry.session.release(&mut tracker, now);
+                        let peak = tracker.peak_bytes() as f64 / MIB;
+                        push_entry(
+                            entry,
+                            &mut outcomes,
+                            &mut orphans,
+                            true,
+                            device,
+                            device_index,
+                            now,
+                            peak,
+                        );
+                    }
+                    while widx < waiting.len() {
+                        let (seq, request) = waiting[widx];
+                        widx += 1;
+                        let at = now.max(request.arrival_ms);
+                        let mut entry = self.admit_entry(seq, request, &warm, &engine, device, at);
+                        if let Some(cj) = chaos {
+                            cj.apply(seq, &mut entry);
+                        }
+                        entry.error = Some(SimError::Fault {
+                            kind: FaultKind::DeviceLoss,
+                            at_ms: at,
+                        });
+                        let peak = tracker.peak_bytes() as f64 / MIB;
+                        push_entry(
+                            entry,
+                            &mut outcomes,
+                            &mut orphans,
+                            true,
+                            device,
+                            device_index,
+                            at,
+                            peak,
+                        );
+                    }
+                    break;
                 }
             }
             let arrived = waiting[widx..]
@@ -580,6 +1032,9 @@ impl DecodeEngine {
                     let abbr = request.model.abbr.clone();
                     if let Err(error) = self.ensure_plans(&mut plans, &engine, request, device) {
                         let mut entry = self.admit_entry(seq, request, &warm, &engine, device, now);
+                        if let Some(cj) = chaos {
+                            cj.apply(seq, &mut entry);
+                        }
                         entry.error = Some(error);
                         outcomes.push(entry.into_outcome(
                             &device.name,
@@ -609,6 +1064,9 @@ impl DecodeEngine {
                                 Err(error) => {
                                     let mut entry =
                                         self.admit_entry(seq, request, &warm, &engine, device, now);
+                                    if let Some(cj) = chaos {
+                                        cj.apply(seq, &mut entry);
+                                    }
                                     entry.error = Some(error);
                                     outcomes.push(entry.into_outcome(
                                         &device.name,
@@ -631,6 +1089,31 @@ impl DecodeEngine {
                         params.output_tokens,
                         model_plans.kv_bytes_per_token,
                     );
+                    if let Some(cj) = chaos {
+                        cj.apply(seq, &mut entry);
+                        // The prefill pass itself may take an injected fault,
+                        // keyed by the resume position so a retry redraws.
+                        let attempt = entry.retries + entry.hops;
+                        if let Some(kind) = self.fault_plan.command_fault(
+                            device_index,
+                            seq,
+                            entry.resumed_tokens as usize,
+                            attempt,
+                        ) {
+                            entry.error = Some(SimError::Fault { kind, at_ms: end });
+                            if trace.enabled() {
+                                trace.instant(
+                                    TraceKind::Fault,
+                                    TraceLane::Request(seq),
+                                    &format!("fault {kind} {abbr} prefill"),
+                                    end,
+                                );
+                            }
+                            now = end;
+                            active.push(entry);
+                            continue;
+                        }
+                    }
                     let label = format!("kv seq{seq} {abbr}");
                     if let Err(error) = entry.session.finish_prefill(&mut tracker, &label, end) {
                         entry.error = Some(error);
@@ -676,6 +1159,8 @@ impl DecodeEngine {
             retire_finished(
                 &mut active,
                 &mut outcomes,
+                &mut orphans,
+                chaos.is_some(),
                 &mut tracker,
                 &mut trace,
                 device,
@@ -735,6 +1220,31 @@ impl DecodeEngine {
                 let share = 1.0 / batch_size as f64;
                 for &i in &members {
                     let entry = &mut active[i];
+                    if chaos.is_some() {
+                        // The step's kernel may take an injected fault for
+                        // this sequence, keyed by its global token position
+                        // so firing is schedule- and batch-independent.
+                        let attempt = entry.retries + entry.hops;
+                        let position =
+                            (entry.resumed_tokens + entry.session.emitted_tokens()) as usize;
+                        if let Some(kind) = self.fault_plan.command_fault(
+                            device_index,
+                            entry.seq,
+                            position,
+                            attempt,
+                        ) {
+                            entry.error = Some(SimError::Fault { kind, at_ms: end });
+                            if trace.enabled() {
+                                trace.instant(
+                                    TraceKind::Fault,
+                                    TraceLane::Request(entry.seq),
+                                    &format!("fault {kind} {}", entry.abbr),
+                                    end,
+                                );
+                            }
+                            continue;
+                        }
+                    }
                     let label = format!("kv seq{} {abbr}", entry.seq);
                     if let Err(error) = entry.session.advance_step(&mut tracker, &label, end) {
                         entry.error = Some(error);
@@ -754,6 +1264,8 @@ impl DecodeEngine {
             retire_finished(
                 &mut active,
                 &mut outcomes,
+                &mut orphans,
+                chaos.is_some(),
                 &mut tracker,
                 &mut trace,
                 device,
@@ -785,7 +1297,13 @@ impl DecodeEngine {
             queue_depth_high_water: high_water,
             memory_trace: tracker.trace().clone(),
         };
-        Ok((outcomes, report, trace))
+        Ok(DecodeRun {
+            outcomes,
+            report,
+            trace,
+            orphans,
+            lost,
+        })
     }
 
     /// Compile (through the shared cache) and lower the prefill and step
@@ -843,15 +1361,24 @@ impl DecodeEngine {
             transfer_intervals: Vec::new(),
             compute_intervals: Vec::new(),
             error: None,
+            resumed_tokens: 0,
+            retries: 0,
+            hops: 0,
+            failed_over: false,
         }
     }
 }
 
 /// Remove finished (or failed) sessions from the batch at boundary `now`,
-/// releasing their KV residency and emitting their outcome rows.
+/// releasing their KV residency and emitting their outcome rows. With
+/// `chaos` set, fault-killed entries go to `orphans` for the re-dispatch
+/// planner instead of committing a final outcome.
+#[allow(clippy::too_many_arguments)]
 fn retire_finished(
     active: &mut Vec<ActiveDecode>,
     outcomes: &mut Vec<RequestOutcome>,
+    orphans: &mut Vec<DecodeOrphan>,
+    chaos: bool,
     tracker: &mut MemoryTracker,
     trace: &mut TraceRecorder,
     device: &DeviceSpec,
@@ -875,12 +1402,17 @@ fn retire_finished(
                     now,
                 );
             }
-            outcomes.push(entry.into_outcome(
-                &device.name,
+            let peak = tracker.peak_bytes() as f64 / MIB;
+            push_entry(
+                entry,
+                outcomes,
+                orphans,
+                chaos,
+                device,
                 device_index,
                 now,
-                tracker.peak_bytes() as f64 / MIB,
-            ));
+                peak,
+            );
         } else {
             i += 1;
         }
@@ -922,6 +1454,9 @@ fn budget_failure_outcome(
         phases: PhaseBreakdown::attribute(0.0, 0.0, 0.0, 0.0, &[], &[]),
         rejected: None,
         stolen_from: None,
+        failure: Some(FailureCause::Execution),
+        retries: 0,
+        failed_over: false,
         error: Some(SimError::InvalidParameter {
             message: format!(
                 "request needs {} context tokens but the engine's token budget is {}",

@@ -135,6 +135,29 @@
 //! [`BatchConfig`] token budget, with a waiting/served join heuristic so
 //! prefills don't starve in-flight decodes. The report gains token-level
 //! TTFT and ITL percentiles next to the existing SLO metrics.
+//!
+//! ## Chaos & recovery
+//!
+//! A seeded [`FaultPlan`] injects device loss, transient kernel faults and
+//! spurious OOM spikes into a run; firing is keyed by
+//! `(device, seq, command, attempt)` so the same faults hit at every pool
+//! width and scheduling order. Unprotected, each fault becomes a typed
+//! failure ([`FailureCause`]) on the request's outcome. Arming
+//! [`ServeEngine::with_recovery_control`](server::ServeEngine::with_recovery_control)
+//! (or the decode-side equivalent) turns the run into rounds with a
+//! **sequential recovery planner** between them: per-request retries under a
+//! budget with simulated-time backoff, failover of in-flight work onto the
+//! least-loaded survivor (resuming a
+//! [`Suspension`](flashmem_gpu_sim::engine::Suspension) on a same-spec
+//! sibling, re-running from scratch elsewhere; decode requests re-prefill
+//! from their token position), and a per-device circuit breaker that
+//! quarantines repeat offenders and reinstates them via probe requests.
+//! Every decision is planned on the caller thread in submission order, so
+//! protected reports stay byte-identical at any pool width; the tallies
+//! land in [`ServeReport::recovery`] and the trace gains
+//! `Fault`/`Retry`/`Failover`/`Quarantine`/`Probe` events. The four
+//! [`ChaosScenario`]s drive the `chaos` bench, which sweeps each scenario
+//! unprotected vs protected.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -152,16 +175,19 @@ pub use flashmem_core::telemetry::{
     chrome_trace, FleetTrace, PhaseBreakdown, TraceConfig, TraceEvent, TraceKind, TraceLane,
 };
 pub use flashmem_gpu_sim::engine::PreemptionCost;
+pub use flashmem_gpu_sim::{FaultKind, FaultPlan};
 pub use metrics::{
-    DecodeOutcome, DeviceReport, LatencySummary, MissCause, PriorityLatency, RequestOutcome,
-    ServeReport, ShedBreakdown, SloSummary, TokenMetrics,
+    DecodeOutcome, DeviceReport, FailureBreakdown, LatencySummary, MissCause, PriorityLatency,
+    RecoveryTallies, RequestOutcome, ServeReport, ShedBreakdown, SloSummary, TokenMetrics,
 };
 pub use multi_model::{InvocationResult, MultiModelReport, MultiModelRunner};
 pub use policy::{
     AffinityPolicy, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy, InFlightEntry,
     LeastLaxityPolicy, OverloadControl, PendingEntry, PolicyContext, PreemptivePriorityPolicy,
-    PriorityPolicy, SchedulePolicy,
+    PriorityPolicy, RecoveryControl, SchedulePolicy,
 };
-pub use request::{DecodeParams, RejectCause, ServeRequest};
+pub use request::{DecodeParams, FailureCause, RejectCause, ServeRequest};
 pub use server::ServeEngine;
-pub use workload::{ArrivalPattern, DecodeWorkloadSpec, OverloadScenario, WorkloadSpec};
+pub use workload::{
+    ArrivalPattern, ChaosScenario, DecodeWorkloadSpec, OverloadScenario, WorkloadSpec,
+};

@@ -25,7 +25,7 @@ use flashmem_core::ExecutionReport;
 use flashmem_gpu_sim::trace::MemoryTrace;
 use flashmem_gpu_sim::SimError;
 
-use crate::request::RejectCause;
+use crate::request::{FailureCause, RejectCause};
 
 /// Token-level result of a generative request served through the decode
 /// path (prefill pass + per-token decode steps). `None` on one-shot
@@ -132,8 +132,21 @@ pub struct RequestOutcome {
     /// `None` for requests that ran where the policy first placed them.
     pub stolen_from: Option<usize>,
     /// The failure, if the request did not complete (out-of-memory, tenant
-    /// cap smaller than the model's working set, ...).
+    /// cap smaller than the model's working set, an injected fault, ...).
     pub error: Option<SimError>,
+    /// Typed classification of [`error`](Self::error) — present iff the
+    /// request failed. See the request-disposition table in
+    /// [`crate::request`].
+    pub failure: Option<FailureCause>,
+    /// Injected-fault recovery attempts this request consumed: same-device
+    /// retries plus restarts after a failover. Never exceeds the armed
+    /// [`RecoveryControl::retry_budget`](crate::RecoveryControl::retry_budget)
+    /// plus the bounded failover allowance; 0 without recovery.
+    pub retries: u32,
+    /// True when the recovery planner re-placed this request off the device
+    /// it was originally running on (after a device loss or quarantine).
+    /// [`device_index`](Self::device_index) is where it finally ran.
+    pub failed_over: bool,
     /// The full execution report, available under exclusive (single-slot)
     /// policies where a request owns the whole device while it runs.
     pub report: Option<ExecutionReport>,
@@ -247,6 +260,55 @@ pub struct DeviceReport {
     /// The device's memory trace over the whole serving run (the multi-model
     /// Figure 6 curve generalised to many tenants).
     pub memory_trace: MemoryTrace,
+}
+
+impl DeviceReport {
+    /// An all-zero report for a device that never ran any work (a chaos
+    /// round that excluded it, or a fleet slot that stayed idle).
+    pub(crate) fn empty(device: &str) -> Self {
+        DeviceReport {
+            device: device.to_string(),
+            requests: 0,
+            completed: 0,
+            makespan_ms: 0.0,
+            transfer_busy_ms: 0.0,
+            compute_busy_ms: 0.0,
+            transfer_busy_fraction: 0.0,
+            compute_busy_fraction: 0.0,
+            peak_memory_mb: 0.0,
+            queue_depth_high_water: 0,
+            memory_trace: MemoryTrace::new(),
+        }
+    }
+
+    /// Fold one chaos round's report into this accumulated one: counts and
+    /// busy time sum, high-water marks take the max, busy fractions are
+    /// recomputed against the merged makespan, and the memory traces stitch
+    /// (round timelines never overlap — a re-dispatch ready floor is never
+    /// below the destination's cumulative makespan). A request that ran
+    /// attempts on several devices counts toward `requests` on each.
+    pub(crate) fn absorb_round(&mut self, round: DeviceReport) {
+        self.requests += round.requests;
+        self.completed += round.completed;
+        self.makespan_ms = self.makespan_ms.max(round.makespan_ms);
+        self.transfer_busy_ms += round.transfer_busy_ms;
+        self.compute_busy_ms += round.compute_busy_ms;
+        self.transfer_busy_fraction = if self.makespan_ms > 0.0 {
+            self.transfer_busy_ms / self.makespan_ms
+        } else {
+            0.0
+        };
+        self.compute_busy_fraction = if self.makespan_ms > 0.0 {
+            self.compute_busy_ms / self.makespan_ms
+        } else {
+            0.0
+        };
+        self.peak_memory_mb = self.peak_memory_mb.max(round.peak_memory_mb);
+        self.queue_depth_high_water = self
+            .queue_depth_high_water
+            .max(round.queue_depth_high_water);
+        self.memory_trace.append_shifted(&round.memory_trace, 0.0);
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice. `q` in `[0, 1]`.
@@ -477,6 +539,73 @@ impl ShedBreakdown {
     }
 }
 
+/// Recovery activity of one serving run — all zero when
+/// [`RecoveryControl`](crate::RecoveryControl) is disabled or no fault
+/// fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTallies {
+    /// Same-device retry re-enqueues after a transient injected fault.
+    pub retries: usize,
+    /// Requests the recovery planner re-placed onto a surviving device
+    /// after a device loss or quarantine.
+    pub failovers: usize,
+    /// Quarantine events (a device crossing its fault threshold, or a
+    /// failed probe re-quarantining it; device losses count too — a lost
+    /// device is permanently quarantined).
+    pub quarantines: usize,
+    /// Probe placements sent to quarantined devices.
+    pub probes: usize,
+}
+
+impl RecoveryTallies {
+    /// True when any recovery machinery fired.
+    pub fn any(&self) -> bool {
+        self.retries > 0 || self.failovers > 0 || self.quarantines > 0 || self.probes > 0
+    }
+}
+
+/// How many failed requests died of each [`FailureCause`]. The counters
+/// sum to [`ServeReport::failed`] exactly — every failure carries a cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Requests stranded by a device loss with no surviving failover
+    /// target (or failover disabled).
+    pub device_lost: usize,
+    /// Requests whose final attempt died of an injected transient kernel
+    /// fault.
+    pub kernel_fault: usize,
+    /// Requests whose final attempt died of an injected OOM spike.
+    pub oom_spike: usize,
+    /// Real capacity failures (pool exhaustion, tenant cap, unrecoverable
+    /// resume).
+    pub out_of_memory: usize,
+    /// Any other execution error.
+    pub execution: usize,
+}
+
+impl FailureBreakdown {
+    /// Tally failures by cause across a run's outcomes.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Self {
+        let mut failed = FailureBreakdown::default();
+        for outcome in outcomes {
+            match outcome.failure {
+                Some(FailureCause::DeviceLost) => failed.device_lost += 1,
+                Some(FailureCause::KernelFault) => failed.kernel_fault += 1,
+                Some(FailureCause::OomSpike) => failed.oom_spike += 1,
+                Some(FailureCause::OutOfMemory) => failed.out_of_memory += 1,
+                Some(FailureCause::Execution) => failed.execution += 1,
+                None => {}
+            }
+        }
+        failed
+    }
+
+    /// Total failed requests across all causes.
+    pub fn total(&self) -> usize {
+        self.device_lost + self.kernel_fault + self.oom_spike + self.out_of_memory + self.execution
+    }
+}
+
 /// The full result of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -511,6 +640,9 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Plan-cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Recovery activity: retries, failovers, quarantines and probes. All
+    /// zero when recovery is disabled or nothing faulted.
+    pub recovery: RecoveryTallies,
     /// The merged per-device event trace, when the engine ran with tracing
     /// enabled ([`ServeEngine::with_trace`](crate::ServeEngine::with_trace)).
     /// `None` on untraced runs; a traced report with this field stripped is
@@ -559,6 +691,65 @@ impl ServeReport {
         ShedBreakdown::from_outcomes(&self.outcomes)
     }
 
+    /// Failures broken down by cause; sums to [`ServeReport::failed`].
+    pub fn failed_by_cause(&self) -> FailureBreakdown {
+        FailureBreakdown::from_outcomes(&self.outcomes)
+    }
+
+    /// Total injected-fault recovery attempts consumed across all
+    /// outcomes; with `completed` as denominator this is the *retry
+    /// amplification* the chaos bench reports.
+    pub fn total_retries(&self) -> usize {
+        self.outcomes.iter().map(|o| o.retries as usize).sum()
+    }
+
+    /// Debug-build check of the request-disposition partition (see
+    /// [`crate::request`]): every outcome is exactly one of completed /
+    /// rejected / failed, `accepted + rejected == submitted`,
+    /// `completed + failed == accepted`, every rejection and failure
+    /// carries exactly one typed cause, and a rejected request never
+    /// carries an error. Called at every report commit point; a no-op in
+    /// release builds.
+    pub fn assert_disposition(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for o in &self.outcomes {
+                assert!(
+                    !(o.rejected.is_some() && o.error.is_some()),
+                    "request #{} both rejected and errored",
+                    o.seq
+                );
+                assert_eq!(
+                    o.failure.is_some(),
+                    o.error.is_some(),
+                    "request #{}: failure cause must accompany exactly the errored outcomes",
+                    o.seq
+                );
+            }
+            let submitted = self.outcomes.len();
+            assert_eq!(
+                self.accepted() + self.rejected(),
+                submitted,
+                "accepted + rejected must partition the submitted requests"
+            );
+            assert_eq!(
+                self.completed() + self.failed(),
+                self.accepted(),
+                "completed + failed must partition the accepted requests"
+            );
+            assert_eq!(
+                self.shed_by_cause().total(),
+                self.rejected(),
+                "every rejection carries a cause"
+            );
+            assert_eq!(
+                self.failed_by_cause().total(),
+                self.failed(),
+                "every failure carries a cause"
+            );
+        }
+    }
+
     /// Wall-clock end of the whole run (max across devices).
     pub fn makespan_ms(&self) -> f64 {
         self.devices
@@ -604,6 +795,24 @@ impl std::fmt::Display for ServeReport {
                 shed.deadline_unmeetable,
                 shed.queue_full,
                 self.stolen()
+            )?;
+        }
+        let failed = self.failed_by_cause();
+        if self.recovery.any() || failed.total() > 0 {
+            writeln!(
+                f,
+                "recovery: {} retries, {} failovers, {} quarantines, {} probes; \
+                 {} failed ({} device-lost, {} kernel-fault, {} oom-spike, {} out-of-memory, {} execution)",
+                self.recovery.retries,
+                self.recovery.failovers,
+                self.recovery.quarantines,
+                self.recovery.probes,
+                failed.total(),
+                failed.device_lost,
+                failed.kernel_fault,
+                failed.oom_spike,
+                failed.out_of_memory,
+                failed.execution
             )?;
         }
         match &self.latency {
@@ -732,6 +941,9 @@ mod tests {
             rejected: None,
             stolen_from: None,
             error: None,
+            failure: None,
+            retries: 0,
+            failed_over: false,
             report: None,
             decode: None,
         }

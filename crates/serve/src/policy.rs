@@ -175,6 +175,108 @@ impl OverloadControl {
     }
 }
 
+/// Fleet-wide failure recovery, layered *on top of* whatever
+/// [`SchedulePolicy`] is active — the companion of [`OverloadControl`] for
+/// *faults* rather than load. Everything here is opt-in and off by default,
+/// so an engine without recovery control is byte-identical to the
+/// pre-recovery engine even when a fault plan is armed (faults then simply
+/// become typed failures).
+///
+/// Three independent defenses:
+///
+/// * **Retry with backoff** re-enqueues a request killed by a *transient*
+///   injected fault (kernel fault, OOM spike) on the same device, up to
+///   [`retry_budget`](Self::retry_budget) times per request, each retry
+///   delayed by `backoff_ms × attempts` of *simulated* time.
+/// * **Failover** re-places work stranded by a device loss or quarantine
+///   onto surviving devices. The recovery planner runs sequentially between
+///   fan-out rounds — the fault analogue of the steal planner's commit
+///   point — so re-placement is byte-identical at any pool width. Work
+///   drained from a *quarantined* (still alive) device migrates as a
+///   [`Suspension`](flashmem_gpu_sim::engine::Suspension) and resumes
+///   mid-stream on a same-spec sibling when one survives; work on a *lost*
+///   device restarts from scratch (its memory died with it), and decode
+///   requests re-prefill from their token position.
+/// * **Quarantine (circuit breaker)** tracks per-device health: a device
+///   whose injected-fault count crosses
+///   [`quarantine_threshold`](Self::quarantine_threshold) stops receiving
+///   placements; after [`probe_after_ms`](Self::probe_after_ms) of
+///   simulated time it may receive exactly one *probe* request — a clean
+///   probe reinstates the device, a faulting one re-quarantines it. A lost
+///   device is quarantined permanently and never probed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryControl {
+    /// Injected-fault retries allowed per request; 0 disables retry.
+    pub retry_budget: u32,
+    /// Simulated-time backoff before a retry or failover becomes eligible:
+    /// the n-th recovery of a request waits `backoff_ms × n`.
+    pub backoff_ms: f64,
+    /// When true, re-place work stranded by a device loss or quarantine
+    /// onto surviving devices instead of failing it.
+    pub failover: bool,
+    /// Injected faults a device may fire within one fan-out round before it
+    /// is quarantined; `None` never quarantines.
+    pub quarantine_threshold: Option<u32>,
+    /// Simulated quarantine time before a device becomes eligible for a
+    /// probe placement.
+    pub probe_after_ms: f64,
+}
+
+impl Default for RecoveryControl {
+    fn default() -> Self {
+        RecoveryControl {
+            retry_budget: 0,
+            backoff_ms: 0.0,
+            failover: false,
+            quarantine_threshold: None,
+            probe_after_ms: 0.0,
+        }
+    }
+}
+
+impl RecoveryControl {
+    /// Everything off — faults become typed failures, nothing is retried,
+    /// re-placed or quarantined.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Allow up to `budget` same-device retries per request (builder
+    /// style).
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Set the simulated-time backoff unit between recovery attempts
+    /// (builder style, clamped to non-negative).
+    pub fn with_backoff_ms(mut self, backoff_ms: f64) -> Self {
+        self.backoff_ms = backoff_ms.max(0.0);
+        self
+    }
+
+    /// Enable failover re-placement of stranded work (builder style).
+    pub fn with_failover(mut self) -> Self {
+        self.failover = true;
+        self
+    }
+
+    /// Quarantine a device after `threshold` injected faults in one round
+    /// (clamped to at least 1) and allow a probe after `probe_after_ms` of
+    /// simulated time (builder style).
+    pub fn with_quarantine(mut self, threshold: u32, probe_after_ms: f64) -> Self {
+        self.quarantine_threshold = Some(threshold.max(1));
+        self.probe_after_ms = probe_after_ms.max(0.0);
+        self
+    }
+
+    /// True when any knob is on — the engine skips the whole recovery
+    /// pipeline otherwise.
+    pub fn any_enabled(&self) -> bool {
+        self.retry_budget > 0 || self.failover || self.quarantine_threshold.is_some()
+    }
+}
+
 /// A scheduling policy for the [`ServeEngine`](crate::ServeEngine).
 pub trait SchedulePolicy: Send + Sync {
     /// Display name used in reports.

@@ -6,7 +6,32 @@
 //! urgent it is (the priority, which drives admission order and preemption),
 //! when it arrives, and — optionally — the latency budget it must meet for
 //! its service-level objective to count as attained.
+//!
+//! # Request disposition
+//!
+//! Every submitted request ends in **exactly one** terminal disposition,
+//! and the three cause taxonomies partition the non-completed ones —
+//! nothing is ever silently lost:
+//!
+//! | Disposition | Marker on [`RequestOutcome`](crate::RequestOutcome) | Cause type | Counted in |
+//! |---|---|---|---|
+//! | **Completed** | `rejected: None`, `error: None` | — | `ServeReport::completed()` |
+//! | **Rejected** (shed by overload control, never accepted) | `rejected: Some(_)`, `error: None` | [`RejectCause`]: deadline-unmeetable, queue-full | `ServeReport::rejected()` / [`ShedBreakdown`](crate::ShedBreakdown) |
+//! | **Failed** (accepted, then died) | `rejected: None`, `error: Some(_)`, `failure: Some(_)` | [`FailureCause`]: device-lost, kernel-fault, oom-spike, out-of-memory, execution | `ServeReport::failed()` |
+//!
+//! The partitions `accepted + rejected == submitted` and
+//! `completed + failed == accepted` hold by construction and are
+//! debug-asserted at every report commit point
+//! ([`ServeReport::assert_disposition`](crate::ServeReport::assert_disposition)).
+//!
+//! Orthogonally, [`MissCause`](crate::MissCause) classifies why a
+//! deadline-carrying **accepted** request missed its SLO (queueing,
+//! execution, preemption, or failure) — a *failed* request with a deadline
+//! is both `FailureCause`-typed and a `MissCause::Failed` SLO miss, while
+//! a *rejected* one is excluded from SLO accounting entirely (it was never
+//! accepted into the pipeline).
 
+use flashmem_gpu_sim::{FaultKind, SimError};
 use flashmem_graph::ModelSpec;
 
 /// Why overload control shed a request instead of queueing it forever.
@@ -37,6 +62,63 @@ impl RejectCause {
 }
 
 impl std::fmt::Display for RejectCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why an **accepted** request failed instead of completing — the typed
+/// counterpart of [`RejectCause`] for work that died *after* admission (see
+/// the request-disposition table in the [module docs](self)).
+///
+/// Every failed outcome carries exactly one cause, derived from its
+/// [`SimError`] by [`FailureCause::from_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// The device serving the request was lost (injected
+    /// [`FaultKind::DeviceLoss`]) and no failover target survived — or
+    /// failover was disabled.
+    DeviceLost,
+    /// An injected transient kernel fault killed the request's final
+    /// attempt (its retry budget, possibly zero, was exhausted).
+    KernelFault,
+    /// An injected spurious OOM spike killed the request's final attempt.
+    OomSpike,
+    /// A *real* capacity failure: the model's working set genuinely did not
+    /// fit (pool exhaustion, a tenant cap smaller than the model, an
+    /// unrecoverable resume).
+    OutOfMemory,
+    /// Any other execution error (invalid stream, bad parameter, ...).
+    Execution,
+}
+
+impl FailureCause {
+    /// Short stable label used in trace events and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureCause::DeviceLost => "device-lost",
+            FailureCause::KernelFault => "kernel-fault",
+            FailureCause::OomSpike => "oom-spike",
+            FailureCause::OutOfMemory => "out-of-memory",
+            FailureCause::Execution => "execution",
+        }
+    }
+
+    /// Classify the terminal error of a failed request.
+    pub fn from_error(error: &SimError) -> Self {
+        match error {
+            SimError::Fault { kind, .. } => match kind {
+                FaultKind::DeviceLoss => FailureCause::DeviceLost,
+                FaultKind::TransientKernel => FailureCause::KernelFault,
+                FaultKind::OomSpike => FailureCause::OomSpike,
+            },
+            SimError::OutOfMemory { .. } => FailureCause::OutOfMemory,
+            _ => FailureCause::Execution,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -183,6 +265,48 @@ mod tests {
             output_tokens: 8,
         };
         assert_eq!(d.max_context_tokens(), 23);
+    }
+
+    #[test]
+    fn failure_causes_classify_errors() {
+        assert_eq!(
+            FailureCause::from_error(&SimError::Fault {
+                kind: FaultKind::DeviceLoss,
+                at_ms: 10.0,
+            }),
+            FailureCause::DeviceLost
+        );
+        assert_eq!(
+            FailureCause::from_error(&SimError::Fault {
+                kind: FaultKind::TransientKernel,
+                at_ms: 10.0,
+            }),
+            FailureCause::KernelFault
+        );
+        assert_eq!(
+            FailureCause::from_error(&SimError::Fault {
+                kind: FaultKind::OomSpike,
+                at_ms: 10.0,
+            }),
+            FailureCause::OomSpike
+        );
+        assert_eq!(
+            FailureCause::from_error(&SimError::OutOfMemory {
+                pool: "unified".into(),
+                requested: 2,
+                available: 1,
+                capacity: 1,
+            }),
+            FailureCause::OutOfMemory
+        );
+        assert_eq!(
+            FailureCause::from_error(&SimError::InvalidParameter {
+                message: "x".into(),
+            }),
+            FailureCause::Execution
+        );
+        assert_eq!(FailureCause::DeviceLost.label(), "device-lost");
+        assert_eq!(FailureCause::KernelFault.to_string(), "kernel-fault");
     }
 
     #[test]

@@ -97,18 +97,19 @@ use flashmem_gpu_sim::engine::{
 use flashmem_gpu_sim::error::SimResult;
 use flashmem_gpu_sim::memory::MemoryTracker;
 use flashmem_gpu_sim::trace::MemoryTrace;
-use flashmem_gpu_sim::{DeviceSpec, SimError};
+use flashmem_gpu_sim::{DeviceSpec, FaultKind, FaultPlan, SimError};
 use flashmem_graph::ModelSpec;
 use flashmem_profiler::LoweringOptions;
 
 use crate::metrics::{
-    DeviceReport, LatencySummary, PriorityLatency, RequestOutcome, ServeReport, SloSummary,
-    TokenMetrics,
+    DeviceReport, LatencySummary, PriorityLatency, RecoveryTallies, RequestOutcome, ServeReport,
+    SloSummary, TokenMetrics,
 };
 use crate::policy::{
-    FifoPolicy, InFlightEntry, OverloadControl, PendingEntry, PolicyContext, SchedulePolicy,
+    FifoPolicy, InFlightEntry, OverloadControl, PendingEntry, PolicyContext, RecoveryControl,
+    SchedulePolicy,
 };
-use crate::request::{RejectCause, ServeRequest};
+use crate::request::{FailureCause, RejectCause, ServeRequest};
 
 const MIB: f64 = 1024.0 * 1024.0;
 
@@ -246,18 +247,27 @@ fn arrived_candidates(
             estimated_remaining_ms: estimates.get(seq).copied().unwrap_or(0.0),
         })
         .collect();
-    candidates.extend(suspended.iter().map(|s| PendingEntry {
-        seq: s.meta.seq,
-        priority: s.meta.priority,
-        arrival_ms: s.meta.arrival_ms,
-        deadline_ms: s.meta.absolute_deadline_ms(),
-        estimated_remaining_ms: s.meta.estimated_remaining_ms(s.suspension.remaining()),
-    }));
+    candidates.extend(
+        suspended
+            .iter()
+            .filter(|s| s.ready_ms <= now)
+            .map(|s| PendingEntry {
+                seq: s.meta.seq,
+                priority: s.meta.priority,
+                arrival_ms: s.meta.arrival_ms,
+                deadline_ms: s.meta.absolute_deadline_ms(),
+                estimated_remaining_ms: s.meta.estimated_remaining_ms(s.suspension.remaining()),
+            }),
+    );
     candidates
 }
 
 /// Everything the loop knows about an admitted request except its execution
 /// state — shared between the in-flight and suspended representations.
+/// `Clone` exists for the chaos path, which snapshots the meta of work
+/// stranded by a device loss so the recovery planner can either resume it
+/// elsewhere or finalize its typed-failure outcome.
+#[derive(Clone)]
 struct FlightMeta {
     seq: usize,
     abbr: String,
@@ -279,6 +289,12 @@ struct FlightMeta {
     admission_laxity_ms: Option<f64>,
     /// Home device index when the steal planner re-placed this request.
     stolen_from: Option<usize>,
+    /// Injected-fault retries this request has already consumed (carried
+    /// across chaos rounds; 0 outside the chaos path).
+    retries: u32,
+    /// True when the recovery planner re-placed this request off a lost or
+    /// quarantined device (false outside the chaos path).
+    failed_over: bool,
     trace_start: usize,
     order: usize,
     preemptions: usize,
@@ -360,6 +376,9 @@ impl FlightMeta {
             phases,
             rejected: None,
             stolen_from: self.stolen_from,
+            failure: error.as_ref().map(FailureCause::from_error),
+            retries: self.retries,
+            failed_over: self.failed_over,
             error,
             report,
             decode: None,
@@ -379,6 +398,10 @@ struct Suspended {
     /// Global (device-timeline) time at which the request was suspended.
     suspended_at_ms: f64,
     suspension: Suspension,
+    /// Earliest global time this suspension may resume. `NEG_INFINITY`
+    /// (always ready) for ordinary preemptions; the recovery planner's
+    /// backoff floor for suspensions failed over from a lost device.
+    ready_ms: f64,
 }
 
 /// One device timeline's unit of parallel work: everything `run_device`
@@ -423,6 +446,102 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-request state the chaos driver carries across re-dispatch rounds.
+/// Re-dispatched requests are cloned with their arrival bumped to the
+/// recovery planner's ready floor; the carry remembers the *original*
+/// arrival (so latency and SLO accounting measure from true submission) and
+/// the recovery counters consumed so far.
+#[derive(Clone, Copy)]
+struct ServeCarry {
+    original_arrival_ms: f64,
+    retries: u32,
+    hops: u32,
+    failed_over: bool,
+    stolen_from: Option<usize>,
+}
+
+impl ServeCarry {
+    fn fresh(request: &ServeRequest, stolen_from: Option<usize>) -> Self {
+        ServeCarry {
+            original_arrival_ms: request.arrival_ms,
+            retries: 0,
+            hops: 0,
+            failed_over: false,
+            stolen_from,
+        }
+    }
+
+    /// Attempt ordinal fed into the fault plan's per-command draw key, so a
+    /// retried command is re-drawn instead of deterministically re-faulting.
+    fn attempt(&self) -> u32 {
+        self.retries + self.hops
+    }
+}
+
+/// A suspension the recovery planner failed over onto this device: seeded
+/// into the device loop's `suspended` list at round start so the ordinary
+/// resume path re-acquires its residency (and pays the reload penalty).
+struct SeededSuspension {
+    meta: FlightMeta,
+    suspension: Suspension,
+    /// Global time the work was stranded (the device-loss instant) — the
+    /// start of its `Suspended` span on the destination device.
+    suspended_at_ms: f64,
+    /// Backoff floor: earliest global time the resume may happen.
+    ready_ms: f64,
+}
+
+/// The chaos side-channel of one `DeviceJob`: per-request carries and
+/// failed-over suspensions, assembled sequentially by the round planner.
+struct ServeChaosJob {
+    carry: HashMap<usize, ServeCarry>,
+    seeds: Vec<SeededSuspension>,
+}
+
+/// A request an injected fault knocked out of a chaos round, awaiting a
+/// sequential recovery decision (retry, failover, or final typed failure).
+struct ServeOrphan {
+    /// The typed-failure outcome of this attempt — final if the planner
+    /// gives up, discarded if the request is re-dispatched.
+    outcome: RequestOutcome,
+    /// What fired.
+    kind: FaultKind,
+    /// Recovery counters *before* this round's decision.
+    retries: u32,
+    hops: u32,
+    /// In-flight state snapshotted at a device loss, resumable on a
+    /// same-spec sibling.
+    resume: Option<(FlightMeta, Suspension)>,
+}
+
+/// Everything one `run_device` round hands back to the merge point.
+struct DeviceRun {
+    outcomes: Vec<RequestOutcome>,
+    report: DeviceReport,
+    trace: TraceRecorder,
+    orphans: Vec<ServeOrphan>,
+    /// True when the fault plan's device loss fired this round: the device
+    /// is gone for every later round.
+    lost: bool,
+    /// Transient injected faults (kernel + OOM-spike) this round, for the
+    /// quarantine circuit breaker.
+    faults: u32,
+}
+
+/// Per-device health as tracked by the sequential recovery planner.
+#[derive(Clone, Copy, PartialEq)]
+enum Health {
+    Healthy,
+    /// Device loss fired: permanent.
+    Lost,
+    /// Circuit breaker open since `since_ms`; `probing` marks the round a
+    /// probe placement is in flight.
+    Quarantined {
+        since_ms: f64,
+        probing: bool,
+    },
+}
+
 /// A fleet-wide tenant cap: `bytes` of estimated resident memory across the
 /// whole fleet, enforced without cross-device shared state by confining the
 /// tenant to `shards` devices that each apply a `bytes / shards` sub-cap.
@@ -442,6 +561,8 @@ pub struct ServeEngine {
     fleet_tenant_caps: HashMap<String, FleetTenantCap>,
     tenant_slos: HashMap<String, f64>,
     overload: OverloadControl,
+    recovery: RecoveryControl,
+    fault_plan: FaultPlan,
     trace: TraceConfig,
 }
 
@@ -461,8 +582,40 @@ impl ServeEngine {
             fleet_tenant_caps: HashMap::new(),
             tenant_slos: HashMap::new(),
             overload: OverloadControl::disabled(),
+            recovery: RecoveryControl::disabled(),
+            fault_plan: FaultPlan::default(),
             trace: TraceConfig::disabled(),
         }
+    }
+
+    /// Inject deterministic faults from a seeded [`FaultPlan`] (builder
+    /// style). The plan keys every per-command draw by `(device, seq,
+    /// command, attempt)`, so which commands fault is independent of the
+    /// scheduling policy, pool width and retry timing. An empty plan (the
+    /// default) keeps the engine on the fault-free fast path, byte-identical
+    /// to a build without fault injection.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Configure failure recovery (builder style): per-request retry budgets
+    /// with simulated-time backoff, failover re-placement of work stranded
+    /// by a device loss onto surviving devices (in-flight work is carried
+    /// over as a [`Suspension`] and resumed on a same-spec sibling when one
+    /// exists, paying the re-residency penalty; otherwise it restarts from
+    /// scratch), and circuit-breaker quarantine with probe-based
+    /// reinstatement. Everything is off by default
+    /// ([`RecoveryControl::disabled`]), in which case the engine's behaviour
+    /// is bit-identical to one without recovery.
+    ///
+    /// All recovery decisions are planned sequentially at round boundaries
+    /// of the fan-out pipeline, so reports stay byte-identical at any pool
+    /// width — including which requests retried, where failovers landed and
+    /// when devices were quarantined or probed.
+    pub fn with_recovery_control(mut self, recovery: RecoveryControl) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Configure event tracing (builder style). Off by default; when
@@ -625,6 +778,9 @@ impl ServeEngine {
             phases: PhaseBreakdown::attribute(0.0, 0.0, 0.0, 0.0, &[], &[]),
             rejected: Some(cause),
             stolen_from,
+            failure: None,
+            retries: 0,
+            failed_over: false,
             error: None,
             report: None,
             decode: None,
@@ -882,6 +1038,17 @@ impl ServeEngine {
                 per_device[placement[seq]].push((seq, request));
             }
         }
+
+        // A non-empty fault plan or any recovery knob routes through the
+        // chaos pipeline (rounds of fan-out with sequential recovery
+        // planning in between). Fault-free, recovery-off runs never reach
+        // it, keeping the fast path byte-identical to a build without the
+        // chaos layer.
+        if !self.fault_plan.is_empty() || self.recovery.any_enabled() {
+            drop(engines);
+            return self.run_chaos(pool, requests, per_device, prerejected, &stolen_from);
+        }
+
         let jobs: Vec<DeviceJob<'_>> = engines
             .into_iter()
             .enumerate()
@@ -915,23 +1082,39 @@ impl ServeEngine {
 
         // ---- parallel device stepping ----
         let device_results = pool.try_parallel_map(jobs, |job| {
-            catch_unwind(AssertUnwindSafe(|| self.run_device(job))).unwrap_or_else(|payload| {
-                Err(SimError::WorkerPanic {
-                    message: panic_message(payload),
-                })
-            })
+            catch_unwind(AssertUnwindSafe(|| self.run_device(job, None))).unwrap_or_else(
+                |payload| {
+                    Err(SimError::WorkerPanic {
+                        message: panic_message(payload),
+                    })
+                },
+            )
         })?;
 
         // ---- ordered merge: the commit point ----
         let mut outcomes: Vec<RequestOutcome> = Vec::new();
         let mut devices = Vec::with_capacity(fleet_len);
         let mut recorders = Vec::with_capacity(fleet_len);
-        for (mut device_outcomes, report, recorder) in device_results {
-            outcomes.append(&mut device_outcomes);
-            devices.push(report);
-            recorders.push(recorder);
+        for run in device_results {
+            let mut run = run;
+            outcomes.append(&mut run.outcomes);
+            devices.push(run.report);
+            recorders.push(run.trace);
         }
         outcomes.sort_by_key(|o| o.seq);
+        Ok(self.assemble_report(outcomes, devices, recorders, RecoveryTallies::default()))
+    }
+
+    /// Assemble the final [`ServeReport`] from merged outcomes, per-device
+    /// reports and trace recorders (in fleet order) — shared by the fast
+    /// path and the chaos pipeline.
+    fn assemble_report(
+        &self,
+        outcomes: Vec<RequestOutcome>,
+        devices: Vec<DeviceReport>,
+        recorders: Vec<TraceRecorder>,
+        recovery: RecoveryTallies,
+    ) -> ServeReport {
         // Trace buffers merge in fleet order — the same deterministic commit
         // discipline as the outcome sort, so the trace is byte-identical at
         // every pool width.
@@ -970,7 +1153,7 @@ impl ServeEngine {
             0.0
         };
         let tokens = TokenMetrics::from_outcomes(&outcomes, makespan);
-        Ok(ServeReport {
+        ServeReport {
             policy: self.policy.name().to_string(),
             outcomes,
             devices,
@@ -983,9 +1166,391 @@ impl ServeEngine {
             itl: tokens.itl,
             decode_tokens: tokens.decode_tokens,
             tokens_per_s: tokens.tokens_per_s,
+            recovery,
             cache: self.cache.stats(),
             trace,
-        })
+        }
+    }
+
+    /// The chaos pipeline: rounds of the ordinary parallel fan-out with a
+    /// **sequential recovery planner** between rounds.
+    ///
+    /// Each round steps the devices that have work (in parallel, exactly
+    /// like the fast path); injected faults knock requests out of their
+    /// round as [`ServeOrphan`]s instead of final outcomes. At the round's
+    /// ordered merge the planner — on the caller thread, in submission
+    /// order — decides each orphan's fate: same-device **retry** while the
+    /// retry budget lasts, **failover** onto the least-loaded surviving
+    /// device (resuming a carried [`Suspension`] when a same-spec sibling
+    /// exists, restarting from scratch otherwise), or a final typed
+    /// failure. It also drives the circuit breaker: devices crossing the
+    /// fault threshold are **quarantined** (no placements), and after the
+    /// probe delay a single **probe** request tests the water — a clean
+    /// probe reinstates the device, a faulting one re-quarantines it.
+    ///
+    /// Rounds are barriers and every decision is planned sequentially, so
+    /// the report is byte-identical at any pool width. Termination is
+    /// structural: retries are bounded per request by the budget, failovers
+    /// by the fleet size, and probes only move work that already exists.
+    #[allow(clippy::too_many_lines)]
+    fn run_chaos(
+        &self,
+        pool: &ThreadPool,
+        requests: &[ServeRequest],
+        per_device: Vec<Vec<(usize, &ServeRequest)>>,
+        mut prerejected: Vec<Vec<(usize, &ServeRequest, f64)>>,
+        stolen_from: &HashMap<usize, usize>,
+    ) -> SimResult<ServeReport> {
+        let fleet_len = self.fleet.len();
+        let mut masters: Vec<TraceRecorder> = (0..fleet_len)
+            .map(|_| TraceRecorder::new(self.trace))
+            .collect();
+        let mut devices: Vec<Option<DeviceReport>> = (0..fleet_len).map(|_| None).collect();
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut tallies = RecoveryTallies::default();
+        let mut cum_makespan = vec![0.0_f64; fleet_len];
+        let mut health = vec![Health::Healthy; fleet_len];
+        let mut fault_counts = vec![0_u32; fleet_len];
+
+        // Round-0 work is the prologue's placement, as owned request clones
+        // (later rounds re-clone with arrivals bumped to the backoff floor).
+        let mut work: Vec<Vec<(usize, ServeRequest, ServeCarry)>> = per_device
+            .into_iter()
+            .map(|assigned| {
+                assigned
+                    .into_iter()
+                    .map(|(seq, request)| {
+                        let carry = ServeCarry::fresh(request, stolen_from.get(&seq).copied());
+                        (seq, request.clone(), carry)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut seeds: Vec<Vec<SeededSuspension>> = (0..fleet_len).map(|_| Vec::new()).collect();
+        let mut first_round = true;
+
+        while first_round
+            || work.iter().any(|w| !w.is_empty())
+            || seeds.iter().any(|s| !s.is_empty())
+        {
+            let included: Vec<usize> = if first_round {
+                (0..fleet_len).collect()
+            } else {
+                (0..fleet_len)
+                    .filter(|&d| !work[d].is_empty() || !seeds[d].is_empty())
+                    .collect()
+            };
+            let round_work =
+                std::mem::replace(&mut work, (0..fleet_len).map(|_| Vec::new()).collect());
+            let mut round_seeds =
+                std::mem::replace(&mut seeds, (0..fleet_len).map(|_| Vec::new()).collect());
+
+            let jobs: Vec<(DeviceJob<'_>, ServeChaosJob)> = included
+                .iter()
+                .map(|&index| {
+                    let device = &self.fleet[index];
+                    let engine = FlashMem::new(device.clone()).with_config(self.config.clone());
+                    let assigned: Vec<(usize, &ServeRequest)> = round_work[index]
+                        .iter()
+                        .map(|(seq, request, _)| (*seq, request))
+                        .collect();
+                    // Warmth is snapshotted sequentially here, per round, so
+                    // `cache_hit` stays schedule-independent (re-dispatched
+                    // models were compiled in an earlier round and report a
+                    // hit on every width).
+                    let warm: HashSet<u64> = assigned
+                        .iter()
+                        .map(|(_, request)| ArtifactCache::key_for(&engine, &request.model, device))
+                        .filter(|&key| self.cache.is_warm(key))
+                        .collect();
+                    let stolen: HashMap<usize, usize> = assigned
+                        .iter()
+                        .filter_map(|(seq, _)| stolen_from.get(seq).map(|&home| (*seq, home)))
+                        .collect();
+                    let carry: HashMap<usize, ServeCarry> = round_work[index]
+                        .iter()
+                        .map(|(seq, _, carry)| (*seq, *carry))
+                        .collect();
+                    (
+                        DeviceJob {
+                            index,
+                            device,
+                            engine,
+                            sim: GpuSimulator::new(device.clone(), SimConfig::default()),
+                            assigned,
+                            prerejected: std::mem::take(&mut prerejected[index]),
+                            stolen,
+                            warm,
+                        },
+                        ServeChaosJob {
+                            carry,
+                            seeds: std::mem::take(&mut round_seeds[index]),
+                        },
+                    )
+                })
+                .collect();
+
+            let device_results = pool.try_parallel_map(jobs, |(job, chaos)| {
+                catch_unwind(AssertUnwindSafe(|| self.run_device(job, Some(chaos)))).unwrap_or_else(
+                    |payload| {
+                        Err(SimError::WorkerPanic {
+                            message: panic_message(payload),
+                        })
+                    },
+                )
+            })?;
+
+            // ---- ordered merge ----
+            let mut orphans: Vec<ServeOrphan> = Vec::new();
+            let mut round_faults = vec![0_u32; fleet_len];
+            for (&index, run) in included.iter().zip(device_results) {
+                let DeviceRun {
+                    outcomes: mut device_outcomes,
+                    report,
+                    trace,
+                    orphans: mut device_orphans,
+                    lost,
+                    faults,
+                } = run;
+                outcomes.append(&mut device_outcomes);
+                cum_makespan[index] = cum_makespan[index].max(report.makespan_ms);
+                match &mut devices[index] {
+                    Some(existing) => existing.absorb_round(report),
+                    slot => *slot = Some(report),
+                }
+                masters[index].absorb(trace);
+                round_faults[index] = faults;
+                fault_counts[index] += faults;
+                if lost && health[index] != Health::Lost {
+                    // A lost device is permanently quarantined — but the
+                    // tally records recovery *decisions*, so an unprotected
+                    // run (fault plan only, recovery off) reports all zeros.
+                    health[index] = Health::Lost;
+                    if self.recovery.any_enabled() {
+                        tallies.quarantines += 1;
+                    }
+                }
+                orphans.append(&mut device_orphans);
+            }
+
+            // ---- sequential recovery planning ----
+            // Probe verdicts first: a clean probe closes the breaker, a
+            // faulting one re-opens it.
+            for &index in &included {
+                if let Health::Quarantined { probing: true, .. } = health[index] {
+                    if round_faults[index] == 0 {
+                        health[index] = Health::Healthy;
+                        fault_counts[index] = 0;
+                    } else {
+                        health[index] = Health::Quarantined {
+                            since_ms: cum_makespan[index],
+                            probing: false,
+                        };
+                        tallies.quarantines += 1;
+                        if masters[index].enabled() {
+                            masters[index].instant(
+                                TraceKind::Quarantine,
+                                TraceLane::Host,
+                                &format!("quarantine {} (probe failed)", self.fleet[index].name),
+                                cum_makespan[index],
+                            );
+                        }
+                    }
+                }
+            }
+            // Trip the breaker on devices crossing the fault threshold.
+            if let Some(threshold) = self.recovery.quarantine_threshold {
+                for &index in &included {
+                    if health[index] == Health::Healthy && fault_counts[index] >= threshold {
+                        health[index] = Health::Quarantined {
+                            since_ms: cum_makespan[index],
+                            probing: false,
+                        };
+                        tallies.quarantines += 1;
+                        if masters[index].enabled() {
+                            masters[index].instant(
+                                TraceKind::Quarantine,
+                                TraceLane::Host,
+                                &format!(
+                                    "quarantine {} after {} faults",
+                                    self.fleet[index].name, fault_counts[index]
+                                ),
+                                cum_makespan[index],
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Plan every orphan's fate, in submission order.
+            orphans.sort_by_key(|o| o.outcome.seq);
+            for orphan in orphans {
+                let seq = orphan.outcome.seq;
+                let from = orphan.outcome.device_index;
+                let failed_at = orphan.outcome.completion_ms;
+                let can_retry = orphan.kind != FaultKind::DeviceLoss
+                    && orphan.retries < self.recovery.retry_budget;
+                let next_attempts = orphan.retries + orphan.hops + 1;
+                let backoff = self.recovery.backoff_ms * f64::from(next_attempts);
+                let allowed: Vec<usize> = self
+                    .shard_set(&requests[seq].tenant, fleet_len)
+                    .unwrap_or_else(|| (0..fleet_len).collect());
+                // A destination is usable if it is healthy, inside the
+                // tenant's shard set, and will not itself be lost before the
+                // re-dispatch could start.
+                let available = |d: usize| -> bool {
+                    health[d] == Health::Healthy
+                        && allowed.contains(&d)
+                        && self
+                            .fault_plan
+                            .device_loss_ms(d)
+                            .is_none_or(|t| (failed_at + backoff).max(cum_makespan[d]) < t)
+                };
+                let healthiest = (0..fleet_len)
+                    .filter(|&d| d != from && available(d))
+                    .min_by(|&a, &b| {
+                        cum_makespan[a]
+                            .partial_cmp(&cum_makespan[b])
+                            .expect("makespans are finite")
+                            .then(a.cmp(&b))
+                    });
+                let (dest, retries, hops) = if can_retry {
+                    // Same-device retry; a dead or quarantined home falls
+                    // back to the least-loaded survivor.
+                    let dest = if available(from) {
+                        Some(from)
+                    } else {
+                        healthiest
+                    };
+                    (dest, orphan.retries + 1, orphan.hops)
+                } else if self.recovery.failover && orphan.hops < fleet_len as u32 {
+                    (healthiest, orphan.retries, orphan.hops + 1)
+                } else {
+                    (None, orphan.retries, orphan.hops)
+                };
+                let Some(dest) = dest else {
+                    // Budget exhausted or nowhere left to run: this attempt's
+                    // typed failure is the final outcome.
+                    outcomes.push(orphan.outcome);
+                    continue;
+                };
+                let ready = (failed_at + backoff).max(cum_makespan[dest]);
+                let failed_over = orphan.outcome.failed_over || dest != from;
+                if masters[dest].enabled() {
+                    let (kind, verb) = if can_retry {
+                        (TraceKind::Retry, "retry")
+                    } else {
+                        (TraceKind::Failover, "failover")
+                    };
+                    masters[dest].instant(
+                        kind,
+                        TraceLane::Request(seq),
+                        &format!(
+                            "{verb} {} attempt {} from device #{from}",
+                            orphan.outcome.model,
+                            retries + hops + 1
+                        ),
+                        ready,
+                    );
+                }
+                if can_retry {
+                    tallies.retries += 1;
+                } else {
+                    tallies.failovers += 1;
+                }
+                match orphan.resume {
+                    // In-flight state resumes only on a same-spec sibling —
+                    // the suspension snapshot is meaningful against the same
+                    // cost model. Anywhere else restarts from scratch.
+                    Some((mut meta, suspension))
+                        if self.fleet[dest].name == self.fleet[from].name =>
+                    {
+                        meta.retries = retries;
+                        meta.failed_over = failed_over;
+                        seeds[dest].push(SeededSuspension {
+                            meta,
+                            suspension,
+                            suspended_at_ms: failed_at,
+                            ready_ms: ready,
+                        });
+                    }
+                    _ => {
+                        let mut request = requests[seq].clone();
+                        request.arrival_ms = ready;
+                        let carry = ServeCarry {
+                            original_arrival_ms: orphan.outcome.arrival_ms,
+                            retries,
+                            hops,
+                            failed_over,
+                            stolen_from: orphan.outcome.stolen_from,
+                        };
+                        work[dest].push((seq, request, carry));
+                    }
+                }
+            }
+
+            // Probe dispatch: a quarantined (not lost) device past its probe
+            // delay gets exactly one queued restart item re-routed to it.
+            let horizon = cum_makespan.iter().copied().fold(0.0_f64, f64::max);
+            for probe_dev in 0..fleet_len {
+                let Health::Quarantined {
+                    since_ms,
+                    probing: false,
+                } = health[probe_dev]
+                else {
+                    continue;
+                };
+                if horizon - since_ms < self.recovery.probe_after_ms {
+                    continue;
+                }
+                let candidate = (0..fleet_len)
+                    .filter(|&d| d != probe_dev)
+                    .flat_map(|d| work[d].iter().map(move |(seq, ..)| (*seq, d)))
+                    .filter(|&(seq, _)| {
+                        self.shard_set(&requests[seq].tenant, fleet_len)
+                            .is_none_or(|allowed| allowed.contains(&probe_dev))
+                    })
+                    .min();
+                let Some((seq, d)) = candidate else { continue };
+                let pos = work[d]
+                    .iter()
+                    .position(|(s, ..)| *s == seq)
+                    .expect("candidate was just found in this queue");
+                let (seq, mut request, carry) = work[d].remove(pos);
+                request.arrival_ms = request.arrival_ms.max(cum_makespan[probe_dev]);
+                tallies.probes += 1;
+                health[probe_dev] = Health::Quarantined {
+                    since_ms,
+                    probing: true,
+                };
+                if masters[probe_dev].enabled() {
+                    masters[probe_dev].instant(
+                        TraceKind::Probe,
+                        TraceLane::Request(seq),
+                        &format!(
+                            "probe {} with {}",
+                            self.fleet[probe_dev].name, request.model.abbr
+                        ),
+                        request.arrival_ms,
+                    );
+                }
+                work[probe_dev].push((seq, request, carry));
+            }
+
+            first_round = false;
+        }
+
+        outcomes.sort_by_key(|o| o.seq);
+        let devices: Vec<DeviceReport> = devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, report)| {
+                report.unwrap_or_else(|| DeviceReport::empty(&self.fleet[index].name))
+            })
+            .collect();
+        let report = self.assemble_report(outcomes, devices, masters, tallies);
+        report.assert_disposition();
+        Ok(report)
     }
 
     /// Run one device's timeline to completion. Called once per
@@ -994,11 +1559,14 @@ impl ServeEngine {
     /// structure (the plan cache). The returned [`TraceRecorder`] is this
     /// device's private event buffer, filled single-threaded here and merged
     /// (deterministically, in fleet order) at the run's commit point.
+    ///
+    /// `chaos` is `Some` only on the chaos pipeline: it carries per-request
+    /// recovery state and failed-over suspensions, and switches on fault
+    /// injection from the engine's [`FaultPlan`]. With `None` every chaos
+    /// branch is skipped and the float arithmetic is exactly the fault-free
+    /// engine's.
     #[allow(clippy::too_many_lines)]
-    fn run_device(
-        &self,
-        job: DeviceJob<'_>,
-    ) -> SimResult<(Vec<RequestOutcome>, DeviceReport, TraceRecorder)> {
+    fn run_device(&self, job: DeviceJob<'_>, chaos: Option<ServeChaosJob>) -> SimResult<DeviceRun> {
         let DeviceJob {
             index: device_index,
             device,
@@ -1009,12 +1577,25 @@ impl ServeEngine {
             stolen,
             warm,
         } = job;
+        let chaos_active = chaos.is_some();
+        let (carry_map, seed_list) = match chaos {
+            Some(c) => (c.carry, c.seeds),
+            None => (HashMap::new(), Vec::new()),
+        };
+        let lost_at_ms = if chaos_active {
+            self.fault_plan.device_loss_ms(device_index)
+        } else {
+            None
+        };
+        let mut orphans: Vec<ServeOrphan> = Vec::new();
+        let mut lost = false;
+        let mut faults = 0_u32;
         let mut trace = TraceRecorder::new(self.trace);
         let mut tracker = MemoryTracker::for_device(device);
         let slots = self.policy.max_in_flight().max(1);
         let exclusive = slots == 1 && self.policy.preemption().is_none();
 
-        let total_assigned = assigned.len() + prerejected.len();
+        let total_assigned = assigned.len() + prerejected.len() + seed_list.len();
         let mut pending = assigned;
         pending.sort_by(|a, b| {
             a.1.arrival_ms
@@ -1039,14 +1620,20 @@ impl ServeEngine {
         let mut deadlines: HashMap<usize, Option<f64>> = HashMap::new();
         let mut estimates: HashMap<usize, f64> = HashMap::new();
         for (seq, request) in &pending {
-            deadlines.insert(
-                *seq,
-                request.absolute_deadline_ms().or_else(|| {
+            // Re-dispatched requests arrive at the recovery planner's ready
+            // floor, but their deadline clock started at true submission.
+            let deadline = match carry_map.get(seq) {
+                Some(carry) => request
+                    .deadline_ms
+                    .or_else(|| self.tenant_slos.get(&request.tenant).copied())
+                    .map(|d| carry.original_arrival_ms + d),
+                None => request.absolute_deadline_ms().or_else(|| {
                     self.tenant_slos
                         .get(&request.tenant)
                         .map(|d| request.arrival_ms + d)
                 }),
-            );
+            };
+            deadlines.insert(*seq, deadline);
             let estimate = if uses_estimates {
                 *service_memo
                     .entry(request.model.abbr.clone())
@@ -1089,6 +1676,29 @@ impl ServeEngine {
         let mut queued = 0_usize;
         let mut queue_high_water = 0_usize;
 
+        // Failed-over suspensions seed the suspended list: the ordinary
+        // resume path re-acquires their residency (charging the reload
+        // penalty) once their backoff floor passes. Their tenant reservation
+        // is held while suspended, exactly like a preemption's.
+        for seed in seed_list {
+            let SeededSuspension {
+                mut meta,
+                suspension,
+                suspended_at_ms,
+                ready_ms,
+            } = seed;
+            *tenant_bytes.entry(meta.tenant.clone()).or_insert(0) += meta.estimate_bytes;
+            meta.trace_start = tracker.trace().len();
+            meta.order = admit_order;
+            admit_order += 1;
+            suspended.push(Suspended {
+                meta,
+                suspended_at_ms,
+                suspension,
+                ready_ms,
+            });
+        }
+
         // Admission-control rejects were decided in the run prologue; their
         // outcomes and trace instants are emitted here so each lands on its
         // placed device's private buffers and flows through the ordered
@@ -1125,22 +1735,26 @@ impl ServeEngine {
             }
         }
 
-        let fail = |outcomes: &mut Vec<RequestOutcome>,
-                    trace: &mut TraceRecorder,
-                    seq: usize,
-                    request: &ServeRequest,
-                    deadline_ms: Option<f64>,
-                    now: f64,
-                    error: SimError| {
-            let wait_ms = (now - request.arrival_ms).max(0.0);
-            outcomes.push(RequestOutcome {
+        // Build the wait-only outcome of a request that failed before it
+        // ever executed (compile error, hopeless tenant cap, device loss
+        // while still queued).
+        let waiting_failure = |seq: usize,
+                               request: &ServeRequest,
+                               deadline_ms: Option<f64>,
+                               now: f64,
+                               error: SimError|
+         -> RequestOutcome {
+            let carry = carry_map.get(&seq);
+            let arrival_ms = carry.map_or(request.arrival_ms, |c| c.original_arrival_ms);
+            let wait_ms = (now - arrival_ms).max(0.0);
+            RequestOutcome {
                 seq,
                 model: request.model.abbr.clone(),
                 tenant: request.tenant.clone(),
                 priority: request.priority,
                 device: device.name.clone(),
                 device_index,
-                arrival_ms: request.arrival_ms,
+                arrival_ms,
                 start_ms: now,
                 completion_ms: now,
                 queue_wait_ms: wait_ms,
@@ -1155,11 +1769,25 @@ impl ServeEngine {
                 peak_memory_mb: 0.0,
                 phases: PhaseBreakdown::attribute(wait_ms, wait_ms, 0.0, 0.0, &[], &[]),
                 rejected: None,
-                stolen_from: stolen.get(&seq).copied(),
+                stolen_from: carry
+                    .and_then(|c| c.stolen_from)
+                    .or_else(|| stolen.get(&seq).copied()),
+                failure: Some(FailureCause::from_error(&error)),
+                retries: carry.map_or(0, |c| c.retries),
+                failed_over: carry.is_some_and(|c| c.failed_over),
                 error: Some(error),
                 report: None,
                 decode: None,
-            });
+            }
+        };
+        let fail = |outcomes: &mut Vec<RequestOutcome>,
+                    trace: &mut TraceRecorder,
+                    seq: usize,
+                    request: &ServeRequest,
+                    deadline_ms: Option<f64>,
+                    now: f64,
+                    error: SimError| {
+            outcomes.push(waiting_failure(seq, request, deadline_ms, now, error));
             trace_failure(trace, outcomes.last().expect("just pushed"), None);
         };
 
@@ -1224,7 +1852,7 @@ impl ServeEngine {
                     epoch = (epoch + clocks.horizon_ms()).max(earliest);
                     clocks.reset();
                 }
-                let now = if in_flight.is_empty() {
+                let mut now = if in_flight.is_empty() {
                     if suspended.is_empty() {
                         epoch
                     } else {
@@ -1238,6 +1866,22 @@ impl ServeEngine {
                             .filter_map(|f| f.stepper.peek_start_ms(&clocks))
                             .fold(f64::INFINITY, f64::min)
                 };
+                if chaos_active && in_flight.is_empty() {
+                    // Re-dispatched work carries a backoff floor its original
+                    // arrival does not reflect; with nothing running, jump to
+                    // the earliest floor so the loop cannot spin on a queue
+                    // whose every candidate is still backing off. Ordinary
+                    // suspensions have a `NEG_INFINITY` floor and never move
+                    // `now`.
+                    let earliest = pending
+                        .iter()
+                        .map(|(_, r)| r.arrival_ms)
+                        .chain(suspended.iter().map(|s| s.ready_ms))
+                        .fold(f64::INFINITY, f64::min);
+                    if earliest.is_finite() {
+                        now = now.max(earliest);
+                    }
+                }
                 self.observe_arrivals(
                     now,
                     device,
@@ -1448,13 +2092,16 @@ impl ServeEngine {
                         };
                         trace.instant(TraceKind::Admit, lane, &label, start_ms);
                     }
+                    let carry = carry_map.get(&seq);
                     in_flight.push(InFlight {
                         meta: FlightMeta {
                             seq,
                             abbr: request.model.abbr.clone(),
                             tenant: request.tenant.clone(),
                             priority: request.priority,
-                            arrival_ms: request.arrival_ms,
+                            // Metrics measure from true submission, not from
+                            // the recovery planner's re-dispatch floor.
+                            arrival_ms: carry.map_or(request.arrival_ms, |c| c.original_arrival_ms),
                             deadline_ms: self.effective_deadline(request),
                             start_ms,
                             cache_hit,
@@ -1463,7 +2110,11 @@ impl ServeEngine {
                             predicted_ms,
                             total_commands,
                             admission_laxity_ms,
-                            stolen_from: stolen.get(&seq).copied(),
+                            stolen_from: carry
+                                .and_then(|c| c.stolen_from)
+                                .or_else(|| stolen.get(&seq).copied()),
+                            retries: carry.map_or(0, |c| c.retries),
+                            failed_over: carry.is_some_and(|c| c.failed_over),
                             trace_start: tracker.trace().len(),
                             order: admit_order,
                             preemptions: 0,
@@ -1508,6 +2159,240 @@ impl ServeEngine {
                 }
             }
             let base = if exclusive { 0.0 } else { epoch };
+
+            // ---------------- fault injection ----------------
+            if chaos_active && chosen_start.is_finite() {
+                let would_start = epoch + chosen_start;
+                if lost_at_ms.is_some_and(|t| would_start + 1e-9 >= t) {
+                    // The device dies before this command starts: everything
+                    // on it — running, suspended, queued — is stranded. Hand
+                    // it all to the recovery planner as orphans and stop the
+                    // timeline.
+                    let loss_ms = lost_at_ms.expect("just checked");
+                    lost = true;
+                    makespan = makespan.max(loss_ms);
+                    if trace.enabled() {
+                        trace.instant(
+                            TraceKind::Fault,
+                            TraceLane::Host,
+                            &format!("fault device-loss {}", device.name),
+                            loss_ms,
+                        );
+                    }
+                    let carry_over = self.recovery.failover;
+                    for flight in in_flight.drain(..) {
+                        let seq = flight.meta.seq;
+                        let local_now =
+                            ((loss_ms - epoch).max(0.0)).max(flight.stepper.makespan_ms());
+                        let completion = epoch + local_now;
+                        if trace.enabled() {
+                            trace.span(
+                                TraceKind::Running,
+                                TraceLane::Request(seq),
+                                &format!("run {}", flight.meta.abbr),
+                                flight.meta.run_start_ms,
+                                completion,
+                            );
+                            trace.instant(
+                                TraceKind::Fault,
+                                TraceLane::Request(seq),
+                                &format!("fault device-loss {}", flight.meta.abbr),
+                                completion,
+                            );
+                        }
+                        let carry = carry_map.get(&seq).copied();
+                        let (retries, hops) = carry.map_or((0, 0), |c| (c.retries, c.hops));
+                        let mut stepper = flight.stepper;
+                        let meta = flight.meta;
+                        let resume = if carry_over {
+                            // Freeze the in-flight state for a same-spec
+                            // sibling to resume from.
+                            let suspension = stepper.suspend_evicting_traced(
+                                &clocks,
+                                &mut tracker,
+                                local_now,
+                                epoch,
+                                &mut trace,
+                                TraceLane::Request(seq),
+                                &meta.abbr,
+                            )?;
+                            Some((meta.clone(), suspension))
+                        } else {
+                            stepper.release_remaining(&mut tracker, base + local_now)?;
+                            None
+                        };
+                        let outcome = meta.into_outcome(
+                            &device.name,
+                            device_index,
+                            completion,
+                            0.0,
+                            Some(SimError::Fault {
+                                kind: FaultKind::DeviceLoss,
+                                at_ms: loss_ms,
+                            }),
+                            None,
+                        );
+                        orphans.push(ServeOrphan {
+                            outcome,
+                            kind: FaultKind::DeviceLoss,
+                            retries,
+                            hops,
+                            resume,
+                        });
+                    }
+                    for s in suspended.drain(..) {
+                        let seq = s.meta.seq;
+                        let at = loss_ms.max(s.suspended_at_ms);
+                        if trace.enabled() {
+                            trace.span(
+                                TraceKind::Suspended,
+                                TraceLane::Request(seq),
+                                &format!("suspended {}", s.meta.abbr),
+                                s.suspended_at_ms,
+                                at,
+                            );
+                            trace.instant(
+                                TraceKind::Fault,
+                                TraceLane::Request(seq),
+                                &format!("fault device-loss {}", s.meta.abbr),
+                                at,
+                            );
+                        }
+                        let carry = carry_map.get(&seq).copied();
+                        let (retries, hops) = carry.map_or((0, 0), |c| (c.retries, c.hops));
+                        let mut meta = s.meta;
+                        meta.suspended_ms += (at - s.suspended_at_ms).max(0.0);
+                        let resume = carry_over.then(|| (meta.clone(), s.suspension));
+                        let outcome = meta.into_outcome(
+                            &device.name,
+                            device_index,
+                            at,
+                            0.0,
+                            Some(SimError::Fault {
+                                kind: FaultKind::DeviceLoss,
+                                at_ms: loss_ms,
+                            }),
+                            None,
+                        );
+                        orphans.push(ServeOrphan {
+                            outcome,
+                            kind: FaultKind::DeviceLoss,
+                            retries,
+                            hops,
+                            resume,
+                        });
+                    }
+                    for (seq, request) in pending.drain(..) {
+                        let at = loss_ms.max(request.arrival_ms);
+                        if trace.enabled() {
+                            trace.instant(
+                                TraceKind::Fault,
+                                TraceLane::Request(seq),
+                                &format!("fault device-loss {}", request.model.abbr),
+                                at,
+                            );
+                        }
+                        let carry = carry_map.get(&seq).copied();
+                        let (retries, hops) = carry.map_or((0, 0), |c| (c.retries, c.hops));
+                        let deadline = self.effective_deadline(request);
+                        let outcome = waiting_failure(
+                            seq,
+                            request,
+                            deadline,
+                            at,
+                            SimError::Fault {
+                                kind: FaultKind::DeviceLoss,
+                                at_ms: loss_ms,
+                            },
+                        );
+                        orphans.push(ServeOrphan {
+                            outcome,
+                            kind: FaultKind::DeviceLoss,
+                            retries,
+                            hops,
+                            resume: None,
+                        });
+                    }
+                    if exclusive {
+                        stitched.append_shifted(tracker.trace(), epoch);
+                    }
+                    break;
+                }
+                let flight = &in_flight[chosen];
+                let executed = flight
+                    .meta
+                    .total_commands
+                    .saturating_sub(flight.stepper.remaining());
+                let attempt = carry_map
+                    .get(&flight.meta.seq)
+                    .map_or(0, ServeCarry::attempt);
+                if let Some(kind) =
+                    self.fault_plan
+                        .command_fault(device_index, flight.meta.seq, executed, attempt)
+                {
+                    // A transient injected fault: fail this attempt exactly
+                    // like a modelled mid-run error, but channel it to the
+                    // recovery planner instead of the final outcome list.
+                    faults += 1;
+                    let mut flight = in_flight.remove(chosen);
+                    let now_local = chosen_start.max(flight.stepper.makespan_ms());
+                    flight
+                        .stepper
+                        .release_remaining(&mut tracker, base + now_local)?;
+                    if exclusive {
+                        stitched.append_shifted(tracker.trace(), epoch);
+                        tracker.evict_all(epoch + now_local);
+                        stitched.record(epoch + now_local, 0);
+                        epoch += now_local;
+                        clocks.reset();
+                    }
+                    decrement(
+                        &mut tenant_bytes,
+                        &flight.meta.tenant,
+                        flight.meta.estimate_bytes,
+                    );
+                    let completion = if exclusive { epoch } else { base + now_local };
+                    makespan = makespan.max(completion);
+                    let seq = flight.meta.seq;
+                    if trace.enabled() {
+                        trace.span(
+                            TraceKind::Running,
+                            TraceLane::Request(seq),
+                            &format!("run {}", flight.meta.abbr),
+                            flight.meta.run_start_ms,
+                            completion,
+                        );
+                        trace.instant(
+                            TraceKind::Fault,
+                            TraceLane::Request(seq),
+                            &format!("fault {kind} {}", flight.meta.abbr),
+                            completion,
+                        );
+                    }
+                    let carry = carry_map.get(&seq).copied();
+                    let (retries, hops) = carry.map_or((0, 0), |c| (c.retries, c.hops));
+                    let outcome = flight.meta.into_outcome(
+                        &device.name,
+                        device_index,
+                        completion,
+                        0.0,
+                        Some(SimError::Fault {
+                            kind,
+                            at_ms: completion,
+                        }),
+                        None,
+                    );
+                    orphans.push(ServeOrphan {
+                        outcome,
+                        kind,
+                        retries,
+                        hops,
+                        resume: None,
+                    });
+                    continue;
+                }
+            }
+
             let step_result = in_flight[chosen].stepper.step_traced(
                 &sim,
                 &mut clocks,
@@ -1672,7 +2557,14 @@ impl ServeEngine {
             queue_depth_high_water: queue_high_water,
             memory_trace: mem_trace,
         };
-        Ok((outcomes, report, trace))
+        Ok(DeviceRun {
+            outcomes,
+            report,
+            trace,
+            orphans,
+            lost,
+            faults,
+        })
     }
 
     /// Preemption phase of the device loop: while every slot is busy and an
@@ -1835,6 +2727,7 @@ impl ServeEngine {
                 meta,
                 suspended_at_ms: epoch + local_now,
                 suspension,
+                ready_ms: f64::NEG_INFINITY,
             });
         }
         Ok(())

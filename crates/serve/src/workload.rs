@@ -6,6 +6,7 @@
 //! request lists and every serving experiment is reproducible.
 
 use flashmem_gpu_sim::rng::SplitMix64;
+use flashmem_gpu_sim::FaultPlan;
 use flashmem_graph::ModelSpec;
 
 use crate::request::ServeRequest;
@@ -371,6 +372,120 @@ impl OverloadScenario {
     }
 }
 
+/// The fault scenarios behind the recovery tests and the `chaos` bench:
+/// each pairs a deterministic workload with a seeded [`FaultPlan`], so the
+/// same scenario can be replayed unprotected (faults become typed failures)
+/// and protected (a [`RecoveryControl`](crate::RecoveryControl) retries,
+/// fails over, and quarantines). Fault firing is keyed by
+/// `(device, seq, command)` — schedule-independent — so both arms see the
+/// *same* faults and the comparison isolates the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// Steady traffic, then one device dies partway through the run and
+    /// takes its in-flight and queued work with it.
+    DeviceLoss,
+    /// One device fires transient kernel faults on a noticeable fraction of
+    /// commands — the retry-budget and circuit-breaker stressor.
+    FlakyDevice,
+    /// A correlated burst: half the fleet turns flaky at once while one
+    /// device also spikes spurious OOMs, modelling a shared-cause brownout.
+    CorrelatedBurst,
+    /// The overload flash-crowd with a device loss landing inside the
+    /// crowd — recovery under pressure, where failover targets are already
+    /// saturated.
+    FaultUnderFlashCrowd,
+}
+
+impl ChaosScenario {
+    /// All four scenarios, in sweep order.
+    pub fn all() -> [ChaosScenario; 4] {
+        [
+            ChaosScenario::DeviceLoss,
+            ChaosScenario::FlakyDevice,
+            ChaosScenario::CorrelatedBurst,
+            ChaosScenario::FaultUnderFlashCrowd,
+        ]
+    }
+
+    /// Short name used in tables and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosScenario::DeviceLoss => "device-loss",
+            ChaosScenario::FlakyDevice => "flaky-device",
+            ChaosScenario::CorrelatedBurst => "correlated-burst",
+            ChaosScenario::FaultUnderFlashCrowd => "fault-under-flash-crowd",
+        }
+    }
+
+    /// Generate the scenario's request list, scaled to `fleet_size` devices.
+    /// Deadlines are generous but real, so attainment distinguishes "finished
+    /// late after three retries" from "finished on time".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn generate(self, models: &[ModelSpec], fleet_size: usize, seed: u64) -> Vec<ServeRequest> {
+        let fleet = fleet_size.max(1);
+        let spec = match self {
+            ChaosScenario::FaultUnderFlashCrowd => WorkloadSpec {
+                pattern: ArrivalPattern::FlashCrowd {
+                    base_interval_ms: 400.0,
+                    crowd_index: 2 * fleet,
+                    crowd_size: 2 * fleet,
+                },
+                requests: 6 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+            _ => WorkloadSpec {
+                pattern: ArrivalPattern::Steady {
+                    interval_ms: 300.0 / fleet as f64,
+                },
+                requests: 6 * fleet,
+                tenants: 4,
+                priority_levels: 2,
+                seed,
+            },
+        };
+        let mut requests = spec.generate(models);
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC4A0_5BAD);
+        for request in &mut requests {
+            request.deadline_ms = Some(4_000.0 + rng.gen_f64() * 4_000.0);
+        }
+        requests
+    }
+
+    /// The scenario's seeded fault plan, scaled to `fleet_size` devices.
+    /// Faulty device indices are fixed per scenario (not drawn), so the same
+    /// scenario stresses the same fleet slots at every seed and the sweep's
+    /// protected-vs-unprotected delta is attributable to recovery alone.
+    pub fn fault_plan(self, fleet_size: usize, seed: u64) -> FaultPlan {
+        let fleet = fleet_size.max(1);
+        let mut plan = FaultPlan::seeded(seed ^ 0xFA_017);
+        match self {
+            ChaosScenario::DeviceLoss => {
+                plan = plan.with_device_loss(0, 1_200.0);
+            }
+            ChaosScenario::FlakyDevice => {
+                plan = plan.with_flaky_device(fleet - 1, 0.35);
+            }
+            ChaosScenario::CorrelatedBurst => {
+                for device in 0..fleet.div_ceil(2) {
+                    plan = plan.with_flaky_device(device, 0.25);
+                }
+                plan = plan.with_oom_spikes(0, 0.15);
+            }
+            ChaosScenario::FaultUnderFlashCrowd => {
+                // The crowd lands around `2 × fleet × 400 ms`; lose a device
+                // right as it hits.
+                plan = plan.with_device_loss(1 % fleet, 2.0 * fleet as f64 * 400.0);
+            }
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,5 +808,43 @@ mod tests {
             assert!(r.priority < 3);
             assert!(r.tenant.starts_with("tenant-"));
         }
+    }
+
+    #[test]
+    fn chaos_scenarios_are_deterministic_and_carry_deadlines() {
+        for scenario in ChaosScenario::all() {
+            let a = scenario.generate(&models(), 4, 11);
+            let b = scenario.generate(&models(), 4, 11);
+            assert!(!a.is_empty(), "{scenario:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.arrival_ms, y.arrival_ms, "{scenario:?}");
+                assert_eq!(x.deadline_ms, y.deadline_ms, "{scenario:?}");
+            }
+            assert!(a.iter().all(|r| r.deadline_ms.is_some()), "{scenario:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_fault_plans_are_non_empty_and_reproducible() {
+        for scenario in ChaosScenario::all() {
+            let plan = scenario.fault_plan(4, 7);
+            assert!(!plan.is_empty(), "{scenario:?} injects nothing");
+            let again = scenario.fault_plan(4, 7);
+            // Same seed, same plan: a fixed probe key draws identically.
+            assert_eq!(
+                plan.command_fault(3, 5, 2, 0).map(|k| k.label()),
+                again.command_fault(3, 5, 2, 0).map(|k| k.label()),
+                "{scenario:?}"
+            );
+            assert_eq!(plan.device_loss_ms(0), again.device_loss_ms(0));
+        }
+        assert!(ChaosScenario::DeviceLoss
+            .fault_plan(4, 7)
+            .device_loss_ms(0)
+            .is_some());
+        assert!(ChaosScenario::FlakyDevice
+            .fault_plan(4, 7)
+            .device_loss_ms(0)
+            .is_none());
     }
 }

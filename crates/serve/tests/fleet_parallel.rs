@@ -232,3 +232,31 @@ fn panicking_policy_surfaces_as_error_not_hang() {
         other => panic!("expected WorkerPanic, got {other:?}"),
     }
 }
+
+#[test]
+fn injected_faults_take_the_outcome_path_while_real_panics_still_propagate() {
+    // Regression pin for the fault/panic split: an *injected* device loss
+    // must never ride the `WorkerPanic` error path — it becomes per-device
+    // outcomes — while a genuine panic inside a chaos-round worker still
+    // propagates as `WorkerPanic` by submission index.
+    let requests = workload(8, 0xF1EE_7004);
+    let injected = engine(4, Box::new(FifoPolicy))
+        .with_fault_plan(flashmem_serve::FaultPlan::seeded(1).with_device_loss(0, 100.0))
+        .run_on(&ThreadPool::with_threads(4), &requests)
+        .expect("injected device loss is a per-request disposition, not an engine error");
+    assert_eq!(injected.outcomes.len(), requests.len());
+    assert!(
+        injected.outcomes.iter().any(|o| o.error.is_some()),
+        "loss at 100 ms strands some requests"
+    );
+
+    let panicked = engine(4, Box::new(PanickingPolicy))
+        .with_fault_plan(flashmem_serve::FaultPlan::seeded(1).with_flaky_device(1, 0.2))
+        .run_on(&ThreadPool::with_threads(4), &requests);
+    match panicked {
+        Err(SimError::WorkerPanic { message }) => {
+            assert!(message.contains("policy exploded"), "{message}");
+        }
+        other => panic!("expected WorkerPanic from the chaos path, got {other:?}"),
+    }
+}

@@ -54,9 +54,10 @@ use flashmem_gpu_sim::DeviceSpec;
 use flashmem_graph::{ModelSpec, ModelZoo};
 use flashmem_serve::{
     AffinityPolicy, ArrivalPattern, BatchConfig, DeadlinePreemptivePolicy, DecodeEngine,
-    DecodeWorkloadSpec, EdfPolicy, FifoPolicy, LeastLaxityPolicy, MissCause, OverloadControl,
-    PreemptivePriorityPolicy, PriorityPolicy, RejectCause, SchedulePolicy, ServeEngine,
-    ServeReport, ServeRequest, SloSummary, WorkloadSpec,
+    DecodeWorkloadSpec, EdfPolicy, FaultPlan, FifoPolicy, LeastLaxityPolicy, MissCause,
+    OverloadControl, PreemptivePriorityPolicy, PriorityPolicy, RecoveryControl, RejectCause,
+    SchedulePolicy, ServeEngine, ServeReport, ServeRequest, SloSummary, TraceConfig, TraceKind,
+    WorkloadSpec,
 };
 
 /// Pinned seeds — CI runs exactly these, so a failure names its repro.
@@ -533,13 +534,16 @@ fn comparable(report: &ServeReport) -> String {
             phases,
             rejected,
             stolen_from,
+            failure,
+            retries,
+            failed_over,
             error,
             report,
             decode,
         } = o;
         let _ = write!(
             view,
-            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{rejected:?}|{stolen_from:?}|{error:?}|{report:?}|{decode:?};",
+            "{seq:?}|{model:?}|{tenant:?}|{priority:?}|{device:?}|{device_index:?}|{arrival_ms:?}|{start_ms:?}|{completion_ms:?}|{queue_wait_ms:?}|{latency_ms:?}|{deadline_ms:?}|{admission_laxity_ms:?}|{resident_estimate_bytes:?}|{preemptions:?}|{suspended_ms:?}|{resume_penalty_ms:?}|{peak_memory_mb:?}|{phases:?}|{rejected:?}|{stolen_from:?}|{failure:?}|{retries:?}|{failed_over:?}|{error:?}|{report:?}|{decode:?};",
         );
     }
     let _ = write!(
@@ -886,4 +890,391 @@ fn decode_reports_are_byte_identical_across_pool_widths() {
             "decode seed {seed:#x} diverged between pool widths 1 and 4"
         );
     }
+}
+
+// === Chaos & recovery fuzz ===============================================
+//
+// The same seeded-property discipline pointed at the fault-injection and
+// recovery pipeline: randomized fault knobs (loss time, flake/OOM rates,
+// retry budget, backoff, failover, quarantine threshold) over randomized
+// workloads, with the recovery invariants checked on every run — no request
+// lost or double-completed, every outcome ends Completed / Rejected /
+// typed-Failed, per-request retries never exceed the budget, quarantined
+// devices receive no placements until probed, and protected reports stay
+// byte-identical across pool widths.
+
+/// A randomized-but-reproducible chaos scenario.
+struct ChaosFuzzCase {
+    requests: Vec<ServeRequest>,
+    fleet: usize,
+    plan: FaultPlan,
+    recovery: RecoveryControl,
+}
+
+/// Draw a chaos scenario from `seed`: 5–9 requests over 2–4 devices, a
+/// fault plan that always includes at least one flaky device (plus a coin
+/// flip each for a device loss and OOM spikes), and randomized recovery
+/// knobs.
+fn random_chaos_case(seed: u64) -> ChaosFuzzCase {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xC4A0_5000);
+    let fleet = rng.gen_range_inclusive(2, 4) as usize;
+    let spec = WorkloadSpec {
+        pattern: ArrivalPattern::Steady {
+            interval_ms: 80.0 + rng.gen_f64() * 200.0,
+        },
+        requests: rng.gen_range_inclusive(5, 9) as usize,
+        tenants: rng.gen_range_inclusive(1, 3) as usize,
+        priority_levels: 2,
+        seed: rng.next_u64(),
+    };
+    let models: Vec<ModelSpec> = vec![ModelZoo::gptneo_small(), ModelZoo::vit()];
+    let mut requests = spec.generate(&models);
+    for request in &mut requests {
+        if rng.gen_range_inclusive(0, 2) == 0 {
+            request.deadline_ms = Some(2_000.0 + rng.gen_f64() * 4_000.0);
+        }
+    }
+    let mut plan = FaultPlan::seeded(rng.next_u64());
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        plan = plan.with_device_loss(0, 400.0 + rng.gen_f64() * 3_000.0);
+    }
+    let flaky = rng.gen_range_inclusive(0, fleet as u64 - 1) as usize;
+    plan = plan.with_flaky_device(flaky, 0.05 + rng.gen_f64() * 0.4);
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        let oom = rng.gen_range_inclusive(0, fleet as u64 - 1) as usize;
+        plan = plan.with_oom_spikes(oom, 0.05 + rng.gen_f64() * 0.2);
+    }
+    let mut recovery = RecoveryControl::disabled()
+        .with_retry_budget(rng.gen_range_inclusive(0, 3) as u32)
+        .with_backoff_ms(rng.gen_f64() * 60.0);
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        recovery = recovery.with_failover();
+    }
+    if rng.gen_range_inclusive(0, 1) == 0 {
+        recovery = recovery.with_quarantine(
+            rng.gen_range_inclusive(1, 4) as u32,
+            100.0 + rng.gen_f64() * 900.0,
+        );
+    }
+    ChaosFuzzCase {
+        requests,
+        fleet,
+        plan,
+        recovery,
+    }
+}
+
+fn run_chaos_case(case: &ChaosFuzzCase, pool: &ThreadPool) -> ServeReport {
+    let fleet: Vec<DeviceSpec> = (0..case.fleet)
+        .map(|i| {
+            if i % 2 == 0 {
+                DeviceSpec::oneplus_12()
+            } else {
+                DeviceSpec::pixel_8()
+            }
+        })
+        .collect();
+    ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_fault_plan(case.plan.clone())
+        .with_recovery_control(case.recovery)
+        .run_on(pool, &case.requests)
+        .expect("chaos fuzz run succeeds")
+}
+
+fn check_chaos_invariants(report: &ServeReport, case: &ChaosFuzzCase, seed: u64) {
+    let label = |extra: &str| format!("chaos seed {seed:#x}: {extra}\n{report}");
+
+    // No request lost or double-completed: exactly one outcome per
+    // submission, sequence numbers a permutation.
+    assert_eq!(
+        report.outcomes.len(),
+        case.requests.len(),
+        "{}",
+        label("count")
+    );
+    let mut seqs: Vec<usize> = report.outcomes.iter().map(|o| o.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..case.requests.len()).collect::<Vec<_>>(),
+        "{}",
+        label("seq permutation")
+    );
+
+    // Every outcome is exactly one of Completed / Rejected / typed-Failed.
+    for o in &report.outcomes {
+        let dispositions = usize::from(o.succeeded())
+            + usize::from(o.rejected.is_some())
+            + usize::from(o.error.is_some());
+        assert_eq!(dispositions, 1, "{}", label("disposition partition"));
+        assert_eq!(
+            o.error.is_some(),
+            o.failure.is_some(),
+            "{}",
+            label("failed outcomes carry a typed FailureCause, others none")
+        );
+        // Retries never exceed the budget; recovery markers only appear
+        // when the corresponding knob could produce them.
+        assert!(
+            o.retries <= case.recovery.retry_budget,
+            "{}",
+            label(&format!(
+                "request {} retried {} times, budget {}",
+                o.seq, o.retries, case.recovery.retry_budget
+            ))
+        );
+        if o.retries > 0 || o.failed_over {
+            assert!(
+                case.recovery.any_enabled(),
+                "{}",
+                label("recovery marker with recovery disabled")
+            );
+        }
+    }
+
+    // Tally cross-checks: the planner's retry count equals the per-outcome
+    // recount, and failovers imply at least one failed-over outcome.
+    assert_eq!(
+        report.recovery.retries,
+        report.total_retries(),
+        "{}",
+        label("retry tally recount")
+    );
+    if report.recovery.failovers > 0 {
+        assert!(
+            report.outcomes.iter().any(|o| o.failed_over),
+            "{}",
+            label("failover tally without a failed-over outcome")
+        );
+    }
+    let failed = report.failed_by_cause();
+    assert_eq!(
+        failed.total(),
+        report.outcomes.iter().filter(|o| o.error.is_some()).count(),
+        "{}",
+        label("failure breakdown recount")
+    );
+}
+
+#[test]
+fn chaos_recovery_upholds_invariants_on_every_pinned_seed() {
+    for &seed in &SEEDS {
+        let case = random_chaos_case(seed);
+        let report = run_chaos_case(&case, &ThreadPool::with_threads(1));
+        check_chaos_invariants(&report, &case, seed);
+    }
+}
+
+#[test]
+fn chaos_reports_are_byte_identical_across_pool_widths() {
+    for &seed in &SEEDS {
+        let case = random_chaos_case(seed);
+        let serial = run_chaos_case(&case, &ThreadPool::with_threads(1));
+        let wide = run_chaos_case(&case, &ThreadPool::with_threads(4));
+        assert_eq!(
+            format!("{}|{:?}", comparable(&serial), serial.recovery),
+            format!("{}|{:?}", comparable(&wide), wide.recovery),
+            "chaos seed {seed:#x} diverged between pool widths 1 and 4"
+        );
+    }
+}
+
+#[test]
+fn quarantined_devices_receive_no_placements_until_probed() {
+    // A certainty-flaky device under a hair-trigger breaker: the trace must
+    // show no Admit on that device between a Quarantine and the next Probe.
+    let spec = WorkloadSpec {
+        pattern: ArrivalPattern::Steady { interval_ms: 120.0 },
+        requests: 9,
+        tenants: 2,
+        priority_levels: 1,
+        seed: 0xBEA7_1234,
+    };
+    let requests = spec.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
+    let fleet = vec![
+        DeviceSpec::oneplus_12(),
+        DeviceSpec::pixel_8(),
+        DeviceSpec::oneplus_12(),
+    ];
+    let report = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_fault_plan(FaultPlan::seeded(9).with_flaky_device(1, 1.0))
+        .with_recovery_control(
+            RecoveryControl::disabled()
+                .with_failover()
+                .with_quarantine(1, 150.0),
+        )
+        .with_trace(TraceConfig::enabled())
+        .run(&requests)
+        .expect("chaos run succeeds");
+    check_chaos_invariants(
+        &report,
+        &ChaosFuzzCase {
+            requests: requests.clone(),
+            fleet: 3,
+            plan: FaultPlan::seeded(9).with_flaky_device(1, 1.0),
+            recovery: RecoveryControl::disabled()
+                .with_failover()
+                .with_quarantine(1, 150.0),
+        },
+        0xBEA7_1234,
+    );
+    assert!(report.recovery.quarantines > 0, "breaker never tripped");
+    assert!(report.recovery.probes > 0, "no probe was ever dispatched");
+    let trace = report.trace.as_ref().expect("trace was enabled");
+    let mut saw_quarantine_window = false;
+    for process in &trace.processes {
+        let mut quarantined = false;
+        for event in &process.events {
+            match event.kind {
+                TraceKind::Quarantine => {
+                    quarantined = true;
+                    saw_quarantine_window = true;
+                }
+                TraceKind::Probe => quarantined = false,
+                TraceKind::Admit => assert!(
+                    !quarantined,
+                    "{} admitted `{}` while quarantined",
+                    process.name, event.name
+                ),
+                _ => {}
+            }
+        }
+    }
+    assert!(saw_quarantine_window, "trace recorded no quarantine window");
+}
+
+#[test]
+fn protected_device_loss_completes_every_request_via_failover() {
+    // Two same-spec devices: in-flight work on the dying device carries its
+    // Suspension to the sibling and resumes instead of restarting.
+    let spec = WorkloadSpec {
+        pattern: ArrivalPattern::Steady { interval_ms: 150.0 },
+        requests: 8,
+        tenants: 2,
+        priority_levels: 1,
+        seed: 0x1055_0001,
+    };
+    let requests = spec.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
+    let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::oneplus_12()];
+    let report = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_fault_plan(FaultPlan::seeded(3).with_device_loss(0, 900.0))
+        .with_recovery_control(RecoveryControl::disabled().with_failover())
+        .run(&requests)
+        .expect("protected run succeeds");
+    assert_eq!(report.outcomes.len(), requests.len());
+    for o in &report.outcomes {
+        assert!(
+            o.succeeded(),
+            "request {} was lost to the device loss: {:?}",
+            o.seq,
+            o.error
+        );
+    }
+    assert!(
+        report.recovery.failovers > 0,
+        "device loss at 900 ms recovered without any failover\n{report}"
+    );
+    assert!(
+        report.outcomes.iter().any(|o| o.failed_over),
+        "no outcome records its failover"
+    );
+    // The dead device is tallied as a (permanent) quarantine.
+    assert!(report.recovery.quarantines >= 1);
+}
+
+#[test]
+fn unprotected_device_loss_yields_typed_failures_not_errors() {
+    // Same fault, recovery disabled: the run still returns Ok — stranded
+    // requests end as per-request typed failures, not a propagated error.
+    let spec = WorkloadSpec {
+        pattern: ArrivalPattern::Steady { interval_ms: 150.0 },
+        requests: 8,
+        tenants: 2,
+        priority_levels: 1,
+        seed: 0x1055_0001,
+    };
+    let requests = spec.generate(&[ModelZoo::gptneo_small(), ModelZoo::vit()]);
+    let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::oneplus_12()];
+    let report = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_fault_plan(FaultPlan::seeded(3).with_device_loss(0, 900.0))
+        .run(&requests)
+        .expect("unprotected chaos run still returns a report");
+    assert_eq!(report.outcomes.len(), requests.len());
+    let lost: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.error.is_some())
+        .collect();
+    assert!(!lost.is_empty(), "a 900 ms loss strands some requests");
+    for o in &lost {
+        assert_eq!(
+            o.failure,
+            Some(flashmem_serve::FailureCause::DeviceLost),
+            "request {} failed with the wrong cause: {:?}",
+            o.seq,
+            o.failure
+        );
+        assert!(!o.failed_over && o.retries == 0);
+    }
+    assert!(!report.recovery.any(), "recovery tallies with recovery off");
+}
+
+#[test]
+fn decode_requests_re_prefill_after_device_loss() {
+    // Generative requests whose KV cache dies re-prefill from their token
+    // position on a survivor and still deliver every requested token.
+    let spec = DecodeWorkloadSpec {
+        pattern: ArrivalPattern::Steady { interval_ms: 60.0 },
+        requests: 6,
+        tenants: 2,
+        prompt_tokens: (8, 24),
+        output_tokens: (4, 12),
+        seed: 0xDECA_F001,
+    };
+    let requests = spec.generate(&[ModelZoo::gptneo_small()]);
+    let fleet = vec![DeviceSpec::oneplus_12(), DeviceSpec::oneplus_12()];
+    let report = DecodeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_cache(shared_cache())
+        .with_fault_plan(FaultPlan::seeded(5).with_device_loss(0, 400.0))
+        .with_recovery_control(RecoveryControl::disabled().with_failover())
+        .run_on(&ThreadPool::with_threads(1), &requests)
+        .expect("protected decode run succeeds");
+    assert_eq!(report.outcomes.len(), requests.len());
+    for o in &report.outcomes {
+        assert!(
+            o.succeeded(),
+            "decode request {} was lost: {:?}",
+            o.seq,
+            o.error
+        );
+        let want = requests[o.seq].decode.expect("generative request");
+        let d = o.decode.as_ref().expect("completed decode carries tokens");
+        assert_eq!(
+            d.output_tokens, want.output_tokens,
+            "request {} lost tokens across the failover",
+            o.seq
+        );
+    }
+    assert!(
+        report.recovery.failovers > 0,
+        "loss at 400 ms recovered without failover\n{report}"
+    );
+    let wide = DecodeEngine::new(
+        vec![DeviceSpec::oneplus_12(), DeviceSpec::oneplus_12()],
+        FlashMemConfig::memory_priority(),
+    )
+    .with_cache(shared_cache())
+    .with_fault_plan(FaultPlan::seeded(5).with_device_loss(0, 400.0))
+    .with_recovery_control(RecoveryControl::disabled().with_failover())
+    .run_on(&ThreadPool::with_threads(4), &requests)
+    .expect("protected decode run succeeds");
+    assert_eq!(
+        format!("{}|{:?}", comparable(&report), report.recovery),
+        format!("{}|{:?}", comparable(&wide), wide.recovery),
+        "decode chaos diverged between pool widths 1 and 4"
+    );
 }

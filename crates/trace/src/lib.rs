@@ -125,6 +125,21 @@ pub enum TraceKind {
     BatchJoin,
     /// A request leaving the continuous batch at a step boundary (serve).
     BatchLeave,
+    /// An injected fault fired on this device (device loss, transient
+    /// kernel fault or spurious OOM spike), tagged with its kind (serve).
+    Fault,
+    /// A faulted request re-enqueued on the same device with simulated-time
+    /// backoff, consuming one unit of its retry budget (serve).
+    Retry,
+    /// A request re-placed from a failed or quarantined device onto this
+    /// surviving device by the recovery planner (serve).
+    Failover,
+    /// This device quarantined by health tracking after crossing the fault
+    /// threshold — it receives no placements until probed (serve).
+    Quarantine,
+    /// A probe placement sent to a quarantined device to test reinstatement
+    /// (serve).
+    Probe,
 }
 
 impl TraceKind {
@@ -147,7 +162,12 @@ impl TraceKind {
             | TraceKind::Prefill
             | TraceKind::DecodeStep
             | TraceKind::BatchJoin
-            | TraceKind::BatchLeave => "serve",
+            | TraceKind::BatchLeave
+            | TraceKind::Fault
+            | TraceKind::Retry
+            | TraceKind::Failover
+            | TraceKind::Quarantine
+            | TraceKind::Probe => "serve",
         }
     }
 }
@@ -320,6 +340,25 @@ impl TraceRecorder {
     /// Events dropped by the ring buffer so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Append every event of `other` to this recorder, renumbering the
+    /// absorbed events so recorder sequence numbers stay strictly
+    /// increasing in merge order. This is how a device's master recorder
+    /// accumulates the per-round buffers of a multi-round recovery run:
+    /// round *k+1*'s events sort after round *k*'s at equal timestamps,
+    /// exactly like a single recorder that had recorded both rounds.
+    /// Absorbed drop counts carry over; the ring bound still applies.
+    pub fn absorb(&mut self, other: TraceRecorder) {
+        if !self.config.enabled {
+            return;
+        }
+        self.dropped += other.dropped;
+        for mut event in other.events {
+            event.seq = self.next_seq;
+            self.next_seq += 1;
+            self.push(event);
+        }
     }
 
     /// Seal the recorder into one device's share of a [`FleetTrace`].
@@ -524,6 +563,47 @@ mod tests {
         assert_eq!(names, vec!["a2", "b1", "a1"]);
         assert_eq!(fleet.total_events(), 3);
         assert_eq!(fleet.dropped_events(), 0);
+    }
+
+    #[test]
+    fn absorb_renumbers_and_carries_drops() {
+        let mut master = TraceRecorder::new(TraceConfig::enabled());
+        master.instant(TraceKind::Admit, TraceLane::Request(0), "r0", 1.0);
+        let mut round = TraceRecorder::new(TraceConfig::enabled().with_events_per_device(1));
+        round.instant(TraceKind::Fault, TraceLane::Request(1), "f1", 1.0);
+        round.instant(TraceKind::Retry, TraceLane::Request(1), "r1", 2.0);
+        assert_eq!(round.dropped(), 1);
+        master.absorb(round);
+        assert_eq!(master.len(), 2);
+        assert_eq!(master.dropped(), 1);
+        let proc = master.into_process_trace("d");
+        // Absorbed events are renumbered after the master's own.
+        assert_eq!(proc.events[0].seq, 0);
+        assert_eq!(proc.events[1].seq, 1);
+        assert_eq!(proc.events[1].name, "r1");
+        assert_eq!(proc.events[1].kind, TraceKind::Retry);
+    }
+
+    #[test]
+    fn absorb_into_disabled_recorder_is_a_no_op() {
+        let mut master = TraceRecorder::new(TraceConfig::disabled());
+        let mut round = TraceRecorder::new(TraceConfig::enabled());
+        round.instant(TraceKind::Probe, TraceLane::Host, "p", 0.0);
+        master.absorb(round);
+        assert!(master.is_empty());
+    }
+
+    #[test]
+    fn recovery_kinds_are_serve_category() {
+        for kind in [
+            TraceKind::Fault,
+            TraceKind::Retry,
+            TraceKind::Failover,
+            TraceKind::Quarantine,
+            TraceKind::Probe,
+        ] {
+            assert_eq!(kind.category(), "serve");
+        }
     }
 
     #[test]

@@ -106,5 +106,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.stall_ms
         );
     }
+
+    // Chaos drill: replay the same workload with a seeded fault plan — one
+    // device dies at 600 ms of simulated time and another fires transient
+    // kernel faults — and the recovery kit armed (bounded retries with
+    // backoff, failover onto survivors, quarantine with probe
+    // reinstatement). Fault firing is keyed by (device, seq, command), so
+    // the same faults hit on every run and every pool width. A same-spec
+    // sibling rides along so in-flight suspensions can resume on the
+    // survivor instead of restarting from scratch.
+    let fleet = vec![
+        DeviceSpec::oneplus_12(),
+        DeviceSpec::oneplus_12(),
+        DeviceSpec::pixel_8(),
+    ];
+    let chaos_report = ServeEngine::new(fleet, FlashMemConfig::memory_priority())
+        .with_tenant_slo("tenant-0", 800.0)
+        .with_tenant_slo("tenant-1", 2_500.0)
+        .with_tenant_slo("tenant-2", 6_000.0)
+        .with_fault_plan(
+            FaultPlan::seeded(7)
+                .with_device_loss(0, 600.0)
+                .with_flaky_device(2, 0.10),
+        )
+        .with_recovery_control(
+            RecoveryControl::disabled()
+                .with_retry_budget(2)
+                .with_backoff_ms(25.0)
+                .with_failover()
+                .with_quarantine(3, 500.0),
+        )
+        .run(&requests)?;
+    println!(
+        "\nchaos drill (device 0 lost at 600 ms, device 2 flaky): \
+         {}/{} completed — {} retries, {} failovers, {} quarantines, {} probes",
+        chaos_report.completed(),
+        requests.len(),
+        chaos_report.recovery.retries,
+        chaos_report.recovery.failovers,
+        chaos_report.recovery.quarantines,
+        chaos_report.recovery.probes,
+    );
+    for o in chaos_report
+        .outcomes
+        .iter()
+        .filter(|o| o.retries > 0 || o.failed_over)
+    {
+        println!(
+            "  #{:<2} {:<8} survived on {:<12} after {} retr{}{}",
+            o.seq,
+            o.model,
+            o.device,
+            o.retries,
+            if o.retries == 1 { "y" } else { "ies" },
+            if o.failed_over { " + failover" } else { "" },
+        );
+    }
     Ok(())
 }

@@ -8,7 +8,11 @@
 #      B and E events pair up like brackets, never crossing lanes;
 #   3. every device "process" named by process_name metadata records at
 #      least one actual event (a fleet device that traces nothing means
-#      a wiring regression in the serve engine).
+#      a wiring regression in the serve engine);
+#   4. chaos/recovery events — instants whose name starts with one of the
+#      five recovery verbs (`fault`, `retry`, `failover`, `quarantine`,
+#      `probe`) — are instants (never spans) and carry the `serve`
+#      category, and the per-verb counts are reported so CI can grep them.
 #
 # Usage: scripts/check-trace.sh TRACE_JSON
 set -euo pipefail
@@ -34,6 +38,8 @@ other = doc.get("otherData", {})
 processes = {}   # pid -> process name (from metadata)
 counted = {}     # pid -> non-metadata event count
 stacks = {}      # (pid, tid) -> open-B depth
+RECOVERY_VERBS = ("fault", "retry", "failover", "quarantine", "probe")
+recovery = dict.fromkeys(RECOVERY_VERBS, 0)
 
 for e in events:
     ph, pid, tid = e.get("ph"), e.get("pid"), e.get("tid")
@@ -44,6 +50,15 @@ for e in events:
     if ph in ("B", "i"):
         # One recorded event per span-begin or instant (E only closes).
         counted[pid] = counted.get(pid, 0) + 1
+    verb = next(
+        (v for v in RECOVERY_VERBS if e.get("name", "").startswith(v + " ")), None
+    )
+    if verb is not None:
+        if ph != "i":
+            sys.exit(f"{path}: recovery event {e.get('name')!r} is not an instant")
+        if e.get("cat") != "serve":
+            sys.exit(f"{path}: recovery event {e.get('name')!r} not in cat 'serve'")
+        recovery[verb] += 1
     if ph == "B":
         stacks[(pid, tid)] = stacks.get((pid, tid), 0) + 1
     elif ph == "E":
@@ -72,8 +87,10 @@ if declared is not None and int(declared) != total:
     sys.exit(f"{path}: header declares {declared} events, found {total}")
 
 dropped = other.get("dropped_events", "0")
+recovery_note = ", ".join(f"{v}={n}" for v, n in recovery.items() if n)
 print(
     f"check-trace: {path} OK — {total} events across "
     f"{len(processes)} devices, {dropped} dropped, all spans balanced"
+    + (f", recovery instants: {recovery_note}" if recovery_note else "")
 )
 PY

@@ -75,10 +75,10 @@ pub mod prelude {
     pub use flashmem_graph::{Graph, ModelZoo, OpCategory, OpKind, TensorDesc};
     pub use flashmem_profiler::{CapacityProfiler, LoadCapacity, OperatorClass};
     pub use flashmem_serve::{
-        AffinityPolicy, ArrivalPattern, DeadlinePreemptivePolicy, EdfPolicy, FifoPolicy,
-        LeastLaxityPolicy, MissCause, MultiModelRunner, PolicyContext, PreemptionCost,
-        PreemptivePriorityPolicy, PriorityPolicy, ServeEngine, ServeRequest, SloSummary,
-        WorkloadSpec,
+        AffinityPolicy, ArrivalPattern, ChaosScenario, DeadlinePreemptivePolicy, EdfPolicy,
+        FailureCause, FaultKind, FaultPlan, FifoPolicy, LeastLaxityPolicy, MissCause,
+        MultiModelRunner, PolicyContext, PreemptionCost, PreemptivePriorityPolicy, PriorityPolicy,
+        RecoveryControl, ServeEngine, ServeRequest, SloSummary, WorkloadSpec,
     };
     pub use flashmem_solver::{CpModel, CpSolver, SolveStatus};
     pub use flashmem_trace::{chrome_trace, FleetTrace, PhaseBreakdown, TraceConfig};
